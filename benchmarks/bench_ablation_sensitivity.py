@@ -1,0 +1,55 @@
+"""Ablation — robustness of the reproduced conclusions.
+
+Two sensitivity sweeps backing the claims in EXPERIMENTS.md:
+
+* the Table V diversity ordering holds across a grid of infection-rate
+  calibrations around the default (the paper's calibration is
+  unpublished, so the shape must not hinge on our choice);
+* the optimal assignment degrades gracefully under similarity measurement
+  error (the paper's NVD publication-bias concern): with ±10 % noise the
+  re-optimised assignment agrees with the original on most installations
+  and the original's regret stays small.
+"""
+
+from repro.analysis.sensitivity import (
+    calibration_sensitivity,
+    similarity_perturbation_sensitivity,
+)
+
+
+def test_calibration_grid(benchmark, case, write_artifact):
+    cells = benchmark.pedantic(
+        calibration_sensitivity,
+        kwargs=dict(case=case, p_avgs=(0.05, 0.1, 0.15), p_maxs=(0.2, 0.3, 0.4)),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(cell.optimal_wins for cell in cells)
+    full = sum(cell.ordering_holds for cell in cells)
+    assert full >= len(cells) * 2 // 3
+
+    lines = [
+        "Ablation — Table V ordering across infection-rate calibrations",
+        f"full ordering holds at {full}/{len(cells)} grid points; "
+        f"'optimal wins' at {len(cells)}/{len(cells)}",
+    ]
+    lines += ["  " + cell.row() for cell in cells]
+    write_artifact("ablation_sensitivity_calibration", "\n".join(lines))
+
+
+def test_similarity_perturbation(benchmark, case, write_artifact):
+    results = benchmark.pedantic(
+        similarity_perturbation_sensitivity,
+        args=(case.network, case.similarity),
+        kwargs=dict(noise_levels=(0.1, 0.3), seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+
+    low_noise = [r for r in results if r.noise == 0.1]
+    assert min(r.agreement for r in low_noise) >= 0.6
+    assert max(r.regret for r in results) <= 0.5
+
+    lines = ["Ablation — optimal-assignment stability under similarity noise"]
+    lines += ["  " + result.row() for result in results]
+    write_artifact("ablation_sensitivity_similarity", "\n".join(lines))

@@ -1,0 +1,61 @@
+"""Paper Table III — web-browser vulnerability-similarity table.
+
+Same protocol as the Table II bench: exact reproduction from the embedded
+published data, plus the synthetic-feed pipeline timed with
+pytest-benchmark.
+"""
+
+import pytest
+
+from repro.nvd.datasets import (
+    CHROME,
+    FIREFOX,
+    IE8,
+    IE10,
+    SEAMONKEY,
+    paper_browser_similarity,
+)
+from repro.nvd.generator import (
+    SyntheticNVDConfig,
+    generate_synthetic_nvd,
+    product_cpe_map,
+)
+from repro.nvd.similarity import similarity_table_from_database
+
+
+@pytest.fixture(scope="module")
+def feed():
+    config = SyntheticNVDConfig(seed=7, cves_per_year=200)
+    return config, generate_synthetic_nvd(config)
+
+
+def test_published_table_regenerated(benchmark, write_artifact):
+    table = benchmark(paper_browser_similarity)
+    assert table.get(IE8, IE10) == pytest.approx(0.386)
+    assert table.get(FIREFOX, SEAMONKEY) == pytest.approx(0.450)
+    assert table.get(CHROME, FIREFOX) == pytest.approx(0.005)
+    write_artifact("table3_browser_similarity", table.format_table())
+
+
+def test_table3_pipeline_benchmark(benchmark, feed, write_artifact):
+    config, database = feed
+    browsers = {
+        name: cpe
+        for name, cpe in product_cpe_map(config).items()
+        if any(
+            key in cpe.product
+            for key in ("explorer", "edge", "chrome", "firefox", "safari",
+                        "seamonkey", "opera")
+        )
+    }
+
+    table = benchmark(
+        similarity_table_from_database, database, browsers, 1999, 2016
+    )
+
+    same_vendor = table.get(
+        "microsoft internet_explorer_8", "microsoft internet_explorer_10"
+    )
+    rivals = table.get("google chrome_50", "mozilla firefox_45")
+    assert same_vendor > rivals
+    write_artifact("table3_browser_similarity_synthetic", table.format_table())

@@ -1,0 +1,40 @@
+"""Paper Table V — the network diversity metric d_bn.
+
+Regenerates the five-row table (α̂, α̂_C1, α̂_C2, α_r, α_m) for entry c4 and
+target t5 and asserts the paper's ordering.  The benchmark times the full
+driver: three optimisations + BN inference for every assignment.
+
+Paper values for comparison: 0.81457 / 0.48590 / 0.48119 / 0.26622 /
+0.06709.  Our absolute values are lower (the undiversifiable legacy OT zone
+weighs more under our documented rate calibration — see EXPERIMENTS.md),
+but the ordering and the relative gaps reproduce.
+"""
+
+from repro.experiments import table5_diversity
+
+PAPER_VALUES = {
+    "optimal": 0.81457,
+    "host_constrained": 0.48590,
+    "product_constrained": 0.48119,
+    "random": 0.26622,
+    "mono": 0.06709,
+}
+
+
+def test_table5_benchmark(benchmark, case, write_artifact):
+    reports = benchmark.pedantic(
+        table5_diversity, args=(case,), rounds=2, iterations=1
+    )
+
+    assert reports["optimal"].d_bn > reports["host_constrained"].d_bn
+    assert reports["host_constrained"].d_bn >= reports["product_constrained"].d_bn - 1e-9
+    assert reports["product_constrained"].d_bn > reports["random"].d_bn
+    assert reports["random"].d_bn > reports["mono"].d_bn
+
+    lines = ["Table V — diversity metric d_bn (entry c4, target t5)",
+             f"{'assignment':<20}{'ours':>10}{'paper':>10}"]
+    for label, report in reports.items():
+        lines.append(f"{label:<20}{report.d_bn:>10.5f}{PAPER_VALUES[label]:>10.5f}")
+    lines.append("")
+    lines += ["  " + r.row(label) for label, r in reports.items()]
+    write_artifact("table5_diversity", "\n".join(lines))

@@ -1,0 +1,49 @@
+"""Paper Table VI — mean-time-to-compromise from five entry points.
+
+Simulates the sophisticated attacker (1,000 NetLogo runs per cell in the
+paper; 400 here to keep the bench laptop-friendly — pass more via
+table6_mttc for a full run) against α̂, α̂_C1, α̂_C2 and α_m, from entries
+c1, c4, e3, r4 and v1 towards target t5.
+
+Shape requirements asserted: the mono-culture row is the weakest (fastest
+compromised) overall, and the optimal assignment is the most resilient from
+the corporate entries.  Paper rows for reference are embedded in the
+artifact.
+"""
+
+from repro.experiments import table6_mttc
+
+PAPER_ROWS = {
+    "optimal": (45.313, 37.561, 52.663, 52.491, 24.053),
+    "host_constrained": (28.041, 16.812, 44.359, 48.472, 15.243),
+    "product_constrained": (14.549, 15.817, 45.118, 46.257, 14.749),
+    "mono": (14.345, 12.654, 19.338, 18.865, 15.916),
+}
+LABELS = ("optimal", "host_constrained", "product_constrained", "mono")
+ENTRIES = ("c1", "c4", "e3", "r4", "v1")
+
+
+def test_table6_benchmark(benchmark, case, write_artifact):
+    results = benchmark.pedantic(
+        table6_mttc,
+        args=(case,),
+        kwargs=dict(runs=400, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape: mono weakest on average; optimal strongest from corporate.
+    for entry in ("c1", "c4"):
+        assert results[("mono", entry)].mttc < results[("optimal", entry)].mttc
+    mean = lambda label: sum(results[(label, e)].mttc for e in ENTRIES) / len(ENTRIES)
+    assert mean("mono") < mean("product_constrained") <= mean("optimal") * 1.1
+    assert mean("mono") < mean("optimal")
+
+    lines = ["Table VI — MTTC in ticks (400 runs per cell; paper: 1000 NetLogo runs)",
+             f"{'assignment':<22}" + "".join(f"{e:>9}" for e in ENTRIES)]
+    for label in LABELS:
+        ours = "".join(f"{results[(label, e)].mttc:9.2f}" for e in ENTRIES)
+        paper = "".join(f"{v:9.2f}" for v in PAPER_ROWS[label])
+        lines.append(f"{label:<22}{ours}")
+        lines.append(f"{'  (paper)':<22}{paper}")
+    write_artifact("table6_mttc", "\n".join(lines))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one artefact of the paper (a table or figure)
+and, besides the pytest-benchmark timing, writes the rendered rows to
+``benchmarks/results/<name>.txt`` so the reproduction's numbers are
+inspectable after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.casestudy.stuxnet import stuxnet_case_study
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def case():
+    """The Stuxnet case-study bundle (built once per session)."""
+    return stuxnet_case_study()
+
+
+@pytest.fixture(scope="session")
+def write_artifact():
+    """Writer: ``write_artifact("table5", text)`` → benchmarks/results/table5.txt."""
+
+    def write(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return write

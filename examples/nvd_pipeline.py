@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The vulnerability-similarity measurement pipeline (paper Section III).
+
+Shows both halves of the reproduction's data story:
+
+1. the paper's *published* similarity tables (Tables II and III), embedded
+   verbatim so the case study uses exactly the numbers the paper used;
+2. the full NVD → CPE filter → Jaccard pipeline run against the synthetic
+   CVE feed (the offline substitute for a live NVD dump), demonstrating
+   that the generated data has the same structure the paper's statistical
+   study found: same-lineage versions share many vulnerabilities, rival
+   vendors share almost none.
+
+Run:  python examples/nvd_pipeline.py
+"""
+
+from repro.nvd.cpe import CPE
+from repro.nvd.datasets import paper_browser_similarity, paper_os_similarity
+from repro.nvd.generator import (
+    SyntheticNVDConfig,
+    generate_synthetic_nvd,
+    product_cpe_map,
+)
+from repro.nvd.similarity import similarity_table_from_database
+
+
+def main() -> None:
+    print("Paper Table II — OS vulnerability similarity (published data)")
+    print(paper_os_similarity().format_table())
+    print()
+    print("Paper Table III — browser vulnerability similarity (published data)")
+    print(paper_browser_similarity().format_table())
+    print()
+
+    config = SyntheticNVDConfig(seed=7, cves_per_year=250)
+    database = generate_synthetic_nvd(config)
+    print(f"Synthetic NVD feed: {len(database)} CVE records over "
+          f"{config.years[0]}-{config.years[1]}, "
+          f"{len(database.products())} product-level CPEs")
+
+    sample = database.records_for_year(2010)[0]
+    print(f"example record {sample.cve_id} (CVSS {sample.cvss}): affects "
+          + ", ".join(str(c) for c in sample.affected))
+    print()
+
+    os_products = {
+        name: cpe for name, cpe in product_cpe_map(config).items()
+        if cpe.part == "o"
+    }
+    table = similarity_table_from_database(
+        database, os_products, since=1999, until=2016
+    )
+    print("Similarity table computed from the synthetic feed (OS products):")
+    print(table.format_table())
+    print()
+
+    adjacent = table.get("microsoft windows_7", "microsoft windows_8.1")
+    rivals = table.get("microsoft windows_7", "canonical ubuntu_14.04")
+    print(f"adjacent Windows versions: {adjacent:.3f}   "
+          f"Windows vs Ubuntu: {rivals:.3f}")
+    print("→ same qualitative structure as the paper's Table II: a single "
+          "vulnerability frequently affects multiple versions of a lineage, "
+          "rarely crosses vendors.")
+
+    # Per-product query, as the paper's CVE-SEARCH pipeline does.
+    chrome = CPE.parse("cpe:/a:google:chrome_50")
+    hits = database.vulnerabilities_of(chrome)
+    print(f"\nCVEs affecting {chrome}: {len(hits)} "
+          f"(e.g. {sorted(hits)[:3]} ...)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of *Scalable Approach to Enhancing ICS Resilience by
+Network Diversity* (Li, Feng & Hankin, DSN 2020).
+
+The library computes optimal software-diversity assignments for networked
+systems: model your network (hosts, links, services, candidate products),
+supply a vulnerability-similarity table (from the paper's published data, a
+synthetic NVD feed, or your own measurements), optionally add configuration
+constraints, and :func:`diversify` returns the assignment minimising worm
+propagation via TRW-S MAP inference on a Markov Random Field.  Evaluation
+tooling (BN diversity metric d_bn, agent-based MTTC simulation) and the
+paper's Stuxnet-inspired case study are included.
+
+Quickstart::
+
+    from repro import Network, SimilarityTable, diversify
+
+    net = Network()
+    net.add_host("a", {"os": ["win", "linux"]})
+    net.add_host("b", {"os": ["win", "linux"]})
+    net.add_link("a", "b")
+    sim = SimilarityTable(pairs={("win", "linux"): 0.1})
+    result = diversify(net, sim)
+    print(result.assignment.format())
+"""
+
+from repro.core.baselines import greedy_assignment, mono_assignment, random_assignment
+from repro.core.costs import assignment_energy, build_mrf
+from repro.core.diversify import DiversificationResult, diversify
+from repro.core.planner import UpgradePlan, plan_upgrade, upgrade_frontier
+from repro.metrics.diversity import DiversityReport, diversity_metric
+from repro.metrics.effort import k_zero_day_safety, least_attack_effort
+from repro.metrics.mttc import MTTCResult, mean_time_to_compromise
+from repro.metrics.richness import effective_richness
+from repro.metrics.surface import attack_surface
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import (
+    AvoidCombination,
+    ConstraintSet,
+    FixProduct,
+    ForbidProduct,
+    RequireCombination,
+)
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable, jaccard_similarity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Network",
+    "ProductAssignment",
+    "SimilarityTable",
+    "jaccard_similarity",
+    "ConstraintSet",
+    "FixProduct",
+    "ForbidProduct",
+    "RequireCombination",
+    "AvoidCombination",
+    "diversify",
+    "DiversificationResult",
+    "build_mrf",
+    "assignment_energy",
+    "mono_assignment",
+    "random_assignment",
+    "greedy_assignment",
+    "diversity_metric",
+    "DiversityReport",
+    "mean_time_to_compromise",
+    "MTTCResult",
+    "plan_upgrade",
+    "upgrade_frontier",
+    "UpgradePlan",
+    "least_attack_effort",
+    "k_zero_day_safety",
+    "effective_richness",
+    "attack_surface",
+]

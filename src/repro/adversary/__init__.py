@@ -1,0 +1,49 @@
+"""Adversarial evaluation under bounded attacker knowledge.
+
+The paper closes with a future-work direction: "evaluate the diversified
+network from an adversarial perspective, subject to different level of
+attacker's knowledge about the network configuration and vulnerabilities"
+(Section IX).  This subpackage implements that evaluation:
+
+``repro.adversary.knowledge``
+    Attacker knowledge models — full, noisy and blind views of the
+    per-edge infection rates.
+``repro.adversary.planner``
+    Attack planning: the most-likely-to-succeed path under the attacker's
+    *perceived* rates (Dijkstra on −log rate).
+``repro.adversary.evaluate``
+    Executing a plan against the *true* rates: analytic expected
+    time-to-compromise plus a seeded simulation, and a comparison driver
+    across knowledge levels.
+
+The headline result (see ``benchmarks/bench_ablation_knowledge.py``): on a
+well-diversified network an attacker pays a large penalty for imperfect
+knowledge, while on a mono-culture knowledge is nearly worthless — every
+path is equally easy — which quantifies *why* diversity also buys
+resilience against reconnaissance-limited adversaries.
+"""
+
+from repro.adversary.knowledge import (
+    BlindKnowledge,
+    FullKnowledge,
+    KnowledgeModel,
+    NoisyKnowledge,
+)
+from repro.adversary.planner import AttackPlan, plan_attack
+from repro.adversary.evaluate import (
+    AdversaryResult,
+    evaluate_attacker,
+    knowledge_sweep,
+)
+
+__all__ = [
+    "KnowledgeModel",
+    "FullKnowledge",
+    "NoisyKnowledge",
+    "BlindKnowledge",
+    "AttackPlan",
+    "plan_attack",
+    "AdversaryResult",
+    "evaluate_attacker",
+    "knowledge_sweep",
+]

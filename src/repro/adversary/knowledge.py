@@ -1,0 +1,101 @@
+"""Attacker knowledge models.
+
+A knowledge model maps the network's *true* directed infection rates to the
+rates the attacker *believes* when planning.  Three levels:
+
+* :class:`FullKnowledge` — perfect reconnaissance: perceived == true.
+* :class:`NoisyKnowledge` — partial reconnaissance: each perceived rate is
+  the true rate plus seeded uniform noise (clipped to (0, 1]); the
+  ``noise`` parameter interpolates between full knowledge (0.0) and
+  near-blindness.
+* :class:`BlindKnowledge` — topology-only knowledge: the attacker knows
+  which hosts connect (e.g. from a network scan) but nothing about the
+  installed products, so every exploitable edge looks equally attractive.
+
+All models only assign a positive perceived rate to edges whose true rate
+is positive — the attacker cannot believe in attack vectors that do not
+exist at all (shared services are observable from the scan); what it
+misjudges is *how exploitable* each vector is.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Protocol, Tuple
+
+__all__ = ["KnowledgeModel", "FullKnowledge", "NoisyKnowledge", "BlindKnowledge"]
+
+RateMap = Dict[Tuple[str, str], float]
+
+
+class KnowledgeModel(Protocol):
+    """Maps true directed rates to the attacker's perceived rates."""
+
+    name: str
+
+    def perceive(self, true_rates: RateMap) -> RateMap:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class FullKnowledge:
+    """Perfect reconnaissance: the attacker sees the true rates."""
+
+    name: str = "full"
+
+    def perceive(self, true_rates: RateMap) -> RateMap:
+        return dict(true_rates)
+
+
+@dataclass(frozen=True)
+class NoisyKnowledge:
+    """Partial reconnaissance: true rates blurred by uniform noise.
+
+    Attributes:
+        noise: half-width of the uniform perturbation; 0 is full knowledge.
+        seed: makes the perceived world deterministic.
+        floor: minimum perceived rate for existing vectors (keeps planning
+            well-defined on edges the attacker underestimates to ~zero).
+    """
+
+    noise: float = 0.2
+    seed: int = 0
+    floor: float = 1e-3
+    name: str = "noisy"
+
+    def __post_init__(self) -> None:
+        if self.noise < 0:
+            raise ValueError("noise must be non-negative")
+        if not 0 < self.floor <= 1:
+            raise ValueError("floor must be in (0, 1]")
+
+    def perceive(self, true_rates: RateMap) -> RateMap:
+        rng = random.Random(self.seed)
+        perceived: RateMap = {}
+        for edge in sorted(true_rates):
+            rate = true_rates[edge]
+            if rate <= 0.0:
+                perceived[edge] = 0.0
+                continue
+            blurred = rate + rng.uniform(-self.noise, self.noise)
+            perceived[edge] = min(1.0, max(self.floor, blurred))
+        return perceived
+
+
+@dataclass(frozen=True)
+class BlindKnowledge:
+    """Topology-only knowledge: every existing vector looks the same."""
+
+    assumed_rate: float = 0.5
+    name: str = "blind"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.assumed_rate <= 1:
+            raise ValueError("assumed_rate must be in (0, 1]")
+
+    def perceive(self, true_rates: RateMap) -> RateMap:
+        return {
+            edge: (self.assumed_rate if rate > 0.0 else 0.0)
+            for edge, rate in true_rates.items()
+        }

@@ -1,0 +1,121 @@
+"""Attack planning under perceived rates.
+
+The attacker model matches the MTTC simulations: each hop is *retried*
+every tick until it succeeds, so the cost of a path is its expected
+duration ``Σ 1/rate`` — an additive edge weight, minimised exactly by
+Dijkstra.  (Maximising the one-shot success product ``Π rate`` is a
+different objective that can prefer short-but-hard paths; with retries the
+expected-time objective is the rational one, and it guarantees that better
+knowledge never plans a slower attack.)  The plan reports both quantities.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.model import Network
+
+__all__ = ["AttackPlan", "plan_attack"]
+
+RateMap = Dict[Tuple[str, str], float]
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """A committed attack path.
+
+    Attributes:
+        path: hosts from entry to target inclusive.
+        perceived_success: Π perceived rates along the path (one-shot
+            success probability as the attacker estimates it).
+        perceived_expected_ticks: Σ 1/perceived rate — the attacker's own
+            estimate of the retry-until-success duration.
+    """
+
+    path: Tuple[str, ...]
+    perceived_success: float
+    perceived_expected_ticks: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return list(zip(self.path, self.path[1:]))
+
+    def describe(self) -> str:
+        return (
+            f"{' -> '.join(self.path)}  "
+            f"(perceived success {self.perceived_success:.4f}, "
+            f"~{self.perceived_expected_ticks:.1f} ticks)"
+        )
+
+
+def plan_attack(
+    network: Network,
+    perceived_rates: RateMap,
+    entry: str,
+    target: str,
+) -> AttackPlan:
+    """Minimum expected-duration path under the perceived rates.
+
+    Raises:
+        KeyError: unknown entry/target.
+        ValueError: no path with strictly positive perceived rates exists.
+    """
+    if entry not in network:
+        raise KeyError(f"unknown entry host {entry!r}")
+    if target not in network:
+        raise KeyError(f"unknown target host {target!r}")
+    if entry == target:
+        return AttackPlan(path=(entry,), perceived_success=1.0,
+                          perceived_expected_ticks=0.0)
+
+    counter = itertools.count()
+    best: Dict[str, float] = {entry: 0.0}
+    back: Dict[str, Optional[str]] = {entry: None}
+    queue: List[Tuple[float, int, str]] = [(0.0, next(counter), entry)]
+    done = set()
+
+    while queue:
+        cost, _, host = heapq.heappop(queue)
+        if host in done:
+            continue
+        done.add(host)
+        if host == target:
+            break
+        for neighbor in network.neighbors(host):
+            rate = perceived_rates.get((host, neighbor), 0.0)
+            if rate <= 0.0 or neighbor in done:
+                continue
+            candidate = cost + 1.0 / rate
+            if candidate < best.get(neighbor, float("inf")) - 1e-15:
+                best[neighbor] = candidate
+                back[neighbor] = host
+                heapq.heappush(queue, (candidate, next(counter), neighbor))
+
+    if target not in back:
+        raise ValueError(
+            f"no exploitable path from {entry!r} to {target!r} under the "
+            f"perceived rates"
+        )
+
+    path: List[str] = [target]
+    while back[path[-1]] is not None:
+        path.append(back[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+
+    success = 1.0
+    expected = 0.0
+    for u, v in zip(path, path[1:]):
+        rate = perceived_rates[(u, v)]
+        success *= rate
+        expected += 1.0 / rate
+    return AttackPlan(
+        path=tuple(path),
+        perceived_success=success,
+        perceived_expected_ticks=expected,
+    )

@@ -1,0 +1,24 @@
+"""Robustness analyses of the reproduction's conclusions.
+
+``repro.analysis.sensitivity``
+    Sensitivity of (i) the Table V ordering to the infection-rate
+    calibration the paper did not publish, and (ii) the optimal assignment
+    to perturbations of the NVD-measured similarities (the paper's own
+    "publication bias" concern, Section IX).
+"""
+
+from repro.analysis.sensitivity import (
+    CalibrationCell,
+    PerturbationResult,
+    calibration_sensitivity,
+    perturbed_similarity,
+    similarity_perturbation_sensitivity,
+)
+
+__all__ = [
+    "CalibrationCell",
+    "calibration_sensitivity",
+    "PerturbationResult",
+    "perturbed_similarity",
+    "similarity_perturbation_sensitivity",
+]

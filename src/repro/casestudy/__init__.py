@@ -1,0 +1,31 @@
+"""The paper's Stuxnet-inspired ICS case study (Section VII)."""
+
+from repro.casestudy.stuxnet import (
+    CaseStudy,
+    DB_SERVICE,
+    ENTRY_POINTS,
+    OS_SERVICE,
+    TARGET,
+    WB_SERVICE,
+    ZONES,
+    build_network,
+    host_constraints,
+    legacy_hosts,
+    product_constraints,
+    stuxnet_case_study,
+)
+
+__all__ = [
+    "CaseStudy",
+    "stuxnet_case_study",
+    "build_network",
+    "host_constraints",
+    "product_constraints",
+    "legacy_hosts",
+    "ZONES",
+    "ENTRY_POINTS",
+    "TARGET",
+    "OS_SERVICE",
+    "WB_SERVICE",
+    "DB_SERVICE",
+]

@@ -1,0 +1,312 @@
+"""The Stuxnet-inspired IT/OT-convergence case study (paper Section VII).
+
+This module reconstructs the paper's Fig. 3 — a typical ICS architecture
+integrating legacy OT zones (Operations Network, Control Network) with
+modern IT zones (Corporate sub-network, DMZ, Clients Network, Remote
+Clients, Vendors Support Network) — together with the Table IV product
+catalogue, the legacy pins and the two constraint sets:
+
+* **C1, host constraints**: hosts ``z4``, ``e1``, ``r1`` and ``v1`` are
+  required by company policy to run specific products.
+* **C2, product constraints**: C1 plus global undesirable combinations —
+  Internet Explorer must not be configured on Linux operating systems (the
+  paper's example is eliminating IE10-on-Ubuntu14.04 assignments).
+
+Reconstruction notes (the paper's figure is a diagram, not a machine-readable
+artefact):
+
+* Legacy hosts — the grey rows of Table IV, all of the Operations and
+  Control networks — are modelled as *single-candidate* ranges: no
+  flexibility to diversify is exactly a one-product choice set.
+* The link set realises Fig. 3's intra-zone LANs plus the firewall
+  white-list rules printed on the figure (``c2,c4 → z4``; ``p2,p3 → z4``;
+  ``z4 → t1,t2``; ``p1 → t1,e1,r1,v1``; ``t1,t2 → e1,r1,v1``) as
+  undirected edges, the paper's "more general undirected edges" stance.
+* Three field-interface hosts ``f1``-``f3`` (shown in Fig. 4 next to the
+  PLCs) are included as legacy Control-network equipment; the S7 PLCs
+  themselves carry no IT products and are not modelled as hosts.
+* Product availability per role follows the paper's stated requirements
+  (WinCC needs a Windows OS and IE; WSUS needs Windows plus a Microsoft
+  database server) and Table IV's candidate pools; where the scan of the
+  table is ambiguous we chose the widest range consistent with the role.
+
+Entry points for the evaluation are ``c1``, ``c4`` (Corporate), ``e3``
+(Clients), ``r4`` (Remote Clients) and ``v1`` (Vendors); the attack target
+is the WinCC server ``t5`` with direct access to the field devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.constraints import (
+    GLOBAL,
+    AvoidCombination,
+    ConstraintSet,
+    FixProduct,
+)
+from repro.network.model import Network
+from repro.nvd.datasets import (
+    CHROME,
+    DEBIAN_80,
+    IE8,
+    IE10,
+    MARIADB_10,
+    MSSQL_08,
+    MSSQL_14,
+    MYSQL_55,
+    UBUNTU_1404,
+    WIN_7,
+    WIN_XP,
+    paper_similarity_table,
+)
+from repro.nvd.similarity import SimilarityTable
+
+__all__ = [
+    "OS_SERVICE",
+    "WB_SERVICE",
+    "DB_SERVICE",
+    "ZONES",
+    "ENTRY_POINTS",
+    "TARGET",
+    "build_network",
+    "legacy_hosts",
+    "host_constraints",
+    "product_constraints",
+    "CaseStudy",
+    "stuxnet_case_study",
+]
+
+#: The three essential services of the paper's experiments (Section VII-A).
+OS_SERVICE = "os"
+WB_SERVICE = "browser"
+DB_SERVICE = "database"
+
+#: Entry hosts used in the paper's five MTTC experiment sets.
+ENTRY_POINTS: Tuple[str, ...] = ("c1", "c4", "e3", "r4", "v1")
+
+#: The attack target: the WinCC server with direct field-device access.
+TARGET = "t5"
+
+# Candidate pools reused across roles (Table IV columns).
+_ANY_OS = (WIN_7, UBUNTU_1404, DEBIAN_80)
+_ANY_WB = (IE8, IE10, CHROME)
+_ANY_DB = (MSSQL_14, MYSQL_55, MARIADB_10)
+_WINCC_OS = (WIN_XP, WIN_7)       # WinCC requires a Windows OS
+_WINCC_WB = (IE8, IE10)           # ... and Internet Explorer
+
+#: Zone → hosts, following Fig. 3.
+ZONES: Dict[str, Tuple[str, ...]] = {
+    "corporate": ("c1", "c2", "c3", "c4"),
+    "dmz": ("z1", "z2", "z3", "z4"),
+    "operations": ("p1", "p2", "p3"),
+    "control": ("t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3"),
+    "clients": ("e1", "e2", "e3", "e4"),
+    "remote": ("r1", "r2", "r3", "r4", "r5"),
+    "vendors": ("v1", "v2", "v3"),
+}
+
+#: Host → role description (documentation and reporting).
+ROLES: Dict[str, str] = {
+    "c1": "WinCC Web Client",
+    "c2": "OS Web Client",
+    "c3": "Data Monitor Web Client",
+    "c4": "Historian Web Client",
+    "z1": "Virusscan Server",
+    "z2": "WSUS Server",
+    "z3": "Web Navigator Server",
+    "z4": "OS Web Server",
+    "p1": "Historian Web Client",
+    "p2": "SIMATIC IT Server",
+    "p3": "SIMATIC SQL Server",
+    "t1": "Maintenance Server",
+    "t2": "OS Client",
+    "t3": "WinCC Client",
+    "t4": "OS Server",
+    "t5": "WinCC Server",
+    "t6": "WinCC Server",
+    "f1": "Field Interface Server",
+    "f2": "Field Interface Server",
+    "f3": "Field Interface Server",
+    "e1": "WinCC Web Client",
+    "e2": "OS Web Client",
+    "e3": "Client Workstation",
+    "e4": "Client Historian",
+    "r1": "WinCC Web Client",
+    "r2": "OS Web Client",
+    "r3": "Client Workstation",
+    "r4": "Client Workstation",
+    "r5": "Client Historian",
+    "v1": "Historian Web Client",
+    "v2": "Vendors Workstation",
+    "v3": "Vendors Workstation",
+}
+
+# Host → service → candidate products (the paper's Table IV).  Legacy hosts
+# (grey rows) have single-candidate ranges.
+_CATALOG: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    # Corporate sub-network -------------------------------------------------
+    "c1": {OS_SERVICE: _WINCC_OS, WB_SERVICE: _WINCC_WB},
+    "c2": {OS_SERVICE: _ANY_OS, WB_SERVICE: (IE10, CHROME)},
+    "c3": {OS_SERVICE: _ANY_OS, WB_SERVICE: _ANY_WB},
+    "c4": {OS_SERVICE: (WIN_7, UBUNTU_1404), WB_SERVICE: _ANY_WB},
+    # DMZ -------------------------------------------------------------------
+    "z1": {OS_SERVICE: _ANY_OS, DB_SERVICE: (MYSQL_55, MARIADB_10)},
+    "z2": {OS_SERVICE: (WIN_7,), DB_SERVICE: (MSSQL_08, MSSQL_14)},
+    "z3": {OS_SERVICE: (WIN_7,), WB_SERVICE: _WINCC_WB, DB_SERVICE: (MSSQL_14, MYSQL_55)},
+    "z4": {OS_SERVICE: _ANY_OS, WB_SERVICE: _ANY_WB, DB_SERVICE: _ANY_DB},
+    # Operations network (legacy) -------------------------------------------
+    "p1": {OS_SERVICE: (WIN_7,), WB_SERVICE: (IE8,)},
+    "p2": {OS_SERVICE: (WIN_XP,), DB_SERVICE: (MSSQL_08,)},
+    "p3": {OS_SERVICE: (WIN_XP,), DB_SERVICE: (MSSQL_08,)},
+    # Control network (legacy) ----------------------------------------------
+    "t1": {OS_SERVICE: (WIN_7,), DB_SERVICE: (MSSQL_14,)},
+    "t2": {OS_SERVICE: (WIN_7,), WB_SERVICE: (IE8,)},
+    "t3": {OS_SERVICE: (WIN_7,), WB_SERVICE: (IE8,)},
+    "t4": {OS_SERVICE: (WIN_7,), DB_SERVICE: (MSSQL_14,)},
+    "t5": {OS_SERVICE: (WIN_7,), DB_SERVICE: (MSSQL_14,)},
+    "t6": {OS_SERVICE: (WIN_XP,), DB_SERVICE: (MSSQL_08,)},
+    "f1": {OS_SERVICE: (WIN_7,), DB_SERVICE: (MYSQL_55,)},
+    "f2": {OS_SERVICE: (WIN_7,), DB_SERVICE: (MSSQL_14,)},
+    "f3": {OS_SERVICE: (WIN_7,)},
+    # Clients network ---------------------------------------------------------
+    "e1": {OS_SERVICE: _WINCC_OS, WB_SERVICE: _WINCC_WB, DB_SERVICE: (MSSQL_08, MSSQL_14)},
+    "e2": {OS_SERVICE: _ANY_OS, WB_SERVICE: _ANY_WB},
+    "e3": {OS_SERVICE: _ANY_OS, WB_SERVICE: _ANY_WB},
+    "e4": {OS_SERVICE: _ANY_OS, DB_SERVICE: _ANY_DB},
+    # Remote clients ----------------------------------------------------------
+    "r1": {OS_SERVICE: _WINCC_OS, WB_SERVICE: _WINCC_WB, DB_SERVICE: (MSSQL_08, MSSQL_14)},
+    "r2": {OS_SERVICE: _ANY_OS, WB_SERVICE: _ANY_WB},
+    "r3": {OS_SERVICE: _ANY_OS, WB_SERVICE: _ANY_WB},
+    "r4": {OS_SERVICE: _ANY_OS, WB_SERVICE: (IE10, CHROME)},
+    "r5": {OS_SERVICE: _ANY_OS, DB_SERVICE: _ANY_DB},
+    # Vendors support network --------------------------------------------------
+    "v1": {OS_SERVICE: (WIN_7, UBUNTU_1404), WB_SERVICE: _WINCC_WB},
+    "v2": {OS_SERVICE: _ANY_OS, WB_SERVICE: _ANY_WB},
+    "v3": {OS_SERVICE: _ANY_OS, WB_SERVICE: (IE10, CHROME)},
+}
+
+# Undirected links: intra-zone LANs plus Fig. 3's firewall white-list rules.
+_LINKS: Tuple[Tuple[str, str], ...] = (
+    # Corporate LAN (ring — the zone switch, not a full mesh)
+    ("c1", "c2"), ("c2", "c3"), ("c3", "c4"), ("c1", "c4"),
+    # DMZ LAN
+    ("z1", "z2"), ("z2", "z3"), ("z3", "z4"), ("z1", "z4"),
+    # Corporate → DMZ (rule: c2, c4 → z4; web clients → navigator server)
+    ("c2", "z4"), ("c4", "z4"), ("c1", "z3"), ("c3", "z3"),
+    # Operations LAN
+    ("p1", "p2"), ("p2", "p3"), ("p1", "p3"),
+    # Operations → DMZ (rule: p2, p3 → z4)
+    ("p2", "z4"), ("p3", "z4"), ("p1", "z3"),
+    # DMZ → Control (rule: z4 → t1, t2)
+    ("z4", "t1"), ("z4", "t2"),
+    # Control LAN
+    ("t1", "t2"), ("t1", "t3"), ("t2", "t3"),
+    ("t2", "t4"), ("t3", "t5"), ("t4", "t5"),
+    ("t4", "t6"), ("t5", "t6"), ("t1", "t6"),
+    # Control → field interfaces
+    ("t4", "f1"), ("t5", "f2"), ("t6", "f3"),
+    # Operations ↔ Control/clients (rule: p1 → t1, e1, r1, v1)
+    ("p1", "t1"), ("p1", "e1"), ("p1", "r1"), ("p1", "v1"),
+    # Control ↔ web clients (rule: t1, t2 → e1, r1, v1)
+    ("t1", "e1"), ("t1", "r1"), ("t1", "v1"),
+    ("t2", "e1"), ("t2", "r1"), ("t2", "v1"),
+    # Clients LAN (+ uplink to the OS web server)
+    ("e1", "e2"), ("e2", "e3"), ("e3", "e4"),
+    ("e2", "z4"),
+    # Remote clients LAN (+ uplink)
+    ("r1", "r2"), ("r2", "r3"), ("r3", "r4"), ("r4", "r5"),
+    ("r2", "z4"),
+    # Vendors support LAN
+    ("v1", "v2"), ("v2", "v3"), ("v1", "v3"),
+)
+
+
+def build_network() -> Network:
+    """The case-study network: 32 hosts, Fig. 3 topology, Table IV catalog."""
+    network = Network()
+    for zone_hosts in ZONES.values():
+        for host in zone_hosts:
+            network.add_host(host, _CATALOG[host])
+    network.add_links(_LINKS)
+    return network
+
+
+def legacy_hosts() -> List[str]:
+    """Hosts with no diversification flexibility (single-candidate ranges)."""
+    return [
+        host
+        for host, services in _CATALOG.items()
+        if all(len(products) == 1 for products in services.values())
+    ]
+
+
+def host_constraints() -> ConstraintSet:
+    """C1 — company policy pins on z4, e1, r1 and v1 (Section VII-B)."""
+    return ConstraintSet(
+        [
+            FixProduct("z4", OS_SERVICE, WIN_7),
+            FixProduct("z4", WB_SERVICE, IE10),
+            FixProduct("z4", DB_SERVICE, MYSQL_55),
+            FixProduct("e1", OS_SERVICE, WIN_7),
+            FixProduct("e1", WB_SERVICE, IE8),
+            FixProduct("e1", DB_SERVICE, MSSQL_14),
+            FixProduct("r1", OS_SERVICE, WIN_7),
+            FixProduct("r1", WB_SERVICE, IE8),
+            FixProduct("r1", DB_SERVICE, MSSQL_14),
+            FixProduct("v1", OS_SERVICE, WIN_7),
+            FixProduct("v1", WB_SERVICE, IE8),
+        ]
+    )
+
+
+def product_constraints() -> ConstraintSet:
+    """C2 — C1 plus global undesirable combinations (no IE on Linux)."""
+    constraints = host_constraints()
+    for linux in (UBUNTU_1404, DEBIAN_80):
+        for explorer in (IE8, IE10):
+            constraints.add(
+                AvoidCombination(GLOBAL, OS_SERVICE, linux, WB_SERVICE, explorer)
+            )
+    return constraints
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """Bundle of everything needed to rerun the paper's Section VII.
+
+    Attributes:
+        network: the Fig. 3 network.
+        similarity: the paper's published similarity tables (II/III + DB).
+        c1: host-constraint set (α̂_C1 experiments).
+        c2: product-constraint set (α̂_C2 experiments).
+        entries: the five MTTC entry points.
+        target: the attack target (t5).
+    """
+
+    network: Network
+    similarity: SimilarityTable
+    c1: ConstraintSet
+    c2: ConstraintSet
+    entries: Tuple[str, ...]
+    target: str
+
+
+def stuxnet_case_study() -> CaseStudy:
+    """Build the complete case-study bundle.
+
+    >>> case = stuxnet_case_study()
+    >>> len(case.network)
+    32
+    >>> case.target
+    't5'
+    """
+    return CaseStudy(
+        network=build_network(),
+        similarity=paper_similarity_table(),
+        c1=host_constraints(),
+        c2=product_constraints(),
+        entries=ENTRY_POINTS,
+        target=TARGET,
+    )

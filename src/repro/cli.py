@@ -1,0 +1,310 @@
+"""Command-line interface: ``repro <experiment>``.
+
+Runs any of the paper's experiments from the shell and prints the
+corresponding table/figure.  Subcommands:
+
+* ``fig1`` — motivational-example probabilities.
+* ``fig4`` — the three case-study optimal assignments.
+* ``table2`` / ``table3`` — the published similarity tables.
+* ``table5`` — the diversity metric d_bn.
+* ``table6`` — MTTC simulation (``--runs`` controls the batch size).
+* ``table7`` / ``table8`` / ``table9`` — scalability sweeps.
+* ``synthetic-nvd`` — regenerate similarity tables from the synthetic feed.
+
+Extension commands (beyond the paper's tables):
+
+* ``effort`` — least attacking effort and k-zero-day safety.
+* ``richness`` — effective-richness diversity metric d1.
+* ``plan`` — greedy budgeted upgrade plan from the mono-culture.
+* ``adversary`` — attacker-knowledge sweep (the paper's future work).
+* ``dot`` — Graphviz export of the case study with similarity heat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import experiments
+from repro.nvd.datasets import (
+    paper_browser_similarity,
+    paper_database_similarity,
+    paper_os_similarity,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Scalable Approach to Enhancing ICS Resilience "
+            "by Network Diversity' (DSN 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="motivational example (Fig. 1)")
+    sub.add_parser("fig4", help="case-study optimal assignments (Fig. 4)")
+    sub.add_parser("table2", help="OS similarity table (Table II)")
+    sub.add_parser("table3", help="browser similarity table (Table III)")
+    sub.add_parser("tabledb", help="database similarity table (curated)")
+
+    t5 = sub.add_parser("table5", help="diversity metric d_bn (Table V)")
+    t5.add_argument("--entry", default="c4")
+    t5.add_argument("--seed", type=int, default=11)
+
+    t6 = sub.add_parser("table6", help="MTTC simulation (Table VI)")
+    t6.add_argument("--runs", type=int, default=200)
+    t6.add_argument("--seed", type=int, default=11)
+
+    for name, help_text in (
+        ("table7", "runtime vs hosts (Table VII)"),
+        ("table8", "runtime vs degree (Table VIII)"),
+        ("table9", "runtime vs services (Table IX)"),
+    ):
+        t = sub.add_parser(name, help=help_text)
+        t.add_argument("--seed", type=int, default=0)
+        t.add_argument(
+            "--full",
+            action="store_true",
+            help="run at the paper's full scale (minutes, not seconds)",
+        )
+
+    nvd = sub.add_parser(
+        "synthetic-nvd", help="similarity tables from the synthetic NVD feed"
+    )
+    nvd.add_argument("--seed", type=int, default=7)
+    nvd.add_argument("--cves-per-year", type=int, default=200)
+
+    effort = sub.add_parser("effort", help="least attack effort / k-zero-day")
+    effort.add_argument("--entry", default="c4")
+    effort.add_argument("--target", default="t5")
+    effort.add_argument("--threshold", type=float, default=0.2,
+                        help="similarity threshold for zero-day grouping")
+
+    sub.add_parser("richness", help="effective-richness diversity metric d1")
+
+    plan = sub.add_parser("plan", help="budgeted upgrade plan from mono-culture")
+    plan.add_argument("--budget", type=int, default=5)
+
+    adversary = sub.add_parser(
+        "adversary", help="attacker-knowledge sweep (paper future work)"
+    )
+    adversary.add_argument("--entry", default="c4")
+    adversary.add_argument("--target", default="t5")
+    adversary.add_argument("--runs", type=int, default=300)
+    adversary.add_argument("--seed", type=int, default=7)
+
+    dot = sub.add_parser("dot", help="Graphviz export of the case study")
+    dot.add_argument("--out", default="case_study.dot")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = _HANDLERS[args.command]
+    handler(args)
+    return 0
+
+
+# ------------------------------------------------------------------ handlers
+
+
+def _fig1(args: argparse.Namespace) -> None:
+    print("Fig. 1 — probability of the target being compromised")
+    for panel, probability in experiments.fig1_motivational().items():
+        print(f"  panel ({panel}): {probability:.4f}")
+
+
+def _fig4(args: argparse.Namespace) -> None:
+    results = experiments.fig4_assignments()
+    reference = results["optimal"].assignment
+    for label, result in results.items():
+        print(f"=== {label} ===")
+        print(result.summary())
+        if label != "optimal":
+            changed = sorted({host for host, _ in reference.diff(result.assignment)})
+            print(f"hosts changed vs optimal: {', '.join(changed) or '(none)'}")
+        print(result.assignment.format())
+        print()
+
+
+def _table(table) -> None:
+    print(table.format_table())
+
+
+def _table5(args: argparse.Namespace) -> None:
+    print("Table V — diversity metric d_bn (entry "
+          f"{args.entry}, target t5)")
+    for label, report in experiments.table5_diversity(
+        entry=args.entry, seed=args.seed
+    ).items():
+        print("  " + report.row(label))
+
+
+def _table6(args: argparse.Namespace) -> None:
+    print(f"Table VI — MTTC in ticks ({args.runs} runs per cell)")
+    results = experiments.table6_mttc(runs=args.runs, seed=args.seed)
+    for (label, entry), result in results.items():
+        print("  " + result.row(label))
+
+
+def _table7(args: argparse.Namespace) -> None:
+    hosts = (100, 200, 400, 600, 800, 1000)
+    if args.full:
+        hosts = hosts + (2000, 4000, 6000)
+    print("Table VII — optimisation time vs #hosts")
+    for (label, count), cell in experiments.table7_rows(
+        host_counts=hosts, seed=args.seed
+    ).items():
+        print(f"  {label:<14} " + cell.row())
+
+
+def _table8(args: argparse.Namespace) -> None:
+    scales = [("mid-scale", 1000, 15)]
+    if args.full:
+        scales.append(("large-scale", 6000, 25))
+    print("Table VIII — optimisation time vs degree")
+    for (label, degree), cell in experiments.table8_rows(
+        scales=scales, seed=args.seed
+    ).items():
+        print(f"  {label:<14} " + cell.row())
+
+
+def _table9(args: argparse.Namespace) -> None:
+    scales = [("mid-scale", 1000, 20)]
+    if args.full:
+        scales.append(("large-scale", 6000, 40))
+    print("Table IX — optimisation time vs services per host")
+    for (label, services), cell in experiments.table9_rows(
+        scales=scales, seed=args.seed
+    ).items():
+        print(f"  {label:<14} " + cell.row())
+
+
+def _synthetic_nvd(args: argparse.Namespace) -> None:
+    from repro.nvd.generator import (
+        SyntheticNVDConfig,
+        generate_synthetic_nvd,
+        product_cpe_map,
+    )
+    from repro.nvd.similarity import similarity_table_from_database
+
+    config = SyntheticNVDConfig(seed=args.seed, cves_per_year=args.cves_per_year)
+    database = generate_synthetic_nvd(config)
+    print(f"synthetic feed: {len(database)} CVE records, "
+          f"{len(database.products())} products")
+    table = similarity_table_from_database(
+        database, product_cpe_map(config), since=1999, until=2016
+    )
+    print(table.format_table())
+
+
+def _case_pair():
+    """(case, mono, optimal) used by the extension commands."""
+    from repro.casestudy.stuxnet import stuxnet_case_study
+    from repro.core import diversify, mono_assignment
+
+    case = stuxnet_case_study()
+    mono = mono_assignment(case.network)
+    optimal = diversify(case.network, case.similarity).assignment
+    return case, mono, optimal
+
+
+def _effort(args: argparse.Namespace) -> None:
+    from repro.metrics import k_zero_day_safety, least_attack_effort
+
+    case, mono, optimal = _case_pair()
+    print(f"Least attacking effort ({args.entry} → {args.target})")
+    for label, assignment in (("mono", mono), ("optimal", optimal)):
+        result = least_attack_effort(
+            case.network, assignment, args.entry, args.target
+        )
+        print("  " + result.row(label))
+        kzd = k_zero_day_safety(
+            case.network, assignment, case.similarity,
+            args.entry, args.target, threshold=args.threshold,
+        )
+        print("  " + kzd.row(f"{label} k-0day@{args.threshold}"))
+
+
+def _richness(args: argparse.Namespace) -> None:
+    from repro.core import random_assignment
+    from repro.metrics import effective_richness
+
+    case, mono, optimal = _case_pair()
+    print("Effective richness d1")
+    rows = (
+        ("optimal", optimal),
+        ("random", random_assignment(case.network, seed=11)),
+        ("mono", mono),
+    )
+    for label, assignment in rows:
+        print("  " + effective_richness(case.network, assignment).row(label))
+
+
+def _plan(args: argparse.Namespace) -> None:
+    from repro.core.planner import plan_upgrade
+
+    case, mono, _ = _case_pair()
+    plan = plan_upgrade(case.network, case.similarity, mono, budget=args.budget)
+    print(plan.describe())
+
+
+def _adversary(args: argparse.Namespace) -> None:
+    from repro.adversary import knowledge_sweep
+
+    case, mono, optimal = _case_pair()
+    for label, assignment in (("mono", mono), ("optimal", optimal)):
+        print(f"--- {label} assignment")
+        sweep = knowledge_sweep(
+            case.network, assignment, case.similarity,
+            args.entry, args.target, runs=args.runs, seed=args.seed,
+        )
+        for result in sweep.values():
+            print("  " + result.row())
+
+
+def _dot(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.casestudy.stuxnet import ZONES
+    from repro.viz import to_dot
+
+    case, _, optimal = _case_pair()
+    text = to_dot(
+        case.network, optimal, case.similarity, zones=ZONES,
+        title="Stuxnet case study — optimal diversification",
+    )
+    Path(args.out).write_text(text)
+    print(f"wrote {args.out} ({len(text.splitlines())} lines); render with "
+          f"`dot -Tpng {args.out} -o case_study.png`")
+
+
+_HANDLERS = {
+    "fig1": _fig1,
+    "fig4": _fig4,
+    "table2": lambda args: _table(paper_os_similarity()),
+    "table3": lambda args: _table(paper_browser_similarity()),
+    "tabledb": lambda args: _table(paper_database_similarity()),
+    "table5": _table5,
+    "table6": _table6,
+    "table7": _table7,
+    "table8": _table8,
+    "table9": _table9,
+    "synthetic-nvd": _synthetic_nvd,
+    "effort": _effort,
+    "richness": _richness,
+    "plan": _plan,
+    "adversary": _adversary,
+    "dot": _dot,
+}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

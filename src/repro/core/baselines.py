@@ -1,0 +1,128 @@
+"""Baseline assignment strategies (paper Section VII-C comparisons).
+
+The paper evaluates its optimum α̂ against a *mono-culture* assignment α_m
+(the same product everywhere — the worst case that made Stuxnet fast) and a
+*random* diversification α_r.  We additionally provide a degree-ordered
+greedy colouring heuristic in the spirit of O'Donnell & Sethu's distributed
+colouring, as the natural non-MRF competitor.
+
+All baselines honour :class:`~repro.network.constraints.FixProduct`
+constraints (legacy hosts stay pinned), mirroring how the paper's
+mono/random assignments only touch "non-constrained hosts".
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import ConstraintSet
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+
+__all__ = ["mono_assignment", "random_assignment", "greedy_assignment"]
+
+
+def mono_assignment(
+    network: Network,
+    constraints: Optional[ConstraintSet] = None,
+) -> ProductAssignment:
+    """The homogeneous assignment α_m.
+
+    For each service, the product available at the most hosts is installed
+    everywhere it is a candidate (falling back per-host to the first
+    candidate when the majority product is unavailable there).  Pinned
+    (host, service) pairs keep their fixed product.
+    """
+    pinned = _pinned(constraints)
+    majority: Dict[str, str] = {}
+    for service in network.all_services():
+        counter: Counter = Counter()
+        for host in network.hosts_with_service(service):
+            counter.update(network.candidates(host, service))
+        majority[service] = counter.most_common(1)[0][0]
+
+    assignment = ProductAssignment(network)
+    for host in network.hosts:
+        for service in network.services_of(host):
+            fixed = pinned.get((host, service))
+            if fixed is not None:
+                assignment.assign(host, service, fixed)
+                continue
+            candidates = network.candidates(host, service)
+            choice = majority[service] if majority[service] in candidates else candidates[0]
+            assignment.assign(host, service, choice)
+    return assignment
+
+
+def random_assignment(
+    network: Network,
+    seed: Optional[int] = None,
+    constraints: Optional[ConstraintSet] = None,
+) -> ProductAssignment:
+    """A uniformly random assignment α_r (pinned pairs respected)."""
+    rng = random.Random(seed)
+    pinned = _pinned(constraints)
+    assignment = ProductAssignment(network)
+    for host in network.hosts:
+        for service in network.services_of(host):
+            fixed = pinned.get((host, service))
+            if fixed is not None:
+                assignment.assign(host, service, fixed)
+            else:
+                assignment.assign(
+                    host, service, rng.choice(network.candidates(host, service))
+                )
+    return assignment
+
+
+def greedy_assignment(
+    network: Network,
+    similarity: SimilarityTable,
+    constraints: Optional[ConstraintSet] = None,
+) -> ProductAssignment:
+    """Degree-ordered greedy diversification (colouring-style heuristic).
+
+    Hosts are processed from highest to lowest degree; each (host, service)
+    picks the candidate minimising the summed similarity to the products
+    already assigned on neighbouring hosts for the same service (first
+    candidate wins ties, deterministically).  This is the classic greedy
+    colouring generalised to weighted similarities; it is fast but myopic,
+    and serves as the heuristic the MRF optimum is compared against.
+    """
+    pinned = _pinned(constraints)
+    position = {host: index for index, host in enumerate(network.hosts)}
+    # Ties broken by insertion order (not name), matching the MRF-level
+    # greedy initialisation inside the TRW-S solvers.
+    order = sorted(network.hosts, key=lambda h: (-network.degree(h), position[h]))
+    assignment = ProductAssignment(network)
+    for host in order:
+        for service in network.services_of(host):
+            fixed = pinned.get((host, service))
+            if fixed is not None:
+                assignment.assign(host, service, fixed)
+                continue
+            best_product = None
+            best_cost = float("inf")
+            for product in network.candidates(host, service):
+                cost = 0.0
+                for neighbor in network.neighbors(host):
+                    neighbor_product = assignment.get(neighbor, service)
+                    if neighbor_product is not None:
+                        cost += similarity.get(product, neighbor_product)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_product = product
+            assert best_product is not None
+            assignment.assign(host, service, best_product)
+    return assignment
+
+
+def _pinned(constraints: Optional[ConstraintSet]) -> Dict[Tuple[str, str], str]:
+    if constraints is None:
+        return {}
+    return {
+        (c.host, c.service): c.product for c in constraints.fixed_products()
+    }

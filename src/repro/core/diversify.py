@@ -1,0 +1,243 @@
+"""Top-level diversification API (paper Definition 5).
+
+:func:`diversify` computes the optimal product assignment α̂ for a network —
+or the constrained optimum α̂_C when a constraint set is given — by building
+the MRF of Section V and running a MAP solver (TRW-S by default).  The
+result bundles the decoded assignment with optimisation diagnostics
+(energy, dual lower bound, certificate of optimality) and
+diversity-oriented summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.costs import HARD_COST, MRFBuild, build_mrf
+from repro.mrf.solvers import SolverResult, get_solver
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import ConstraintSet, ConstraintViolation
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+
+__all__ = ["DiversificationResult", "diversify"]
+
+
+@dataclass
+class DiversificationResult:
+    """Outcome of :func:`diversify`.
+
+    Attributes:
+        assignment: the decoded product assignment (always complete).
+        energy: MRF energy of the assignment (the paper's E(N), Eq. 1).
+        lower_bound: dual lower bound when the solver provides one.
+        certified_optimal: True when energy == lower_bound (global optimum).
+        satisfied: True when every constraint holds in the assignment;
+            False signals an infeasible constraint set (the solver then
+            returns the least-violating assignment).
+        violations: the concrete violations when ``satisfied`` is False.
+        similarity_total: Σ over links and shared services of the assigned
+            products' similarity — the paper's pairwise cost (Eq. 3),
+            unweighted.  Lower is more diverse.
+        mean_edge_similarity: ``similarity_total`` averaged over the
+            (link, shared-service) pairs; 0.0 means perfectly diversified.
+        solver_result: raw solver output (traces, iterations, ...).
+        build: the MRF build (variable mapping), for advanced inspection;
+            None when the replicated-service fast path was taken (no
+            explicit MRF is materialised there).
+    """
+
+    assignment: ProductAssignment
+    energy: float
+    lower_bound: float
+    certified_optimal: bool
+    satisfied: bool
+    violations: List[ConstraintViolation]
+    similarity_total: float
+    mean_edge_similarity: float
+    solver_result: SolverResult
+    build: Optional[MRFBuild]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        status = "certified optimal" if self.certified_optimal else "best found"
+        feasibility = (
+            "all constraints satisfied"
+            if self.satisfied
+            else f"{len(self.violations)} constraint violation(s)"
+        )
+        return (
+            f"{status}: energy={self.energy:.6f} "
+            f"(lower bound {self.lower_bound:.6f}), {feasibility}; "
+            f"total edge similarity {self.similarity_total:.4f}, "
+            f"mean {self.mean_edge_similarity:.4f} over coupled edges; "
+            f"solver={self.solver_result.solver} "
+            f"({self.solver_result.iterations} iterations, "
+            f"converged={self.solver_result.converged})"
+        )
+
+
+def diversify(
+    network: Network,
+    similarity: SimilarityTable,
+    constraints: Optional[ConstraintSet] = None,
+    solver: str = "trws",
+    unary_constant: float = 0.01,
+    pairwise_weight: float = 1.0,
+    preferences: Optional[Mapping[Tuple[str, str, str], float]] = None,
+    service_weights: Optional[Mapping[str, float]] = None,
+    fast_path: bool = True,
+    **solver_options,
+) -> DiversificationResult:
+    """Compute the (constrained) optimal diversification of a network.
+
+    Args:
+        network: the network to diversify.
+        similarity: vulnerability-similarity table over the product names.
+        constraints: legacy/policy/combination constraints (Definition 4).
+        solver: registered solver name — ``"trws"`` (default), ``"bp"``,
+            ``"icm"`` or ``"exact"``.
+        unary_constant: the paper's ``Pr_const`` per-label base cost.
+        pairwise_weight: λ scaling of the similarity penalty.
+        preferences: soft (host, service, product) → cost adjustments.
+        service_weights: per-service criticality multipliers of the
+            similarity penalty (see :func:`repro.core.costs.build_mrf`).
+        fast_path: allow the batched replicated-service TRW-S when the
+            instance qualifies (uniform services, no constraints); the
+            labelling rule and costs are identical, only the data layout
+            differs.  Set False to force the general per-variable MRF.
+        **solver_options: forwarded to the solver constructor
+            (e.g. ``max_iterations=50``).
+
+    Returns:
+        A :class:`DiversificationResult` with the assignment α̂ (or α̂_C).
+
+    >>> from repro.network import chain_network
+    >>> from repro.nvd import SimilarityTable
+    >>> net = chain_network(3)
+    >>> table = SimilarityTable(products=["p0", "p1"])
+    >>> result = diversify(net, table)
+    >>> result.certified_optimal
+    True
+    """
+    constraint_set = constraints or ConstraintSet()
+    if (
+        fast_path
+        and solver == "trws"
+        and not constraint_set
+        and not preferences
+        and not service_weights
+    ):
+        fast_result = _diversify_replicated(
+            network,
+            similarity,
+            unary_constant=unary_constant,
+            pairwise_weight=pairwise_weight,
+            **solver_options,
+        )
+        if fast_result is not None:
+            return fast_result
+
+    build = build_mrf(
+        network,
+        similarity,
+        constraints=constraint_set,
+        unary_constant=unary_constant,
+        pairwise_weight=pairwise_weight,
+        preferences=preferences,
+        service_weights=service_weights,
+    )
+    solver_instance = get_solver(solver, **solver_options)
+    solver_result = solver_instance.solve(build.mrf)
+    assignment = build.labels_to_assignment(network, solver_result.labels)
+
+    violations = constraint_set.violations(assignment, network)
+    similarity_total, coupled_edges = _edge_similarity(network, similarity, assignment)
+    mean_similarity = similarity_total / coupled_edges if coupled_edges else 0.0
+
+    return DiversificationResult(
+        assignment=assignment,
+        energy=solver_result.energy,
+        lower_bound=solver_result.lower_bound,
+        certified_optimal=solver_result.is_certified_optimal(tolerance=1e-6),
+        satisfied=not violations,
+        violations=violations,
+        similarity_total=similarity_total,
+        mean_edge_similarity=mean_similarity,
+        solver_result=solver_result,
+        build=build,
+    )
+
+
+def _diversify_replicated(
+    network: Network,
+    similarity: SimilarityTable,
+    unary_constant: float,
+    pairwise_weight: float,
+    **solver_options,
+) -> Optional[DiversificationResult]:
+    """The batched replicated-service fast path; None when ineligible."""
+    from repro.mrf.batched import (
+        BatchedTRWSSolver,
+        replicated_problem_from_network,
+    )
+
+    problem = replicated_problem_from_network(
+        network,
+        similarity,
+        unary_constant=unary_constant,
+        pairwise_weight=pairwise_weight,
+    )
+    if problem is None:
+        return None
+    solver = BatchedTRWSSolver(**solver_options)
+    batched = solver.solve(problem)
+
+    assignment = ProductAssignment(network)
+    for position, host in enumerate(network.hosts):
+        for k, service in enumerate(problem.services):
+            assignment.assign(
+                host, service, problem.products[k][batched.labels[position, k]]
+            )
+
+    similarity_total, coupled_edges = _edge_similarity(network, similarity, assignment)
+    mean_similarity = similarity_total / coupled_edges if coupled_edges else 0.0
+    solver_result = SolverResult(
+        labels=[int(x) for x in batched.labels.reshape(-1)],
+        energy=batched.energy,
+        lower_bound=batched.lower_bound,
+        iterations=batched.iterations,
+        converged=batched.converged,
+        solver=BatchedTRWSSolver.name,
+    )
+    return DiversificationResult(
+        assignment=assignment,
+        energy=batched.energy,
+        lower_bound=batched.lower_bound,
+        certified_optimal=solver_result.is_certified_optimal(tolerance=1e-6),
+        satisfied=True,
+        violations=[],
+        similarity_total=similarity_total,
+        mean_edge_similarity=mean_similarity,
+        solver_result=solver_result,
+        build=None,
+    )
+
+
+def _edge_similarity(
+    network: Network,
+    similarity: SimilarityTable,
+    assignment: ProductAssignment,
+) -> Tuple[float, int]:
+    """Total assigned-product similarity over (link, shared-service) pairs."""
+    total = 0.0
+    coupled = 0
+    for a, b in network.links:
+        for service in network.shared_services(a, b):
+            product_a = assignment.get(a, service)
+            product_b = assignment.get(b, service)
+            if product_a is None or product_b is None:
+                continue
+            coupled += 1
+            total += similarity.get(product_a, product_b)
+    return total, coupled

@@ -1,0 +1,236 @@
+"""Budgeted upgrade planning.
+
+The paper's discussion (Section IX) pitches the approach as an advisor
+"for a system operator to decide the most robust way to upgrade an
+existing ICS".  In practice operators rarely reinstall everything at once:
+changes cost money and downtime.  This module plans the best use of a
+*bounded number of changes*:
+
+* :func:`plan_upgrade` — greedy marginal-gain planning: starting from the
+  current deployment, repeatedly apply the single (host, service, product)
+  change that most reduces the energy (Eq. 1), until the budget is spent
+  or no change helps.  Pinned pairs (FixProduct) and all combination
+  constraints are honoured at every step.
+* :func:`upgrade_frontier` — the energy achieved per budget 0..k, showing
+  the diminishing-returns curve (useful for "how many changes buy 90 % of
+  the optimum?" questions; see ``benchmarks/bench_ablation_budget.py``).
+
+Greedy is not optimal for a fixed budget (the budgeted problem is NP-hard;
+it generalises max-coverage), but each step is individually optimal, the
+energy is monotonically non-increasing, and with unlimited budget the plan
+ends at an ICM local optimum of the same energy function the global
+optimiser minimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.costs import assignment_energy
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import ConstraintSet
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+
+__all__ = ["UpgradeStep", "UpgradePlan", "plan_upgrade", "upgrade_frontier"]
+
+
+@dataclass(frozen=True)
+class UpgradeStep:
+    """One planned change.
+
+    Attributes:
+        host / service: the installation being changed.
+        old_product / new_product: the replacement performed.
+        energy_after: total energy once this step is applied.
+        gain: energy reduction contributed by this step (> 0).
+    """
+
+    host: str
+    service: str
+    old_product: str
+    new_product: str
+    energy_after: float
+    gain: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.host}.{self.service}: {self.old_product} -> "
+            f"{self.new_product}   (gain {self.gain:.4f}, "
+            f"energy {self.energy_after:.4f})"
+        )
+
+
+@dataclass
+class UpgradePlan:
+    """A sequence of changes from the current deployment.
+
+    Attributes:
+        steps: the ordered changes (apply in order for the stated energies).
+        initial_energy / final_energy: energy before / after the plan.
+        final_assignment: the deployment after all steps.
+        budget: the budget the plan was computed under.
+    """
+
+    steps: List[UpgradeStep]
+    initial_energy: float
+    final_energy: float
+    final_assignment: ProductAssignment
+    budget: int
+
+    @property
+    def changes(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_gain(self) -> float:
+        return self.initial_energy - self.final_energy
+
+    def describe(self) -> str:
+        lines = [
+            f"upgrade plan: {self.changes} change(s) within budget "
+            f"{self.budget}, energy {self.initial_energy:.4f} -> "
+            f"{self.final_energy:.4f}"
+        ]
+        lines += [f"  {index + 1}. {step.describe()}"
+                  for index, step in enumerate(self.steps)]
+        return "\n".join(lines)
+
+
+def plan_upgrade(
+    network: Network,
+    similarity: SimilarityTable,
+    current: ProductAssignment,
+    budget: int,
+    constraints: Optional[ConstraintSet] = None,
+    unary_constant: float = 0.01,
+    pairwise_weight: float = 1.0,
+    min_gain: float = 1e-9,
+) -> UpgradePlan:
+    """Greedy best-first upgrade plan within ``budget`` changes.
+
+    Args:
+        current: the existing (complete) deployment.
+        budget: maximum number of (host, service) changes.
+        constraints: pins and combination rules the plan must respect; the
+            *current* deployment is taken as-is even where it violates them
+            (legacy reality), but no step may introduce a new violation or
+            touch a pinned pair.
+        min_gain: stop when the best available step gains less than this.
+
+    Raises:
+        ValueError: on negative budget or incomplete current assignment.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    if not current.is_complete():
+        raise ValueError("current deployment must be a complete assignment")
+    constraint_set = constraints or ConstraintSet()
+    constraint_set.validate_against(network)
+    pinned = {(c.host, c.service) for c in constraint_set.fixed_products()}
+
+    working = current.copy()
+    energy = assignment_energy(
+        network, similarity, working,
+        unary_constant=unary_constant, pairwise_weight=pairwise_weight,
+    )
+    baseline_violations = len(constraint_set.violations(working, network))
+    initial_energy = energy
+    steps: List[UpgradeStep] = []
+
+    for _ in range(budget):
+        best: Optional[Tuple[float, str, str, str]] = None
+        for host in network.hosts:
+            for service in network.services_of(host):
+                if (host, service) in pinned:
+                    continue
+                old_product = working.get(host, service)
+                for candidate in network.candidates(host, service):
+                    if candidate == old_product:
+                        continue
+                    delta = _change_delta(
+                        network, similarity, working, host, service,
+                        candidate, pairwise_weight,
+                    )
+                    if delta >= -min_gain:
+                        continue
+                    working.assign(host, service, candidate)
+                    violations = len(constraint_set.violations(working, network))
+                    working.assign(host, service, old_product)
+                    if violations > baseline_violations:
+                        continue
+                    if best is None or delta < best[0]:
+                        best = (delta, host, service, candidate)
+        if best is None:
+            break
+        delta, host, service, candidate = best
+        old_product = working.get(host, service)
+        working.assign(host, service, candidate)
+        energy += delta
+        steps.append(
+            UpgradeStep(
+                host=host,
+                service=service,
+                old_product=old_product,
+                new_product=candidate,
+                energy_after=energy,
+                gain=-delta,
+            )
+        )
+
+    return UpgradePlan(
+        steps=steps,
+        initial_energy=initial_energy,
+        final_energy=energy,
+        final_assignment=working,
+        budget=budget,
+    )
+
+
+def upgrade_frontier(
+    network: Network,
+    similarity: SimilarityTable,
+    current: ProductAssignment,
+    max_budget: int,
+    **options,
+) -> Dict[int, float]:
+    """Energy achieved for every budget 0..max_budget.
+
+    Computed from one greedy run (the greedy plan's prefixes are exactly
+    the smaller-budget plans), so the cost is a single :func:`plan_upgrade`
+    call.
+    """
+    plan = plan_upgrade(network, similarity, current, max_budget, **options)
+    frontier = {0: plan.initial_energy}
+    for index, step in enumerate(plan.steps):
+        frontier[index + 1] = step.energy_after
+    # Budgets past the last useful step keep the final energy.
+    for budget in range(len(plan.steps) + 1, max_budget + 1):
+        frontier[budget] = plan.final_energy
+    return frontier
+
+
+def _change_delta(
+    network: Network,
+    similarity: SimilarityTable,
+    assignment: ProductAssignment,
+    host: str,
+    service: str,
+    candidate: str,
+    pairwise_weight: float,
+) -> float:
+    """Energy delta of switching one installation (O(degree) evaluation)."""
+    old_product = assignment.get(host, service)
+    delta = 0.0
+    for neighbor in network.neighbors(host):
+        if not network.has_service(neighbor, service):
+            continue
+        neighbor_product = assignment.get(neighbor, service)
+        if neighbor_product is None:
+            continue
+        delta += pairwise_weight * (
+            similarity.get(candidate, neighbor_product)
+            - similarity.get(old_product, neighbor_product)
+        )
+    return delta

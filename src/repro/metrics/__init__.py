@@ -1,0 +1,57 @@
+"""Evaluation metrics: BN-based diversity (d_bn) and MTTC.
+
+``repro.metrics.bayes``
+    Attack-DAG construction (BFS-layered from the entry host) and noisy-OR
+    compromise-probability inference, plus a Monte-Carlo percolation
+    estimator for validation.
+``repro.metrics.diversity``
+    The network diversity metric ``d_bn = P′ / P`` (paper Definition 6).
+``repro.metrics.mttc``
+    Mean-time-to-compromise from the agent-based simulator (Section VII-C2).
+"""
+
+from repro.metrics.bayes import (
+    AttackBayesianNetwork,
+    compromise_probability,
+    monte_carlo_compromise_probability,
+)
+from repro.metrics.diversity import DiversityReport, diversity_metric
+from repro.metrics.mttc import MTTCResult, mean_time_to_compromise
+from repro.metrics.richness import (
+    RichnessReport,
+    effective_richness,
+    similarity_sensitive_richness,
+)
+from repro.metrics.effort import (
+    AttackEffortResult,
+    exploit_equivalence_classes,
+    k_zero_day_safety,
+    least_attack_effort,
+)
+from repro.metrics.surface import (
+    AttackSurfaceReport,
+    attack_surface,
+    criticality_ranking,
+    host_risk_profile,
+)
+
+__all__ = [
+    "AttackBayesianNetwork",
+    "compromise_probability",
+    "monte_carlo_compromise_probability",
+    "DiversityReport",
+    "diversity_metric",
+    "MTTCResult",
+    "mean_time_to_compromise",
+    "RichnessReport",
+    "effective_richness",
+    "similarity_sensitive_richness",
+    "AttackEffortResult",
+    "least_attack_effort",
+    "k_zero_day_safety",
+    "exploit_equivalence_classes",
+    "AttackSurfaceReport",
+    "attack_surface",
+    "host_risk_profile",
+    "criticality_ranking",
+]

@@ -1,0 +1,130 @@
+"""The BN-based network diversity metric d_bn (paper Definition 6).
+
+Given a diversified network, an entry host and a target host::
+
+    d_bn = P′(target) / P(target)
+
+where ``P`` is the probability of the target being infected *with* the
+vulnerability similarities of the assigned products taken into account, and
+``P′`` is the similarity-free reference (every exploitable edge at the
+average zero-day rate ``p_avg``).  ``P′`` depends only on the topology and
+service layout, so it is constant across assignments — the paper's Table V
+prints the same ``log P′`` on every row.  Because the infection rate is
+monotone in similarity, ``P ≥ P′`` always, hence ``d_bn ≤ 1``; larger
+values mean the assignment is closer to the ideal fully-diverse network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.bayes import (
+    compromise_probability,
+    monte_carlo_compromise_probability,
+)
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+from repro.sim.malware import InfectionModel
+from repro.sim.attacker import make_attacker
+
+__all__ = ["DiversityReport", "diversity_metric"]
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """d_bn and its ingredients for one assignment.
+
+    Attributes:
+        p_with: P(target) with similarity (the assignment under test).
+        p_without: P′(target), the similarity-free reference.
+        d_bn: ``p_without / p_with`` (1.0 when both are 0).
+        entry / target: evaluated endpoints.
+    """
+
+    p_with: float
+    p_without: float
+    d_bn: float
+    entry: str
+    target: str
+
+    @property
+    def log10_p_with(self) -> float:
+        """log10 P — the paper's Table V reports log-probabilities."""
+        return math.log10(self.p_with) if self.p_with > 0 else float("-inf")
+
+    @property
+    def log10_p_without(self) -> float:
+        """log10 P′."""
+        return math.log10(self.p_without) if self.p_without > 0 else float("-inf")
+
+    def row(self, label: str) -> str:
+        """Format as a row of the paper's Table V."""
+        return (
+            f"{label:<18} logP'={self.log10_p_without:8.3f} "
+            f"logP={self.log10_p_with:8.3f} d_bn={self.d_bn:.5f}"
+        )
+
+
+def diversity_metric(
+    network: Network,
+    assignment: ProductAssignment,
+    similarity: SimilarityTable,
+    entry: str,
+    target: str,
+    p_avg: float = 0.1,
+    p_max: float = 0.9,
+    attacker: str = "uniform",
+    method: str = "bn",
+    samples: int = 20000,
+    seed: Optional[int] = None,
+) -> DiversityReport:
+    """Evaluate d_bn for one assignment (paper Definition 6).
+
+    Args:
+        network / assignment / similarity: the diversified network.
+        entry: intrusion host (prior probability 1.0, as in Section VII-C1).
+        target: the asset whose compromise probability is measured.
+        p_avg / p_max: infection-rate calibration (see
+            :mod:`repro.sim.malware`).
+        attacker: ``"uniform"`` (paper's BN evaluation) or
+            ``"sophisticated"``.
+        method: ``"bn"`` — analytic noisy-OR (default) — or
+            ``"montecarlo"`` for the percolation estimator.
+        samples / seed: Monte-Carlo parameters (ignored for ``"bn"``).
+
+    Returns:
+        A :class:`DiversityReport`; ``report.d_bn`` is the metric.
+    """
+    model = InfectionModel(
+        similarity=similarity,
+        p_avg=p_avg,
+        p_max=p_max,
+        attacker=make_attacker(attacker),
+    )
+    reference = model.without_similarity()
+
+    if method == "bn":
+        p_with = compromise_probability(network, assignment, model, entry, target)
+        p_without = compromise_probability(
+            network, assignment, reference, entry, target
+        )
+    elif method == "montecarlo":
+        p_with = monte_carlo_compromise_probability(
+            network, assignment, model, entry, target, samples=samples, seed=seed
+        )
+        p_without = monte_carlo_compromise_probability(
+            network, assignment, reference, entry, target, samples=samples, seed=seed
+        )
+    else:
+        raise ValueError(f"unknown method {method!r}; use 'bn' or 'montecarlo'")
+
+    if p_with > 0:
+        d_bn = min(1.0, p_without / p_with)
+    else:
+        d_bn = 1.0 if p_without == 0 else 0.0
+    return DiversityReport(
+        p_with=p_with, p_without=p_without, d_bn=d_bn, entry=entry, target=target
+    )

@@ -1,0 +1,260 @@
+"""Least-attacking-effort metrics: d2 and k-zero-day safety.
+
+Two more metrics from the paper's related work, adapted to its
+multi-product host model:
+
+* **Least attacking effort (Zhang et al.'s d2 ingredient).**  To traverse
+  an edge the attacker must hold an exploit for one product of a shared
+  service on the *destination* host; to reach the target from the entry it
+  must do so along every hop of some path.  The least attacking effort is
+  the minimum number of **distinct products** the attacker must be able to
+  exploit, minimised jointly over paths and per-hop product choices.  A
+  mono-culture needs 1 exploit end-to-end; a well-diversified network
+  forces a fresh exploit per hop.
+
+* **k-zero-day safety (Wang et al. [15]), similarity-aware.**  The paper
+  argues a single zero-day often works across *similar* products, so
+  counting distinct products overstates effort.  We group products into
+  exploit-equivalence classes — connected components of the product graph
+  with edges where ``sim ≥ threshold`` — and count distinct **classes**
+  instead.  ``threshold=1.0 - ε`` recovers the distinct-product count;
+  small thresholds merge everything a single zero-day family could cover.
+  The network is *k-zero-day safe* for the measured k: compromising the
+  target needs at least k distinct zero-days.
+
+Exact computation is a shortest-path over (host, exploit-set) states —
+exponential in the worst case (the problem generalises set cover), so the
+implementation uses exact Dijkstra with a state cap and falls back to a
+label-correcting beam otherwise; the exact/approximate status is reported.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+
+__all__ = [
+    "AttackEffortResult",
+    "least_attack_effort",
+    "k_zero_day_safety",
+    "exploit_equivalence_classes",
+]
+
+
+@dataclass(frozen=True)
+class AttackEffortResult:
+    """Outcome of a least-effort search.
+
+    Attributes:
+        effort: minimum number of distinct exploits (products or classes).
+        exploits: one witness minimal exploit set.
+        path: one witness attack path achieving that effort.
+        exact: False when the state cap forced the beam fallback, in which
+            case ``effort`` is an upper bound on the true minimum.
+    """
+
+    effort: int
+    exploits: FrozenSet[str]
+    path: Tuple[str, ...]
+    exact: bool
+
+    def row(self, label: str) -> str:
+        kind = "=" if self.exact else "<="
+        return (
+            f"{label:<18} effort {kind} {self.effort}  "
+            f"path: {' -> '.join(self.path)}  exploits: {sorted(self.exploits)}"
+        )
+
+
+def least_attack_effort(
+    network: Network,
+    assignment: ProductAssignment,
+    entry: str,
+    target: str,
+    classes: Optional[Dict[str, str]] = None,
+    max_states: int = 200_000,
+    beam_width: int = 64,
+) -> AttackEffortResult:
+    """Minimum number of distinct exploits to reach ``target`` from ``entry``.
+
+    Args:
+        network / assignment: the diversified network under evaluation.
+        entry: the attacker's foothold (no exploit needed for it).
+        target: the asset to reach.
+        classes: optional product → class-name map; efforts then count
+            distinct classes (used by :func:`k_zero_day_safety`).
+        max_states: cap on Dijkstra states before degrading to a beam
+            search (result then flagged ``exact=False``).
+        beam_width: per-host beam kept in the fallback.
+
+    Raises:
+        KeyError: unknown entry/target host.
+        ValueError: when the target is unreachable through exploitable
+            edges at all.
+    """
+    if entry not in network:
+        raise KeyError(f"unknown entry host {entry!r}")
+    if target not in network:
+        raise KeyError(f"unknown target host {target!r}")
+
+    def exploit_options(source: str, destination: str) -> List[str]:
+        """Exploit identities able to carry the edge source→destination."""
+        options: List[str] = []
+        for service in network.shared_services(source, destination):
+            product = assignment.get(destination, service)
+            if product is None or assignment.get(source, service) is None:
+                continue
+            options.append(classes.get(product, product) if classes else product)
+        return options
+
+    if entry == target:
+        return AttackEffortResult(0, frozenset(), (entry,), True)
+
+    # Dijkstra over (host, frozen exploit set); cost = |set|.
+    start = (entry, frozenset())
+    queue: List[Tuple[int, int, str, FrozenSet[str], Tuple[str, ...]]] = [
+        (0, 0, entry, frozenset(), (entry,))
+    ]
+    counter = itertools.count()
+    # Dominance: keep per-host the set of minimal exploit sets seen.
+    seen: Dict[str, List[FrozenSet[str]]] = {entry: [frozenset()]}
+    states = 0
+    exact = True
+
+    while queue:
+        effort, _, host, exploits, path = heapq.heappop(queue)
+        if host == target:
+            return AttackEffortResult(effort, exploits, path, exact)
+        states += 1
+        if states > max_states:
+            exact = False
+            result = _beam_fallback(
+                network, exploit_options, entry, target, beam_width
+            )
+            if result is None:
+                break
+            return result
+        for neighbor in network.neighbors(host):
+            if neighbor in path:
+                continue
+            for exploit in exploit_options(host, neighbor):
+                new_set = exploits | {exploit}
+                if _dominated(seen.get(neighbor, ()), new_set):
+                    continue
+                seen.setdefault(neighbor, []).append(new_set)
+                heapq.heappush(
+                    queue,
+                    (
+                        len(new_set),
+                        next(counter),
+                        neighbor,
+                        new_set,
+                        path + (neighbor,),
+                    ),
+                )
+    raise ValueError(
+        f"target {target!r} is not reachable from {entry!r} through "
+        f"exploitable edges"
+    )
+
+
+def exploit_equivalence_classes(
+    similarity: SimilarityTable, threshold: float
+) -> Dict[str, str]:
+    """Group products into zero-day equivalence classes.
+
+    Products are in the same class when connected by similarity ≥
+    ``threshold`` (transitively) — the assumption being that one zero-day
+    family covers the whole group.  Returns product → canonical class name
+    (the lexicographically smallest member).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    products = similarity.products
+    parent = {name: name for name in products}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    for index, a in enumerate(products):
+        for b in products[index + 1 :]:
+            if similarity.get(a, b) >= threshold:
+                root_a, root_b = find(a), find(b)
+                if root_a != root_b:
+                    parent[max(root_a, root_b)] = min(root_a, root_b)
+    return {name: find(name) for name in products}
+
+
+def k_zero_day_safety(
+    network: Network,
+    assignment: ProductAssignment,
+    similarity: SimilarityTable,
+    entry: str,
+    target: str,
+    threshold: float = 0.3,
+    **options,
+) -> AttackEffortResult:
+    """k-zero-day safety with similarity-grouped exploits.
+
+    The returned ``effort`` is k: the minimum number of distinct zero-day
+    *families* (product groups with pairwise-chained similarity ≥
+    ``threshold``) needed to compromise the target.  Products absent from
+    the similarity table form singleton classes.
+    """
+    classes = exploit_equivalence_classes(similarity, threshold)
+    return least_attack_effort(
+        network, assignment, entry, target, classes=classes, **options
+    )
+
+
+# ------------------------------------------------------------------ internal
+
+
+def _dominated(existing, candidate: FrozenSet[str]) -> bool:
+    """True when some recorded exploit set is a subset of the candidate."""
+    return any(recorded <= candidate for recorded in existing)
+
+
+def _beam_fallback(
+    network: Network,
+    exploit_options,
+    entry: str,
+    target: str,
+    beam_width: int,
+) -> Optional[AttackEffortResult]:
+    """Label-correcting sweep keeping a bounded beam of exploit sets."""
+    beams: Dict[str, List[Tuple[FrozenSet[str], Tuple[str, ...]]]] = {
+        entry: [(frozenset(), (entry,))]
+    }
+    for _ in range(len(network.hosts)):
+        changed = False
+        for host in network.hosts:
+            for exploits, path in list(beams.get(host, ())):
+                for neighbor in network.neighbors(host):
+                    if neighbor in path:
+                        continue
+                    for exploit in exploit_options(host, neighbor):
+                        new_set = exploits | {exploit}
+                        bucket = beams.setdefault(neighbor, [])
+                        if _dominated((s for s, _ in bucket), new_set):
+                            continue
+                        bucket.append((new_set, path + (neighbor,)))
+                        bucket.sort(key=lambda item: len(item[0]))
+                        del bucket[beam_width:]
+                        changed = True
+        if not changed:
+            break
+    candidates = beams.get(target)
+    if not candidates:
+        return None
+    exploits, path = min(candidates, key=lambda item: len(item[0]))
+    return AttackEffortResult(len(exploits), exploits, path, False)

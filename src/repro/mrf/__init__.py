@@ -1,0 +1,44 @@
+"""Discrete pairwise Markov Random Field engine.
+
+The paper (Section V) casts optimal diversification as MAP inference on a
+discrete pairwise MRF and solves it with sequential tree-reweighted message
+passing (TRW-S).  This subpackage provides:
+
+``repro.mrf.graph``
+    :class:`PairwiseMRF` — nodes with per-node label spaces and unary costs,
+    edges with pairwise cost matrices.
+``repro.mrf.trws``
+    The TRW-S solver (Kolmogorov), with a monotone dual lower bound.
+``repro.mrf.bp``
+    Loopy min-sum belief propagation, the paper's stated alternative.
+``repro.mrf.icm``
+    Iterated conditional modes — a cheap local-search baseline/refiner.
+``repro.mrf.exact``
+    Brute-force enumeration for ground truth on small instances.
+``repro.mrf.solvers``
+    Common :class:`SolverResult` type and a name → solver registry.
+"""
+
+from repro.mrf.graph import PairwiseMRF
+from repro.mrf.solvers import SolverResult, available_solvers, get_solver, solve
+from repro.mrf.trws import TRWSSolver
+from repro.mrf.bp import LoopyBPSolver
+from repro.mrf.icm import ICMSolver
+from repro.mrf.exact import ExactSolver
+from repro.mrf.anneal import SimulatedAnnealingSolver
+from repro.mrf.batched import BatchedTRWSSolver, ReplicatedProblem
+
+__all__ = [
+    "PairwiseMRF",
+    "SolverResult",
+    "TRWSSolver",
+    "LoopyBPSolver",
+    "ICMSolver",
+    "ExactSolver",
+    "SimulatedAnnealingSolver",
+    "BatchedTRWSSolver",
+    "ReplicatedProblem",
+    "available_solvers",
+    "get_solver",
+    "solve",
+]

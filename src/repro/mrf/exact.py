@@ -1,0 +1,65 @@
+"""Brute-force exact MAP solver.
+
+Enumerates the full label space — only usable on tiny instances, where it
+provides ground truth for testing the approximate solvers (TRW-S must reach
+the same energy on trees; its lower bound must never exceed this optimum).
+A hard cap on the search-space size guards against accidental blow-ups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.mrf.graph import PairwiseMRF, MRFError
+from repro.mrf.solvers import SolverResult
+
+__all__ = ["ExactSolver"]
+
+
+class ExactSolver:
+    """Exhaustive search over all labellings.
+
+    Args:
+        max_space: refuse instances whose label-space size exceeds this.
+        seed: unused (uniform constructor signature).
+    """
+
+    name = "exact"
+
+    def __init__(self, max_space: int = 2_000_000, seed: Optional[int] = None) -> None:
+        self.max_space = max_space
+
+    def solve(self, mrf: PairwiseMRF) -> SolverResult:
+        if mrf.node_count == 0:
+            return SolverResult(
+                labels=[], energy=0.0, lower_bound=0.0, iterations=0,
+                converged=True, solver=self.name,
+            )
+        space = 1
+        for node in range(mrf.node_count):
+            space *= mrf.label_count(node)
+            if space > self.max_space:
+                raise MRFError(
+                    f"label space exceeds ExactSolver cap ({self.max_space}); "
+                    f"use an approximate solver"
+                )
+
+        ranges = [range(mrf.label_count(i)) for i in range(mrf.node_count)]
+        best_labels: Optional[List[int]] = None
+        best_energy = float("inf")
+        for labelling in itertools.product(*ranges):
+            energy = mrf.energy(labelling)
+            if energy < best_energy:
+                best_energy = energy
+                best_labels = list(labelling)
+
+        assert best_labels is not None
+        return SolverResult(
+            labels=best_labels,
+            energy=best_energy,
+            lower_bound=best_energy,
+            iterations=1,
+            converged=True,
+            solver=self.name,
+        )

@@ -1,0 +1,113 @@
+"""Common solver protocol and registry.
+
+Every solver consumes a :class:`~repro.mrf.graph.PairwiseMRF` and produces a
+:class:`SolverResult`.  The registry lets callers pick a solver by name
+(``"trws"``, ``"bp"``, ``"icm"``, ``"exact"``), which is how
+:func:`repro.core.diversify.diversify` exposes its ``solver=`` argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.mrf.graph import PairwiseMRF
+
+__all__ = ["SolverResult", "Solver", "register_solver", "get_solver", "available_solvers", "solve"]
+
+
+@dataclass
+class SolverResult:
+    """Outcome of MAP inference on a pairwise MRF.
+
+    Attributes:
+        labels: one label index per node (the MAP estimate found).
+        energy: E(labels) under the MRF being solved.
+        lower_bound: a valid lower bound on the optimal energy when the
+            solver provides one (TRW-S dual); ``-inf`` otherwise.
+        iterations: sweeps/passes performed.
+        converged: True when the solver met its convergence criterion
+            before exhausting its iteration budget.
+        solver: name of the producing solver.
+        energy_trace: best energy after each iteration (diagnostics).
+        bound_trace: lower bound after each iteration (diagnostics).
+    """
+
+    labels: List[int]
+    energy: float
+    lower_bound: float = float("-inf")
+    iterations: int = 0
+    converged: bool = False
+    solver: str = ""
+    energy_trace: List[float] = field(default_factory=list)
+    bound_trace: List[float] = field(default_factory=list)
+
+    @property
+    def optimality_gap(self) -> float:
+        """energy − lower_bound (0 certifies a global optimum)."""
+        return self.energy - self.lower_bound
+
+    def is_certified_optimal(self, tolerance: float = 1e-9) -> bool:
+        """True when the dual gap certifies global optimality."""
+        return np.isfinite(self.lower_bound) and self.optimality_gap <= tolerance
+
+
+class Solver(Protocol):
+    """Anything with a ``solve(mrf) -> SolverResult`` method."""
+
+    def solve(self, mrf: PairwiseMRF) -> SolverResult:  # pragma: no cover
+        ...
+
+
+_REGISTRY: Dict[str, Callable[..., Solver]] = {}
+
+
+def register_solver(name: str, factory: Callable[..., Solver]) -> None:
+    """Register a solver factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def get_solver(name: str, **options) -> Solver:
+    """Instantiate a registered solver by name.
+
+    >>> solver = get_solver("trws", max_iterations=10)
+    >>> type(solver).__name__
+    'TRWSSolver'
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        ) from None
+    return factory(**options)
+
+
+def available_solvers() -> List[str]:
+    """Sorted names of registered solvers."""
+    return sorted(_REGISTRY)
+
+
+def solve(mrf: PairwiseMRF, solver: str = "trws", **options) -> SolverResult:
+    """One-shot convenience: instantiate ``solver`` and run it on ``mrf``."""
+    return get_solver(solver, **options).solve(mrf)
+
+
+def _register_builtins() -> None:
+    """Populate the registry with the built-in solvers (import-time)."""
+    from repro.mrf.trws import TRWSSolver
+    from repro.mrf.bp import LoopyBPSolver
+    from repro.mrf.icm import ICMSolver
+    from repro.mrf.exact import ExactSolver
+    from repro.mrf.anneal import SimulatedAnnealingSolver
+
+    register_solver("trws", TRWSSolver)
+    register_solver("bp", LoopyBPSolver)
+    register_solver("icm", ICMSolver)
+    register_solver("exact", ExactSolver)
+    register_solver("anneal", SimulatedAnnealingSolver)
+
+
+_register_builtins()

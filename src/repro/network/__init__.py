@@ -1,0 +1,73 @@
+"""Network model: hosts, links, services, products and assignments.
+
+This subpackage implements Definitions 2-5 of the paper:
+
+``repro.network.model``
+    :class:`Network` — hosts, undirected links, per-host services and
+    per-(host, service) candidate product ranges (Definition 2).
+``repro.network.assignment``
+    :class:`ProductAssignment` — the map α′ : H × S → P (Definition 3).
+``repro.network.constraints``
+    Local/global configuration constraints (Definition 4).
+``repro.network.generator``
+    Random networks for the scalability study (Section VIII).
+``repro.network.topologies``
+    Standard topologies plus the paper's Fig. 1 motivational network.
+"""
+
+from repro.network.model import Network
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import (
+    AvoidCombination,
+    ConstraintSet,
+    ConstraintViolation,
+    FixProduct,
+    ForbidProduct,
+    RequireCombination,
+)
+from repro.network.generator import RandomNetworkConfig, random_network, random_similarity
+from repro.network.io import (
+    load_network,
+    network_from_json,
+    network_to_json,
+    save_network,
+)
+from repro.network.zones import FirewallRule, PolicyViolation, Zone, ZonedNetwork
+from repro.network.topologies import (
+    chain_network,
+    complete_network,
+    grid_network,
+    motivational_network,
+    ring_network,
+    star_network,
+    tree_network,
+)
+
+__all__ = [
+    "Network",
+    "ProductAssignment",
+    "ConstraintSet",
+    "ConstraintViolation",
+    "FixProduct",
+    "ForbidProduct",
+    "RequireCombination",
+    "AvoidCombination",
+    "RandomNetworkConfig",
+    "random_network",
+    "random_similarity",
+    "network_to_json",
+    "network_from_json",
+    "save_network",
+    "load_network",
+    "Zone",
+    "FirewallRule",
+    "PolicyViolation",
+    "ZonedNetwork",
+    "chain_network",
+    "ring_network",
+    "star_network",
+    "grid_network",
+    "tree_network",
+    "complete_network",
+    "motivational_network",
+]

@@ -1,0 +1,261 @@
+"""Configuration constraints (paper Definition 4).
+
+The paper distinguishes:
+
+* **Host constraints** — a host must run a specific product (legacy software
+  that cannot be diversified, or company policy): :class:`FixProduct`.  The
+  complementary :class:`ForbidProduct` bans one candidate.
+* **Combination constraints** — conditional (un)desirable product
+  combinations, local (one host) or global (``ALL`` hosts):
+
+  - ``c_y = ⟨h, s_m, s_n, +p_j, +p_l⟩`` (:class:`RequireCombination`): if
+    service ``s_m`` runs ``p_j`` then service ``s_n`` must run ``p_l``.
+  - ``c_x = ⟨h, s_m, s_n, +p_j, −p_k⟩`` (:class:`AvoidCombination`): if
+    service ``s_m`` runs ``p_j`` then service ``s_n`` must *not* run ``p_k``.
+
+A :class:`ConstraintSet` bundles constraints, checks satisfaction of an
+assignment, and reports violations.  The optimiser consumes constraints via
+:mod:`repro.core.costs`, which encodes them into unary masks and intra-host
+pairwise tables exactly as the paper folds them into the cost function
+(Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network, NetworkError
+
+__all__ = [
+    "FixProduct",
+    "ForbidProduct",
+    "RequireCombination",
+    "AvoidCombination",
+    "Constraint",
+    "ConstraintSet",
+    "ConstraintViolation",
+    "GLOBAL",
+]
+
+#: Sentinel host value applying a combination constraint to every host.
+GLOBAL = "ALL"
+
+
+@dataclass(frozen=True)
+class FixProduct:
+    """Require α′(host, service) == product (legacy/policy pinning)."""
+
+    host: str
+    service: str
+    product: str
+
+    def describe(self) -> str:
+        return f"{self.host}.{self.service} must be {self.product}"
+
+
+@dataclass(frozen=True)
+class ForbidProduct:
+    """Require α′(host, service) != product."""
+
+    host: str
+    service: str
+    product: str
+
+    def describe(self) -> str:
+        return f"{self.host}.{self.service} must not be {self.product}"
+
+
+@dataclass(frozen=True)
+class RequireCombination:
+    """⟨host, s_m, s_n, +p_j, +p_l⟩: if s_m is p_j then s_n must be p_l.
+
+    ``host == GLOBAL`` applies the rule at every host running both services.
+    """
+
+    host: str
+    service_m: str
+    product_j: str
+    service_n: str
+    product_l: str
+
+    def describe(self) -> str:
+        scope = "all hosts" if self.host == GLOBAL else self.host
+        return (
+            f"at {scope}: {self.service_m}={self.product_j} requires "
+            f"{self.service_n}={self.product_l}"
+        )
+
+
+@dataclass(frozen=True)
+class AvoidCombination:
+    """⟨host, s_m, s_n, +p_j, −p_k⟩: if s_m is p_j then s_n must not be p_k.
+
+    ``host == GLOBAL`` applies the rule at every host running both services.
+    """
+
+    host: str
+    service_m: str
+    product_j: str
+    service_n: str
+    product_k: str
+
+    def describe(self) -> str:
+        scope = "all hosts" if self.host == GLOBAL else self.host
+        return (
+            f"at {scope}: {self.service_m}={self.product_j} forbids "
+            f"{self.service_n}={self.product_k}"
+        )
+
+
+Constraint = Union[FixProduct, ForbidProduct, RequireCombination, AvoidCombination]
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One violated constraint, with the assignment values that broke it."""
+
+    constraint: Constraint
+    host: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"violation at {self.host}: {self.detail}"
+
+
+class ConstraintSet:
+    """An ordered collection of constraints with satisfaction checking."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self._constraints: List[Constraint] = list(constraints)
+
+    def add(self, constraint: Constraint) -> None:
+        self._constraints.append(constraint)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __bool__(self) -> bool:
+        return bool(self._constraints)
+
+    def fixed_products(self) -> List[FixProduct]:
+        return [c for c in self._constraints if isinstance(c, FixProduct)]
+
+    def validate_against(self, network: Network) -> None:
+        """Check constraints refer to real hosts/services/candidates.
+
+        Raises :class:`~repro.network.model.NetworkError` on dangling
+        references so configuration mistakes surface before optimisation.
+        """
+        for constraint in self._constraints:
+            if isinstance(constraint, (FixProduct, ForbidProduct)):
+                candidates = network.candidates(constraint.host, constraint.service)
+                if constraint.product not in candidates:
+                    raise NetworkError(
+                        f"constraint {constraint.describe()!r} names product "
+                        f"{constraint.product!r} outside the candidate range"
+                    )
+            else:
+                hosts = self._scope_hosts(constraint, network)
+                if constraint.host != GLOBAL and not hosts:
+                    raise NetworkError(
+                        f"constraint {constraint.describe()!r} applies to no host "
+                        f"running both services"
+                    )
+
+    def violations(
+        self, assignment: ProductAssignment, network: Optional[Network] = None
+    ) -> List[ConstraintViolation]:
+        """All violations of this set by ``assignment``.
+
+        Unassigned pairs never violate — constraints restrict values, not
+        completeness (use :meth:`ProductAssignment.is_complete` for that).
+        """
+        net = network or assignment.network
+        found: List[ConstraintViolation] = []
+        for constraint in self._constraints:
+            found.extend(self._check(constraint, assignment, net))
+        return found
+
+    def is_satisfied(
+        self, assignment: ProductAssignment, network: Optional[Network] = None
+    ) -> bool:
+        return not self.violations(assignment, network)
+
+    def describe(self) -> str:
+        return "\n".join(c.describe() for c in self._constraints)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({len(self._constraints)} constraints)"
+
+    # -------------------------------------------------------------- internal
+
+    def _check(
+        self,
+        constraint: Constraint,
+        assignment: ProductAssignment,
+        network: Network,
+    ) -> Iterator[ConstraintViolation]:
+        if isinstance(constraint, FixProduct):
+            actual = assignment.get(constraint.host, constraint.service)
+            if actual is not None and actual != constraint.product:
+                yield ConstraintViolation(
+                    constraint,
+                    constraint.host,
+                    f"{constraint.service} is {actual}, required {constraint.product}",
+                )
+        elif isinstance(constraint, ForbidProduct):
+            actual = assignment.get(constraint.host, constraint.service)
+            if actual == constraint.product:
+                yield ConstraintViolation(
+                    constraint,
+                    constraint.host,
+                    f"{constraint.service} is {actual}, which is forbidden",
+                )
+        elif isinstance(constraint, RequireCombination):
+            for host in self._scope_hosts(constraint, network):
+                trigger = assignment.get(host, constraint.service_m)
+                partner = assignment.get(host, constraint.service_n)
+                if trigger == constraint.product_j and partner is not None:
+                    if partner != constraint.product_l:
+                        yield ConstraintViolation(
+                            constraint,
+                            host,
+                            f"{constraint.service_m}={trigger} but "
+                            f"{constraint.service_n}={partner}, "
+                            f"required {constraint.product_l}",
+                        )
+        elif isinstance(constraint, AvoidCombination):
+            for host in self._scope_hosts(constraint, network):
+                trigger = assignment.get(host, constraint.service_m)
+                partner = assignment.get(host, constraint.service_n)
+                if trigger == constraint.product_j and partner == constraint.product_k:
+                    yield ConstraintViolation(
+                        constraint,
+                        host,
+                        f"{constraint.service_m}={trigger} with forbidden "
+                        f"{constraint.service_n}={partner}",
+                    )
+        else:  # pragma: no cover - union is closed
+            raise TypeError(f"unknown constraint type: {constraint!r}")
+
+    @staticmethod
+    def _scope_hosts(
+        constraint: Union[RequireCombination, AvoidCombination], network: Network
+    ) -> List[str]:
+        """Hosts a combination constraint applies to (must run both services)."""
+        if constraint.host == GLOBAL:
+            hosts: Sequence[str] = network.hosts
+        else:
+            network._require_host(constraint.host)
+            hosts = [constraint.host]
+        return [
+            h
+            for h in hosts
+            if network.has_service(h, constraint.service_m)
+            and network.has_service(h, constraint.service_n)
+        ]

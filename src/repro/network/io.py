@@ -1,0 +1,172 @@
+"""Network and constraint serialisation.
+
+A deployment description — hosts, per-host service catalogues, links, and
+configuration constraints — is the input a real operator would maintain
+under version control.  This module defines a JSON document format for it
+and the load/save functions, so networks can be built outside Python and
+audited/diffed as text:
+
+.. code-block:: json
+
+    {
+      "hosts": {
+        "web": {"os": ["windows", "ubuntu"], "db": ["mysql", "mssql"]},
+        "hmi": {"os": ["windows"]}
+      },
+      "links": [["web", "hmi"]],
+      "constraints": [
+        {"kind": "fix", "host": "web", "service": "os", "product": "ubuntu"},
+        {"kind": "avoid_combination", "host": "ALL", "service_m": "os",
+         "product_j": "ubuntu", "service_n": "db", "product_k": "mssql"}
+      ]
+    }
+
+Round-trips preserve host, service and candidate order (the label order of
+the MRF), so optimisation results are reproducible across save/load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.network.constraints import (
+    AvoidCombination,
+    Constraint,
+    ConstraintSet,
+    FixProduct,
+    ForbidProduct,
+    RequireCombination,
+)
+from repro.network.model import Network
+
+__all__ = [
+    "network_to_json",
+    "network_from_json",
+    "save_network",
+    "load_network",
+]
+
+
+def network_to_json(
+    network: Network, constraints: Optional[ConstraintSet] = None
+) -> str:
+    """Serialise a network (and optional constraints) to a JSON string."""
+    payload = {
+        "hosts": {
+            host: {
+                service: list(network.candidates(host, service))
+                for service in network.services_of(host)
+            }
+            for host in network.hosts
+        },
+        "links": [list(link) for link in network.links],
+        "constraints": [
+            _constraint_to_dict(constraint) for constraint in (constraints or ())
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def network_from_json(text: str) -> Tuple[Network, ConstraintSet]:
+    """Parse a JSON document into (network, constraints).
+
+    Raises ``ValueError`` on structural problems (unknown constraint kinds,
+    missing fields) and the network model's own errors on semantic ones
+    (dangling links, empty candidate lists, ...).
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or "hosts" not in payload:
+        raise ValueError("network JSON must be an object with a 'hosts' key")
+    network = Network()
+    for host, services in payload["hosts"].items():
+        network.add_host(host, services)
+    for link in payload.get("links", ()):
+        if len(link) != 2:
+            raise ValueError(f"malformed link entry: {link!r}")
+        network.add_link(link[0], link[1])
+    constraints = ConstraintSet(
+        _constraint_from_dict(entry) for entry in payload.get("constraints", ())
+    )
+    return network, constraints
+
+
+def save_network(
+    network: Network,
+    path: Union[str, Path],
+    constraints: Optional[ConstraintSet] = None,
+) -> None:
+    """Write a network description to a JSON file."""
+    Path(path).write_text(network_to_json(network, constraints))
+
+
+def load_network(path: Union[str, Path]) -> Tuple[Network, ConstraintSet]:
+    """Read a network description from a JSON file."""
+    return network_from_json(Path(path).read_text())
+
+
+# ------------------------------------------------------------------ internal
+
+_KIND_FIX = "fix"
+_KIND_FORBID = "forbid"
+_KIND_REQUIRE = "require_combination"
+_KIND_AVOID = "avoid_combination"
+
+
+def _constraint_to_dict(constraint: Constraint) -> Dict[str, str]:
+    if isinstance(constraint, FixProduct):
+        return {
+            "kind": _KIND_FIX,
+            "host": constraint.host,
+            "service": constraint.service,
+            "product": constraint.product,
+        }
+    if isinstance(constraint, ForbidProduct):
+        return {
+            "kind": _KIND_FORBID,
+            "host": constraint.host,
+            "service": constraint.service,
+            "product": constraint.product,
+        }
+    if isinstance(constraint, RequireCombination):
+        return {
+            "kind": _KIND_REQUIRE,
+            "host": constraint.host,
+            "service_m": constraint.service_m,
+            "product_j": constraint.product_j,
+            "service_n": constraint.service_n,
+            "product_l": constraint.product_l,
+        }
+    if isinstance(constraint, AvoidCombination):
+        return {
+            "kind": _KIND_AVOID,
+            "host": constraint.host,
+            "service_m": constraint.service_m,
+            "product_j": constraint.product_j,
+            "service_n": constraint.service_n,
+            "product_k": constraint.product_k,
+        }
+    raise ValueError(f"unknown constraint type: {constraint!r}")
+
+
+def _constraint_from_dict(entry: Dict[str, str]) -> Constraint:
+    try:
+        kind = entry["kind"]
+        if kind == _KIND_FIX:
+            return FixProduct(entry["host"], entry["service"], entry["product"])
+        if kind == _KIND_FORBID:
+            return ForbidProduct(entry["host"], entry["service"], entry["product"])
+        if kind == _KIND_REQUIRE:
+            return RequireCombination(
+                entry["host"], entry["service_m"], entry["product_j"],
+                entry["service_n"], entry["product_l"],
+            )
+        if kind == _KIND_AVOID:
+            return AvoidCombination(
+                entry["host"], entry["service_m"], entry["product_j"],
+                entry["service_n"], entry["product_k"],
+            )
+    except KeyError as missing:
+        raise ValueError(f"constraint entry misses field {missing}") from None
+    raise ValueError(f"unknown constraint kind {kind!r}")

@@ -1,0 +1,233 @@
+"""The network model (paper Definition 2).
+
+A :class:`Network` is N = ⟨H, L, S, P⟩: a set of hosts, undirected links
+between hosts, per-host service sets, and per-(host, service) ranges of
+candidate products.  The model deliberately gives every host a *customised*
+service set and every service a host-specific product range — the paper
+stresses this flexibility (Section VII-A) because in a real ICS the products
+installable on a WinCC client differ from those on a vendor workstation.
+
+Products and services are plain strings; similarity between products is kept
+separately in :class:`~repro.nvd.similarity.SimilarityTable` so the same
+network can be evaluated under different vulnerability data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["Network", "NetworkError"]
+
+
+class NetworkError(ValueError):
+    """Raised on malformed network operations (unknown hosts, self-links...)."""
+
+
+class Network:
+    """An undirected network of hosts with services and candidate products.
+
+    >>> net = Network()
+    >>> net.add_host("h0", {"web": ["wb1", "wb2"], "db": ["db1", "db2"]})
+    >>> net.add_host("h1", {"web": ["wb1", "wb2"]})
+    >>> net.add_link("h0", "h1")
+    >>> sorted(net.shared_services("h0", "h1"))
+    ['web']
+    """
+
+    def __init__(self) -> None:
+        # host -> service -> tuple of candidate products (ordered, no dups)
+        self._hosts: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        self._links: Set[Tuple[str, str]] = set()
+        self._adjacency: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------- building
+
+    def add_host(
+        self,
+        host: str,
+        services: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> None:
+        """Add a host with its service → candidate-products map.
+
+        Re-adding an existing host raises; use :meth:`set_candidates` to
+        amend a host's product ranges.
+        """
+        if host in self._hosts:
+            raise NetworkError(f"host {host!r} already exists")
+        self._hosts[host] = {}
+        self._adjacency[host] = set()
+        for service, products in (services or {}).items():
+            self.add_service(host, service, products)
+
+    def add_service(self, host: str, service: str, products: Sequence[str]) -> None:
+        """Declare that ``host`` runs ``service``, choosable from ``products``."""
+        self._require_host(host)
+        candidates = _unique(products)
+        if not candidates:
+            raise NetworkError(
+                f"service {service!r} at host {host!r} needs at least one candidate product"
+            )
+        if service in self._hosts[host]:
+            raise NetworkError(f"service {service!r} already declared at host {host!r}")
+        self._hosts[host][service] = candidates
+
+    def set_candidates(self, host: str, service: str, products: Sequence[str]) -> None:
+        """Replace the candidate range of an existing (host, service)."""
+        self._require_service(host, service)
+        candidates = _unique(products)
+        if not candidates:
+            raise NetworkError("candidate range cannot be emptied")
+        self._hosts[host][service] = candidates
+
+    def add_link(self, a: str, b: str) -> None:
+        """Add an undirected link; self-links and duplicates raise."""
+        self._require_host(a)
+        self._require_host(b)
+        if a == b:
+            raise NetworkError(f"self-link at {a!r}")
+        key = _edge_key(a, b)
+        if key in self._links:
+            raise NetworkError(f"link {key} already exists")
+        self._links.add(key)
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+
+    def add_links(self, pairs: Iterable[Tuple[str, str]]) -> None:
+        """Add several undirected links."""
+        for a, b in pairs:
+            self.add_link(a, b)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def hosts(self) -> List[str]:
+        """Host names in insertion order."""
+        return list(self._hosts)
+
+    @property
+    def links(self) -> List[Tuple[str, str]]:
+        """Undirected links as sorted (a, b) tuples, in deterministic order."""
+        return sorted(self._links)
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._hosts
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def has_link(self, a: str, b: str) -> bool:
+        return _edge_key(a, b) in self._links
+
+    def neighbors(self, host: str) -> List[str]:
+        """Hosts adjacent to ``host``, sorted."""
+        self._require_host(host)
+        return sorted(self._adjacency[host])
+
+    def degree(self, host: str) -> int:
+        self._require_host(host)
+        return len(self._adjacency[host])
+
+    def services_of(self, host: str) -> List[str]:
+        """Services declared at ``host`` (S_hi), in declaration order."""
+        self._require_host(host)
+        return list(self._hosts[host])
+
+    def has_service(self, host: str, service: str) -> bool:
+        return host in self._hosts and service in self._hosts[host]
+
+    def candidates(self, host: str, service: str) -> Tuple[str, ...]:
+        """The candidate products p(s) for ``service`` at ``host``."""
+        self._require_service(host, service)
+        return self._hosts[host][service]
+
+    def all_services(self) -> List[str]:
+        """The union S of services across hosts, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for services in self._hosts.values():
+            for service in services:
+                seen.setdefault(service)
+        return list(seen)
+
+    def all_products(self, service: Optional[str] = None) -> List[str]:
+        """The union P of products (optionally of one service), first-seen order."""
+        seen: Dict[str, None] = {}
+        for services in self._hosts.values():
+            for name, products in services.items():
+                if service is not None and name != service:
+                    continue
+                for product in products:
+                    seen.setdefault(product)
+        return list(seen)
+
+    def shared_services(self, a: str, b: str) -> List[str]:
+        """Services run on both hosts (S_hi ∩ S_hj) — the coupled services."""
+        self._require_host(a)
+        self._require_host(b)
+        return [s for s in self._hosts[a] if s in self._hosts[b]]
+
+    def hosts_with_service(self, service: str) -> List[str]:
+        """All hosts that run ``service``."""
+        return [h for h, services in self._hosts.items() if service in services]
+
+    def edge_count(self) -> int:
+        return len(self._links)
+
+    def variable_count(self) -> int:
+        """Number of (host, service) decision variables in the network."""
+        return sum(len(services) for services in self._hosts.values())
+
+    def assignment_space_size(self) -> int:
+        """|Π p(s)| — the size of the full assignment search space."""
+        size = 1
+        for services in self._hosts.values():
+            for products in services.values():
+                size *= len(products)
+        return size
+
+    # ---------------------------------------------------------------- export
+
+    def to_networkx(self) -> nx.Graph:
+        """Export the host graph to networkx (host attrs carry services)."""
+        graph = nx.Graph()
+        for host, services in self._hosts.items():
+            graph.add_node(host, services={s: list(p) for s, p in services.items()})
+        graph.add_edges_from(self._links)
+        return graph
+
+    def copy(self) -> "Network":
+        """Deep copy of the network."""
+        clone = Network()
+        for host, services in self._hosts.items():
+            clone.add_host(host, services)
+        clone.add_links(self._links)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({len(self._hosts)} hosts, {len(self._links)} links, "
+            f"{self.variable_count()} variables)"
+        )
+
+    # -------------------------------------------------------------- internal
+
+    def _require_host(self, host: str) -> None:
+        if host not in self._hosts:
+            raise NetworkError(f"unknown host {host!r}")
+
+    def _require_service(self, host: str, service: str) -> None:
+        self._require_host(host)
+        if service not in self._hosts[host]:
+            raise NetworkError(f"host {host!r} does not run service {service!r}")
+
+
+def _edge_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+def _unique(items: Sequence[str]) -> Tuple[str, ...]:
+    seen: Dict[str, None] = {}
+    for item in items:
+        seen.setdefault(item)
+    return tuple(seen)

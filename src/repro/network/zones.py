@@ -1,0 +1,262 @@
+"""Zones and firewall policies (the structure of the paper's Fig. 3).
+
+A segmented ICS is not an arbitrary graph: hosts live in *zones* (corporate
+network, DMZ, operations, control, ...), each zone has an internal LAN
+topology, and traffic *between* zones is only possible where a firewall
+white-list rule allows it — the paper's Fig. 3 prints exactly such rules
+("c2, c4 → z4"; "z4 → t1, t2"; ...).  This module makes that structure a
+first-class model:
+
+* :class:`Zone` — a named host group with an internal topology
+  (``"ring"``, ``"chain"``, ``"mesh"`` or explicit link list);
+* :class:`FirewallRule` — a white-list of host pairs between two zones;
+* :class:`ZonedNetwork` — assembles zones + rules into a
+  :class:`~repro.network.model.Network`, and *audits* an existing network
+  against the policy (flagging links that cross zones without a rule —
+  the misconfiguration that let Stuxnet jump segments).
+
+The case study's link list is validated against this model in tests; the
+builder is also handy for constructing custom segmented topologies in
+examples and user code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.network.model import Network, NetworkError
+
+__all__ = ["Zone", "FirewallRule", "PolicyViolation", "ZonedNetwork"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A named host segment with an internal LAN topology.
+
+    Attributes:
+        name: zone identifier.
+        hosts: member hosts (order defines ring/chain adjacency).
+        topology: ``"ring"`` (default), ``"chain"``, ``"mesh"``, or
+            ``"custom"`` with explicit ``links``.
+        links: explicit intra-zone links for ``topology="custom"``.
+    """
+
+    name: str
+    hosts: Tuple[str, ...]
+    topology: str = "ring"
+    links: Tuple[Tuple[str, str], ...] = ()
+
+    _TOPOLOGIES = ("ring", "chain", "mesh", "custom")
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise ValueError(f"zone {self.name!r} needs at least one host")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise ValueError(f"zone {self.name!r} has duplicate hosts")
+        if self.topology not in self._TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; use one of {self._TOPOLOGIES}"
+            )
+        if self.topology == "custom":
+            members = set(self.hosts)
+            for a, b in self.links:
+                if a not in members or b not in members:
+                    raise ValueError(
+                        f"custom link ({a!r}, {b!r}) leaves zone {self.name!r}"
+                    )
+        elif self.links:
+            raise ValueError("explicit links require topology='custom'")
+
+    def internal_links(self) -> List[Tuple[str, str]]:
+        """The intra-zone link list implied by the topology."""
+        hosts = self.hosts
+        if self.topology == "custom":
+            return list(self.links)
+        if len(hosts) == 1:
+            return []
+        if self.topology == "chain":
+            return list(zip(hosts, hosts[1:]))
+        if self.topology == "ring":
+            if len(hosts) == 2:
+                return [(hosts[0], hosts[1])]
+            return list(zip(hosts, hosts[1:])) + [(hosts[-1], hosts[0])]
+        # mesh
+        return [
+            (hosts[i], hosts[j])
+            for i in range(len(hosts))
+            for j in range(i + 1, len(hosts))
+        ]
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """A white-list of allowed host pairs between two zones.
+
+    ``sources``/``destinations`` are hosts (the paper's rules name hosts,
+    e.g. "c2, c4 → z4").  Links are undirected in the propagation model,
+    so a rule allows the physical connection regardless of direction; the
+    source/destination split documents intent.
+    """
+
+    source_zone: str
+    destination_zone: str
+    sources: Tuple[str, ...]
+    destinations: Tuple[str, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.sources or not self.destinations:
+            raise ValueError("a firewall rule needs sources and destinations")
+
+    def allowed_pairs(self) -> List[Tuple[str, str]]:
+        """All (source, destination) host pairs this rule permits."""
+        return [(s, d) for s in self.sources for d in self.destinations]
+
+    def describe(self) -> str:
+        text = (
+            f"{self.source_zone} -> {self.destination_zone}: "
+            f"{', '.join(self.sources)} -> {', '.join(self.destinations)}"
+        )
+        return f"{text}  ({self.description})" if self.description else text
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """A link crossing zones without any permitting firewall rule."""
+
+    link: Tuple[str, str]
+    source_zone: str
+    destination_zone: str
+
+    def __str__(self) -> str:
+        return (
+            f"link {self.link[0]} -- {self.link[1]} crosses "
+            f"{self.source_zone} -> {self.destination_zone} without a rule"
+        )
+
+
+class ZonedNetwork:
+    """Zones + firewall rules, buildable into (or audited against) a Network.
+
+    >>> it = Zone("it", ("a", "b"), topology="chain")
+    >>> ot = Zone("ot", ("c",))
+    >>> rule = FirewallRule("it", "ot", ("b",), ("c",))
+    >>> zoned = ZonedNetwork([it, ot], [rule])
+    >>> sorted(zoned.all_links())
+    [('a', 'b'), ('b', 'c')]
+    """
+
+    def __init__(
+        self,
+        zones: Iterable[Zone],
+        rules: Iterable[FirewallRule] = (),
+    ) -> None:
+        self.zones: List[Zone] = list(zones)
+        self.rules: List[FirewallRule] = list(rules)
+        self._zone_of: Dict[str, str] = {}
+        names = set()
+        for zone in self.zones:
+            if zone.name in names:
+                raise ValueError(f"duplicate zone name {zone.name!r}")
+            names.add(zone.name)
+            for host in zone.hosts:
+                if host in self._zone_of:
+                    raise ValueError(
+                        f"host {host!r} belongs to both {self._zone_of[host]!r} "
+                        f"and {zone.name!r}"
+                    )
+                self._zone_of[host] = zone.name
+        for rule in self.rules:
+            for name in (rule.source_zone, rule.destination_zone):
+                if name not in names:
+                    raise ValueError(f"firewall rule names unknown zone {name!r}")
+            for host in rule.sources:
+                if self._zone_of.get(host) != rule.source_zone:
+                    raise ValueError(
+                        f"rule source {host!r} is not in zone {rule.source_zone!r}"
+                    )
+            for host in rule.destinations:
+                if self._zone_of.get(host) != rule.destination_zone:
+                    raise ValueError(
+                        f"rule destination {host!r} is not in zone "
+                        f"{rule.destination_zone!r}"
+                    )
+
+    # -------------------------------------------------------------- queries
+
+    def zone_of(self, host: str) -> str:
+        """The zone a host belongs to (KeyError for unknown hosts)."""
+        return self._zone_of[host]
+
+    def hosts(self) -> List[str]:
+        return [host for zone in self.zones for host in zone.hosts]
+
+    def cross_zone_links(self) -> List[Tuple[str, str]]:
+        """All firewall-permitted inter-zone links (deduplicated)."""
+        seen: Set[Tuple[str, str]] = set()
+        for rule in self.rules:
+            for s, d in rule.allowed_pairs():
+                key = (s, d) if s <= d else (d, s)
+                seen.add(key)
+        return sorted(seen)
+
+    def all_links(self) -> List[Tuple[str, str]]:
+        """Intra-zone plus permitted inter-zone links."""
+        seen: Set[Tuple[str, str]] = set()
+        for zone in self.zones:
+            for a, b in zone.internal_links():
+                seen.add((a, b) if a <= b else (b, a))
+        seen.update(self.cross_zone_links())
+        return sorted(seen)
+
+    # ------------------------------------------------------------- building
+
+    def build_network(
+        self, catalog: Mapping[str, Mapping[str, Sequence[str]]]
+    ) -> Network:
+        """Assemble a Network from the zoned structure and a host catalogue.
+
+        ``catalog`` maps every host to its service → candidate-products
+        spec; missing hosts raise so silent gaps cannot occur.
+        """
+        network = Network()
+        for host in self.hosts():
+            if host not in catalog:
+                raise NetworkError(f"catalog misses host {host!r}")
+            network.add_host(host, catalog[host])
+        network.add_links(self.all_links())
+        return network
+
+    # -------------------------------------------------------------- auditing
+
+    def audit(self, network: Network) -> List[PolicyViolation]:
+        """Flag links of ``network`` that cross zones without a rule.
+
+        Hosts unknown to the zone model are ignored (they are outside the
+        policy's scope); intra-zone links are always permitted.
+        """
+        permitted = set(self.cross_zone_links())
+        violations: List[PolicyViolation] = []
+        for a, b in network.links:
+            zone_a = self._zone_of.get(a)
+            zone_b = self._zone_of.get(b)
+            if zone_a is None or zone_b is None or zone_a == zone_b:
+                continue
+            key = (a, b) if a <= b else (b, a)
+            if key not in permitted:
+                violations.append(
+                    PolicyViolation(link=(a, b), source_zone=zone_a,
+                                    destination_zone=zone_b)
+                )
+        return violations
+
+    def describe(self) -> str:
+        lines = [f"{len(self.zones)} zones, {len(self.rules)} firewall rules"]
+        for zone in self.zones:
+            lines.append(
+                f"  zone {zone.name} ({zone.topology}): {', '.join(zone.hosts)}"
+            )
+        for rule in self.rules:
+            lines.append(f"  rule {rule.describe()}")
+        return "\n".join(lines)

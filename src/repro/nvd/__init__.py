@@ -1,0 +1,52 @@
+"""Vulnerability-database substrate: CPE naming, CVE records and similarity.
+
+The paper (Section III) measures the *vulnerability similarity* of two
+products as the Jaccard coefficient of their CVE sets, computed from the
+National Vulnerability Database (NVD).  This subpackage provides everything
+needed to reproduce that pipeline offline:
+
+``repro.nvd.cpe``
+    The Common Platform Enumeration naming scheme (parse, format, match).
+``repro.nvd.cve``
+    CVE record data model (id, year, CVSS score, affected CPEs).
+``repro.nvd.database``
+    An NVD-like queryable store of CVE records.
+``repro.nvd.generator``
+    A synthetic NVD feed generator used where the paper used a live NVD dump.
+``repro.nvd.similarity``
+    The Jaccard similarity metric (Definition 1) and ``SimilarityTable``.
+``repro.nvd.datasets``
+    The paper's published similarity tables (Tables II and III) embedded as
+    curated data, so the case study uses the exact numbers the paper used.
+"""
+
+from repro.nvd.cpe import CPE
+from repro.nvd.cve import CVERecord
+from repro.nvd.database import VulnerabilityDatabase
+from repro.nvd.generator import SyntheticNVDConfig, generate_synthetic_nvd
+from repro.nvd.similarity import (
+    SimilarityTable,
+    jaccard_similarity,
+    similarity_table_from_database,
+)
+from repro.nvd.datasets import (
+    paper_browser_similarity,
+    paper_database_similarity,
+    paper_os_similarity,
+    paper_similarity_table,
+)
+
+__all__ = [
+    "CPE",
+    "CVERecord",
+    "VulnerabilityDatabase",
+    "SyntheticNVDConfig",
+    "generate_synthetic_nvd",
+    "SimilarityTable",
+    "jaccard_similarity",
+    "similarity_table_from_database",
+    "paper_browser_similarity",
+    "paper_database_similarity",
+    "paper_os_similarity",
+    "paper_similarity_table",
+]

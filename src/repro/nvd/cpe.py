@@ -1,0 +1,139 @@
+"""Common Platform Enumeration (CPE) naming scheme.
+
+NVD entries list the products affected by a vulnerability as CPE URIs such as
+``cpe:/o:microsoft:windows_7`` or ``cpe:/a:google:chrome:50.0``.  The paper
+(Section III) uses CPE queries to sort CVE records per product; this module
+implements the subset of the CPE 2.2 URI scheme needed for that: parsing,
+formatting, and prefix matching (a query CPE matches a record CPE when every
+specified component agrees).
+
+Only the components the paper uses are modelled: *part* (``a`` application,
+``o`` operating system, ``h`` hardware), *vendor*, *product*, *version* and
+*update*.  Missing trailing components act as wildcards in a match, exactly
+like the CPE search granularity the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["CPE", "CPEError", "PART_APPLICATION", "PART_OS", "PART_HARDWARE"]
+
+PART_APPLICATION = "a"
+PART_OS = "o"
+PART_HARDWARE = "h"
+
+_VALID_PARTS = frozenset({PART_APPLICATION, PART_OS, PART_HARDWARE})
+
+
+class CPEError(ValueError):
+    """Raised when a CPE URI cannot be parsed or is malformed."""
+
+
+@dataclass(frozen=True, order=True)
+class CPE:
+    """A parsed CPE 2.2 URI.
+
+    Attributes:
+        part: ``"a"`` (application), ``"o"`` (OS) or ``"h"`` (hardware).
+        vendor: vendor name, lowercase (e.g. ``"microsoft"``).
+        product: product name, lowercase (e.g. ``"windows_7"``).
+        version: optional version component; ``None`` acts as a wildcard.
+        update: optional update/patch-level component.
+    """
+
+    part: str
+    vendor: str
+    product: str
+    version: Optional[str] = None
+    update: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.part not in _VALID_PARTS:
+            raise CPEError(
+                f"invalid CPE part {self.part!r}; expected one of {sorted(_VALID_PARTS)}"
+            )
+        if not self.vendor:
+            raise CPEError("CPE vendor must be non-empty")
+        if not self.product:
+            raise CPEError("CPE product must be non-empty")
+
+    @classmethod
+    def parse(cls, uri: str) -> "CPE":
+        """Parse a ``cpe:/...`` URI.
+
+        Components equal to ``-`` or empty are treated as unspecified
+        (``None``), matching how NVD uses ``-`` for "any version".
+
+        >>> CPE.parse("cpe:/o:microsoft:windows_7")
+        CPE(part='o', vendor='microsoft', product='windows_7', version=None, update=None)
+        >>> CPE.parse("cpe:/a:google:chrome:50.0").version
+        '50.0'
+        """
+        text = uri.strip().lower()
+        if not text.startswith("cpe:/"):
+            raise CPEError(f"not a CPE 2.2 URI: {uri!r}")
+        body = text[len("cpe:/") :]
+        fields = body.split(":")
+        if len(fields) < 3:
+            raise CPEError(f"CPE URI needs at least part:vendor:product: {uri!r}")
+        part, vendor, product = fields[0], fields[1], fields[2]
+        version = _component(fields, 3)
+        update = _component(fields, 4)
+        return cls(part=part, vendor=vendor, product=product, version=version, update=update)
+
+    def uri(self) -> str:
+        """Format back to a ``cpe:/...`` URI (round-trips through parse)."""
+        parts = [self.part, self.vendor, self.product]
+        if self.version is not None:
+            parts.append(self.version)
+            if self.update is not None:
+                parts.append(self.update)
+        elif self.update is not None:
+            parts.append("-")
+            parts.append(self.update)
+        return "cpe:/" + ":".join(parts)
+
+    def matches(self, other: "CPE") -> bool:
+        """Return True when this CPE, used as a *query*, matches ``other``.
+
+        Every component specified on the query must equal the corresponding
+        component of ``other``; components left unspecified (``None``) match
+        anything.  This mirrors the prefix-query behaviour of the CPE search
+        the paper used to collect vulnerabilities per product.
+
+        >>> q = CPE.parse("cpe:/a:google:chrome")
+        >>> q.matches(CPE.parse("cpe:/a:google:chrome:50.0"))
+        True
+        >>> q.matches(CPE.parse("cpe:/a:mozilla:firefox"))
+        False
+        """
+        if (self.part, self.vendor, self.product) != (
+            other.part,
+            other.vendor,
+            other.product,
+        ):
+            return False
+        if self.version is not None and self.version != other.version:
+            return False
+        if self.update is not None and self.update != other.update:
+            return False
+        return True
+
+    def without_version(self) -> "CPE":
+        """Return a copy with version/update stripped (a product-level query)."""
+        return CPE(part=self.part, vendor=self.vendor, product=self.product)
+
+    def __str__(self) -> str:
+        return self.uri()
+
+
+def _component(fields: list, index: int) -> Optional[str]:
+    """Extract an optional CPE component, mapping ``-``/empty to None."""
+    if index >= len(fields):
+        return None
+    value = fields[index]
+    if value in ("", "-", "*"):
+        return None
+    return value

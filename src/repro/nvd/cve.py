@@ -1,0 +1,86 @@
+"""CVE record data model.
+
+A :class:`CVERecord` is a single vulnerability entry as published by NVD: an
+identifier (``CVE-<year>-<serial>``), the publication year, a CVSS base score
+and the list of affected products expressed as CPE URIs (Table I of the paper
+shows such an entry for CVE-2016-7153).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.nvd.cpe import CPE
+
+__all__ = ["CVERecord", "CVEError"]
+
+_CVE_ID_RE = re.compile(r"^CVE-(\d{4})-(\d{4,})$")
+
+
+class CVEError(ValueError):
+    """Raised for malformed CVE records."""
+
+
+@dataclass(frozen=True)
+class CVERecord:
+    """One NVD vulnerability entry.
+
+    Attributes:
+        cve_id: canonical identifier, e.g. ``"CVE-2016-7153"``.
+        year: publication year (must agree with the identifier).
+        cvss: CVSS v2 base score in ``[0, 10]``.
+        affected: CPEs of the products the vulnerability applies to.
+        description: free-text summary (optional, defaults to empty).
+    """
+
+    cve_id: str
+    year: int
+    cvss: float = 5.0
+    affected: Tuple[CPE, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        match = _CVE_ID_RE.match(self.cve_id)
+        if match is None:
+            raise CVEError(f"malformed CVE identifier: {self.cve_id!r}")
+        if int(match.group(1)) != self.year:
+            raise CVEError(
+                f"CVE id year {match.group(1)} disagrees with year field {self.year}"
+            )
+        if not 0.0 <= self.cvss <= 10.0:
+            raise CVEError(f"CVSS score out of range [0, 10]: {self.cvss}")
+        # Normalise affected to a tuple so records stay hashable.
+        object.__setattr__(self, "affected", tuple(self.affected))
+
+    @classmethod
+    def build(
+        cls,
+        year: int,
+        serial: int,
+        affected: Iterable[CPE],
+        cvss: float = 5.0,
+        description: str = "",
+    ) -> "CVERecord":
+        """Construct a record from the year/serial pair.
+
+        >>> rec = CVERecord.build(2016, 7153, [CPE.parse("cpe:/a:google:chrome")])
+        >>> rec.cve_id
+        'CVE-2016-7153'
+        """
+        return cls(
+            cve_id=f"CVE-{year}-{serial:04d}",
+            year=year,
+            cvss=cvss,
+            affected=tuple(affected),
+            description=description,
+        )
+
+    def affects(self, query: CPE) -> bool:
+        """Return True when any affected CPE matches the ``query`` CPE."""
+        return any(query.matches(cpe) for cpe in self.affected)
+
+    def affected_products(self) -> FrozenSet[CPE]:
+        """The distinct product-level CPEs (version stripped) this CVE hits."""
+        return frozenset(cpe.without_version() for cpe in self.affected)

@@ -1,0 +1,155 @@
+"""An NVD-like queryable vulnerability database.
+
+The paper built a small pipeline on top of CVE-SEARCH to "fetch necessary
+data from NVD, filter out vulnerabilities for each studied product, and
+calculate the similarity of vulnerabilities between products".  This module
+is that pipeline's offline equivalent: an in-memory store of
+:class:`~repro.nvd.cve.CVERecord` objects with CPE-indexed queries.
+
+The store maintains an inverted index from product-level CPE
+(part, vendor, product) to the set of CVE ids affecting it, so per-product
+vulnerability-set queries — the hot operation when building similarity
+tables — are O(matching records) rather than O(database).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+
+from repro.nvd.cpe import CPE
+from repro.nvd.cve import CVERecord
+
+__all__ = ["VulnerabilityDatabase"]
+
+
+class VulnerabilityDatabase:
+    """In-memory NVD-style store of CVE records with CPE queries.
+
+    >>> db = VulnerabilityDatabase()
+    >>> db.add(CVERecord.build(2016, 1, [CPE.parse("cpe:/a:google:chrome:50")]))
+    >>> db.vulnerabilities_of(CPE.parse("cpe:/a:google:chrome"))
+    frozenset({'CVE-2016-0001'})
+    """
+
+    def __init__(self, records: Iterable[CVERecord] = ()) -> None:
+        self._records: Dict[str, CVERecord] = {}
+        # Product-level inverted index: (part, vendor, product) -> cve ids.
+        self._by_product: Dict[tuple, Set[str]] = defaultdict(set)
+        for record in records:
+            self.add(record)
+
+    # ------------------------------------------------------------------ CRUD
+
+    def add(self, record: CVERecord) -> None:
+        """Insert a record; re-inserting the same CVE id replaces it."""
+        if record.cve_id in self._records:
+            self.remove(record.cve_id)
+        self._records[record.cve_id] = record
+        for cpe in record.affected:
+            self._by_product[_product_key(cpe)].add(record.cve_id)
+
+    def remove(self, cve_id: str) -> None:
+        """Delete a record by id; unknown ids raise ``KeyError``."""
+        record = self._records.pop(cve_id)
+        for cpe in record.affected:
+            bucket = self._by_product.get(_product_key(cpe))
+            if bucket is not None:
+                bucket.discard(cve_id)
+                if not bucket:
+                    del self._by_product[_product_key(cpe)]
+
+    def get(self, cve_id: str) -> CVERecord:
+        """Look up a record by CVE id."""
+        return self._records[cve_id]
+
+    def __contains__(self, cve_id: str) -> bool:
+        return cve_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CVERecord]:
+        return iter(self._records.values())
+
+    # --------------------------------------------------------------- queries
+
+    def vulnerabilities_of(
+        self,
+        query: CPE,
+        since: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> FrozenSet[str]:
+        """CVE ids affecting products matched by ``query``.
+
+        ``since``/``until`` bound the publication year inclusively — the
+        paper restricts its study to CVEs published 1999-2016.
+
+        A product-level query (no version) is served from the inverted index;
+        versioned queries fall back to per-record matching within the indexed
+        candidate set, so both are fast.
+        """
+        candidates = self._by_product.get(_product_key(query), set())
+        result: Set[str] = set()
+        for cve_id in candidates:
+            record = self._records[cve_id]
+            if since is not None and record.year < since:
+                continue
+            if until is not None and record.year > until:
+                continue
+            if query.version is None and query.update is None:
+                result.add(cve_id)
+            elif record.affects(query):
+                result.add(cve_id)
+        return frozenset(result)
+
+    def products(self) -> List[CPE]:
+        """All distinct product-level CPEs present in the database, sorted."""
+        return sorted(
+            CPE(part=part, vendor=vendor, product=product)
+            for (part, vendor, product) in self._by_product
+        )
+
+    def records_for_year(self, year: int) -> List[CVERecord]:
+        """All records published in ``year`` (sorted by id)."""
+        return sorted(
+            (r for r in self._records.values() if r.year == year),
+            key=lambda r: r.cve_id,
+        )
+
+    # ---------------------------------------------------------- serialisation
+
+    def to_json(self) -> str:
+        """Serialise the full feed to a JSON string."""
+        payload = [
+            {
+                "cve_id": record.cve_id,
+                "year": record.year,
+                "cvss": record.cvss,
+                "affected": [cpe.uri() for cpe in record.affected],
+                "description": record.description,
+            }
+            for record in sorted(self._records.values(), key=lambda r: r.cve_id)
+        ]
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VulnerabilityDatabase":
+        """Load a feed previously produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        records = [
+            CVERecord(
+                cve_id=entry["cve_id"],
+                year=entry["year"],
+                cvss=entry.get("cvss", 5.0),
+                affected=tuple(CPE.parse(uri) for uri in entry["affected"]),
+                description=entry.get("description", ""),
+            )
+            for entry in payload
+        ]
+        return cls(records)
+
+
+def _product_key(cpe: CPE) -> tuple:
+    return (cpe.part, cpe.vendor, cpe.product)

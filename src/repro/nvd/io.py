@@ -1,0 +1,174 @@
+"""Similarity-table persistence and CVSS-weighted similarity.
+
+Two practical extensions of the Section III measurement pipeline:
+
+* **Persistence** — similarity tables are expensive to compute against a
+  large feed; :func:`save_similarity` / :func:`load_similarity` round-trip
+  them through JSON, and :func:`similarity_to_csv` /
+  :func:`similarity_from_csv` exchange them with spreadsheets.
+* **CVSS weighting** — the paper's future-work discussion cites Nayak et
+  al., "Some vulnerabilities are different than others".
+  :func:`weighted_similarity_table_from_database` implements that idea:
+  instead of counting shared CVEs uniformly, each vulnerability contributes
+  its CVSS score, so two products sharing a handful of critical
+  vulnerabilities rank as more dangerous a pairing than two sharing many
+  trivial ones::
+
+      sim_w(x, y) = Σ_{v ∈ Vx ∩ Vy} w(v)  /  Σ_{v ∈ Vx ∪ Vy} w(v)
+
+  With ``w ≡ 1`` this reduces exactly to the paper's Jaccard metric (a
+  property the tests assert).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Union
+
+from repro.nvd.cpe import CPE
+from repro.nvd.database import VulnerabilityDatabase
+from repro.nvd.similarity import SimilarityTable
+
+__all__ = [
+    "save_similarity",
+    "load_similarity",
+    "similarity_to_csv",
+    "similarity_from_csv",
+    "weighted_similarity_table_from_database",
+]
+
+
+def save_similarity(table: SimilarityTable, path: Union[str, Path]) -> None:
+    """Write a similarity table to a JSON file."""
+    Path(path).write_text(dumps_similarity(table))
+
+
+def load_similarity(path: Union[str, Path]) -> SimilarityTable:
+    """Read a similarity table from a JSON file written by save_similarity."""
+    return loads_similarity(Path(path).read_text())
+
+
+def dumps_similarity(table: SimilarityTable) -> str:
+    """Serialise to a JSON string (products, pairs, counts)."""
+    products = table.products
+    pairs = []
+    for index, a in enumerate(products):
+        for b in products[index + 1 :]:
+            value = table.get(a, b)
+            if value > 0.0:
+                pairs.append([a, b, value])
+    payload = {
+        "products": products,
+        "pairs": pairs,
+        "vulnerability_counts": dict(table.vulnerability_counts),
+        "shared_counts": [
+            [a, b, count] for (a, b), count in sorted(table.shared_counts.items())
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def loads_similarity(text: str) -> SimilarityTable:
+    """Parse a JSON string produced by :func:`dumps_similarity`."""
+    payload = json.loads(text)
+    table = SimilarityTable(products=payload.get("products", ()))
+    for a, b, value in payload.get("pairs", ()):
+        table.set(a, b, float(value))
+    table.vulnerability_counts.update(payload.get("vulnerability_counts", {}))
+    for a, b, count in payload.get("shared_counts", ()):
+        key = (a, b) if a <= b else (b, a)
+        table.shared_counts[key] = int(count)
+    return table
+
+
+def similarity_to_csv(table: SimilarityTable) -> str:
+    """Render the full symmetric matrix as CSV (header row = products)."""
+    products = table.products
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["product"] + products)
+    for a in products:
+        writer.writerow([a] + [f"{table.get(a, b):.6g}" for b in products])
+    return buffer.getvalue()
+
+
+def similarity_from_csv(text: str) -> SimilarityTable:
+    """Parse a CSV matrix produced by :func:`similarity_to_csv`.
+
+    The matrix must be symmetric with a unit diagonal; violations raise
+    ``ValueError`` so corrupted exports surface immediately.
+    """
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows or rows[0][:1] != ["product"]:
+        raise ValueError("not a similarity CSV: missing 'product' header")
+    products = rows[0][1:]
+    table = SimilarityTable(products=products)
+    values = {}
+    for row in rows[1:]:
+        if len(row) != len(products) + 1:
+            raise ValueError(f"malformed CSV row: {row!r}")
+        name = row[0]
+        for col, cell in zip(products, row[1:]):
+            values[(name, col)] = float(cell)
+    for i, a in enumerate(products):
+        if abs(values.get((a, a), 1.0) - 1.0) > 1e-9:
+            raise ValueError(f"diagonal of {a!r} is not 1.0")
+        for b in products[i + 1 :]:
+            forward = values.get((a, b), 0.0)
+            backward = values.get((b, a), 0.0)
+            if abs(forward - backward) > 1e-9:
+                raise ValueError(f"asymmetric entries for ({a!r}, {b!r})")
+            if forward > 0.0:
+                table.set(a, b, forward)
+    return table
+
+
+def weighted_similarity_table_from_database(
+    database: VulnerabilityDatabase,
+    product_cpes: Mapping[str, CPE],
+    weight: Optional[Callable[[object], float]] = None,
+    since: Optional[int] = None,
+    until: Optional[int] = None,
+) -> SimilarityTable:
+    """CVSS-weighted (or custom-weighted) similarity table.
+
+    Args:
+        database: the CVE store.
+        product_cpes: product name → CPE query mapping.
+        weight: per-record weight function; defaults to the CVSS base score.
+            Pass ``lambda record: 1.0`` to recover the unweighted Jaccard
+            metric exactly.
+        since / until: inclusive publication-year bounds.
+    """
+    weigh = weight if weight is not None else (lambda record: record.cvss)
+    vuln_sets = {
+        name: database.vulnerabilities_of(cpe, since=since, until=until)
+        for name, cpe in product_cpes.items()
+    }
+    weights = {}
+    for ids in vuln_sets.values():
+        for cve_id in ids:
+            if cve_id not in weights:
+                value = float(weigh(database.get(cve_id)))
+                if value < 0:
+                    raise ValueError(f"negative weight for {cve_id}")
+                weights[cve_id] = value
+
+    table = SimilarityTable(products=vuln_sets.keys())
+    names = list(vuln_sets)
+    for name in names:
+        table.vulnerability_counts[name] = len(vuln_sets[name])
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            shared = vuln_sets[a] & vuln_sets[b]
+            union = vuln_sets[a] | vuln_sets[b]
+            shared_weight = sum(weights[v] for v in shared)
+            union_weight = sum(weights[v] for v in union)
+            value = shared_weight / union_weight if union_weight > 0 else 0.0
+            table.set(a, b, min(1.0, value))
+            key = (a, b) if a <= b else (b, a)
+            table.shared_counts[key] = len(shared)
+    return table

@@ -1,0 +1,255 @@
+"""Vulnerability similarity between products (paper Definition 1).
+
+The similarity of two products is the Jaccard coefficient of their
+vulnerability sets::
+
+    sim(x_i, x_j) = |V_{x_i} ∩ V_{x_j}| / |V_{x_i} ∪ V_{x_j}|
+
+:func:`jaccard_similarity` implements the coefficient on raw sets;
+:class:`SimilarityTable` stores the pairwise similarities for a product
+universe (the paper's "Similarity Tables", e.g. its Tables II and III) and is
+the object every downstream component — MRF pairwise costs, the BN diversity
+metric, and the propagation simulator — consumes.
+:func:`similarity_table_from_database` derives a table from an NVD-like
+database, which is the paper's CVE-SEARCH pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.nvd.cpe import CPE
+from repro.nvd.database import VulnerabilityDatabase
+
+__all__ = [
+    "jaccard_similarity",
+    "SimilarityTable",
+    "similarity_table_from_database",
+]
+
+
+def jaccard_similarity(left: AbstractSet, right: AbstractSet) -> float:
+    """Jaccard coefficient of two sets, with ``J(∅, ∅) = 0``.
+
+    >>> jaccard_similarity({1, 2, 3}, {2, 3, 4})
+    0.5
+    """
+    if not left and not right:
+        return 0.0
+    intersection = len(left & right)
+    union = len(left | right)
+    return intersection / union
+
+
+class SimilarityTable:
+    """Symmetric pairwise vulnerability-similarity table over named products.
+
+    Keys are *product names* (the identifiers used in the network model, e.g.
+    ``"Win7"``), not CPEs; :func:`similarity_table_from_database` bridges the
+    two.  Semantics:
+
+    * ``sim(p, p) == 1.0`` always (a product is maximally similar to itself);
+      the paper's diagonal entries hold vulnerability counts instead, which we
+      keep separately in :attr:`vulnerability_counts`.
+    * Unspecified off-diagonal pairs default to 0.0 (no shared
+      vulnerabilities) — the classical no-shared-vulnerability assumption the
+      paper relaxes only where data says otherwise.
+    * The table is symmetric by construction; setting (a, b) sets (b, a).
+    """
+
+    def __init__(
+        self,
+        products: Iterable[str] = (),
+        pairs: Optional[Mapping[Tuple[str, str], float]] = None,
+        vulnerability_counts: Optional[Mapping[str, int]] = None,
+        shared_counts: Optional[Mapping[Tuple[str, str], int]] = None,
+    ) -> None:
+        self._products: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._pairs: Dict[Tuple[str, str], float] = {}
+        self.vulnerability_counts: Dict[str, int] = dict(vulnerability_counts or {})
+        self.shared_counts: Dict[Tuple[str, str], int] = {}
+        for product in products:
+            self.add_product(product)
+        if pairs:
+            for (a, b), value in pairs.items():
+                self.set(a, b, value)
+        if shared_counts:
+            for (a, b), count in shared_counts.items():
+                self.shared_counts[_key(a, b)] = int(count)
+
+    # ------------------------------------------------------------- mutation
+
+    def add_product(self, product: str) -> None:
+        """Register a product name (idempotent)."""
+        if product not in self._index:
+            self._index[product] = len(self._products)
+            self._products.append(product)
+
+    def set(self, a: str, b: str, value: float) -> None:
+        """Set the symmetric similarity of a pair; values must be in [0, 1]."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"similarity must be in [0, 1], got {value}")
+        if a == b and value != 1.0:
+            raise ValueError("self-similarity is fixed at 1.0")
+        self.add_product(a)
+        self.add_product(b)
+        if a != b:
+            self._pairs[_key(a, b)] = float(value)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def products(self) -> List[str]:
+        """Registered product names in insertion order."""
+        return list(self._products)
+
+    def __contains__(self, product: str) -> bool:
+        return product in self._index
+
+    def get(self, a: str, b: str) -> float:
+        """Similarity of a pair; identical names give 1.0, unknown pairs 0.0."""
+        if a == b:
+            return 1.0
+        return self._pairs.get(_key(a, b), 0.0)
+
+    def __call__(self, a: str, b: str) -> float:
+        return self.get(a, b)
+
+    def matrix(self, products: Optional[Iterable[str]] = None) -> np.ndarray:
+        """Dense symmetric matrix over ``products`` (default: all registered).
+
+        The diagonal is 1.0.  This is the form the MRF pairwise cost and the
+        vectorised simulator consume.
+        """
+        names = list(products) if products is not None else list(self._products)
+        size = len(names)
+        out = np.zeros((size, size), dtype=float)
+        for i, a in enumerate(names):
+            out[i, i] = 1.0
+            for j in range(i + 1, size):
+                value = self.get(a, names[j])
+                out[i, j] = value
+                out[j, i] = value
+        return out
+
+    def mean_offdiagonal(self) -> float:
+        """Mean similarity over all distinct registered pairs (0 if <2)."""
+        n = len(self._products)
+        if n < 2:
+            return 0.0
+        total = sum(
+            self.get(self._products[i], self._products[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+        )
+        return total / (n * (n - 1) / 2)
+
+    def restricted_to(self, products: Iterable[str]) -> "SimilarityTable":
+        """A new table containing only the given products and their pairs."""
+        names = [p for p in products if p in self._index]
+        table = SimilarityTable(products=names)
+        for i, a in enumerate(names):
+            if a in self.vulnerability_counts:
+                table.vulnerability_counts[a] = self.vulnerability_counts[a]
+            for b in names[i + 1 :]:
+                value = self.get(a, b)
+                if value > 0.0:
+                    table.set(a, b, value)
+                key = _key(a, b)
+                if key in self.shared_counts:
+                    table.shared_counts[key] = self.shared_counts[key]
+        return table
+
+    def merged_with(self, other: "SimilarityTable") -> "SimilarityTable":
+        """Union of two tables; ``other`` wins on conflicting pairs."""
+        merged = SimilarityTable(products=self._products)
+        merged._pairs.update(self._pairs)
+        merged.vulnerability_counts.update(self.vulnerability_counts)
+        merged.shared_counts.update(self.shared_counts)
+        for product in other.products:
+            merged.add_product(product)
+        merged._pairs.update(other._pairs)
+        merged.vulnerability_counts.update(other.vulnerability_counts)
+        merged.shared_counts.update(other.shared_counts)
+        return merged
+
+    # ---------------------------------------------------------- presentation
+
+    def format_table(self, precision: int = 3) -> str:
+        """Render in the paper's lower-triangular layout (Tables II/III).
+
+        Off-diagonal cells show ``similarity (shared count)`` when the shared
+        count is known, otherwise just the similarity; diagonal cells show the
+        product's total vulnerability count when known, else 1.0.
+        """
+        names = self._products
+        width = max((len(n) for n in names), default=8) + 2
+        cell = width + 10
+        lines = [" " * width + "".join(f"{n:>{cell}}" for n in names)]
+        for i, row in enumerate(names):
+            cells = []
+            for j, col in enumerate(names[: i + 1]):
+                if i == j:
+                    count = self.vulnerability_counts.get(row)
+                    text = f"1.00 ({count})" if count is not None else "1.00"
+                else:
+                    value = self.get(row, col)
+                    shared = self.shared_counts.get(_key(row, col))
+                    text = (
+                        f"{value:.{precision}f} ({shared})"
+                        if shared is not None
+                        else f"{value:.{precision}f}"
+                    )
+                cells.append(f"{text:>{cell}}")
+            lines.append(f"{row:<{width}}" + "".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityTable({len(self._products)} products, "
+            f"{len(self._pairs)} explicit pairs)"
+        )
+
+
+def similarity_table_from_database(
+    database: VulnerabilityDatabase,
+    product_cpes: Mapping[str, CPE],
+    since: Optional[int] = None,
+    until: Optional[int] = None,
+) -> SimilarityTable:
+    """Build a similarity table from an NVD-like database (paper Section III).
+
+    Args:
+        database: the CVE store to query.
+        product_cpes: mapping from the product names used in the network
+            model to the CPE query identifying them in the database (each
+            release/version is treated as a distinct product, as the paper
+            does for Windows 7 vs Windows 8.1).
+        since / until: inclusive publication-year bounds (the paper uses
+            1999-2016).
+
+    Returns:
+        A :class:`SimilarityTable` with Jaccard similarities, per-product
+        vulnerability counts and pairwise shared counts filled in.
+    """
+    vuln_sets = {
+        name: database.vulnerabilities_of(cpe, since=since, until=until)
+        for name, cpe in product_cpes.items()
+    }
+    table = SimilarityTable(products=vuln_sets.keys())
+    names = list(vuln_sets)
+    for name in names:
+        table.vulnerability_counts[name] = len(vuln_sets[name])
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            shared = vuln_sets[a] & vuln_sets[b]
+            table.set(a, b, jaccard_similarity(vuln_sets[a], vuln_sets[b]))
+            table.shared_counts[_key(a, b)] = len(shared)
+    return table
+
+
+def _key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)

@@ -1,0 +1,47 @@
+"""Agent-based malware-propagation simulation (NetLogo substitute).
+
+The paper evaluates its assignments with NetLogo simulations of a
+Stuxnet-like worm (Section VII-C2).  This subpackage is the offline
+equivalent: a deterministic, seedable, discrete-tick propagation engine.
+
+``repro.sim.malware``
+    The infection-rate model shared by the simulator and the BN metric.
+``repro.sim.attacker``
+    Attacker strategies: uniform exploit choice vs the paper's
+    "sophisticated" max-success-rate choice.
+``repro.sim.engine``
+    The tick-based propagation simulator and run records.
+"""
+
+from repro.sim.attacker import (
+    AttackerStrategy,
+    SophisticatedAttacker,
+    UniformAttacker,
+    make_attacker,
+)
+from repro.sim.malware import InfectionModel
+from repro.sim.engine import PropagationSimulator, SimulationRun
+from repro.sim.epidemic import InfectionCurve, containment_comparison, infection_curve
+from repro.sim.defense import (
+    DefendedRun,
+    DefendedSimulator,
+    RaceReport,
+    race_comparison,
+)
+
+__all__ = [
+    "AttackerStrategy",
+    "UniformAttacker",
+    "SophisticatedAttacker",
+    "make_attacker",
+    "InfectionModel",
+    "PropagationSimulator",
+    "SimulationRun",
+    "InfectionCurve",
+    "infection_curve",
+    "containment_comparison",
+    "DefendedRun",
+    "DefendedSimulator",
+    "RaceReport",
+    "race_comparison",
+]

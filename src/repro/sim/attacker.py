@@ -1,0 +1,82 @@
+"""Attacker strategies.
+
+At each propagation step the attacker holds one zero-day exploit per service
+type (the paper's Section VII assumes three: OS, web browser, database) and
+must pick which exploit to fire at a neighbouring host.  The paper uses two
+behaviours:
+
+* **uniform** — "when multiple exploits are feasible, attackers evenly
+  choose one to use" (the BN-metric evaluation, Section VII-C1): the
+  effective success probability is the mean of the per-service rates.
+* **sophisticated** — attackers "conduct reconnaissance activities before
+  launching attacks, and hence ... always choose the exploits with the
+  highest success rate" (the MTTC evaluation, Section VII-C2): the
+  effective probability is the max.
+
+A strategy maps the vector of per-service success rates on one edge to a
+single attempt-success probability, so both the analytic BN metric and the
+tick simulator can share it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+__all__ = [
+    "AttackerStrategy",
+    "UniformAttacker",
+    "SophisticatedAttacker",
+    "make_attacker",
+]
+
+
+class AttackerStrategy(Protocol):
+    """Maps per-service success rates on an edge to one attempt probability."""
+
+    name: str
+
+    def combine(self, rates: Sequence[float]) -> float:  # pragma: no cover
+        ...
+
+
+class UniformAttacker:
+    """Picks an exploit uniformly at random among the feasible ones."""
+
+    name = "uniform"
+
+    def combine(self, rates: Sequence[float]) -> float:
+        """Mean of the rates (0.0 when no service is exploitable)."""
+        usable = [r for r in rates if r > 0.0]
+        if not usable:
+            return 0.0
+        return sum(usable) / len(usable)
+
+
+class SophisticatedAttacker:
+    """Reconnaissance first: always fires the highest-success-rate exploit."""
+
+    name = "sophisticated"
+
+    def combine(self, rates: Sequence[float]) -> float:
+        """Max of the rates (0.0 when no service is exploitable)."""
+        return max(rates, default=0.0)
+
+
+_STRATEGIES = {
+    UniformAttacker.name: UniformAttacker,
+    SophisticatedAttacker.name: SophisticatedAttacker,
+}
+
+
+def make_attacker(name: str) -> AttackerStrategy:
+    """Instantiate a strategy by name (``"uniform"`` or ``"sophisticated"``).
+
+    >>> make_attacker("sophisticated").combine([0.2, 0.9])
+    0.9
+    """
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown attacker strategy {name!r}; available: {sorted(_STRATEGIES)}"
+        ) from None

@@ -1,0 +1,205 @@
+"""The attacker-defender race: detection and response.
+
+Diversity buys the defender *time*; this module models what the defender
+does with it.  Every infection attempt (successful or not) trips an IDS
+with a per-attempt detection probability; once a cumulative detection
+fires, the defender responds by isolating all currently-infected hosts,
+ending the intrusion.  The interesting quantity is the probability that
+the attacker reaches the target *before* detection — which decays with the
+number of attempts the attacker is forced to make, i.e. exactly what
+diversification maximises.
+
+:class:`DefendedSimulator` runs the race; :func:`race_comparison`
+evaluates several assignments side by side (the win-probability ablation
+in ``benchmarks/bench_ablation_detection.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.sim.malware import InfectionModel
+
+__all__ = ["DefendedRun", "RaceReport", "DefendedSimulator", "race_comparison"]
+
+#: Possible outcomes of a defended run.
+COMPROMISED = "compromised"   # target fell before detection
+DETECTED = "detected"         # defender isolated the intrusion first
+EXTINCT = "extinct"           # no exploitable frontier left
+CENSORED = "censored"         # tick cap reached
+
+
+@dataclass(frozen=True)
+class DefendedRun:
+    """One attacker-vs-defender race.
+
+    Attributes:
+        outcome: one of ``compromised`` / ``detected`` / ``extinct`` /
+            ``censored``.
+        ticks: tick at which the race ended.
+        attempts: infection attempts the attacker made.
+        infected: hosts infected when the race ended.
+    """
+
+    outcome: str
+    ticks: int
+    attempts: int
+    infected: int
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Aggregate over a batch of defended runs.
+
+    Attributes:
+        attacker_wins: fraction of runs ending ``compromised``.
+        defender_wins: fraction ending ``detected``.
+        other: fraction extinct or censored.
+        mean_attempts: mean infection attempts per run.
+        runs: batch size.
+    """
+
+    attacker_wins: float
+    defender_wins: float
+    other: float
+    mean_attempts: float
+    runs: int
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:<18} attacker wins {100 * self.attacker_wins:5.1f}%  "
+            f"defender wins {100 * self.defender_wins:5.1f}%  "
+            f"mean attempts {self.mean_attempts:7.1f}"
+        )
+
+
+class DefendedSimulator:
+    """Tick simulation with a per-attempt detection probability.
+
+    Args:
+        network / assignment / model: as in
+            :class:`~repro.sim.engine.PropagationSimulator`.
+        detection_probability: chance that any single infection attempt is
+            flagged by the IDS; the response (isolation of every infected
+            host) is assumed immediate and complete.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        assignment: ProductAssignment,
+        model: InfectionModel,
+        detection_probability: float,
+    ) -> None:
+        if not 0.0 <= detection_probability <= 1.0:
+            raise ValueError("detection_probability must be a probability")
+        self._network = network
+        self._rates = model.rate_matrix(network, assignment)
+        self._neighbors: Dict[str, List[str]] = {
+            host: network.neighbors(host) for host in network.hosts
+        }
+        self.detection_probability = detection_probability
+
+    def run(
+        self,
+        entry: str,
+        target: str,
+        max_ticks: int = 1000,
+        seed: Optional[int] = None,
+    ) -> DefendedRun:
+        """Race one intrusion against the IDS."""
+        if entry not in self._network:
+            raise KeyError(f"unknown entry host {entry!r}")
+        if target not in self._network:
+            raise KeyError(f"unknown target host {target!r}")
+        rng = random.Random(seed)
+        infected: Set[str] = {entry}
+        attempts = 0
+        if entry == target:
+            return DefendedRun(COMPROMISED, 0, 0, 1)
+
+        for tick in range(1, max_ticks + 1):
+            newly: List[str] = []
+            for host in sorted(infected):
+                for neighbor in self._neighbors[host]:
+                    if neighbor in infected or neighbor in newly:
+                        continue
+                    rate = self._rates[(host, neighbor)]
+                    if rate <= 0.0:
+                        continue
+                    attempts += 1
+                    if rng.random() < self.detection_probability:
+                        return DefendedRun(
+                            DETECTED, tick, attempts, len(infected) + len(newly)
+                        )
+                    if rng.random() < rate:
+                        newly.append(neighbor)
+                        if neighbor == target:
+                            return DefendedRun(
+                                COMPROMISED, tick, attempts,
+                                len(infected) + len(newly),
+                            )
+            infected.update(newly)
+            if not any(
+                neighbor not in infected and self._rates[(host, neighbor)] > 0.0
+                for host in infected
+                for neighbor in self._neighbors[host]
+            ):
+                return DefendedRun(EXTINCT, tick, attempts, len(infected))
+        return DefendedRun(CENSORED, max_ticks, attempts, len(infected))
+
+    def run_many(
+        self,
+        entry: str,
+        target: str,
+        runs: int = 500,
+        max_ticks: int = 1000,
+        seed: Optional[int] = None,
+    ) -> RaceReport:
+        """Batch races, aggregated into a :class:`RaceReport`."""
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        master = random.Random(seed)
+        outcomes = {COMPROMISED: 0, DETECTED: 0, EXTINCT: 0, CENSORED: 0}
+        total_attempts = 0
+        for _ in range(runs):
+            run = self.run(
+                entry, target, max_ticks=max_ticks, seed=master.randrange(2**63)
+            )
+            outcomes[run.outcome] += 1
+            total_attempts += run.attempts
+        return RaceReport(
+            attacker_wins=outcomes[COMPROMISED] / runs,
+            defender_wins=outcomes[DETECTED] / runs,
+            other=(outcomes[EXTINCT] + outcomes[CENSORED]) / runs,
+            mean_attempts=total_attempts / runs,
+            runs=runs,
+        )
+
+
+def race_comparison(
+    network: Network,
+    assignments: Mapping[str, ProductAssignment],
+    model_factory,
+    entry: str,
+    target: str,
+    detection_probability: float = 0.01,
+    runs: int = 500,
+    max_ticks: int = 1000,
+    seed: Optional[int] = None,
+) -> Dict[str, RaceReport]:
+    """Attacker-vs-defender races for several assignments.
+
+    ``model_factory`` maps each assignment to its infection model; all
+    assignments race under the same seed and detection probability.
+    """
+    return {
+        label: DefendedSimulator(
+            network, assignment, model_factory(assignment), detection_probability
+        ).run_many(entry, target, runs=runs, max_ticks=max_ticks, seed=seed)
+        for label, assignment in assignments.items()
+    }

@@ -1,0 +1,178 @@
+"""Tests for the adversarial evaluation (repro.adversary)."""
+
+import pytest
+
+from repro.adversary.evaluate import evaluate_attacker, knowledge_sweep
+from repro.adversary.knowledge import BlindKnowledge, FullKnowledge, NoisyKnowledge
+from repro.adversary.planner import plan_attack
+from repro.core.baselines import mono_assignment
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.network.topologies import chain_network
+from repro.nvd.similarity import SimilarityTable
+
+
+@pytest.fixture
+def diamond():
+    """entry → target via a fast path (rate 0.9) and a slow path (0.1)."""
+    net = Network()
+    for name in ("entry", "fast", "slow", "target"):
+        net.add_host(name, {"svc": ["a", "b", "c"]})
+    net.add_links(
+        [("entry", "fast"), ("entry", "slow"), ("fast", "target"), ("slow", "target")]
+    )
+    assignment = ProductAssignment(net, {(h, "svc"): "a" for h in net.hosts})
+    # Make 'slow' dissimilar so edges through it are weak.
+    assignment.assign("slow", "svc", "b")
+    table = SimilarityTable()  # sim(a,b) = 0
+    return net, assignment, table
+
+
+class TestKnowledgeModels:
+    def test_full_is_identity(self):
+        rates = {("a", "b"): 0.4, ("b", "a"): 0.4}
+        assert FullKnowledge().perceive(rates) == rates
+
+    def test_noisy_bounded_and_deterministic(self):
+        rates = {("a", "b"): 0.5, ("b", "a"): 0.5, ("b", "c"): 0.0}
+        model = NoisyKnowledge(noise=0.3, seed=1)
+        perceived = model.perceive(rates)
+        assert perceived == model.perceive(rates)
+        assert 0.0 < perceived[("a", "b")] <= 1.0
+        assert perceived[("b", "c")] == 0.0  # nonexistent vectors stay dead
+
+    def test_noisy_zero_noise_is_full(self):
+        rates = {("a", "b"): 0.42}
+        assert NoisyKnowledge(noise=0.0).perceive(rates)[("a", "b")] == pytest.approx(0.42)
+
+    def test_blind_flattens(self):
+        rates = {("a", "b"): 0.9, ("b", "a"): 0.1, ("a", "c"): 0.0}
+        perceived = BlindKnowledge(assumed_rate=0.5).perceive(rates)
+        assert perceived[("a", "b")] == perceived[("b", "a")] == 0.5
+        assert perceived[("a", "c")] == 0.0
+
+    @pytest.mark.parametrize("kwargs", [dict(noise=-0.1), dict(floor=0.0)])
+    def test_noisy_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NoisyKnowledge(**kwargs)
+
+    def test_blind_validation(self):
+        with pytest.raises(ValueError):
+            BlindKnowledge(assumed_rate=0.0)
+
+
+class TestPlanner:
+    def test_picks_highest_probability_path(self, diamond):
+        net, _, _ = diamond
+        rates = {
+            ("entry", "fast"): 0.9, ("fast", "entry"): 0.9,
+            ("fast", "target"): 0.9, ("target", "fast"): 0.9,
+            ("entry", "slow"): 0.1, ("slow", "entry"): 0.1,
+            ("slow", "target"): 0.1, ("target", "slow"): 0.1,
+        }
+        plan = plan_attack(net, rates, "entry", "target")
+        assert plan.path == ("entry", "fast", "target")
+        assert plan.perceived_success == pytest.approx(0.81)
+        assert plan.perceived_expected_ticks == pytest.approx(2 / 0.9)
+
+    def test_longer_but_stronger_path_wins(self):
+        net = chain_network(4)
+        net.add_host("short", {"svc": ["p0", "p1"]})
+        net.add_link("h0", "short")
+        net.add_link("short", "h3")
+        rates = {}
+        for a, b in net.links:
+            rates[(a, b)] = rates[(b, a)] = 0.9
+        rates[("h0", "short")] = rates[("short", "h0")] = 0.05
+        rates[("short", "h3")] = rates[("h3", "short")] = 0.05
+        plan = plan_attack(net, rates, "h0", "h3")
+        assert plan.path == ("h0", "h1", "h2", "h3")
+
+    def test_entry_equals_target(self):
+        net = chain_network(2)
+        plan = plan_attack(net, {}, "h0", "h0")
+        assert plan.hops == 0 and plan.perceived_success == 1.0
+
+    def test_unreachable_raises(self):
+        net = chain_network(3)
+        rates = {edge: 0.0 for a, b in net.links for edge in [(a, b), (b, a)]}
+        with pytest.raises(ValueError):
+            plan_attack(net, rates, "h0", "h2")
+
+    def test_unknown_hosts_raise(self):
+        net = chain_network(3)
+        with pytest.raises(KeyError):
+            plan_attack(net, {}, "zz", "h2")
+
+
+class TestEvaluation:
+    def test_full_knowledge_finds_true_best(self, diamond):
+        net, assignment, table = diamond
+        result = evaluate_attacker(
+            net, assignment, table, "entry", "target", FullKnowledge(),
+            runs=100, p_avg=0.1, p_max=0.9, seed=1,
+        )
+        # Full knowledge routes via 'fast' (both hosts on product a).
+        assert result.plan.path == ("entry", "fast", "target")
+        assert result.true_expected_ticks == pytest.approx(2 / 0.9, rel=0.01)
+
+    def test_simulation_matches_expectation(self, diamond):
+        net, assignment, table = diamond
+        result = evaluate_attacker(
+            net, assignment, table, "entry", "target", FullKnowledge(),
+            runs=2000, p_avg=0.1, p_max=0.9, seed=3,
+        )
+        assert result.simulated_mttc == pytest.approx(
+            result.true_expected_ticks, rel=0.15
+        )
+        assert result.simulated_success_rate == 1.0
+
+    def test_blind_can_pick_worse_path(self, diamond):
+        net, assignment, table = diamond
+        # Blind ties are broken by Dijkstra order; what matters is the
+        # guarantee: blind is never *better* than full knowledge.
+        full = evaluate_attacker(
+            net, assignment, table, "entry", "target", FullKnowledge(),
+            runs=50, seed=5,
+        )
+        blind = evaluate_attacker(
+            net, assignment, table, "entry", "target", BlindKnowledge(),
+            runs=50, seed=5,
+        )
+        assert blind.true_expected_ticks >= full.true_expected_ticks - 1e-9
+
+    def test_deterministic(self, diamond):
+        net, assignment, table = diamond
+        kwargs = dict(runs=50, seed=9)
+        a = evaluate_attacker(net, assignment, table, "entry", "target",
+                              NoisyKnowledge(noise=0.2, seed=2), **kwargs)
+        b = evaluate_attacker(net, assignment, table, "entry", "target",
+                              NoisyKnowledge(noise=0.2, seed=2), **kwargs)
+        assert a.simulated_mttc == b.simulated_mttc
+        assert a.plan.path == b.plan.path
+
+    def test_sweep_structure(self, diamond):
+        net, assignment, table = diamond
+        sweep = knowledge_sweep(
+            net, assignment, table, "entry", "target",
+            noise_levels=(0.2,), runs=30, seed=1,
+        )
+        assert list(sweep) == ["full", "noisy-0.2", "blind"]
+        full = sweep["full"].true_expected_ticks
+        for result in sweep.values():
+            assert result.true_expected_ticks >= full - 1e-9
+            assert "plan=" in result.row()
+
+    def test_full_knowledge_never_loses_on_case_study(self):
+        from repro.casestudy.stuxnet import stuxnet_case_study
+        from repro.core import diversify
+
+        case = stuxnet_case_study()
+        optimal = diversify(case.network, case.similarity).assignment
+        sweep = knowledge_sweep(
+            case.network, optimal, case.similarity, "c4", "t5",
+            noise_levels=(0.3,), runs=50, seed=4,
+        )
+        assert sweep["full"].true_expected_ticks <= min(
+            r.true_expected_ticks for r in sweep.values()
+        ) + 1e-9

@@ -1,0 +1,114 @@
+"""Unit tests for product assignments (repro.network.assignment)."""
+
+import pytest
+
+from repro.network.assignment import AssignmentError, ProductAssignment
+from repro.network.model import Network
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    network.add_host("a", {"os": ["w", "l"], "db": ["m", "p"]})
+    network.add_host("b", {"os": ["w", "l"]})
+    return network
+
+
+class TestAssign:
+    def test_assign_and_get(self, net):
+        assignment = ProductAssignment(net)
+        assignment.assign("a", "os", "l")
+        assert assignment.get("a", "os") == "l"
+        assert assignment[("a", "os")] == "l"
+
+    def test_get_unassigned_is_none(self, net):
+        assert ProductAssignment(net).get("a", "os") is None
+
+    def test_assign_outside_range_rejected(self, net):
+        with pytest.raises(AssignmentError):
+            ProductAssignment(net).assign("a", "os", "mac")
+
+    def test_assign_unknown_service_rejected(self, net):
+        with pytest.raises(Exception):
+            ProductAssignment(net).assign("b", "db", "m")
+
+    def test_constructor_values(self, net):
+        assignment = ProductAssignment(net, {("a", "os"): "w"})
+        assert assignment.get("a", "os") == "w"
+
+    def test_reassign_overwrites(self, net):
+        assignment = ProductAssignment(net)
+        assignment.assign("a", "os", "w")
+        assignment.assign("a", "os", "l")
+        assert assignment.get("a", "os") == "l"
+
+    def test_unassign(self, net):
+        assignment = ProductAssignment(net, {("a", "os"): "w"})
+        assignment.unassign("a", "os")
+        assert assignment.get("a", "os") is None
+
+
+class TestCompleteness:
+    def test_missing_and_complete(self, net):
+        assignment = ProductAssignment(net)
+        assert not assignment.is_complete()
+        assert set(assignment.missing()) == {("a", "os"), ("a", "db"), ("b", "os")}
+        assignment.assign("a", "os", "w")
+        assignment.assign("a", "db", "m")
+        assignment.assign("b", "os", "l")
+        assert assignment.is_complete()
+        assert assignment.missing() == []
+
+    def test_products_at(self, net):
+        assignment = ProductAssignment(net, {("a", "os"): "w", ("a", "db"): "p"})
+        assert assignment.products_at("a") == {"os": "w", "db": "p"}
+        assert assignment.products_at("b") == {}
+
+    def test_len_and_iter(self, net):
+        assignment = ProductAssignment(net, {("a", "os"): "w"})
+        assert len(assignment) == 1
+        assert list(assignment) == [("a", "os")]
+        assert ("a", "os") in assignment
+
+
+class TestComparison:
+    def test_diff(self, net):
+        left = ProductAssignment(net, {("a", "os"): "w", ("b", "os"): "l"})
+        right = ProductAssignment(net, {("a", "os"): "w", ("b", "os"): "w"})
+        assert left.diff(right) == [("b", "os")]
+
+    def test_diff_includes_missing_keys(self, net):
+        left = ProductAssignment(net, {("a", "os"): "w"})
+        right = ProductAssignment(net)
+        assert left.diff(right) == [("a", "os")]
+
+    def test_equality(self, net):
+        left = ProductAssignment(net, {("a", "os"): "w"})
+        right = ProductAssignment(net, {("a", "os"): "w"})
+        assert left == right
+        right.assign("a", "os", "l")
+        assert left != right
+
+    def test_copy_independent(self, net):
+        original = ProductAssignment(net, {("a", "os"): "w"})
+        clone = original.copy()
+        clone.assign("a", "os", "l")
+        assert original.get("a", "os") == "w"
+
+    def test_unhashable(self, net):
+        with pytest.raises(TypeError):
+            hash(ProductAssignment(net))
+
+
+class TestPresentation:
+    def test_format_lists_hosts(self, net):
+        assignment = ProductAssignment(net, {("a", "os"): "w"})
+        rendered = assignment.format()
+        assert "a: os=w" in rendered
+        assert "b: (unassigned)" in rendered
+
+    def test_as_dict_snapshot(self, net):
+        assignment = ProductAssignment(net, {("a", "os"): "w"})
+        snapshot = assignment.as_dict()
+        snapshot[("a", "os")] = "l"
+        assert assignment.get("a", "os") == "w"

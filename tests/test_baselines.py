@@ -1,0 +1,103 @@
+"""Tests for the baseline assignment strategies (repro.core.baselines)."""
+
+import pytest
+
+from repro.core.baselines import greedy_assignment, mono_assignment, random_assignment
+from repro.core.costs import assignment_energy
+from repro.network.constraints import ConstraintSet, FixProduct
+from repro.network.model import Network
+from repro.network.topologies import ring_network
+from repro.nvd.similarity import SimilarityTable
+
+
+@pytest.fixture
+def net():
+    return ring_network(6, services={"svc": ["p0", "p1", "p2"]})
+
+
+@pytest.fixture
+def sim():
+    return SimilarityTable(pairs={("p0", "p1"): 0.5, ("p1", "p2"): 0.5, ("p0", "p2"): 0.5})
+
+
+class TestMono:
+    def test_complete_and_homogeneous(self, net):
+        assignment = mono_assignment(net)
+        assert assignment.is_complete()
+        products = {assignment.get(h, "svc") for h in net.hosts}
+        assert len(products) == 1
+
+    def test_majority_product_chosen(self):
+        network = Network()
+        network.add_host("a", {"svc": ["x", "y"]})
+        network.add_host("b", {"svc": ["y"]})
+        network.add_host("c", {"svc": ["y", "x"]})
+        assignment = mono_assignment(network)
+        assert all(assignment.get(h, "svc") == "y" for h in network.hosts)
+
+    def test_falls_back_when_majority_unavailable(self):
+        network = Network()
+        network.add_host("a", {"svc": ["x"]})
+        network.add_host("b", {"svc": ["y"]})
+        network.add_host("c", {"svc": ["y"]})
+        assignment = mono_assignment(network)
+        assert assignment.get("a", "svc") == "x"  # only candidate
+        assert assignment.get("b", "svc") == "y"
+
+    def test_respects_pins(self, net):
+        cs = ConstraintSet([FixProduct("h0", "svc", "p2")])
+        assignment = mono_assignment(net, constraints=cs)
+        assert assignment.get("h0", "svc") == "p2"
+
+
+class TestRandom:
+    def test_complete(self, net):
+        assert random_assignment(net, seed=0).is_complete()
+
+    def test_deterministic_per_seed(self, net):
+        assert random_assignment(net, seed=4) == random_assignment(net, seed=4)
+
+    def test_seeds_differ(self, net):
+        draws = {
+            tuple(sorted(random_assignment(net, seed=s).as_dict().items()))
+            for s in range(8)
+        }
+        assert len(draws) > 1
+
+    def test_respects_pins(self, net):
+        cs = ConstraintSet([FixProduct("h1", "svc", "p0")])
+        for seed in range(5):
+            assert random_assignment(net, seed=seed, constraints=cs).get("h1", "svc") == "p0"
+
+    def test_within_candidate_ranges(self):
+        network = Network()
+        network.add_host("a", {"svc": ["only"]})
+        assert random_assignment(network, seed=1).get("a", "svc") == "only"
+
+
+class TestGreedy:
+    def test_complete(self, net, sim):
+        assert greedy_assignment(net, sim).is_complete()
+
+    def test_diversifies_star(self, sim):
+        # Hub processed first (highest degree); leaves then dodge it.
+        from repro.network.topologies import star_network
+
+        net = star_network(4, services={"svc": ["p0", "p1", "p2"]})
+        assignment = greedy_assignment(net, sim)
+        hub = assignment.get("h0", "svc")
+        for leaf in ("h1", "h2", "h3", "h4"):
+            assert assignment.get(leaf, "svc") != hub
+
+    def test_beats_mono_on_average(self, net, sim):
+        greedy_energy = assignment_energy(net, sim, greedy_assignment(net, sim))
+        mono_energy = assignment_energy(net, sim, mono_assignment(net))
+        assert greedy_energy < mono_energy
+
+    def test_respects_pins(self, net, sim):
+        cs = ConstraintSet([FixProduct("h3", "svc", "p1")])
+        assignment = greedy_assignment(net, sim, constraints=cs)
+        assert assignment.get("h3", "svc") == "p1"
+
+    def test_deterministic(self, net, sim):
+        assert greedy_assignment(net, sim) == greedy_assignment(net, sim)

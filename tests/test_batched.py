@@ -1,0 +1,158 @@
+"""Tests for the batched replicated-service TRW-S (repro.mrf.batched)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import diversify
+from repro.mrf.batched import (
+    BatchedTRWSSolver,
+    ReplicatedProblem,
+    replicated_problem_from_network,
+)
+from repro.network.constraints import ConstraintSet, FixProduct
+from repro.network.generator import (
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+
+
+def workload(hosts=16, degree=4, services=2, seed=0, density=0.5):
+    config = RandomNetworkConfig(
+        hosts=hosts, degree=degree, services=services,
+        similarity_density=density, seed=seed,
+    )
+    return random_network(config), random_similarity(config)
+
+
+class TestEligibility:
+    def test_uniform_network_is_eligible(self):
+        network, similarity = workload()
+        problem = replicated_problem_from_network(network, similarity)
+        assert problem is not None
+        assert problem.host_count == 16
+        assert len(problem.services) == 2
+
+    def test_heterogeneous_services_ineligible(self):
+        network = Network()
+        network.add_host("a", {"os": ["w", "l"]})
+        network.add_host("b", {"db": ["m", "p"]})
+        network.add_link("a", "b")
+        assert replicated_problem_from_network(network, SimilarityTable()) is None
+
+    def test_differing_ranges_ineligible(self):
+        network = Network()
+        network.add_host("a", {"os": ["w", "l"]})
+        network.add_host("b", {"os": ["w", "x"]})
+        network.add_link("a", "b")
+        assert replicated_problem_from_network(network, SimilarityTable()) is None
+
+    def test_differing_label_counts_ineligible(self):
+        network = Network()
+        spec = {"os": ["w", "l"], "db": ["m", "p", "q"]}
+        network.add_host("a", spec)
+        network.add_host("b", spec)
+        network.add_link("a", "b")
+        assert replicated_problem_from_network(network, SimilarityTable()) is None
+
+    def test_empty_network_ineligible(self):
+        assert replicated_problem_from_network(Network(), SimilarityTable()) is None
+
+
+class TestProblemValidation:
+    def test_energy_evaluation(self):
+        network, similarity = workload(hosts=6, degree=2, services=1)
+        problem = replicated_problem_from_network(network, similarity)
+        labels = np.zeros((6, 1), dtype=np.int64)
+        # All-same labelling pays similarity 1.0 per edge plus unary.
+        expected = 0.01 * 6 + 1.0 * problem.edges.shape[0]
+        assert problem.energy(labels) == pytest.approx(expected)
+
+    def test_wrong_label_shape_rejected(self):
+        network, similarity = workload(hosts=6, degree=2, services=1)
+        problem = replicated_problem_from_network(network, similarity)
+        with pytest.raises(ValueError):
+            problem.energy(np.zeros((3, 1), dtype=np.int64))
+
+    def test_asymmetric_costs_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedProblem(
+                host_count=2,
+                edges=np.array([[0, 1]]),
+                services=["s"],
+                products=[("a", "b")],
+                unary=np.zeros((2, 1, 2)),
+                costs=np.array([[[0.0, 1.0], [0.0, 0.0]]]),
+            )
+
+
+class TestParityWithGeneralSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_energy_as_flat_trws(self, seed):
+        network, similarity = workload(hosts=14, degree=4, services=3, seed=seed)
+        flat = diversify(network, similarity, fast_path=False, max_iterations=60)
+        fast = diversify(network, similarity, fast_path=True, max_iterations=60)
+        assert fast.solver_result.solver == "trws-batched"
+        assert flat.solver_result.solver == "trws"
+        assert fast.energy == pytest.approx(flat.energy, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_property_parity(self, seed):
+        network, similarity = workload(hosts=10, degree=3, services=2, seed=seed)
+        flat = diversify(network, similarity, fast_path=False, max_iterations=40)
+        fast = diversify(network, similarity, fast_path=True, max_iterations=40)
+        assert fast.energy == pytest.approx(flat.energy, abs=1e-9)
+
+    def test_bound_validity(self):
+        network, similarity = workload(hosts=12, degree=3, services=2, seed=7)
+        fast = diversify(network, similarity, fast_path=True, max_iterations=50)
+        assert fast.lower_bound <= fast.energy + 1e-9
+
+
+class TestFastPathRouting:
+    def test_constraints_force_general_path(self):
+        network, similarity = workload(hosts=8, degree=2, services=1, seed=1)
+        host = network.hosts[0]
+        product = network.candidates(host, "s0")[0]
+        constraints = ConstraintSet([FixProduct(host, "s0", product)])
+        result = diversify(network, similarity, constraints=constraints)
+        assert result.solver_result.solver == "trws"
+        assert result.assignment.get(host, "s0") == product
+
+    def test_non_trws_solver_skips_fast_path(self):
+        network, similarity = workload(hosts=8, degree=2, services=1, seed=1)
+        result = diversify(network, similarity, solver="icm")
+        assert result.solver_result.solver == "icm"
+
+    def test_fast_path_result_has_no_build(self):
+        network, similarity = workload(hosts=8, degree=2, services=1, seed=1)
+        fast = diversify(network, similarity)
+        assert fast.build is None
+        slow = diversify(network, similarity, fast_path=False)
+        assert slow.build is not None
+
+
+class TestSolverBehaviour:
+    def test_chain_alternation(self):
+        # Two services over a 6-chain; similarity 1 between equal products
+        # only: the solver must alternate products along the chain.
+        network = Network()
+        spec = {"x": ["a", "b"], "y": ["c", "d"]}
+        for i in range(6):
+            network.add_host(f"h{i}", spec)
+        for i in range(5):
+            network.add_link(f"h{i}", f"h{i+1}")
+        problem = replicated_problem_from_network(network, SimilarityTable())
+        result = BatchedTRWSSolver(max_iterations=30).solve(problem)
+        assert result.energy == pytest.approx(0.01 * 12)
+        for k in range(2):
+            column = result.labels[:, k]
+            assert all(a != b for a, b in zip(column, column[1:]))
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            BatchedTRWSSolver(max_iterations=0)

@@ -1,0 +1,153 @@
+"""Tests for the attack-BN inference (repro.metrics.bayes)."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import mono_assignment
+from repro.metrics.bayes import (
+    AttackBayesianNetwork,
+    compromise_probability,
+    monte_carlo_compromise_probability,
+)
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.network.topologies import chain_network, tree_network
+from repro.nvd.similarity import SimilarityTable
+from repro.sim.malware import InfectionModel
+
+
+def flat_model(rate):
+    """All edges fire with the same probability (mono assignment)."""
+    return InfectionModel(similarity=SimilarityTable(), p_avg=rate, p_max=rate)
+
+
+class TestLayering:
+    def test_bfs_layers(self):
+        net = chain_network(4)
+        bn = AttackBayesianNetwork(net, mono_assignment(net), flat_model(0.5), "h0")
+        assert [bn.layer_of(f"h{i}") for i in range(4)] == [0, 1, 2, 3]
+
+    def test_parents_point_towards_entry(self):
+        net = chain_network(4)
+        bn = AttackBayesianNetwork(net, mono_assignment(net), flat_model(0.5), "h0")
+        assert bn.parents_of("h2") == ["h1"]
+        assert bn.parents_of("h0") == []
+
+    def test_unreachable_component(self):
+        net = Network()
+        net.add_host("a", {"svc": ["x"]})
+        net.add_host("b", {"svc": ["x"]})
+        net.add_host("isolated", {"svc": ["x"]})
+        net.add_link("a", "b")
+        assignment = ProductAssignment(
+            net, {("a", "svc"): "x", ("b", "svc"): "x", ("isolated", "svc"): "x"}
+        )
+        bn = AttackBayesianNetwork(net, assignment, flat_model(0.5), "a")
+        assert bn.layer_of("isolated") is None
+        assert bn.probability("isolated") == 0.0
+
+    def test_same_layer_ties_broken_by_host_order(self):
+        # Diamond: entry -> {m1, m2} -> sink; m1-m2 edge is same-layer.
+        net = Network()
+        for name in ("entry", "m1", "m2", "sink"):
+            net.add_host(name, {"svc": ["x"]})
+        net.add_links([("entry", "m1"), ("entry", "m2"), ("m1", "m2"), ("m2", "sink")])
+        assignment = ProductAssignment(net, {(h, "svc"): "x" for h in net.hosts})
+        bn = AttackBayesianNetwork(net, assignment, flat_model(0.5), "entry")
+        assert bn.parents_of("m2") == ["entry", "m1"]
+
+
+class TestInference:
+    def test_chain_probability_is_rate_power(self):
+        net = chain_network(4)
+        p = compromise_probability(
+            net, mono_assignment(net), flat_model(0.5), "h0", "h3"
+        )
+        assert p == pytest.approx(0.5**3)
+
+    def test_entry_prior_scales(self):
+        net = chain_network(3)
+        bn = AttackBayesianNetwork(
+            net, mono_assignment(net), flat_model(0.5), "h0", entry_prior=0.5
+        )
+        assert bn.probability("h0") == 0.5
+        assert bn.probability("h2") == pytest.approx(0.5 * 0.25)
+
+    def test_invalid_prior_rejected(self):
+        net = chain_network(3)
+        with pytest.raises(ValueError):
+            AttackBayesianNetwork(
+                net, mono_assignment(net), flat_model(0.5), "h0", entry_prior=1.5
+            )
+
+    def test_unknown_entry_rejected(self):
+        net = chain_network(3)
+        with pytest.raises(KeyError):
+            AttackBayesianNetwork(net, mono_assignment(net), flat_model(0.5), "zz")
+
+    def test_parallel_paths_noisy_or(self):
+        # entry -> a -> target and entry -> b -> target, all edges at 0.5:
+        # P(target) = 1 - (1 - 0.25)^2.
+        net = Network()
+        for name in ("entry", "a", "b", "target"):
+            net.add_host(name, {"svc": ["x"]})
+        net.add_links([("entry", "a"), ("entry", "b"), ("a", "target"), ("b", "target")])
+        assignment = ProductAssignment(net, {(h, "svc"): "x" for h in net.hosts})
+        p = compromise_probability(net, assignment, flat_model(0.5), "entry", "target")
+        assert p == pytest.approx(1 - 0.75**2)
+
+    def test_probabilities_bounded(self):
+        net = tree_network(depth=3)
+        probabilities = AttackBayesianNetwork(
+            net, mono_assignment(net), flat_model(0.7), "h0"
+        ).probabilities()
+        assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+    def test_monotone_in_similarity(self):
+        net = chain_network(4, services={"svc": ["x", "y"]})
+        alternating = ProductAssignment(net)
+        for i, host in enumerate(net.hosts):
+            alternating.assign(host, "svc", "x" if i % 2 == 0 else "y")
+        low = InfectionModel(
+            similarity=SimilarityTable(pairs={("x", "y"): 0.1}), p_avg=0.1, p_max=0.9
+        )
+        high = InfectionModel(
+            similarity=SimilarityTable(pairs={("x", "y"): 0.8}), p_avg=0.1, p_max=0.9
+        )
+        p_low = compromise_probability(net, alternating, low, "h0", "h3")
+        p_high = compromise_probability(net, alternating, high, "h0", "h3")
+        assert p_low < p_high
+
+
+class TestMonteCarlo:
+    def test_agrees_with_bn_on_trees(self):
+        random.seed(0)
+        for seed in range(3):
+            net = tree_network(depth=2, branching=2)
+            model = flat_model(0.4)
+            assignment = mono_assignment(net)
+            exact = compromise_probability(net, assignment, model, "h0", "h5")
+            estimate = monte_carlo_compromise_probability(
+                net, assignment, model, "h0", "h5", samples=20000, seed=seed
+            )
+            assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_chain_estimate(self):
+        net = chain_network(3)
+        estimate = monte_carlo_compromise_probability(
+            net, mono_assignment(net), flat_model(0.5), "h0", "h2",
+            samples=20000, seed=1,
+        )
+        assert estimate == pytest.approx(0.25, abs=0.02)
+
+    def test_validation(self):
+        net = chain_network(3)
+        with pytest.raises(ValueError):
+            monte_carlo_compromise_probability(
+                net, mono_assignment(net), flat_model(0.5), "h0", "h2", samples=0
+            )
+        with pytest.raises(KeyError):
+            monte_carlo_compromise_probability(
+                net, mono_assignment(net), flat_model(0.5), "h0", "zz"
+            )

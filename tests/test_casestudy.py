@@ -1,0 +1,126 @@
+"""Tests for the Stuxnet case study (repro.casestudy.stuxnet)."""
+
+import networkx as nx
+import pytest
+
+from repro.casestudy.stuxnet import (
+    DB_SERVICE,
+    ENTRY_POINTS,
+    OS_SERVICE,
+    ROLES,
+    TARGET,
+    WB_SERVICE,
+    ZONES,
+    build_network,
+    host_constraints,
+    legacy_hosts,
+    product_constraints,
+    stuxnet_case_study,
+)
+from repro.nvd.datasets import WIN_7, WIN_XP
+
+
+@pytest.fixture(scope="module")
+def case():
+    return stuxnet_case_study()
+
+
+class TestTopology:
+    def test_host_count(self, case):
+        assert len(case.network) == 32
+        assert len(case.network) == sum(len(hosts) for hosts in ZONES.values())
+
+    def test_connected(self, case):
+        assert nx.is_connected(case.network.to_networkx())
+
+    def test_entries_and_target_exist(self, case):
+        for entry in ENTRY_POINTS:
+            assert entry in case.network
+        assert TARGET in case.network
+
+    def test_every_host_has_role(self, case):
+        assert set(ROLES) == set(case.network.hosts)
+
+    def test_target_reachable_from_every_entry(self, case):
+        graph = case.network.to_networkx()
+        for entry in ENTRY_POINTS:
+            assert nx.has_path(graph, entry, TARGET)
+
+    def test_ot_zones_not_directly_reachable_from_corporate(self, case):
+        # Fig. 3: corporate hosts reach the control network only through
+        # the DMZ (z3/z4) — no direct corporate→control link exists.
+        for corporate in ZONES["corporate"]:
+            for control in ZONES["control"]:
+                assert not case.network.has_link(corporate, control)
+
+
+class TestCatalog:
+    def test_services_match_roles(self, case):
+        assert case.network.services_of("c1") == [OS_SERVICE, WB_SERVICE]
+        assert case.network.services_of("z2") == [OS_SERVICE, DB_SERVICE]
+        assert set(case.network.services_of("z4")) == {
+            OS_SERVICE, WB_SERVICE, DB_SERVICE,
+        }
+
+    def test_wincc_hosts_windows_only(self, case):
+        # WinCC requires a Windows OS: c1/e1/r1 candidates are Windows.
+        for host in ("c1", "e1", "r1"):
+            candidates = case.network.candidates(host, OS_SERVICE)
+            assert set(candidates) <= {WIN_XP, WIN_7}
+
+    def test_legacy_hosts_single_candidates(self, case):
+        legacy = legacy_hosts()
+        assert set(ZONES["operations"]) <= set(legacy)
+        for host in legacy:
+            for service in case.network.services_of(host):
+                assert len(case.network.candidates(host, service)) == 1
+
+    def test_control_network_is_legacy(self, case):
+        assert set(ZONES["control"]) <= set(legacy_hosts())
+
+    def test_it_zones_have_flexibility(self, case):
+        for host in ("c2", "e2", "r2", "v2", "z4"):
+            assert any(
+                len(case.network.candidates(host, s)) > 1
+                for s in case.network.services_of(host)
+            )
+
+    def test_all_products_in_similarity_table(self, case):
+        for host in case.network.hosts:
+            for service in case.network.services_of(host):
+                for product in case.network.candidates(host, service):
+                    assert product in case.similarity, product
+
+
+class TestConstraints:
+    def test_c1_validates(self, case):
+        case.c1.validate_against(case.network)
+
+    def test_c2_validates(self, case):
+        case.c2.validate_against(case.network)
+
+    def test_c1_pins_the_four_policy_hosts(self):
+        pinned_hosts = {c.host for c in host_constraints().fixed_products()}
+        assert pinned_hosts == {"z4", "e1", "r1", "v1"}
+
+    def test_c2_extends_c1(self):
+        assert len(product_constraints()) > len(host_constraints())
+
+    def test_c2_contains_no_ie_on_linux_rules(self):
+        from repro.network.constraints import AvoidCombination
+
+        avoid = [c for c in product_constraints() if isinstance(c, AvoidCombination)]
+        assert len(avoid) == 4
+        assert all(c.service_m == OS_SERVICE and c.service_n == WB_SERVICE for c in avoid)
+
+
+class TestBundle:
+    def test_bundle_contents(self, case):
+        assert case.entries == ENTRY_POINTS
+        assert case.target == TARGET
+        assert len(case.similarity.products) >= 20
+
+    def test_build_network_fresh_instances(self):
+        a, b = build_network(), build_network()
+        a.set_candidates("c2", OS_SERVICE, [WIN_7])
+        assert len(b.candidates("c2", OS_SERVICE)) > 1

@@ -1,0 +1,154 @@
+"""Unit tests for configuration constraints (repro.network.constraints)."""
+
+import pytest
+
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import (
+    GLOBAL,
+    AvoidCombination,
+    ConstraintSet,
+    FixProduct,
+    ForbidProduct,
+    RequireCombination,
+)
+from repro.network.model import Network, NetworkError
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    network.add_host("a", {"os": ["w", "l"], "wb": ["ie", "ch"]})
+    network.add_host("b", {"os": ["w", "l"], "wb": ["ie", "ch"]})
+    network.add_host("c", {"os": ["w", "l"]})
+    network.add_link("a", "b")
+    return network
+
+
+def full(net, overrides=None):
+    values = {
+        ("a", "os"): "w", ("a", "wb"): "ie",
+        ("b", "os"): "l", ("b", "wb"): "ch",
+        ("c", "os"): "w",
+    }
+    values.update(overrides or {})
+    return ProductAssignment(net, values)
+
+
+class TestFixProduct:
+    def test_satisfied(self, net):
+        cs = ConstraintSet([FixProduct("a", "os", "w")])
+        assert cs.is_satisfied(full(net))
+
+    def test_violated(self, net):
+        cs = ConstraintSet([FixProduct("a", "os", "l")])
+        violations = cs.violations(full(net))
+        assert len(violations) == 1
+        assert violations[0].host == "a"
+
+    def test_unassigned_not_violated(self, net):
+        cs = ConstraintSet([FixProduct("a", "os", "l")])
+        assert cs.is_satisfied(ProductAssignment(net))
+
+
+class TestForbidProduct:
+    def test_violated(self, net):
+        cs = ConstraintSet([ForbidProduct("a", "wb", "ie")])
+        assert not cs.is_satisfied(full(net))
+
+    def test_satisfied(self, net):
+        cs = ConstraintSet([ForbidProduct("a", "wb", "ch")])
+        assert cs.is_satisfied(full(net))
+
+
+class TestCombinations:
+    def test_avoid_local_violated(self, net):
+        cs = ConstraintSet([AvoidCombination("a", "os", "w", "wb", "ie")])
+        assert not cs.is_satisfied(full(net))
+
+    def test_avoid_local_satisfied_when_trigger_absent(self, net):
+        cs = ConstraintSet([AvoidCombination("a", "os", "l", "wb", "ie")])
+        assert cs.is_satisfied(full(net))
+
+    def test_avoid_global_applies_everywhere(self, net):
+        cs = ConstraintSet([AvoidCombination(GLOBAL, "os", "l", "wb", "ch")])
+        assert not cs.is_satisfied(full(net))  # violated at b
+
+    def test_avoid_global_skips_hosts_missing_service(self, net):
+        # c has no wb service; the global rule must not crash there.
+        cs = ConstraintSet([AvoidCombination(GLOBAL, "os", "w", "wb", "xx")])
+        assert cs.violations(full(net)) == []
+
+    def test_require_local_violated(self, net):
+        cs = ConstraintSet([RequireCombination("a", "os", "w", "wb", "ch")])
+        violations = cs.violations(full(net))
+        assert len(violations) == 1
+        assert "required ch" in violations[0].detail
+
+    def test_require_local_satisfied(self, net):
+        cs = ConstraintSet([RequireCombination("a", "os", "w", "wb", "ie")])
+        assert cs.is_satisfied(full(net))
+
+    def test_require_vacuous_when_trigger_differs(self, net):
+        cs = ConstraintSet([RequireCombination("a", "os", "l", "wb", "ch")])
+        assert cs.is_satisfied(full(net))
+
+    def test_require_global(self, net):
+        cs = ConstraintSet([RequireCombination(GLOBAL, "os", "l", "wb", "ch")])
+        assert cs.is_satisfied(full(net))
+        assert not cs.is_satisfied(full(net, {("b", "wb"): "ie"}))
+
+
+class TestValidation:
+    def test_fix_outside_range_rejected(self, net):
+        cs = ConstraintSet([FixProduct("a", "os", "mac")])
+        with pytest.raises(NetworkError):
+            cs.validate_against(net)
+
+    def test_unknown_host_rejected(self, net):
+        cs = ConstraintSet([FixProduct("zz", "os", "w")])
+        with pytest.raises(NetworkError):
+            cs.validate_against(net)
+
+    def test_combination_on_host_without_service_rejected(self, net):
+        cs = ConstraintSet([AvoidCombination("c", "os", "w", "wb", "ie")])
+        with pytest.raises(NetworkError):
+            cs.validate_against(net)
+
+    def test_valid_set_passes(self, net):
+        cs = ConstraintSet(
+            [
+                FixProduct("a", "os", "w"),
+                AvoidCombination(GLOBAL, "os", "l", "wb", "ie"),
+            ]
+        )
+        cs.validate_against(net)  # must not raise
+
+
+class TestContainer:
+    def test_add_iter_len_bool(self):
+        cs = ConstraintSet()
+        assert not cs
+        cs.add(FixProduct("a", "os", "w"))
+        assert len(cs) == 1 and cs
+        assert list(cs)[0].host == "a"
+
+    def test_fixed_products_filter(self):
+        cs = ConstraintSet(
+            [FixProduct("a", "os", "w"), ForbidProduct("b", "os", "l")]
+        )
+        assert [c.host for c in cs.fixed_products()] == ["a"]
+
+    def test_describe_mentions_every_constraint(self):
+        cs = ConstraintSet(
+            [
+                FixProduct("a", "os", "w"),
+                ForbidProduct("b", "os", "l"),
+                RequireCombination("a", "os", "w", "wb", "ie"),
+                AvoidCombination(GLOBAL, "os", "l", "wb", "ie"),
+            ]
+        )
+        described = cs.describe()
+        assert "must be w" in described
+        assert "must not be l" in described
+        assert "requires" in described
+        assert "all hosts" in described

@@ -1,0 +1,206 @@
+"""Tests for the MRF cost builder (repro.core.costs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import HARD_COST, assignment_energy, build_mrf
+from repro.mrf.energy import energy_breakdown
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import (
+    GLOBAL,
+    AvoidCombination,
+    ConstraintSet,
+    FixProduct,
+    ForbidProduct,
+    RequireCombination,
+)
+from repro.network.model import Network, NetworkError
+from repro.nvd.similarity import SimilarityTable
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    spec = {"os": ["w", "l"], "wb": ["ie", "ch"]}
+    for name in ("a", "b", "c"):
+        network.add_host(name, spec)
+    network.add_link("a", "b")
+    network.add_link("b", "c")
+    return network
+
+
+@pytest.fixture
+def sim():
+    return SimilarityTable(pairs={("w", "l"): 0.2, ("ie", "ch"): 0.1})
+
+
+class TestStructure:
+    def test_variable_mapping(self, net, sim):
+        build = build_mrf(net, sim)
+        assert build.mrf.node_count == 6
+        assert build.variables[build.index[("b", "wb")]] == ("b", "wb")
+        assert build.candidates[build.index[("a", "os")]] == ("w", "l")
+
+    def test_edge_count_without_constraints(self, net, sim):
+        build = build_mrf(net, sim)
+        # 2 links × 2 shared services.
+        assert build.mrf.edge_count == 4
+
+    def test_pairwise_matrix_values(self, net, sim):
+        build = build_mrf(net, sim)
+        edge = build.mrf.edge_id(build.index[("a", "os")], build.index[("b", "os")])
+        cost = build.mrf.edge_cost(edge)
+        assert cost[0, 0] == 1.0  # w vs w
+        assert cost[0, 1] == pytest.approx(0.2)
+
+    def test_matrices_shared_by_reference(self, net, sim):
+        build = build_mrf(net, sim)
+        first = build.mrf.edge_id(build.index[("a", "os")], build.index[("b", "os")])
+        second = build.mrf.edge_id(build.index[("b", "os")], build.index[("c", "os")])
+        assert build.mrf.edge_cost(first) is build.mrf.edge_cost(second)
+
+    def test_pairwise_weight_scales(self, net, sim):
+        build = build_mrf(net, sim, pairwise_weight=2.0)
+        edge = build.mrf.edge_id(build.index[("a", "os")], build.index[("b", "os")])
+        assert build.mrf.edge_cost(edge)[0, 1] == pytest.approx(0.4)
+
+    def test_negative_weight_rejected(self, net, sim):
+        with pytest.raises(ValueError):
+            build_mrf(net, sim, pairwise_weight=-1.0)
+
+    def test_unary_constant(self, net, sim):
+        build = build_mrf(net, sim, unary_constant=0.5)
+        assert build.mrf.unary(0).tolist() == [0.5, 0.5]
+
+    def test_preferences_added(self, net, sim):
+        build = build_mrf(net, sim, preferences={("a", "os", "l"): -0.3})
+        node = build.index[("a", "os")]
+        assert build.mrf.unary(node)[1] == pytest.approx(0.01 - 0.3)
+
+
+class TestConstraintEncoding:
+    def test_fix_product_mask(self, net, sim):
+        build = build_mrf(net, sim, constraints=ConstraintSet([FixProduct("a", "os", "l")]))
+        unary = build.mrf.unary(build.index[("a", "os")])
+        assert unary[1] == pytest.approx(0.01)
+        assert unary[0] >= HARD_COST
+
+    def test_forbid_product_mask(self, net, sim):
+        build = build_mrf(net, sim, constraints=ConstraintSet([ForbidProduct("a", "os", "l")]))
+        unary = build.mrf.unary(build.index[("a", "os")])
+        assert unary[0] == pytest.approx(0.01)
+        assert unary[1] >= HARD_COST
+
+    def test_avoid_combination_table(self, net, sim):
+        cs = ConstraintSet([AvoidCombination("a", "os", "l", "wb", "ie")])
+        build = build_mrf(net, sim, constraints=cs)
+        assert build.mrf.edge_count == 5  # 4 similarity + 1 intra-host
+        edge = build.mrf.edge_id(build.index[("a", "os")], build.index[("a", "wb")])
+        cost = build.mrf.edge_cost(edge)
+        first, _ = build.mrf.edge(edge)
+        table = cost if first == build.index[("a", "os")] else cost.T
+        assert table[1, 0] == HARD_COST  # (l, ie) forbidden
+        assert table[0, 0] == 0.0
+
+    def test_require_combination_table(self, net, sim):
+        cs = ConstraintSet([RequireCombination("a", "os", "l", "wb", "ch")])
+        build = build_mrf(net, sim, constraints=cs)
+        edge = build.mrf.edge_id(build.index[("a", "os")], build.index[("a", "wb")])
+        cost = build.mrf.edge_cost(edge)
+        first, _ = build.mrf.edge(edge)
+        table = cost if first == build.index[("a", "os")] else cost.T
+        assert table[1, 0] == HARD_COST  # (l, ie) breaks the requirement
+        assert table[1, 1] == 0.0        # (l, ch) satisfies it
+
+    def test_global_combination_applies_to_all_hosts(self, net, sim):
+        cs = ConstraintSet([AvoidCombination(GLOBAL, "os", "l", "wb", "ie")])
+        build = build_mrf(net, sim, constraints=cs)
+        assert build.mrf.edge_count == 4 + 3
+
+    def test_multiple_constraints_accumulate_one_edge(self, net, sim):
+        cs = ConstraintSet(
+            [
+                AvoidCombination("a", "os", "l", "wb", "ie"),
+                AvoidCombination("a", "os", "w", "wb", "ch"),
+            ]
+        )
+        build = build_mrf(net, sim, constraints=cs)
+        assert build.mrf.edge_count == 5
+
+    def test_conflicting_fixes_rejected(self, net, sim):
+        cs = ConstraintSet([FixProduct("a", "os", "w"), FixProduct("a", "os", "l")])
+        with pytest.raises(NetworkError):
+            build_mrf(net, sim, constraints=cs)
+
+    def test_duplicate_fix_allowed(self, net, sim):
+        cs = ConstraintSet([FixProduct("a", "os", "w"), FixProduct("a", "os", "w")])
+        build_mrf(net, sim, constraints=cs)  # must not raise
+
+    def test_invalid_constraint_rejected_at_build(self, net, sim):
+        cs = ConstraintSet([FixProduct("a", "os", "zz")])
+        with pytest.raises(NetworkError):
+            build_mrf(net, sim, constraints=cs)
+
+
+class TestLabelRoundTrip:
+    def test_labels_to_assignment_and_back(self, net, sim):
+        build = build_mrf(net, sim)
+        labels = [0, 1, 1, 0, 0, 1]
+        assignment = build.labels_to_assignment(net, labels)
+        assert build.assignment_to_labels(assignment) == labels
+
+    def test_incomplete_assignment_rejected(self, net, sim):
+        build = build_mrf(net, sim)
+        with pytest.raises(NetworkError):
+            build.assignment_to_labels(ProductAssignment(net))
+
+
+class TestEnergyParity:
+    """mrf.energy(labels) must equal the direct evaluation of Eq. 1."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.lists(st.integers(0, 1), min_size=6, max_size=6))
+    def test_parity_unconstrained(self, bits):
+        network = Network()
+        spec = {"os": ["w", "l"], "wb": ["ie", "ch"]}
+        for name in ("a", "b", "c"):
+            network.add_host(name, spec)
+        network.add_link("a", "b")
+        network.add_link("b", "c")
+        similarity = SimilarityTable(pairs={("w", "l"): 0.2, ("ie", "ch"): 0.1})
+        build = build_mrf(network, similarity)
+        assignment = build.labels_to_assignment(network, bits)
+        assert build.mrf.energy(bits) == pytest.approx(
+            assignment_energy(network, similarity, assignment)
+        )
+
+    def test_parity_with_constraints(self, net, sim):
+        cs = ConstraintSet(
+            [
+                FixProduct("a", "os", "w"),
+                AvoidCombination(GLOBAL, "os", "l", "wb", "ie"),
+            ]
+        )
+        build = build_mrf(net, sim, constraints=cs)
+        # A labelling violating both kinds of hard constraints.
+        labels = build.assignment_to_labels(
+            ProductAssignment(
+                net,
+                {
+                    ("a", "os"): "l", ("a", "wb"): "ie",
+                    ("b", "os"): "l", ("b", "wb"): "ie",
+                    ("c", "os"): "w", ("c", "wb"): "ch",
+                },
+            )
+        )
+        direct = assignment_energy(
+            net, sim, build.labels_to_assignment(net, labels), constraints=cs
+        )
+        assert build.mrf.energy(labels) == pytest.approx(direct)
+
+    def test_breakdown_sums_to_energy(self, net, sim):
+        build = build_mrf(net, sim)
+        labels = [0, 1, 1, 0, 0, 1]
+        unary, pairwise = energy_breakdown(build.mrf, labels)
+        assert unary + pairwise == pytest.approx(build.mrf.energy(labels))

@@ -1,0 +1,102 @@
+"""Unit tests for the CPE naming scheme (repro.nvd.cpe)."""
+
+import pytest
+
+from repro.nvd.cpe import CPE, CPEError, PART_APPLICATION, PART_OS
+
+
+class TestParsing:
+    def test_parse_os_cpe(self):
+        cpe = CPE.parse("cpe:/o:microsoft:windows_7")
+        assert cpe.part == PART_OS
+        assert cpe.vendor == "microsoft"
+        assert cpe.product == "windows_7"
+        assert cpe.version is None
+
+    def test_parse_with_version(self):
+        cpe = CPE.parse("cpe:/a:google:chrome:50.0")
+        assert cpe.part == PART_APPLICATION
+        assert cpe.version == "50.0"
+
+    def test_parse_with_update(self):
+        cpe = CPE.parse("cpe:/a:mozilla:firefox:45.0:esr")
+        assert cpe.version == "45.0"
+        assert cpe.update == "esr"
+
+    def test_parse_dash_version_is_wildcard(self):
+        cpe = CPE.parse("cpe:/a:microsoft:edge:-")
+        assert cpe.version is None
+
+    def test_parse_lowercases(self):
+        cpe = CPE.parse("CPE:/A:Microsoft:Edge")
+        assert cpe.vendor == "microsoft"
+        assert cpe.product == "edge"
+
+    def test_parse_rejects_non_cpe(self):
+        with pytest.raises(CPEError):
+            CPE.parse("not-a-cpe")
+
+    def test_parse_rejects_too_few_fields(self):
+        with pytest.raises(CPEError):
+            CPE.parse("cpe:/a:vendoronly")
+
+    def test_invalid_part_rejected(self):
+        with pytest.raises(CPEError):
+            CPE(part="x", vendor="v", product="p")
+
+    def test_empty_vendor_rejected(self):
+        with pytest.raises(CPEError):
+            CPE(part="a", vendor="", product="p")
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(CPEError):
+            CPE(part="a", vendor="v", product="")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "uri",
+        [
+            "cpe:/o:microsoft:windows_7",
+            "cpe:/a:google:chrome:50.0",
+            "cpe:/a:mozilla:firefox:45.0:esr",
+        ],
+    )
+    def test_uri_round_trips(self, uri):
+        assert CPE.parse(uri).uri() == uri
+
+    def test_str_is_uri(self):
+        cpe = CPE.parse("cpe:/a:google:chrome")
+        assert str(cpe) == "cpe:/a:google:chrome"
+
+
+class TestMatching:
+    def test_product_level_query_matches_any_version(self):
+        query = CPE.parse("cpe:/a:google:chrome")
+        assert query.matches(CPE.parse("cpe:/a:google:chrome:50.0"))
+        assert query.matches(CPE.parse("cpe:/a:google:chrome"))
+
+    def test_version_query_is_exact(self):
+        query = CPE.parse("cpe:/a:google:chrome:50.0")
+        assert query.matches(CPE.parse("cpe:/a:google:chrome:50.0"))
+        assert not query.matches(CPE.parse("cpe:/a:google:chrome:45.0"))
+        assert not query.matches(CPE.parse("cpe:/a:google:chrome"))
+
+    def test_different_vendor_never_matches(self):
+        query = CPE.parse("cpe:/a:google:chrome")
+        assert not query.matches(CPE.parse("cpe:/a:mozilla:firefox"))
+
+    def test_different_part_never_matches(self):
+        assert not CPE.parse("cpe:/a:x:y").matches(CPE.parse("cpe:/o:x:y"))
+
+    def test_without_version_strips(self):
+        cpe = CPE.parse("cpe:/a:google:chrome:50.0")
+        assert cpe.without_version() == CPE.parse("cpe:/a:google:chrome")
+
+
+class TestOrdering:
+    def test_cpes_are_sortable_and_hashable(self):
+        a = CPE.parse("cpe:/a:google:chrome")
+        b = CPE.parse("cpe:/a:mozilla:firefox")
+        assert len({a, b, a}) == 2
+        assert sorted([b, a])[0] == a

@@ -1,0 +1,67 @@
+"""Unit tests for CVE records (repro.nvd.cve)."""
+
+import pytest
+
+from repro.nvd.cpe import CPE
+from repro.nvd.cve import CVERecord, CVEError
+
+
+def chrome():
+    return CPE.parse("cpe:/a:google:chrome:50.0")
+
+
+class TestConstruction:
+    def test_build_formats_identifier(self):
+        record = CVERecord.build(2016, 7153, [chrome()])
+        assert record.cve_id == "CVE-2016-7153"
+        assert record.year == 2016
+
+    def test_build_pads_serial(self):
+        assert CVERecord.build(2016, 12, []).cve_id == "CVE-2016-0012"
+
+    def test_long_serials_allowed(self):
+        assert CVERecord.build(2016, 123456, []).cve_id == "CVE-2016-123456"
+
+    def test_malformed_identifier_rejected(self):
+        with pytest.raises(CVEError):
+            CVERecord(cve_id="CVE-16-1", year=2016)
+
+    def test_year_mismatch_rejected(self):
+        with pytest.raises(CVEError):
+            CVERecord(cve_id="CVE-2016-0001", year=2015)
+
+    @pytest.mark.parametrize("score", [-0.1, 10.1])
+    def test_cvss_out_of_range_rejected(self, score):
+        with pytest.raises(CVEError):
+            CVERecord.build(2016, 1, [], cvss=score)
+
+    def test_affected_normalised_to_tuple(self):
+        record = CVERecord(cve_id="CVE-2016-0001", year=2016, affected=[chrome()])
+        assert isinstance(record.affected, tuple)
+
+
+class TestQueries:
+    def test_affects_matches_product_query(self):
+        record = CVERecord.build(2016, 1, [chrome()])
+        assert record.affects(CPE.parse("cpe:/a:google:chrome"))
+        assert not record.affects(CPE.parse("cpe:/a:mozilla:firefox"))
+
+    def test_affected_products_strips_versions(self):
+        record = CVERecord.build(
+            2016,
+            1,
+            [CPE.parse("cpe:/a:google:chrome:50.0"), CPE.parse("cpe:/a:google:chrome:45.0")],
+        )
+        assert record.affected_products() == {CPE.parse("cpe:/a:google:chrome")}
+
+    def test_multi_product_record(self):
+        record = CVERecord.build(
+            2016,
+            7153,
+            [
+                CPE.parse("cpe:/a:microsoft:edge"),
+                CPE.parse("cpe:/a:google:chrome"),
+                CPE.parse("cpe:/a:apple:safari"),
+            ],
+        )
+        assert len(record.affected_products()) == 3

@@ -1,0 +1,118 @@
+"""Tests for the embedded paper data (repro.nvd.datasets)."""
+
+import pytest
+
+from repro.nvd.datasets import (
+    BROWSER_PRODUCTS,
+    CHROME,
+    DATABASE_PRODUCTS,
+    FIREFOX,
+    IE8,
+    IE10,
+    MARIADB_10,
+    MSSQL_08,
+    MSSQL_14,
+    MYSQL_55,
+    OS_PRODUCTS,
+    SEAMONKEY,
+    UBUNTU_1404,
+    WIN_7,
+    WIN_10,
+    WIN_81,
+    WIN_XP,
+    paper_browser_similarity,
+    paper_database_similarity,
+    paper_os_similarity,
+    paper_similarity_table,
+)
+
+
+class TestOSTable:
+    def test_all_products_present(self):
+        table = paper_os_similarity()
+        assert set(table.products) == set(OS_PRODUCTS)
+
+    def test_published_values(self):
+        table = paper_os_similarity()
+        # Spot checks against the paper's Table II.
+        assert table.get(WIN_7, WIN_XP) == pytest.approx(0.278)
+        assert table.get(WIN_10, WIN_81) == pytest.approx(0.697)
+        assert table.get(WIN_10, WIN_XP) == 0.0
+        assert table.get(UBUNTU_1404, "Deb8.0") == pytest.approx(0.208)
+
+    def test_shared_counts(self):
+        table = paper_os_similarity()
+        key = tuple(sorted((WIN_7, WIN_XP)))
+        assert table.shared_counts[key] == 328
+
+    def test_totals(self):
+        table = paper_os_similarity()
+        assert table.vulnerability_counts[WIN_7] == 1028
+        assert table.vulnerability_counts[WIN_XP] == 479
+
+    def test_cross_family_zero(self):
+        table = paper_os_similarity()
+        assert table.get(WIN_7, UBUNTU_1404) == 0.0
+
+
+class TestBrowserTable:
+    def test_all_products_present(self):
+        table = paper_browser_similarity()
+        assert set(table.products) == set(BROWSER_PRODUCTS)
+
+    def test_published_values(self):
+        table = paper_browser_similarity()
+        assert table.get(IE8, IE10) == pytest.approx(0.386)
+        assert table.get(FIREFOX, SEAMONKEY) == pytest.approx(0.450)
+        assert table.get(CHROME, FIREFOX) == pytest.approx(0.005)
+        assert table.get(IE8, CHROME) == 0.0
+
+    def test_opera_seamonkey_typo_corrected(self):
+        # The paper prints 1.00 for this cell (a typesetting slip); the
+        # curated table uses a small value consistent with the row.
+        table = paper_browser_similarity()
+        assert table.get("Opera", SEAMONKEY) < 0.05
+
+
+class TestDatabaseTable:
+    def test_all_products_present(self):
+        table = paper_database_similarity()
+        assert set(table.products) == set(DATABASE_PRODUCTS)
+
+    def test_lineage_structure(self):
+        table = paper_database_similarity()
+        # Fork/lineage overlap is high, cross-vendor overlap is zero.
+        assert table.get(MYSQL_55, MARIADB_10) > 0.3
+        assert table.get(MSSQL_08, MSSQL_14) > 0.2
+        assert table.get(MSSQL_14, MYSQL_55) == 0.0
+
+
+class TestMergedTable:
+    def test_union_of_products(self):
+        table = paper_similarity_table()
+        expected = set(OS_PRODUCTS) | set(BROWSER_PRODUCTS) | set(DATABASE_PRODUCTS)
+        assert set(table.products) == expected
+
+    def test_values_preserved(self):
+        table = paper_similarity_table()
+        assert table.get(WIN_7, WIN_XP) == pytest.approx(0.278)
+        assert table.get(IE8, IE10) == pytest.approx(0.386)
+        assert table.get(MYSQL_55, MARIADB_10) == pytest.approx(0.388)
+
+    def test_cross_category_zero(self):
+        table = paper_similarity_table()
+        assert table.get(WIN_7, CHROME) == 0.0
+        assert table.get(IE8, MSSQL_14) == 0.0
+
+    def test_all_values_bounded(self):
+        table = paper_similarity_table()
+        products = table.products
+        for i, a in enumerate(products):
+            for b in products[i:]:
+                assert 0.0 <= table.get(a, b) <= 1.0
+
+    def test_format_renders_lower_triangle(self):
+        rendered = paper_os_similarity().format_table()
+        lines = rendered.splitlines()
+        assert len(lines) == len(OS_PRODUCTS) + 1
+        assert "0.278" in rendered

@@ -1,0 +1,167 @@
+"""Tests for least attacking effort and k-zero-day safety
+(repro.metrics.effort)."""
+
+import pytest
+
+from repro.core.baselines import mono_assignment
+from repro.metrics.effort import (
+    exploit_equivalence_classes,
+    k_zero_day_safety,
+    least_attack_effort,
+)
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.network.topologies import chain_network
+from repro.nvd.similarity import SimilarityTable
+
+
+def alternating(net, products=("x", "y")):
+    assignment = ProductAssignment(net)
+    for index, host in enumerate(net.hosts):
+        assignment.assign(host, "svc", products[index % len(products)])
+    return assignment
+
+
+class TestLeastEffort:
+    def test_mono_chain_needs_one_exploit(self):
+        net = chain_network(5, services={"svc": ["x", "y"]})
+        result = least_attack_effort(net, mono_assignment(net), "h0", "h4")
+        assert result.effort == 1
+        assert result.exact
+        assert result.path == ("h0", "h1", "h2", "h3", "h4")
+
+    def test_alternating_chain_needs_two(self):
+        net = chain_network(5, services={"svc": ["x", "y"]})
+        result = least_attack_effort(net, alternating(net), "h0", "h4")
+        assert result.effort == 2
+        assert result.exploits == {"x", "y"}
+
+    def test_three_product_rotation_needs_three(self):
+        net = chain_network(4, services={"svc": ["x", "y", "z"]})
+        result = least_attack_effort(
+            net, alternating(net, ("x", "y", "z")), "h0", "h3"
+        )
+        assert result.effort == 3
+
+    def test_entry_equals_target(self):
+        net = chain_network(3)
+        result = least_attack_effort(net, mono_assignment(net), "h0", "h0")
+        assert result.effort == 0 and result.path == ("h0",)
+
+    def test_prefers_cheap_detour_over_short_expensive_path(self):
+        # Direct 2-hop path uses two products; a 3-hop detour reuses one.
+        net = Network()
+        for name in ("entry", "mid", "d1", "d2", "target"):
+            net.add_host(name, {"svc": ["x", "y"]})
+        net.add_links(
+            [("entry", "mid"), ("mid", "target"),
+             ("entry", "d1"), ("d1", "d2"), ("d2", "target")]
+        )
+        assignment = ProductAssignment(
+            net,
+            {
+                ("entry", "svc"): "x", ("mid", "svc"): "y",
+                ("d1", "svc"): "x", ("d2", "svc"): "x", ("target", "svc"): "x",
+            },
+        )
+        result = least_attack_effort(net, assignment, "entry", "target")
+        assert result.effort == 1
+        assert result.path == ("entry", "d1", "d2", "target")
+
+    def test_entry_product_costs_nothing(self):
+        # The attacker starts on the entry host; only destinations need
+        # exploits.
+        net = chain_network(2, services={"svc": ["x", "y"]})
+        assignment = ProductAssignment(
+            net, {("h0", "svc"): "x", ("h1", "svc"): "y"}
+        )
+        result = least_attack_effort(net, assignment, "h0", "h1")
+        assert result.effort == 1
+        assert result.exploits == {"y"}
+
+    def test_unreachable_raises(self):
+        net = Network()
+        net.add_host("a", {"svc": ["x"]})
+        net.add_host("b", {"svc": ["x"]})
+        assignment = ProductAssignment(net, {("a", "svc"): "x", ("b", "svc"): "x"})
+        with pytest.raises(ValueError):
+            least_attack_effort(net, assignment, "a", "b")
+
+    def test_no_shared_service_blocks_edge(self):
+        net = Network()
+        net.add_host("a", {"svc": ["x"]})
+        net.add_host("b", {"other": ["y"]})
+        net.add_link("a", "b")
+        assignment = ProductAssignment(net, {("a", "svc"): "x", ("b", "other"): "y"})
+        with pytest.raises(ValueError):
+            least_attack_effort(net, assignment, "a", "b")
+
+    def test_unknown_hosts_raise(self):
+        net = chain_network(3)
+        with pytest.raises(KeyError):
+            least_attack_effort(net, mono_assignment(net), "zz", "h2")
+        with pytest.raises(KeyError):
+            least_attack_effort(net, mono_assignment(net), "h0", "zz")
+
+    def test_beam_fallback_flags_inexact(self):
+        net = chain_network(6, services={"svc": ["x", "y"]})
+        result = least_attack_effort(
+            net, alternating(net), "h0", "h5", max_states=1
+        )
+        assert not result.exact
+        assert result.effort >= 2  # upper bound, still a valid attack
+
+
+class TestEquivalenceClasses:
+    def test_threshold_groups_transitively(self):
+        table = SimilarityTable(
+            pairs={("a", "b"): 0.5, ("b", "c"): 0.5, ("c", "d"): 0.05}
+        )
+        classes = exploit_equivalence_classes(table, threshold=0.3)
+        assert classes["a"] == classes["b"] == classes["c"]
+        assert classes["d"] != classes["a"]
+
+    def test_high_threshold_keeps_singletons(self):
+        table = SimilarityTable(pairs={("a", "b"): 0.5})
+        classes = exploit_equivalence_classes(table, threshold=0.9)
+        assert classes["a"] != classes["b"]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            exploit_equivalence_classes(SimilarityTable(), threshold=0.0)
+
+
+class TestKZeroDay:
+    def test_similar_products_fall_to_one_zero_day(self):
+        net = chain_network(5, services={"svc": ["x", "y"]})
+        assignment = alternating(net)
+        similar = SimilarityTable(pairs={("x", "y"): 0.6})
+        distinct = SimilarityTable(pairs={("x", "y"): 0.1})
+        k_similar = k_zero_day_safety(
+            net, assignment, similar, "h0", "h4", threshold=0.3
+        )
+        k_distinct = k_zero_day_safety(
+            net, assignment, distinct, "h0", "h4", threshold=0.3
+        )
+        assert k_similar.effort == 1
+        assert k_distinct.effort == 2
+
+    def test_monotone_in_threshold(self):
+        net = chain_network(5, services={"svc": ["x", "y"]})
+        assignment = alternating(net)
+        table = SimilarityTable(pairs={("x", "y"): 0.5})
+        loose = k_zero_day_safety(net, assignment, table, "h0", "h4", threshold=0.3)
+        strict = k_zero_day_safety(net, assignment, table, "h0", "h4", threshold=0.9)
+        assert loose.effort <= strict.effort
+
+    def test_case_study_mono_vs_optimal(self):
+        from repro.casestudy.stuxnet import stuxnet_case_study
+        from repro.core import diversify
+
+        case = stuxnet_case_study()
+        optimal = diversify(case.network, case.similarity).assignment
+        mono = mono_assignment(case.network)
+        effort_optimal = least_attack_effort(case.network, optimal, "c4", "t5")
+        effort_mono = least_attack_effort(case.network, mono, "c4", "t5")
+        assert effort_mono.effort <= effort_optimal.effort
+        assert effort_mono.effort == 1  # mono-culture: one exploit end to end

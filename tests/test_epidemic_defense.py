@@ -1,0 +1,178 @@
+"""Tests for epidemic analytics and the detection race (repro.sim)."""
+
+import pytest
+
+from repro.core.baselines import mono_assignment
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.network.topologies import chain_network, star_network
+from repro.nvd.similarity import SimilarityTable
+from repro.sim.defense import (
+    COMPROMISED,
+    DETECTED,
+    DefendedSimulator,
+    race_comparison,
+)
+from repro.sim.engine import PropagationSimulator
+from repro.sim.epidemic import containment_comparison, infection_curve
+from repro.sim.malware import InfectionModel
+
+
+def flat_model(rate):
+    return InfectionModel(similarity=SimilarityTable(), p_avg=rate, p_max=rate)
+
+
+class TestTargetlessRuns:
+    def test_run_without_target_spreads_to_cap_or_extinction(self):
+        net = chain_network(4)
+        sim = PropagationSimulator(net, mono_assignment(net), flat_model(1.0))
+        run = sim.run("h0", None, max_ticks=10, seed=1)
+        assert run.ticks_to_target is None
+        assert run.infection_count() == 4  # everything falls at rate 1.0
+
+    def test_run_many_without_target(self):
+        net = chain_network(3)
+        sim = PropagationSimulator(net, mono_assignment(net), flat_model(0.5))
+        batch = sim.run_many("h0", None, runs=10, max_ticks=20, seed=2)
+        assert len(batch) == 10
+
+
+class TestInfectionCurve:
+    def test_certain_spread_curve(self):
+        net = chain_network(4)
+        curve = infection_curve(
+            net, mono_assignment(net), flat_model(1.0), "h0",
+            runs=5, max_ticks=5, seed=1,
+        )
+        # Deterministic: 1, 2, 3, 4, 4, 4 infected at ticks 0..5.
+        assert curve.mean_infected[:4] == [1.0, 2.0, 3.0, 4.0]
+        assert curve.attack_rate == pytest.approx(1.0)
+        assert curve.min_infected[0] == curve.max_infected[0] == 1
+
+    def test_blocked_spread(self):
+        net = chain_network(4)
+        curve = infection_curve(
+            net, mono_assignment(net), flat_model(0.0), "h0",
+            runs=5, max_ticks=5, seed=1,
+        )
+        assert curve.final_size == 1.0
+        assert curve.attack_rate == pytest.approx(0.25)
+        assert curve.half_time is None
+
+    def test_curve_monotone(self):
+        net = star_network(6)
+        curve = infection_curve(
+            net, mono_assignment(net), flat_model(0.4), "h0",
+            runs=30, max_ticks=15, seed=3,
+        )
+        assert all(
+            a <= b + 1e-9
+            for a, b in zip(curve.mean_infected, curve.mean_infected[1:])
+        )
+
+    def test_half_time_reported(self):
+        net = chain_network(6)
+        curve = infection_curve(
+            net, mono_assignment(net), flat_model(0.8), "h0",
+            runs=50, max_ticks=30, seed=4,
+        )
+        assert curve.half_time is not None
+        assert 0 < curve.half_time < 30
+
+    def test_validation(self):
+        net = chain_network(3)
+        with pytest.raises(ValueError):
+            infection_curve(net, mono_assignment(net), flat_model(0.5), "h0", runs=0)
+        with pytest.raises(ValueError):
+            infection_curve(
+                net, mono_assignment(net), flat_model(0.5), "h0", max_ticks=0
+            )
+
+    def test_containment_comparison_diverse_slower(self):
+        net = chain_network(6, services={"svc": ["x", "y"]})
+        alternating = ProductAssignment(net)
+        for index, host in enumerate(net.hosts):
+            alternating.assign(host, "svc", "x" if index % 2 == 0 else "y")
+        table = SimilarityTable()  # distinct products share nothing
+
+        def factory(assignment):
+            return InfectionModel(similarity=table, p_avg=0.1, p_max=0.9)
+
+        curves = containment_comparison(
+            net,
+            {"mono": mono_assignment(net), "diverse": alternating},
+            factory, "h0", runs=100, max_ticks=40, seed=5,
+        )
+        assert curves["diverse"].final_size < curves["mono"].final_size
+        assert "attack rate" in curves["mono"].row("mono")
+
+
+class TestDefendedSimulator:
+    def test_zero_detection_reduces_to_attack(self):
+        net = chain_network(3)
+        sim = DefendedSimulator(net, mono_assignment(net), flat_model(1.0), 0.0)
+        run = sim.run("h0", "h2", seed=1)
+        assert run.outcome == COMPROMISED
+        assert run.ticks == 2
+
+    def test_certain_detection_stops_first_attempt(self):
+        net = chain_network(3)
+        sim = DefendedSimulator(net, mono_assignment(net), flat_model(1.0), 1.0)
+        run = sim.run("h0", "h2", seed=1)
+        assert run.outcome == DETECTED
+        assert run.attempts == 1
+
+    def test_entry_equals_target(self):
+        net = chain_network(2)
+        sim = DefendedSimulator(net, mono_assignment(net), flat_model(0.5), 0.5)
+        assert sim.run("h0", "h0").outcome == COMPROMISED
+
+    def test_extinct_outcome(self):
+        net = chain_network(3)
+        sim = DefendedSimulator(net, mono_assignment(net), flat_model(0.0), 0.0)
+        run = sim.run("h0", "h2", max_ticks=10, seed=1)
+        assert run.outcome == "extinct"
+
+    def test_invalid_probability(self):
+        net = chain_network(2)
+        with pytest.raises(ValueError):
+            DefendedSimulator(net, mono_assignment(net), flat_model(0.5), 1.5)
+
+    def test_unknown_hosts(self):
+        net = chain_network(2)
+        sim = DefendedSimulator(net, mono_assignment(net), flat_model(0.5), 0.1)
+        with pytest.raises(KeyError):
+            sim.run("zz", "h1")
+
+    def test_report_fractions_sum(self):
+        net = chain_network(4)
+        sim = DefendedSimulator(net, mono_assignment(net), flat_model(0.3), 0.05)
+        report = sim.run_many("h0", "h3", runs=100, max_ticks=100, seed=7)
+        total = report.attacker_wins + report.defender_wins + report.other
+        assert total == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        net = chain_network(4)
+        sim = DefendedSimulator(net, mono_assignment(net), flat_model(0.3), 0.05)
+        a = sim.run_many("h0", "h3", runs=50, seed=9)
+        b = sim.run_many("h0", "h3", runs=50, seed=9)
+        assert a == b
+
+    def test_diversity_shifts_race_to_defender(self):
+        net = chain_network(5, services={"svc": ["x", "y"]})
+        alternating = ProductAssignment(net)
+        for index, host in enumerate(net.hosts):
+            alternating.assign(host, "svc", "x" if index % 2 == 0 else "y")
+        table = SimilarityTable()
+
+        def factory(assignment):
+            return InfectionModel(similarity=table, p_avg=0.15, p_max=0.9)
+
+        races = race_comparison(
+            net,
+            {"mono": mono_assignment(net), "diverse": alternating},
+            factory, "h0", "h4",
+            detection_probability=0.03, runs=400, max_ticks=500, seed=11,
+        )
+        assert races["diverse"].attacker_wins < races["mono"].attacker_wins
+        assert races["diverse"].mean_attempts > races["mono"].mean_attempts

@@ -1,0 +1,113 @@
+"""Tests for random scalability workloads (repro.network.generator)."""
+
+import pytest
+
+from repro.network.generator import (
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+
+
+class TestConfigValidation:
+    def test_valid(self):
+        RandomNetworkConfig(hosts=10, degree=3, services=2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(hosts=1, degree=1, services=1),
+            dict(hosts=10, degree=0, services=1),
+            dict(hosts=10, degree=10, services=1),
+            dict(hosts=10, degree=3, services=0),
+            dict(hosts=10, degree=3, services=2, products_per_service=1),
+            dict(hosts=10, degree=3, services=2, similarity_density=1.5),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RandomNetworkConfig(**kwargs)
+
+    def test_expected_edges(self):
+        config = RandomNetworkConfig(hosts=100, degree=10, services=2)
+        assert config.expected_edges() == 500
+
+    def test_product_names_are_namespaced(self):
+        config = RandomNetworkConfig(hosts=10, degree=2, services=2)
+        assert config.product_names("s0") == ["s0_p0", "s0_p1", "s0_p2", "s0_p3"]
+
+
+class TestRandomNetwork:
+    def test_host_and_edge_counts(self):
+        config = RandomNetworkConfig(hosts=60, degree=6, services=3, seed=1)
+        network = random_network(config)
+        assert len(network) == 60
+        assert network.edge_count() == 180  # regular graph: n*d/2
+
+    def test_every_host_runs_every_service(self):
+        config = RandomNetworkConfig(hosts=20, degree=4, services=3, seed=1)
+        network = random_network(config)
+        for host in network.hosts:
+            assert network.services_of(host) == ["s0", "s1", "s2"]
+            assert len(network.candidates(host, "s0")) == 4
+
+    def test_deterministic(self):
+        config = RandomNetworkConfig(hosts=30, degree=4, services=2, seed=5)
+        assert random_network(config).links == random_network(config).links
+
+    def test_seeds_differ(self):
+        a = random_network(RandomNetworkConfig(hosts=30, degree=4, services=2, seed=5))
+        b = random_network(RandomNetworkConfig(hosts=30, degree=4, services=2, seed=6))
+        assert a.links != b.links
+
+    def test_odd_degree_falls_back_to_gnm(self):
+        config = RandomNetworkConfig(hosts=11, degree=3, services=1, seed=2)
+        network = random_network(config)
+        assert len(network) == 11
+        assert network.edge_count() >= 11 * 3 // 2
+
+    def test_no_isolated_hosts(self):
+        config = RandomNetworkConfig(hosts=31, degree=3, services=1, seed=3)
+        network = random_network(config)
+        assert all(network.degree(host) > 0 for host in network.hosts)
+
+
+class TestRandomSimilarity:
+    def test_covers_all_products(self):
+        config = RandomNetworkConfig(hosts=10, degree=2, services=2, seed=0)
+        table = random_similarity(config)
+        for service in config.service_names():
+            for product in config.product_names(service):
+                assert product in table
+
+    def test_cross_service_pairs_zero(self):
+        config = RandomNetworkConfig(hosts=10, degree=2, services=2, seed=0)
+        table = random_similarity(config)
+        assert table.get("s0_p0", "s1_p0") == 0.0
+
+    def test_density_zero_gives_orthogonal_products(self):
+        config = RandomNetworkConfig(
+            hosts=10, degree=2, services=2, similarity_density=0.0, seed=0
+        )
+        table = random_similarity(config)
+        assert table.mean_offdiagonal() == 0.0
+
+    def test_values_within_band(self):
+        config = RandomNetworkConfig(
+            hosts=10, degree=2, services=1, similarity_density=1.0, seed=0
+        )
+        table = random_similarity(config, low=0.2, high=0.4)
+        products = config.product_names("s0")
+        for i, a in enumerate(products):
+            for b in products[i + 1 :]:
+                assert 0.2 <= table.get(a, b) <= 0.4
+
+    def test_invalid_band_rejected(self):
+        config = RandomNetworkConfig(hosts=10, degree=2, services=1)
+        with pytest.raises(ValueError):
+            random_similarity(config, low=0.5, high=0.2)
+
+    def test_deterministic(self):
+        config = RandomNetworkConfig(hosts=10, degree=2, services=2, seed=9)
+        a, b = random_similarity(config), random_similarity(config)
+        assert a.matrix(a.products).tolist() == b.matrix(b.products).tolist()

@@ -1,0 +1,123 @@
+"""Tests for the diversity metric and MTTC (repro.metrics)."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import mono_assignment
+from repro.metrics.diversity import diversity_metric
+from repro.metrics.mttc import mean_time_to_compromise
+from repro.network.assignment import ProductAssignment
+from repro.network.topologies import chain_network
+from repro.nvd.similarity import SimilarityTable
+
+
+@pytest.fixture
+def setting():
+    net = chain_network(5, services={"svc": ["x", "y"]})
+    similarity = SimilarityTable(pairs={("x", "y"): 0.2})
+    mono = mono_assignment(net)
+    alternating = ProductAssignment(net)
+    for i, host in enumerate(net.hosts):
+        alternating.assign(host, "svc", "x" if i % 2 == 0 else "y")
+    return net, similarity, mono, alternating
+
+
+class TestDiversityMetric:
+    def test_reference_constant_across_assignments(self, setting):
+        net, similarity, mono, alternating = setting
+        a = diversity_metric(net, mono, similarity, "h0", "h4")
+        b = diversity_metric(net, alternating, similarity, "h0", "h4")
+        assert a.p_without == pytest.approx(b.p_without)
+
+    def test_dbn_bounded_and_ordered(self, setting):
+        net, similarity, mono, alternating = setting
+        a = diversity_metric(net, mono, similarity, "h0", "h4")
+        b = diversity_metric(net, alternating, similarity, "h0", "h4")
+        assert 0.0 < a.d_bn <= 1.0
+        assert 0.0 < b.d_bn <= 1.0
+        assert b.d_bn > a.d_bn  # diversified beats mono
+
+    def test_mono_probability_higher(self, setting):
+        net, similarity, mono, alternating = setting
+        a = diversity_metric(net, mono, similarity, "h0", "h4")
+        b = diversity_metric(net, alternating, similarity, "h0", "h4")
+        assert a.p_with > b.p_with
+
+    def test_log_properties(self, setting):
+        net, similarity, mono, _ = setting
+        report = diversity_metric(net, mono, similarity, "h0", "h4")
+        assert report.log10_p_with == pytest.approx(math.log10(report.p_with))
+        assert "d_bn=" in report.row("mono")
+
+    def test_zero_probability_logs(self, setting):
+        net, similarity, _, alternating = setting
+        report = diversity_metric(
+            net, alternating, similarity, "h0", "h4", p_avg=0.0, p_max=0.0
+        )
+        assert report.log10_p_with == float("-inf")
+        assert report.d_bn == 1.0  # both zero → perfectly diverse by convention
+
+    def test_monte_carlo_method_close_to_bn(self, setting):
+        net, similarity, mono, _ = setting
+        bn = diversity_metric(net, mono, similarity, "h0", "h4", method="bn")
+        mc = diversity_metric(
+            net, mono, similarity, "h0", "h4",
+            method="montecarlo", samples=20000, seed=3,
+        )
+        assert mc.p_with == pytest.approx(bn.p_with, abs=0.02)
+
+    def test_unknown_method_rejected(self, setting):
+        net, similarity, mono, _ = setting
+        with pytest.raises(ValueError):
+            diversity_metric(net, mono, similarity, "h0", "h4", method="magic")
+
+    def test_sophisticated_attacker_at_least_uniform(self, setting):
+        net, similarity, mono, _ = setting
+        uniform = diversity_metric(net, mono, similarity, "h0", "h4", attacker="uniform")
+        strong = diversity_metric(
+            net, mono, similarity, "h0", "h4", attacker="sophisticated"
+        )
+        assert strong.p_with >= uniform.p_with - 1e-12
+
+
+class TestMTTC:
+    def test_mono_faster_than_diverse(self, setting):
+        net, similarity, mono, alternating = setting
+        kwargs = dict(entry="h0", target="h4", runs=300, max_ticks=300, seed=5)
+        mono_result = mean_time_to_compromise(net, mono, similarity, **kwargs)
+        diverse_result = mean_time_to_compromise(net, alternating, similarity, **kwargs)
+        assert mono_result.mttc < diverse_result.mttc
+
+    def test_reproducible(self, setting):
+        net, similarity, mono, _ = setting
+        kwargs = dict(entry="h0", target="h4", runs=50, seed=9)
+        a = mean_time_to_compromise(net, mono, similarity, **kwargs)
+        b = mean_time_to_compromise(net, mono, similarity, **kwargs)
+        assert a.mttc == b.mttc
+
+    def test_success_rate_and_censoring(self, setting):
+        net, similarity, mono, _ = setting
+        result = mean_time_to_compromise(
+            net, mono, similarity, entry="h0", target="h4",
+            runs=40, max_ticks=2, seed=1,
+        )
+        assert result.censored == result.runs - round(result.success_rate * result.runs)
+        assert 0.0 <= result.success_rate <= 1.0
+
+    def test_impossible_target_fully_censored(self, setting):
+        net, similarity, mono, _ = setting
+        result = mean_time_to_compromise(
+            net, mono, similarity, entry="h0", target="h4",
+            runs=20, max_ticks=50, p_avg=0.0, p_max=0.0, seed=1,
+        )
+        assert result.success_rate == 0.0
+        assert result.mttc == 50.0
+        assert result.censored == 20
+
+    def test_row_format(self, setting):
+        net, similarity, mono, _ = setting
+        result = mean_time_to_compromise(
+            net, mono, similarity, entry="h0", target="h4", runs=10, seed=1
+        )
+        assert "MTTC=" in result.row("mono")

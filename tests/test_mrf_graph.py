@@ -1,0 +1,108 @@
+"""Unit tests for the pairwise MRF container (repro.mrf.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.mrf.graph import MRFError, PairwiseMRF
+
+
+@pytest.fixture
+def mrf():
+    m = PairwiseMRF()
+    a = m.add_node([0.0, 1.0])
+    b = m.add_node([1.0, 0.0, 2.0])
+    c = m.add_node([0.5, 0.5])
+    m.add_edge(a, b, np.arange(6, dtype=float).reshape(2, 3))
+    m.add_edge(b, c, np.zeros((3, 2)))
+    return m
+
+
+class TestConstruction:
+    def test_counts(self, mrf):
+        assert mrf.node_count == 3
+        assert mrf.edge_count == 2
+        assert mrf.label_count(1) == 3
+
+    def test_empty_unary_rejected(self):
+        with pytest.raises(MRFError):
+            PairwiseMRF().add_node([])
+
+    def test_matrix_unary_rejected(self):
+        with pytest.raises(MRFError):
+            PairwiseMRF().add_node([[1.0, 2.0]])
+
+    def test_self_edge_rejected(self, mrf):
+        with pytest.raises(MRFError):
+            mrf.add_edge(0, 0, np.zeros((2, 2)))
+
+    def test_duplicate_edge_rejected(self, mrf):
+        with pytest.raises(MRFError):
+            mrf.add_edge(1, 0, np.zeros((3, 2)))
+
+    def test_shape_mismatch_rejected(self, mrf):
+        with pytest.raises(MRFError):
+            mrf.add_edge(0, 2, np.zeros((3, 3)))
+
+    def test_unknown_node_rejected(self, mrf):
+        with pytest.raises(MRFError):
+            mrf.add_edge(0, 9, np.zeros((2, 2)))
+
+    def test_shared_cost_matrix_by_reference(self):
+        m = PairwiseMRF()
+        nodes = [m.add_node([0.0, 0.0]) for _ in range(3)]
+        shared = np.zeros((2, 2))
+        m.add_edge(nodes[0], nodes[1], shared)
+        m.add_edge(nodes[1], nodes[2], shared)
+        assert m.edge_cost(0) is m.edge_cost(1)
+
+    def test_add_unary_accumulates(self, mrf):
+        mrf.add_unary(0, [1.0, 1.0])
+        assert mrf.unary(0).tolist() == [1.0, 2.0]
+
+    def test_add_unary_shape_checked(self, mrf):
+        with pytest.raises(MRFError):
+            mrf.add_unary(0, [1.0, 1.0, 1.0])
+
+
+class TestQueries:
+    def test_neighbors(self, mrf):
+        assert [n for n, _ in mrf.neighbors(1)] == [0, 2]
+
+    def test_has_edge_and_edge_id(self, mrf):
+        assert mrf.has_edge(1, 0)
+        assert mrf.edge_id(2, 1) == 1
+        assert not mrf.has_edge(0, 2)
+
+    def test_edges_iteration(self, mrf):
+        triples = list(mrf.edges())
+        assert [(i, j) for i, j, _ in triples] == [(0, 1), (1, 2)]
+
+    def test_connected_components_single(self, mrf):
+        assert mrf.connected_components() == [[0, 1, 2]]
+
+    def test_connected_components_split(self):
+        m = PairwiseMRF()
+        for _ in range(4):
+            m.add_node([0.0, 1.0])
+        m.add_edge(0, 1, np.zeros((2, 2)))
+        m.add_edge(2, 3, np.zeros((2, 2)))
+        assert m.connected_components() == [[0, 1], [2, 3]]
+
+
+class TestEnergy:
+    def test_energy_value(self, mrf):
+        # unary: 0.0 + 0.0 + 0.5 ; pairwise: edge0[0,1]=1, edge1[1,0]=0
+        assert mrf.energy([0, 1, 0]) == pytest.approx(1.5)
+
+    def test_energy_wrong_length(self, mrf):
+        with pytest.raises(MRFError):
+            mrf.energy([0, 0])
+
+    def test_energy_label_out_of_range(self, mrf):
+        with pytest.raises(MRFError):
+            mrf.energy([0, 3, 0])
+
+    def test_trivial_lower_bound(self, mrf):
+        bound = mrf.trivial_lower_bound()
+        assert bound <= mrf.energy([0, 0, 0])
+        assert bound == pytest.approx(0.0 + 0.0 + 0.5 + 0.0 + 0.0)

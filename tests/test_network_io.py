@@ -1,0 +1,120 @@
+"""Tests for network serialisation (repro.network.io)."""
+
+import json
+
+import pytest
+
+from repro.network.constraints import (
+    AvoidCombination,
+    ConstraintSet,
+    FixProduct,
+    ForbidProduct,
+    RequireCombination,
+)
+from repro.network.io import (
+    load_network,
+    network_from_json,
+    network_to_json,
+    save_network,
+)
+from repro.network.model import Network
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    network.add_host("web", {"os": ["windows", "ubuntu"], "db": ["mysql"]})
+    network.add_host("hmi", {"os": ["windows"]})
+    network.add_link("web", "hmi")
+    return network
+
+
+@pytest.fixture
+def constraints():
+    return ConstraintSet(
+        [
+            FixProduct("hmi", "os", "windows"),
+            ForbidProduct("web", "os", "windows"),
+            RequireCombination("web", "os", "ubuntu", "db", "mysql"),
+            AvoidCombination("ALL", "os", "ubuntu", "db", "mysql"),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_network_round_trip(self, net):
+        clone, _ = network_from_json(network_to_json(net))
+        assert clone.hosts == net.hosts
+        assert clone.links == net.links
+        for host in net.hosts:
+            assert clone.services_of(host) == net.services_of(host)
+            for service in net.services_of(host):
+                assert clone.candidates(host, service) == net.candidates(host, service)
+
+    def test_constraints_round_trip(self, net, constraints):
+        _, clone = network_from_json(network_to_json(net, constraints))
+        assert len(clone) == len(constraints)
+        assert list(clone) == list(constraints)
+
+    def test_file_round_trip(self, net, constraints, tmp_path):
+        path = tmp_path / "deployment.json"
+        save_network(net, path, constraints)
+        loaded_net, loaded_constraints = load_network(path)
+        assert loaded_net.links == net.links
+        assert len(loaded_constraints) == 4
+
+    def test_case_study_round_trip(self):
+        from repro.casestudy.stuxnet import build_network, product_constraints
+
+        network = build_network()
+        constraints = product_constraints()
+        clone_net, clone_constraints = network_from_json(
+            network_to_json(network, constraints)
+        )
+        assert clone_net.links == network.links
+        assert clone_net.variable_count() == network.variable_count()
+        assert list(clone_constraints) == list(constraints)
+
+    def test_optimisation_identical_after_round_trip(self, net):
+        from repro.core import diversify
+        from repro.nvd.similarity import SimilarityTable
+
+        table = SimilarityTable(pairs={("windows", "ubuntu"): 0.2})
+        clone, _ = network_from_json(network_to_json(net))
+        original = diversify(net, table)
+        reloaded = diversify(clone, table)
+        assert original.assignment.as_dict() == reloaded.assignment.as_dict()
+
+
+class TestValidation:
+    def test_not_an_object(self):
+        with pytest.raises(ValueError):
+            network_from_json("[1, 2]")
+
+    def test_missing_hosts_key(self):
+        with pytest.raises(ValueError):
+            network_from_json("{}")
+
+    def test_malformed_link(self, net):
+        payload = json.loads(network_to_json(net))
+        payload["links"] = [["web"]]
+        with pytest.raises(ValueError):
+            network_from_json(json.dumps(payload))
+
+    def test_unknown_constraint_kind(self, net):
+        payload = json.loads(network_to_json(net))
+        payload["constraints"] = [{"kind": "teleport"}]
+        with pytest.raises(ValueError):
+            network_from_json(json.dumps(payload))
+
+    def test_constraint_missing_field(self, net):
+        payload = json.loads(network_to_json(net))
+        payload["constraints"] = [{"kind": "fix", "host": "web"}]
+        with pytest.raises(ValueError):
+            network_from_json(json.dumps(payload))
+
+    def test_dangling_link_uses_model_error(self, net):
+        payload = json.loads(network_to_json(net))
+        payload["links"] = [["web", "ghost"]]
+        with pytest.raises(Exception):
+            network_from_json(json.dumps(payload))

@@ -1,0 +1,124 @@
+"""Unit tests for the network model (repro.network.model)."""
+
+import pytest
+
+from repro.network.model import Network, NetworkError
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    network.add_host("a", {"os": ["w", "l"], "db": ["m", "p"]})
+    network.add_host("b", {"os": ["w", "l"]})
+    network.add_host("c", {"db": ["m", "p"]})
+    network.add_link("a", "b")
+    network.add_link("a", "c")
+    return network
+
+
+class TestBuilding:
+    def test_duplicate_host_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_host("a")
+
+    def test_duplicate_service_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_service("a", "os", ["w"])
+
+    def test_empty_candidates_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_service("b", "db", [])
+
+    def test_candidates_deduplicated(self):
+        network = Network()
+        network.add_host("x", {"s": ["a", "b", "a"]})
+        assert network.candidates("x", "s") == ("a", "b")
+
+    def test_self_link_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_link("a", "a")
+
+    def test_duplicate_link_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_link("b", "a")
+
+    def test_link_to_unknown_host_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_link("a", "zz")
+
+    def test_set_candidates_replaces(self, net):
+        net.set_candidates("a", "os", ["w"])
+        assert net.candidates("a", "os") == ("w",)
+
+    def test_set_candidates_cannot_empty(self, net):
+        with pytest.raises(NetworkError):
+            net.set_candidates("a", "os", [])
+
+
+class TestQueries:
+    def test_basic_counts(self, net):
+        assert len(net) == 3
+        assert net.edge_count() == 2
+        assert net.variable_count() == 4
+
+    def test_links_sorted(self, net):
+        assert net.links == [("a", "b"), ("a", "c")]
+
+    def test_neighbors(self, net):
+        assert net.neighbors("a") == ["b", "c"]
+        assert net.degree("a") == 2
+        assert net.degree("b") == 1
+
+    def test_services_of(self, net):
+        assert net.services_of("a") == ["os", "db"]
+        assert net.services_of("c") == ["db"]
+
+    def test_has_service(self, net):
+        assert net.has_service("a", "db")
+        assert not net.has_service("b", "db")
+        assert not net.has_service("nope", "db")
+
+    def test_shared_services(self, net):
+        assert net.shared_services("a", "b") == ["os"]
+        assert net.shared_services("a", "c") == ["db"]
+        assert net.shared_services("b", "c") == []
+
+    def test_all_services_first_seen_order(self, net):
+        assert net.all_services() == ["os", "db"]
+
+    def test_all_products(self, net):
+        assert set(net.all_products()) == {"w", "l", "m", "p"}
+        assert set(net.all_products("os")) == {"w", "l"}
+
+    def test_hosts_with_service(self, net):
+        assert net.hosts_with_service("db") == ["a", "c"]
+
+    def test_assignment_space_size(self, net):
+        assert net.assignment_space_size() == 2 * 2 * 2 * 2
+
+    def test_unknown_host_raises(self, net):
+        with pytest.raises(NetworkError):
+            net.neighbors("zz")
+        with pytest.raises(NetworkError):
+            net.candidates("zz", "os")
+        with pytest.raises(NetworkError):
+            net.candidates("a", "nope")
+
+
+class TestExport:
+    def test_to_networkx(self, net):
+        graph = net.to_networkx()
+        assert set(graph.nodes) == {"a", "b", "c"}
+        assert graph.number_of_edges() == 2
+        assert graph.nodes["a"]["services"]["os"] == ["w", "l"]
+
+    def test_copy_is_independent(self, net):
+        clone = net.copy()
+        clone.add_host("d", {"os": ["w"]})
+        clone.add_link("d", "a")
+        assert "d" not in net
+        assert net.edge_count() == 2
+        assert clone.edge_count() == 3
+
+    def test_repr(self, net):
+        assert "3 hosts" in repr(net)

@@ -1,0 +1,92 @@
+"""Unit tests for the NVD-like store (repro.nvd.database)."""
+
+import pytest
+
+from repro.nvd.cpe import CPE
+from repro.nvd.cve import CVERecord
+from repro.nvd.database import VulnerabilityDatabase
+
+
+def record(year, serial, *uris, cvss=5.0):
+    return CVERecord.build(year, serial, [CPE.parse(u) for u in uris], cvss=cvss)
+
+
+@pytest.fixture
+def db():
+    database = VulnerabilityDatabase()
+    database.add(record(2014, 1, "cpe:/a:google:chrome:45.0"))
+    database.add(record(2015, 2, "cpe:/a:google:chrome:50.0", "cpe:/a:mozilla:firefox"))
+    database.add(record(2016, 3, "cpe:/a:mozilla:firefox:45.0"))
+    return database
+
+
+class TestCrud:
+    def test_len_and_contains(self, db):
+        assert len(db) == 3
+        assert "CVE-2015-0002" in db
+        assert "CVE-2000-0001" not in db
+
+    def test_get(self, db):
+        assert db.get("CVE-2014-0001").year == 2014
+
+    def test_reinsert_replaces(self, db):
+        db.add(record(2014, 1, "cpe:/a:apple:safari"))
+        assert len(db) == 3
+        assert not db.vulnerabilities_of(CPE.parse("cpe:/a:google:chrome:45.0"))
+        assert db.vulnerabilities_of(CPE.parse("cpe:/a:apple:safari"))
+
+    def test_remove(self, db):
+        db.remove("CVE-2014-0001")
+        assert len(db) == 2
+        assert "CVE-2014-0001" not in db
+
+    def test_remove_unknown_raises(self, db):
+        with pytest.raises(KeyError):
+            db.remove("CVE-1999-0001")
+
+    def test_iteration_yields_records(self, db):
+        assert {r.cve_id for r in db} == {
+            "CVE-2014-0001",
+            "CVE-2015-0002",
+            "CVE-2016-0003",
+        }
+
+
+class TestQueries:
+    def test_product_level_query(self, db):
+        hits = db.vulnerabilities_of(CPE.parse("cpe:/a:google:chrome"))
+        assert hits == {"CVE-2014-0001", "CVE-2015-0002"}
+
+    def test_versioned_query(self, db):
+        hits = db.vulnerabilities_of(CPE.parse("cpe:/a:google:chrome:50.0"))
+        assert hits == {"CVE-2015-0002"}
+
+    def test_year_bounds(self, db):
+        chrome = CPE.parse("cpe:/a:google:chrome")
+        assert db.vulnerabilities_of(chrome, since=2015) == {"CVE-2015-0002"}
+        assert db.vulnerabilities_of(chrome, until=2014) == {"CVE-2014-0001"}
+        assert not db.vulnerabilities_of(chrome, since=2016)
+
+    def test_unknown_product_empty(self, db):
+        assert db.vulnerabilities_of(CPE.parse("cpe:/a:x:y")) == frozenset()
+
+    def test_products_listing(self, db):
+        names = {f"{c.vendor}:{c.product}" for c in db.products()}
+        assert names == {"google:chrome", "mozilla:firefox"}
+
+    def test_records_for_year(self, db):
+        assert [r.cve_id for r in db.records_for_year(2015)] == ["CVE-2015-0002"]
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, db):
+        clone = VulnerabilityDatabase.from_json(db.to_json())
+        assert len(clone) == len(db)
+        assert {r.cve_id for r in clone} == {r.cve_id for r in db}
+        chrome = CPE.parse("cpe:/a:google:chrome")
+        assert clone.vulnerabilities_of(chrome) == db.vulnerabilities_of(chrome)
+
+    def test_json_preserves_cvss(self, db):
+        db.add(record(2016, 9, "cpe:/a:x:y", cvss=9.8))
+        clone = VulnerabilityDatabase.from_json(db.to_json())
+        assert clone.get("CVE-2016-0009").cvss == 9.8

@@ -1,0 +1,95 @@
+"""Tests for the synthetic NVD feed (repro.nvd.generator)."""
+
+import pytest
+
+from repro.nvd.generator import (
+    ProductLineage,
+    SyntheticNVDConfig,
+    default_lineages,
+    generate_synthetic_nvd,
+    product_cpe_map,
+)
+from repro.nvd.similarity import similarity_table_from_database
+
+
+@pytest.fixture(scope="module")
+def feed():
+    config = SyntheticNVDConfig(seed=7, cves_per_year=120, years=(2000, 2010))
+    return config, generate_synthetic_nvd(config)
+
+
+class TestConfig:
+    def test_defaults_use_builtin_universe(self):
+        assert SyntheticNVDConfig().lineages == default_lineages()
+
+    def test_invalid_year_range_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticNVDConfig(years=(2010, 2000))
+
+    @pytest.mark.parametrize(
+        "field", ["p_adjacent_version", "p_same_vendor", "p_cross_vendor"]
+    )
+    def test_invalid_probability_rejected(self, field):
+        with pytest.raises(ValueError):
+            SyntheticNVDConfig(**{field: 1.5})
+
+    def test_lineage_cpes(self):
+        lineage = ProductLineage("v", "prod", ("1", "2"))
+        uris = [c.uri() for c in lineage.cpes()]
+        assert uris == ["cpe:/a:v:prod_1", "cpe:/a:v:prod_2"]
+
+
+class TestFeed:
+    def test_record_count(self, feed):
+        config, db = feed
+        assert len(db) == 120 * 11
+
+    def test_deterministic(self, feed):
+        config, db = feed
+        again = generate_synthetic_nvd(config)
+        assert again.to_json() == db.to_json()
+
+    def test_different_seed_differs(self, feed):
+        config, db = feed
+        other = generate_synthetic_nvd(
+            SyntheticNVDConfig(seed=8, cves_per_year=120, years=(2000, 2010))
+        )
+        assert other.to_json() != db.to_json()
+
+    def test_years_within_range(self, feed):
+        _, db = feed
+        assert all(2000 <= r.year <= 2010 for r in db)
+
+    def test_every_record_has_a_seat(self, feed):
+        _, db = feed
+        assert all(len(r.affected) >= 1 for r in db)
+
+
+class TestSimilarityShape:
+    """The generated feed reproduces the sharing structure of the paper's
+    Tables II/III: same-lineage >> same-vendor >> cross-vendor."""
+
+    def test_structure(self, feed):
+        config, db = feed
+        mapping = product_cpe_map(config)
+        table = similarity_table_from_database(db, mapping)
+
+        adjacent = table.get("microsoft windows_7", "microsoft windows_8.1")
+        cross_vendor = table.get("google chrome_50", "mozilla firefox_45")
+        assert adjacent > 0.2
+        assert cross_vendor < 0.1
+        assert adjacent > cross_vendor
+
+    def test_version_distance_decay(self, feed):
+        config, db = feed
+        mapping = product_cpe_map(config)
+        table = similarity_table_from_database(db, mapping)
+        near = table.get("microsoft windows_7", "microsoft windows_8.1")
+        far = table.get("microsoft windows_xp", "microsoft windows_10")
+        assert near > far
+
+    def test_all_products_collected_some_vulnerabilities(self, feed):
+        config, db = feed
+        mapping = product_cpe_map(config)
+        table = similarity_table_from_database(db, mapping)
+        assert all(table.vulnerability_counts[name] > 0 for name in mapping)

@@ -1,0 +1,116 @@
+"""Tests for similarity persistence and CVSS weighting (repro.nvd.io)."""
+
+import pytest
+
+from repro.nvd.cpe import CPE
+from repro.nvd.cve import CVERecord
+from repro.nvd.database import VulnerabilityDatabase
+from repro.nvd.datasets import paper_os_similarity
+from repro.nvd.io import (
+    dumps_similarity,
+    load_similarity,
+    loads_similarity,
+    save_similarity,
+    similarity_from_csv,
+    similarity_to_csv,
+    weighted_similarity_table_from_database,
+)
+from repro.nvd.similarity import SimilarityTable, similarity_table_from_database
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_paper_table(self):
+        table = paper_os_similarity()
+        clone = loads_similarity(dumps_similarity(table))
+        assert clone.products == table.products
+        for a in table.products:
+            for b in table.products:
+                assert clone.get(a, b) == table.get(a, b)
+        assert clone.vulnerability_counts == table.vulnerability_counts
+        assert clone.shared_counts == table.shared_counts
+
+    def test_file_round_trip(self, tmp_path):
+        table = SimilarityTable(pairs={("a", "b"): 0.3})
+        path = tmp_path / "table.json"
+        save_similarity(table, path)
+        clone = load_similarity(path)
+        assert clone.get("a", "b") == 0.3
+
+    def test_empty_table(self):
+        clone = loads_similarity(dumps_similarity(SimilarityTable()))
+        assert clone.products == []
+
+
+class TestCsv:
+    def test_round_trip(self):
+        table = SimilarityTable(
+            products=["a", "b", "c"], pairs={("a", "b"): 0.25, ("b", "c"): 0.5}
+        )
+        clone = similarity_from_csv(similarity_to_csv(table))
+        for x in table.products:
+            for y in table.products:
+                assert clone.get(x, y) == pytest.approx(table.get(x, y))
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_from_csv("x,y\n1,2\n")
+
+    def test_asymmetric_rejected(self):
+        text = "product,a,b\na,1,0.3\nb,0.4,1\n"
+        with pytest.raises(ValueError):
+            similarity_from_csv(text)
+
+    def test_bad_diagonal_rejected(self):
+        text = "product,a,b\na,0.9,0.3\nb,0.3,1\n"
+        with pytest.raises(ValueError):
+            similarity_from_csv(text)
+
+    def test_malformed_row_rejected(self):
+        text = "product,a,b\na,1\n"
+        with pytest.raises(ValueError):
+            similarity_from_csv(text)
+
+
+class TestWeightedSimilarity:
+    @pytest.fixture
+    def db(self):
+        chrome = CPE.parse("cpe:/a:google:chrome")
+        firefox = CPE.parse("cpe:/a:mozilla:firefox")
+        database = VulnerabilityDatabase()
+        # One critical shared CVE, several trivial unshared ones.
+        database.add(CVERecord.build(2015, 1, [chrome, firefox], cvss=10.0))
+        database.add(CVERecord.build(2015, 2, [chrome], cvss=1.0))
+        database.add(CVERecord.build(2015, 3, [chrome], cvss=1.0))
+        database.add(CVERecord.build(2015, 4, [firefox], cvss=1.0))
+        return database, {"Chrome": chrome, "Firefox": firefox}
+
+    def test_unit_weight_equals_jaccard(self, db):
+        database, mapping = db
+        weighted = weighted_similarity_table_from_database(
+            database, mapping, weight=lambda record: 1.0
+        )
+        plain = similarity_table_from_database(database, mapping)
+        assert weighted.get("Chrome", "Firefox") == pytest.approx(
+            plain.get("Chrome", "Firefox")
+        )
+
+    def test_cvss_weighting_boosts_critical_overlap(self, db):
+        database, mapping = db
+        weighted = weighted_similarity_table_from_database(database, mapping)
+        plain = similarity_table_from_database(database, mapping)
+        # shared: one CVSS-10 CVE; unshared: three CVSS-1 CVEs.
+        assert weighted.get("Chrome", "Firefox") == pytest.approx(10 / 13)
+        assert weighted.get("Chrome", "Firefox") > plain.get("Chrome", "Firefox")
+
+    def test_negative_weight_rejected(self, db):
+        database, mapping = db
+        with pytest.raises(ValueError):
+            weighted_similarity_table_from_database(
+                database, mapping, weight=lambda record: -1.0
+            )
+
+    def test_counts_preserved(self, db):
+        database, mapping = db
+        weighted = weighted_similarity_table_from_database(database, mapping)
+        assert weighted.vulnerability_counts == {"Chrome": 3, "Firefox": 2}
+        assert weighted.shared_counts[("Chrome", "Firefox")] == 1

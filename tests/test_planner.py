@@ -1,0 +1,129 @@
+"""Tests for the budgeted upgrade planner (repro.core.planner)."""
+
+import pytest
+
+from repro.core import diversify, mono_assignment
+from repro.core.costs import assignment_energy
+from repro.core.planner import plan_upgrade, upgrade_frontier
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import AvoidCombination, ConstraintSet, FixProduct
+from repro.network.model import Network
+from repro.network.topologies import ring_network
+from repro.nvd.similarity import SimilarityTable
+
+
+@pytest.fixture
+def setting():
+    net = ring_network(8, services={"svc": ["p0", "p1", "p2"]})
+    table = SimilarityTable(
+        pairs={("p0", "p1"): 0.4, ("p1", "p2"): 0.4, ("p0", "p2"): 0.4}
+    )
+    return net, table, mono_assignment(net)
+
+
+class TestPlanUpgrade:
+    def test_budget_respected(self, setting):
+        net, table, current = setting
+        plan = plan_upgrade(net, table, current, budget=3)
+        assert plan.changes <= 3
+        assert len(current.diff(plan.final_assignment)) == plan.changes
+
+    def test_energy_monotone_along_steps(self, setting):
+        net, table, current = setting
+        plan = plan_upgrade(net, table, current, budget=6)
+        energies = [plan.initial_energy] + [s.energy_after for s in plan.steps]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_reported_energies_consistent(self, setting):
+        net, table, current = setting
+        plan = plan_upgrade(net, table, current, budget=4)
+        direct = assignment_energy(net, table, plan.final_assignment)
+        assert plan.final_energy == pytest.approx(direct)
+
+    def test_zero_budget_changes_nothing(self, setting):
+        net, table, current = setting
+        plan = plan_upgrade(net, table, current, budget=0)
+        assert plan.changes == 0
+        assert plan.final_assignment == current
+
+    def test_negative_budget_rejected(self, setting):
+        net, table, current = setting
+        with pytest.raises(ValueError):
+            plan_upgrade(net, table, current, budget=-1)
+
+    def test_incomplete_current_rejected(self, setting):
+        net, table, _ = setting
+        with pytest.raises(ValueError):
+            plan_upgrade(net, table, ProductAssignment(net), budget=2)
+
+    def test_stops_when_no_gain(self, setting):
+        net, table, current = setting
+        # With a huge budget the plan ends at a local optimum and stops.
+        plan = plan_upgrade(net, table, current, budget=100)
+        assert plan.changes < 100
+        followup = plan_upgrade(net, table, plan.final_assignment, budget=5)
+        assert followup.changes == 0
+
+    def test_large_budget_approaches_optimal(self, setting):
+        net, table, current = setting
+        plan = plan_upgrade(net, table, current, budget=100)
+        optimal = diversify(net, table)
+        # Greedy local optimum is within 25% of the global optimum here.
+        assert plan.final_energy <= optimal.energy * 1.25 + 1e-9
+
+    def test_pins_never_touched(self, setting):
+        net, table, current = setting
+        constraints = ConstraintSet([FixProduct("h0", "svc", current.get("h0", "svc"))])
+        plan = plan_upgrade(net, table, current, budget=10, constraints=constraints)
+        assert plan.final_assignment.get("h0", "svc") == current.get("h0", "svc")
+
+    def test_no_new_combination_violations(self):
+        net = Network()
+        spec = {"os": ["w", "l"], "wb": ["ie", "ch"]}
+        net.add_host("a", spec)
+        net.add_host("b", spec)
+        net.add_link("a", "b")
+        table = SimilarityTable(pairs={("w", "l"): 0.5, ("ie", "ch"): 0.5})
+        current = ProductAssignment(
+            net,
+            {("a", "os"): "w", ("a", "wb"): "ie",
+             ("b", "os"): "w", ("b", "wb"): "ie"},
+        )
+        constraints = ConstraintSet([AvoidCombination("b", "os", "l", "wb", "ie")])
+        plan = plan_upgrade(net, table, current, budget=10, constraints=constraints)
+        assert constraints.is_satisfied(plan.final_assignment)
+
+    def test_describe_lists_steps(self, setting):
+        net, table, current = setting
+        plan = plan_upgrade(net, table, current, budget=2)
+        text = plan.describe()
+        assert "upgrade plan" in text
+        assert text.count("->") >= plan.changes
+
+
+class TestFrontier:
+    def test_monotone_non_increasing(self, setting):
+        net, table, current = setting
+        frontier = upgrade_frontier(net, table, current, max_budget=8)
+        values = [frontier[k] for k in sorted(frontier)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_budget_zero_is_current_energy(self, setting):
+        net, table, current = setting
+        frontier = upgrade_frontier(net, table, current, max_budget=3)
+        assert frontier[0] == pytest.approx(assignment_energy(net, table, current))
+
+    def test_covers_all_budgets(self, setting):
+        net, table, current = setting
+        frontier = upgrade_frontier(net, table, current, max_budget=30)
+        assert set(frontier) == set(range(31))
+
+    def test_diminishing_returns_on_case_study(self):
+        from repro.casestudy.stuxnet import stuxnet_case_study
+
+        case = stuxnet_case_study()
+        current = mono_assignment(case.network)
+        frontier = upgrade_frontier(case.network, case.similarity, current, 6)
+        gains = [frontier[k] - frontier[k + 1] for k in range(6)]
+        # First change gains at least as much as the fifth (greedy order).
+        assert gains[0] >= gains[4] - 1e-9

@@ -1,0 +1,181 @@
+"""Cross-cutting property-based tests.
+
+Hypothesis-driven invariants spanning the whole stack — randomly generated
+networks, similarity tables and assignments must always satisfy the model's
+contracts, whatever the draw.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    diversify,
+    greedy_assignment,
+    mono_assignment,
+    random_assignment,
+)
+from repro.core.costs import assignment_energy, build_mrf
+from repro.core.planner import plan_upgrade
+from repro.metrics.bayes import compromise_probability
+from repro.metrics.richness import effective_richness
+from repro.network.generator import (
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+from repro.nvd.similarity import SimilarityTable
+from repro.sim.malware import InfectionModel
+
+
+def workload(seed, hosts=10, degree=3, services=2, density=0.5):
+    config = RandomNetworkConfig(
+        hosts=hosts, degree=degree, services=services,
+        similarity_density=density, seed=seed,
+    )
+    return random_network(config), random_similarity(config)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_diversify_always_complete_and_within_ranges(seed):
+    network, similarity = workload(seed)
+    result = diversify(network, similarity, max_iterations=20)
+    assert result.assignment.is_complete()
+    for host in network.hosts:
+        for service in network.services_of(host):
+            product = result.assignment.get(host, service)
+            assert product in network.candidates(host, service)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_optimal_never_worse_than_baselines(seed):
+    network, similarity = workload(seed)
+    optimal = diversify(network, similarity, max_iterations=40)
+    for baseline in (
+        mono_assignment(network),
+        random_assignment(network, seed=seed),
+        greedy_assignment(network, similarity),
+    ):
+        assert optimal.energy <= assignment_energy(
+            network, similarity, baseline
+        ) + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_energy_parity_between_mrf_and_direct(seed):
+    network, similarity = workload(seed)
+    build = build_mrf(network, similarity)
+    assignment = random_assignment(network, seed=seed)
+    labels = build.assignment_to_labels(assignment)
+    assert build.mrf.energy(labels) == pytest.approx(
+        assignment_energy(network, similarity, assignment)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_dual_bound_is_below_every_labelling(seed):
+    network, similarity = workload(seed, hosts=8)
+    result = diversify(network, similarity, fast_path=False, max_iterations=30)
+    for baseline_seed in range(3):
+        baseline = random_assignment(network, seed=baseline_seed)
+        assert result.lower_bound <= assignment_energy(
+            network, similarity, baseline
+        ) + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    p_avg=st.floats(min_value=0.01, max_value=0.3),
+    boost=st.floats(min_value=0.0, max_value=0.6),
+)
+def test_compromise_probability_is_a_probability(seed, p_avg, boost):
+    network, similarity = workload(seed, hosts=8)
+    assignment = random_assignment(network, seed=seed)
+    model = InfectionModel(
+        similarity=similarity, p_avg=p_avg, p_max=min(1.0, p_avg + boost)
+    )
+    hosts = network.hosts
+    probability = compromise_probability(
+        network, assignment, model, hosts[0], hosts[-1]
+    )
+    assert 0.0 <= probability <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_mono_is_always_most_compromising(seed):
+    """With zero cross-product similarity, every random assignment is at
+    most as risky as the mono-culture under the BN metric."""
+    config = RandomNetworkConfig(
+        hosts=8, degree=3, services=1, similarity_density=0.0, seed=seed
+    )
+    network = random_network(config)
+    similarity = random_similarity(config)
+    model = InfectionModel(similarity=similarity, p_avg=0.1, p_max=0.6)
+    hosts = network.hosts
+    p_mono = compromise_probability(
+        network, mono_assignment(network), model, hosts[0], hosts[-1]
+    )
+    p_random = compromise_probability(
+        network, random_assignment(network, seed=seed), model, hosts[0], hosts[-1]
+    )
+    assert p_random <= p_mono + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), budget=st.integers(0, 6))
+def test_planner_budget_and_monotonicity(seed, budget):
+    network, similarity = workload(seed, hosts=8)
+    current = random_assignment(network, seed=seed)
+    plan = plan_upgrade(network, similarity, current, budget=budget)
+    assert plan.changes <= budget
+    assert plan.final_energy <= plan.initial_energy + 1e-9
+    assert plan.final_energy == pytest.approx(
+        assignment_energy(network, similarity, plan.final_assignment)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_richness_bounds_hold(seed):
+    network, similarity = workload(seed)
+    report = effective_richness(network, random_assignment(network, seed=seed))
+    assert 1.0 - 1e-9 <= report.effective <= report.distinct + 1e-9
+    assert 0.0 < report.d1 <= 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_network_json_round_trip_preserves_optimisation(seed):
+    from repro.network.io import network_from_json, network_to_json
+
+    network, similarity = workload(seed, hosts=8)
+    clone, _ = network_from_json(network_to_json(network))
+    original = diversify(network, similarity, max_iterations=20)
+    reloaded = diversify(clone, similarity, max_iterations=20)
+    assert original.energy == pytest.approx(reloaded.energy)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    pairs=st.dictionaries(
+        st.tuples(st.sampled_from("abcd"), st.sampled_from("abcd")).filter(
+            lambda t: t[0] < t[1]
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+        max_size=6,
+    ),
+)
+def test_similarity_io_round_trip(seed, pairs):
+    from repro.nvd.io import dumps_similarity, loads_similarity
+
+    table = SimilarityTable(products="abcd", pairs=pairs)
+    clone = loads_similarity(dumps_similarity(table))
+    for a in "abcd":
+        for b in "abcd":
+            assert clone.get(a, b) == pytest.approx(table.get(a, b))

@@ -1,0 +1,132 @@
+"""Tests for the TRW-S primal-refinement machinery.
+
+Covers the engineering additions documented in DESIGN.md decision 3:
+tie-breaking noise, the multi-init ICM polish, and the MRF-level greedy
+labelling — on both the flat and the batched solver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mrf.batched import BatchedTRWSSolver, replicated_problem_from_network
+from repro.mrf.graph import PairwiseMRF
+from repro.mrf.trws import TRWSSolver, _greedy_labels
+from repro.network.generator import (
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+
+from conftest import make_random_mrf
+
+
+def flat_workload(seed, hosts=12, degree=3, services=2):
+    config = RandomNetworkConfig(
+        hosts=hosts, degree=degree, services=services,
+        similarity_density=0.5, seed=seed,
+    )
+    return random_network(config), random_similarity(config)
+
+
+class TestGreedyLabels:
+    def test_greedy_respects_label_ranges(self):
+        mrf = make_random_mrf(nodes=8, edge_probability=0.5, max_labels=3, seed=1)
+        labels = _greedy_labels(mrf)
+        assert len(labels) == 8
+        for node, label in enumerate(labels):
+            assert 0 <= label < mrf.label_count(node)
+
+    def test_greedy_two_node_antichain(self):
+        mrf = PairwiseMRF()
+        a = mrf.add_node([0.0, 0.0])
+        b = mrf.add_node([0.0, 0.0])
+        mrf.add_edge(a, b, np.eye(2))
+        labels = _greedy_labels(mrf)
+        assert labels[0] != labels[1]
+
+    def test_greedy_prefers_low_unary_on_isolated(self):
+        mrf = PairwiseMRF()
+        mrf.add_node([2.0, 0.0, 1.0])
+        assert _greedy_labels(mrf) == [1]
+
+
+class TestRefinementEffect:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_refined_never_worse_than_unrefined(self, seed):
+        mrf = make_random_mrf(nodes=10, edge_probability=0.4, max_labels=3, seed=seed)
+        unrefined = TRWSSolver(max_iterations=20, refine=False, seed=0).solve(mrf)
+        refined = TRWSSolver(max_iterations=20, refine=True, seed=0).solve(mrf)
+        assert refined.energy <= unrefined.energy + 1e-9
+
+    def test_refined_result_is_single_flip_optimal(self):
+        mrf = make_random_mrf(nodes=10, edge_probability=0.4, max_labels=3, seed=3)
+        result = TRWSSolver(max_iterations=20).solve(mrf)
+        for node in range(mrf.node_count):
+            for label in range(mrf.label_count(node)):
+                flipped = list(result.labels)
+                flipped[node] = label
+                assert mrf.energy(flipped) >= result.energy - 1e-9
+
+    def test_noise_zero_still_valid(self):
+        mrf = make_random_mrf(nodes=8, edge_probability=0.5, max_labels=3, seed=2)
+        result = TRWSSolver(max_iterations=20, tie_break_noise=0.0).solve(mrf)
+        assert result.energy == pytest.approx(mrf.energy(result.labels))
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            TRWSSolver(tie_break_noise=-1.0)
+
+    def test_energy_reported_against_original_costs(self):
+        # Large noise must not leak into the reported energy.
+        mrf = make_random_mrf(nodes=8, edge_probability=0.5, max_labels=3, seed=4)
+        result = TRWSSolver(max_iterations=20, tie_break_noise=0.5).solve(mrf)
+        assert result.energy == pytest.approx(mrf.energy(result.labels))
+
+    def test_bound_still_valid_under_noise(self):
+        from repro.mrf.exact import ExactSolver
+
+        mrf = make_random_mrf(nodes=6, edge_probability=0.6, max_labels=3, seed=5)
+        exact = ExactSolver().solve(mrf)
+        for noise in (1e-4, 1e-2, 0.3):
+            result = TRWSSolver(max_iterations=30, tie_break_noise=noise).solve(mrf)
+            assert result.lower_bound <= exact.energy + 1e-9
+
+
+class TestBatchedRefinement:
+    def test_refined_never_worse_than_unrefined(self):
+        network, similarity = flat_workload(seed=10)
+        problem = replicated_problem_from_network(network, similarity)
+        unrefined = BatchedTRWSSolver(max_iterations=15, refine=False).solve(problem)
+        refined = BatchedTRWSSolver(max_iterations=15, refine=True).solve(problem)
+        assert refined.energy <= unrefined.energy + 1e-9
+
+    def test_batched_single_flip_optimal(self):
+        network, similarity = flat_workload(seed=11)
+        problem = replicated_problem_from_network(network, similarity)
+        result = BatchedTRWSSolver(max_iterations=15).solve(problem)
+        labels = result.labels
+        base = problem.energy(labels)
+        for host in range(problem.host_count):
+            for service in range(len(problem.services)):
+                for label in range(problem.label_count):
+                    flipped = labels.copy()
+                    flipped[host, service] = label
+                    assert problem.energy(flipped) >= base - 1e-9
+
+    def test_batched_beats_greedy_baseline(self):
+        from repro.core import greedy_assignment
+        from repro.core.costs import assignment_energy
+
+        for seed in range(5):
+            network, similarity = flat_workload(seed=seed)
+            from repro.core import diversify
+
+            optimal = diversify(network, similarity, max_iterations=25)
+            greedy = greedy_assignment(network, similarity)
+            assert optimal.energy <= assignment_energy(
+                network, similarity, greedy
+            ) + 1e-9
+
+    def test_batched_noise_validation(self):
+        with pytest.raises(ValueError):
+            BatchedTRWSSolver(tie_break_noise=-0.5)

@@ -1,0 +1,120 @@
+"""Tests for the effective-richness metric d1 (repro.metrics.richness)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.baselines import mono_assignment
+from repro.metrics.richness import (
+    effective_richness,
+    similarity_sensitive_richness,
+)
+from repro.network.assignment import ProductAssignment
+from repro.network.topologies import chain_network
+from repro.nvd.similarity import SimilarityTable
+
+
+def assignment_with(net, products):
+    assignment = ProductAssignment(net)
+    for host, product in zip(net.hosts, products):
+        assignment.assign(host, "svc", product)
+    return assignment
+
+
+@pytest.fixture
+def net4():
+    return chain_network(4, services={"svc": ["a", "b", "c", "d"]})
+
+
+class TestEffectiveRichness:
+    def test_mono_culture_is_one(self, net4):
+        report = effective_richness(net4, assignment_with(net4, ["a"] * 4))
+        assert report.effective == pytest.approx(1.0)
+        assert report.d1 == pytest.approx(1 / 4)
+        assert report.distinct == 1
+
+    def test_perfectly_balanced(self, net4):
+        report = effective_richness(net4, assignment_with(net4, ["a", "b", "c", "d"]))
+        assert report.effective == pytest.approx(4.0)
+        assert report.d1 == pytest.approx(1.0)
+
+    def test_skewed_between_extremes(self, net4):
+        report = effective_richness(net4, assignment_with(net4, ["a", "a", "a", "b"]))
+        assert 1.0 < report.effective < 2.0
+
+    def test_shannon_value(self, net4):
+        report = effective_richness(net4, assignment_with(net4, ["a", "a", "b", "b"]))
+        assert report.effective == pytest.approx(2.0)
+
+    def test_empty_assignment(self, net4):
+        report = effective_richness(net4, ProductAssignment(net4))
+        assert report.installations == 0 and report.d1 == 0.0
+
+    def test_per_service_breakdown(self):
+        from repro.network.model import Network
+
+        net = Network()
+        net.add_host("x", {"os": ["w", "l"], "db": ["m"]})
+        net.add_host("y", {"os": ["w", "l"], "db": ["m"]})
+        assignment = ProductAssignment(
+            net,
+            {("x", "os"): "w", ("y", "os"): "l", ("x", "db"): "m", ("y", "db"): "m"},
+        )
+        report = effective_richness(net, assignment)
+        assert report.per_service["os"] == pytest.approx(2.0)
+        assert report.per_service["db"] == pytest.approx(1.0)
+
+    def test_mono_baseline_scores_lowest(self, net4):
+        mono = effective_richness(net4, mono_assignment(net4))
+        diverse = effective_richness(net4, assignment_with(net4, ["a", "b", "c", "d"]))
+        assert mono.d1 < diverse.d1
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=4, max_size=4))
+    def test_property_bounds(self, products):
+        net = chain_network(4, services={"svc": ["a", "b", "c", "d"]})
+        report = effective_richness(net, assignment_with(net, products))
+        assert 1.0 - 1e-9 <= report.effective <= report.distinct + 1e-9
+        assert 0.0 < report.d1 <= 1.0
+
+    def test_row_format(self, net4):
+        report = effective_richness(net4, assignment_with(net4, ["a", "b", "a", "b"]))
+        assert "d1=" in report.row("test")
+
+
+class TestSimilaritySensitive:
+    def test_mono_is_one_regardless_of_similarity(self, net4):
+        table = SimilarityTable(pairs={("a", "b"): 0.9})
+        value = similarity_sensitive_richness(
+            net4, assignment_with(net4, ["a"] * 4), table
+        )
+        assert value == pytest.approx(1.0)
+
+    def test_balanced_pair_formula(self, net4):
+        table = SimilarityTable(pairs={("a", "b"): 0.5})
+        value = similarity_sensitive_richness(
+            net4, assignment_with(net4, ["a", "a", "b", "b"]), table
+        )
+        assert value == pytest.approx(2 / 1.5)
+
+    def test_orthogonal_products_recover_simpson(self, net4):
+        value = similarity_sensitive_richness(
+            net4, assignment_with(net4, ["a", "a", "b", "b"]), SimilarityTable()
+        )
+        assert value == pytest.approx(2.0)
+
+    def test_similar_products_count_less(self, net4):
+        low = similarity_sensitive_richness(
+            net4, assignment_with(net4, ["a", "b", "a", "b"]),
+            SimilarityTable(pairs={("a", "b"): 0.8}),
+        )
+        high = similarity_sensitive_richness(
+            net4, assignment_with(net4, ["a", "b", "a", "b"]),
+            SimilarityTable(pairs={("a", "b"): 0.1}),
+        )
+        assert low < high
+
+    def test_empty(self, net4):
+        assert similarity_sensitive_richness(
+            net4, ProductAssignment(net4), SimilarityTable()
+        ) == 0.0

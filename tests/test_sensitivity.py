@@ -1,0 +1,98 @@
+"""Tests for the sensitivity analyses (repro.analysis.sensitivity)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    calibration_sensitivity,
+    perturbed_similarity,
+    similarity_perturbation_sensitivity,
+)
+from repro.network.topologies import ring_network
+from repro.nvd.datasets import paper_os_similarity
+from repro.nvd.similarity import SimilarityTable
+
+
+class TestPerturbedSimilarity:
+    def test_zero_noise_is_identity(self):
+        table = paper_os_similarity()
+        clone = perturbed_similarity(table, 0.0, seed=1)
+        for a in table.products:
+            for b in table.products:
+                assert clone.get(a, b) == pytest.approx(table.get(a, b))
+
+    def test_zeros_stay_zero(self):
+        table = SimilarityTable(products=["a", "b"], pairs={})
+        clone = perturbed_similarity(table, 0.5, seed=1)
+        assert clone.get("a", "b") == 0.0
+
+    def test_values_stay_bounded(self):
+        table = SimilarityTable(pairs={("a", "b"): 0.9})
+        for seed in range(10):
+            clone = perturbed_similarity(table, 0.5, seed=seed)
+            assert 0.0 <= clone.get("a", "b") <= 1.0
+
+    def test_deterministic(self):
+        table = paper_os_similarity()
+        a = perturbed_similarity(table, 0.3, seed=7)
+        b = perturbed_similarity(table, 0.3, seed=7)
+        for x in table.products:
+            for y in table.products:
+                assert a.get(x, y) == b.get(x, y)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            perturbed_similarity(SimilarityTable(), 1.5, seed=0)
+
+
+class TestPerturbationSensitivity:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        net = ring_network(8, services={"svc": ["p0", "p1", "p2"]})
+        table = SimilarityTable(
+            pairs={("p0", "p1"): 0.6, ("p1", "p2"): 0.2, ("p0", "p2"): 0.4}
+        )
+        return net, table
+
+    def test_result_structure(self, setting):
+        net, table = setting
+        results = similarity_perturbation_sensitivity(
+            net, table, noise_levels=(0.1,), seeds=(0, 1)
+        )
+        assert len(results) == 2
+        for result in results:
+            assert 0.0 <= result.agreement <= 1.0
+            assert result.regret >= -1e-9  # original can never beat re-optimum
+
+    def test_small_noise_high_agreement(self, setting):
+        net, table = setting
+        results = similarity_perturbation_sensitivity(
+            net, table, noise_levels=(0.02,), seeds=(0, 1, 2)
+        )
+        assert min(r.agreement for r in results) >= 0.5
+
+    def test_row_format(self, setting):
+        net, table = setting
+        result = similarity_perturbation_sensitivity(
+            net, table, noise_levels=(0.1,), seeds=(0,)
+        )[0]
+        assert "agreement=" in result.row()
+
+
+class TestCalibrationSensitivity:
+    def test_grid_and_ordering(self):
+        cells = calibration_sensitivity(
+            p_avgs=(0.05, 0.1), p_maxs=(0.25, 0.3),
+        )
+        assert len(cells) == 4
+        # The reproduced shape must hold across this neighbourhood of the
+        # default calibration, not just at the default point.
+        assert all(cell.optimal_wins for cell in cells)
+        assert sum(cell.ordering_holds for cell in cells) >= 3
+
+    def test_invalid_combinations_skipped(self):
+        cells = calibration_sensitivity(p_avgs=(0.3,), p_maxs=(0.2,))
+        assert cells == []
+
+    def test_row_format(self):
+        cells = calibration_sensitivity(p_avgs=(0.1,), p_maxs=(0.3,))
+        assert "optimal=" in cells[0].row()

@@ -1,0 +1,132 @@
+"""Tests for the propagation simulator (repro.sim.engine)."""
+
+import pytest
+
+from repro.core.baselines import mono_assignment
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.network.topologies import chain_network
+from repro.nvd.similarity import SimilarityTable
+from repro.sim.engine import PropagationSimulator
+from repro.sim.malware import InfectionModel
+
+
+def certain_model():
+    """Every edge fires with probability p_max (mono products)."""
+    return InfectionModel(similarity=SimilarityTable(), p_avg=1.0, p_max=1.0)
+
+
+def blocked_model():
+    return InfectionModel(similarity=SimilarityTable(), p_avg=0.0, p_max=0.0)
+
+
+@pytest.fixture
+def chain():
+    net = chain_network(4)
+    return net, mono_assignment(net)
+
+
+class TestSingleRun:
+    def test_certain_propagation_takes_path_length(self, chain):
+        net, assignment = chain
+        sim = PropagationSimulator(net, assignment, certain_model())
+        run = sim.run("h0", "h3", seed=1)
+        assert run.ticks_to_target == 3
+        assert run.target_compromised
+        assert run.infection_count() == 4
+
+    def test_entry_equals_target(self, chain):
+        net, assignment = chain
+        sim = PropagationSimulator(net, assignment, certain_model())
+        run = sim.run("h0", "h0")
+        assert run.ticks_to_target == 0
+
+    def test_zero_rates_extinguish(self, chain):
+        net, assignment = chain
+        sim = PropagationSimulator(net, assignment, blocked_model())
+        run = sim.run("h0", "h3", max_ticks=50, seed=1)
+        assert run.ticks_to_target is None
+        assert run.infection_count() == 1
+        assert run.total_ticks < 50  # early extinction, not cap exhaustion
+
+    def test_tick_cap_censors(self, chain):
+        net, assignment = chain
+        model = InfectionModel(similarity=SimilarityTable(), p_avg=0.01, p_max=0.01)
+        sim = PropagationSimulator(net, assignment, model)
+        run = sim.run("h0", "h3", max_ticks=2, seed=3)
+        if not run.target_compromised:
+            assert run.total_ticks == 2
+
+    def test_unknown_hosts_raise(self, chain):
+        net, assignment = chain
+        sim = PropagationSimulator(net, assignment, certain_model())
+        with pytest.raises(KeyError):
+            sim.run("nope", "h3")
+        with pytest.raises(KeyError):
+            sim.run("h0", "nope")
+
+    def test_deterministic_per_seed(self, chain):
+        net, assignment = chain
+        model = InfectionModel(similarity=SimilarityTable(), p_avg=0.3, p_max=0.3)
+        sim = PropagationSimulator(net, assignment, model)
+        a = sim.run("h0", "h3", seed=42)
+        b = sim.run("h0", "h3", seed=42)
+        assert a.ticks_to_target == b.ticks_to_target
+        assert a.infected_at == b.infected_at
+
+    def test_infection_ticks_monotone_along_chain(self, chain):
+        net, assignment = chain
+        sim = PropagationSimulator(net, assignment, certain_model())
+        run = sim.run("h0", "h3", seed=1)
+        assert run.infected_at["h0"] < run.infected_at["h1"] < run.infected_at["h3"]
+
+
+class TestBatch:
+    def test_run_many_count_and_reproducibility(self, chain):
+        net, assignment = chain
+        model = InfectionModel(similarity=SimilarityTable(), p_avg=0.4, p_max=0.4)
+        sim = PropagationSimulator(net, assignment, model)
+        first = sim.run_many("h0", "h3", runs=20, seed=7)
+        second = sim.run_many("h0", "h3", runs=20, seed=7)
+        assert len(first) == 20
+        assert [r.ticks_to_target for r in first] == [r.ticks_to_target for r in second]
+
+    def test_run_many_validates(self, chain):
+        net, assignment = chain
+        sim = PropagationSimulator(net, assignment, certain_model())
+        with pytest.raises(ValueError):
+            sim.run_many("h0", "h3", runs=0)
+
+
+class TestRates:
+    def test_edge_rate_exposed(self):
+        net = Network()
+        net.add_host("a", {"svc": ["x", "y"]})
+        net.add_host("b", {"svc": ["x", "y"]})
+        net.add_link("a", "b")
+        assignment = ProductAssignment(net, {("a", "svc"): "x", ("b", "svc"): "y"})
+        model = InfectionModel(
+            similarity=SimilarityTable(pairs={("x", "y"): 0.5}), p_avg=0.1, p_max=0.9
+        )
+        sim = PropagationSimulator(net, assignment, model)
+        assert sim.edge_rate("a", "b") == pytest.approx(0.5)
+
+    def test_diverse_slower_than_mono_on_average(self):
+        net = chain_network(5, services={"svc": ["x", "y"]})
+        similarity = SimilarityTable()  # distinct products share nothing
+        model = InfectionModel(similarity=similarity, p_avg=0.15, p_max=0.95)
+        mono = mono_assignment(net)
+        alternating = ProductAssignment(net)
+        for i, host in enumerate(net.hosts):
+            alternating.assign(host, "svc", "x" if i % 2 == 0 else "y")
+        sim_mono = PropagationSimulator(net, mono, model)
+        sim_div = PropagationSimulator(net, alternating, model)
+        mono_hits = sum(
+            r.target_compromised
+            for r in sim_mono.run_many("h0", "h4", runs=150, max_ticks=30, seed=1)
+        )
+        div_hits = sum(
+            r.target_compromised
+            for r in sim_div.run_many("h0", "h4", runs=150, max_ticks=30, seed=1)
+        )
+        assert mono_hits > div_hits

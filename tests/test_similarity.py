@@ -1,0 +1,171 @@
+"""Unit + property tests for the similarity metric (repro.nvd.similarity)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nvd.cpe import CPE
+from repro.nvd.cve import CVERecord
+from repro.nvd.database import VulnerabilityDatabase
+from repro.nvd.similarity import (
+    SimilarityTable,
+    jaccard_similarity,
+    similarity_table_from_database,
+)
+
+sets = st.sets(st.integers(min_value=0, max_value=30), max_size=12)
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == 0.5
+
+    def test_disjoint_is_zero(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_identical_is_one(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_both_empty_is_zero(self):
+        assert jaccard_similarity(set(), set()) == 0.0
+
+    @given(sets, sets)
+    def test_symmetric(self, a, b):
+        assert jaccard_similarity(a, b) == jaccard_similarity(b, a)
+
+    @given(sets, sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard_similarity(a, b) <= 1.0
+
+    @given(st.sets(st.integers(), min_size=1, max_size=12))
+    def test_self_similarity_is_one(self, a):
+        assert jaccard_similarity(a, a) == 1.0
+
+
+class TestSimilarityTable:
+    def test_defaults(self):
+        table = SimilarityTable(products=["a", "b"])
+        assert table.get("a", "a") == 1.0
+        assert table.get("a", "b") == 0.0
+        assert table.get("a", "unknown") == 0.0
+
+    def test_set_is_symmetric(self):
+        table = SimilarityTable()
+        table.set("a", "b", 0.3)
+        assert table.get("b", "a") == 0.3
+
+    def test_set_registers_products(self):
+        table = SimilarityTable()
+        table.set("a", "b", 0.3)
+        assert "a" in table and "b" in table
+
+    def test_callable_interface(self):
+        table = SimilarityTable(pairs={("a", "b"): 0.2})
+        assert table("a", "b") == 0.2
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            SimilarityTable().set("a", "b", value)
+
+    def test_rejects_non_unit_self_similarity(self):
+        with pytest.raises(ValueError):
+            SimilarityTable().set("a", "a", 0.5)
+
+    def test_unit_self_similarity_allowed(self):
+        table = SimilarityTable()
+        table.set("a", "a", 1.0)
+        assert table.get("a", "a") == 1.0
+
+    def test_matrix(self):
+        table = SimilarityTable(pairs={("a", "b"): 0.25})
+        matrix = table.matrix(["a", "b"])
+        expected = np.array([[1.0, 0.25], [0.25, 1.0]])
+        assert np.allclose(matrix, expected)
+
+    def test_matrix_default_products(self):
+        table = SimilarityTable(products=["a", "b", "c"])
+        assert table.matrix().shape == (3, 3)
+
+    def test_mean_offdiagonal(self):
+        table = SimilarityTable(products=["a", "b", "c"], pairs={("a", "b"): 0.6})
+        assert table.mean_offdiagonal() == pytest.approx(0.2)
+
+    def test_mean_offdiagonal_degenerate(self):
+        assert SimilarityTable(products=["a"]).mean_offdiagonal() == 0.0
+
+    def test_restricted_to(self):
+        table = SimilarityTable(
+            pairs={("a", "b"): 0.3, ("a", "c"): 0.7},
+            vulnerability_counts={"a": 10, "c": 5},
+        )
+        sub = table.restricted_to(["a", "b"])
+        assert sub.products == ["a", "b"]
+        assert sub.get("a", "b") == 0.3
+        assert sub.get("a", "c") == 0.0
+        assert sub.vulnerability_counts == {"a": 10}
+
+    def test_merged_with(self):
+        left = SimilarityTable(pairs={("a", "b"): 0.3})
+        right = SimilarityTable(pairs={("b", "c"): 0.5, ("a", "b"): 0.4})
+        merged = left.merged_with(right)
+        assert merged.get("a", "b") == 0.4  # right wins
+        assert merged.get("b", "c") == 0.5
+
+    def test_format_table_contains_counts(self):
+        table = SimilarityTable(
+            pairs={("a", "b"): 0.3},
+            vulnerability_counts={"a": 12, "b": 7},
+            shared_counts={("a", "b"): 4},
+        )
+        rendered = table.format_table()
+        assert "(12)" in rendered and "(4)" in rendered
+
+    @given(
+        st.dictionaries(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.sampled_from(["a", "b", "c", "d"]),
+            ).filter(lambda t: t[0] != t[1]),
+            st.floats(min_value=0.0, max_value=1.0),
+            max_size=6,
+        )
+    )
+    def test_property_symmetry_and_bounds(self, pairs):
+        table = SimilarityTable(pairs=pairs)
+        for a in table.products:
+            for b in table.products:
+                assert table.get(a, b) == table.get(b, a)
+                assert 0.0 <= table.get(a, b) <= 1.0
+                if a == b:
+                    assert table.get(a, b) == 1.0
+
+
+class TestFromDatabase:
+    def test_pipeline_matches_hand_computation(self):
+        db = VulnerabilityDatabase()
+        chrome = CPE.parse("cpe:/a:google:chrome")
+        firefox = CPE.parse("cpe:/a:mozilla:firefox")
+        db.add(CVERecord.build(2015, 1, [chrome]))
+        db.add(CVERecord.build(2015, 2, [chrome, firefox]))
+        db.add(CVERecord.build(2016, 3, [firefox]))
+        db.add(CVERecord.build(2016, 4, [firefox]))
+        table = similarity_table_from_database(
+            db, {"Chrome": chrome, "Firefox": firefox}
+        )
+        # |C|=2, |F|=3, shared=1, union=4.
+        assert table.get("Chrome", "Firefox") == pytest.approx(0.25)
+        assert table.vulnerability_counts == {"Chrome": 2, "Firefox": 3}
+        assert table.shared_counts[("Chrome", "Firefox")] == 1
+
+    def test_year_bounds_respected(self):
+        db = VulnerabilityDatabase()
+        chrome = CPE.parse("cpe:/a:google:chrome")
+        firefox = CPE.parse("cpe:/a:mozilla:firefox")
+        db.add(CVERecord.build(1998, 1, [chrome, firefox]))
+        db.add(CVERecord.build(2000, 2, [chrome]))
+        table = similarity_table_from_database(
+            db, {"Chrome": chrome, "Firefox": firefox}, since=1999, until=2016
+        )
+        assert table.get("Chrome", "Firefox") == 0.0
+        assert table.vulnerability_counts["Firefox"] == 0

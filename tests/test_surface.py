@@ -1,0 +1,156 @@
+"""Tests for attack-surface analysis (repro.metrics.surface)."""
+
+import pytest
+
+from repro.core.baselines import mono_assignment
+from repro.metrics.surface import (
+    attack_surface,
+    criticality_ranking,
+    host_risk_profile,
+)
+from repro.network.model import Network
+from repro.network.topologies import chain_network
+from repro.nvd.similarity import SimilarityTable
+from repro.sim.malware import InfectionModel
+
+
+def flat_model(rate):
+    return InfectionModel(similarity=SimilarityTable(), p_avg=rate, p_max=rate)
+
+
+@pytest.fixture
+def chain():
+    net = chain_network(4)
+    return net, mono_assignment(net)
+
+
+class TestAttackSurface:
+    def test_per_entry_probabilities(self, chain):
+        net, assignment = chain
+        report = attack_surface(
+            net, assignment, flat_model(0.5), entries=["h0", "h2"], target="h3"
+        )
+        assert report.per_entry["h0"] == pytest.approx(0.5**3)
+        assert report.per_entry["h2"] == pytest.approx(0.5)
+        assert report.worst_entry == "h2"
+        assert report.worst == pytest.approx(0.5)
+
+    def test_uniform_expectation(self, chain):
+        net, assignment = chain
+        report = attack_surface(
+            net, assignment, flat_model(0.5), entries=["h0", "h2"], target="h3"
+        )
+        assert report.expected == pytest.approx((0.125 + 0.5) / 2)
+
+    def test_custom_prior(self, chain):
+        net, assignment = chain
+        report = attack_surface(
+            net, assignment, flat_model(0.5), entries=["h0", "h2"], target="h3",
+            prior={"h0": 3.0, "h2": 1.0},
+        )
+        assert report.expected == pytest.approx(0.75 * 0.125 + 0.25 * 0.5)
+
+    def test_empty_entries_rejected(self, chain):
+        net, assignment = chain
+        with pytest.raises(ValueError):
+            attack_surface(net, assignment, flat_model(0.5), entries=[], target="h3")
+
+    def test_zero_mass_prior_rejected(self, chain):
+        net, assignment = chain
+        with pytest.raises(ValueError):
+            attack_surface(
+                net, assignment, flat_model(0.5), entries=["h0"], target="h3",
+                prior={"h1": 1.0},
+            )
+
+    def test_negative_prior_rejected(self, chain):
+        net, assignment = chain
+        with pytest.raises(ValueError):
+            attack_surface(
+                net, assignment, flat_model(0.5), entries=["h0"], target="h3",
+                prior={"h0": -1.0},
+            )
+
+    def test_format(self, chain):
+        net, assignment = chain
+        report = attack_surface(
+            net, assignment, flat_model(0.5), entries=["h0", "h2"], target="h3"
+        )
+        text = report.format()
+        assert "worst" in text and "expected over entries" in text
+
+    def test_case_study_entries(self):
+        from repro.casestudy.stuxnet import stuxnet_case_study
+
+        case = stuxnet_case_study()
+        assignment = mono_assignment(case.network)
+        model = InfectionModel(similarity=case.similarity, p_avg=0.1, p_max=0.3)
+        report = attack_surface(
+            case.network, assignment, model, entries=case.entries, target="t5"
+        )
+        assert set(report.per_entry) == set(case.entries)
+        assert 0.0 < report.expected <= report.worst <= 1.0
+
+
+class TestHostRiskProfile:
+    def test_profile_covers_and_ranks(self, chain):
+        net, assignment = chain
+        profile = host_risk_profile(net, assignment, flat_model(0.5), "h0")
+        assert [host for host, _ in profile] == ["h0", "h1", "h2", "h3"]
+        values = [p for _, p in profile]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 1.0
+
+    def test_unreachable_hosts_zero(self):
+        net = Network()
+        net.add_host("a", {"svc": ["x"]})
+        net.add_host("lonely", {"svc": ["x"]})
+        assignment = mono_assignment(net)
+        profile = dict(host_risk_profile(net, assignment, flat_model(0.5), "a"))
+        assert profile["lonely"] == 0.0
+
+
+class TestCriticalityRanking:
+    def test_bridge_link_dominates(self):
+        # Two clusters joined by one bridge: severing the bridge zeroes the
+        # target's risk; intra-cluster links matter less.
+        net = Network()
+        for name in ("e1", "e2", "bridgeL", "bridgeR", "t1", "t2"):
+            net.add_host(name, {"svc": ["x"]})
+        net.add_links(
+            [("e1", "e2"), ("e1", "bridgeL"), ("e2", "bridgeL"),
+             ("bridgeL", "bridgeR"),
+             ("bridgeR", "t1"), ("bridgeR", "t2"), ("t1", "t2")]
+        )
+        assignment = mono_assignment(net)
+        ranking = criticality_ranking(
+            net, assignment, flat_model(0.5), entry="e1", target="t1"
+        )
+        assert ranking[0][0] == ("bridgeL", "bridgeR")
+        assert ranking[0][1] > 0
+
+    def test_reductions_nonnegative_on_chain(self, chain):
+        net, assignment = chain
+        ranking = criticality_ranking(
+            net, assignment, flat_model(0.5), entry="h0", target="h3"
+        )
+        assert all(reduction >= -1e-12 for _, reduction in ranking)
+        assert len(ranking) == net.edge_count()
+
+    def test_top_truncates(self, chain):
+        net, assignment = chain
+        ranking = criticality_ranking(
+            net, assignment, flat_model(0.5), entry="h0", target="h3", top=2
+        )
+        assert len(ranking) == 2
+
+    def test_irrelevant_link_scores_zero(self):
+        net = Network()
+        for name in ("a", "b", "c", "d"):
+            net.add_host(name, {"svc": ["x"]})
+        net.add_links([("a", "b"), ("c", "d"), ("b", "c")])
+        assignment = mono_assignment(net)
+        ranking = dict(
+            criticality_ranking(net, assignment, flat_model(0.5), "a", "b")
+        )
+        assert ranking[("c", "d")] == pytest.approx(0.0)

@@ -1,0 +1,85 @@
+"""Tests for standard topologies (repro.network.topologies)."""
+
+import pytest
+
+from repro.network.topologies import (
+    MOTIVATIONAL_DIVERSIFIED,
+    chain_network,
+    complete_network,
+    grid_network,
+    motivational_network,
+    ring_network,
+    star_network,
+    tree_network,
+)
+
+
+class TestBasicShapes:
+    def test_chain(self):
+        net = chain_network(5)
+        assert len(net) == 5
+        assert net.edge_count() == 4
+        assert net.degree("h0") == 1 and net.degree("h2") == 2
+
+    def test_ring(self):
+        net = ring_network(5)
+        assert net.edge_count() == 5
+        assert all(net.degree(h) == 2 for h in net.hosts)
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_network(2)
+
+    def test_star(self):
+        net = star_network(4)
+        assert len(net) == 5
+        assert net.degree("h0") == 4
+        assert all(net.degree(f"h{i}") == 1 for i in range(1, 5))
+
+    def test_grid(self):
+        net = grid_network(3, 4)
+        assert len(net) == 12
+        assert net.edge_count() == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert net.degree("h0_0") == 2
+        assert net.degree("h1_1") == 4
+
+    def test_tree(self):
+        net = tree_network(depth=2, branching=2)
+        assert len(net) == 7
+        assert net.edge_count() == 6
+        assert net.degree("h0") == 2
+
+    def test_tree_negative_depth(self):
+        with pytest.raises(ValueError):
+            tree_network(-1)
+
+    def test_complete(self):
+        net = complete_network(5)
+        assert net.edge_count() == 10
+
+    def test_custom_services(self):
+        net = chain_network(3, services={"db": ["x", "y", "z"]})
+        assert net.candidates("h1", "db") == ("x", "y", "z")
+
+
+class TestMotivational:
+    def test_single_label_shape(self):
+        net = motivational_network()
+        assert len(net) == 8
+        assert net.edge_count() == 7
+        assert net.services_of("entry") == ["svc"]
+
+    def test_multi_label_adds_square_service(self):
+        net = motivational_network(multi_label=True)
+        assert net.services_of("entry") == ["svc", "svc2"]
+        assert net.candidates("m1", "svc2") == ("square",)
+        assert net.services_of("target") == ["svc"]
+
+    def test_diversified_labelling_covers_all_hosts(self):
+        net = motivational_network()
+        assert set(MOTIVATIONAL_DIVERSIFIED) == set(net.hosts)
+
+    def test_diversified_labelling_alternates_on_path(self):
+        path = ["entry", "m1", "m2", "target"]
+        for a, b in zip(path, path[1:]):
+            assert MOTIVATIONAL_DIVERSIFIED[a] != MOTIVATIONAL_DIVERSIFIED[b]

@@ -1,0 +1,137 @@
+"""Tests for the TRW-S solver (repro.mrf.trws).
+
+Ground truth comes from brute force on small instances: TRW-S must be exact
+on trees, its lower bound must never exceed the optimum, and its labelling
+must never beat the optimum (impossible) nor trail it badly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mrf.exact import ExactSolver
+from repro.mrf.graph import PairwiseMRF
+from repro.mrf.trws import TRWSSolver
+
+from conftest import make_random_mrf
+
+
+class TestDegenerateCases:
+    def test_empty_mrf(self):
+        result = TRWSSolver().solve(PairwiseMRF())
+        assert result.labels == []
+        assert result.energy == 0.0
+        assert result.converged
+
+    def test_single_node(self):
+        mrf = PairwiseMRF()
+        mrf.add_node([3.0, 1.0, 2.0])
+        result = TRWSSolver().solve(mrf)
+        assert result.labels == [1]
+        assert result.energy == pytest.approx(1.0)
+
+    def test_isolated_nodes(self):
+        mrf = PairwiseMRF()
+        mrf.add_node([0.5, 0.1])
+        mrf.add_node([0.9, 0.2])
+        result = TRWSSolver().solve(mrf)
+        assert result.labels == [1, 1]
+        assert result.is_certified_optimal()
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            TRWSSolver(max_iterations=0)
+
+
+class TestExactOnTrees:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_on_random_trees(self, seed):
+        mrf = make_random_mrf(nodes=7, edge_probability=0.0, max_labels=3,
+                              seed=seed, tree=True)
+        exact = ExactSolver().solve(mrf)
+        result = TRWSSolver(max_iterations=50).solve(mrf)
+        assert result.energy == pytest.approx(exact.energy, abs=1e-9)
+        assert result.is_certified_optimal(tolerance=1e-6)
+
+    def test_two_node_antiferromagnet(self):
+        mrf = PairwiseMRF()
+        a = mrf.add_node([0.0, 1.0])
+        b = mrf.add_node([0.0, 1.0])
+        mrf.add_edge(a, b, np.array([[1.0, 0.0], [0.0, 1.0]]))
+        result = TRWSSolver().solve(mrf)
+        # Optima are tied at energy 1.0 (e.g. [0, 1] pays unary, [0, 0] pays
+        # the edge); the solver must reach that optimum.
+        assert result.energy == pytest.approx(1.0)
+        assert result.is_certified_optimal()
+
+    def test_chain_colouring(self):
+        # A 6-chain with identity-penalty edges: optimal alternates labels.
+        mrf = PairwiseMRF()
+        nodes = [mrf.add_node([0.0, 0.0]) for _ in range(6)]
+        penalty = np.eye(2)
+        for a, b in zip(nodes, nodes[1:]):
+            mrf.add_edge(a, b, penalty)
+        result = TRWSSolver().solve(mrf)
+        assert result.energy == pytest.approx(0.0)
+        for a, b in zip(result.labels, result.labels[1:]):
+            assert a != b
+
+
+class TestLoopyInstances:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bound_below_optimum_and_energy_reachable(self, seed):
+        mrf = make_random_mrf(nodes=6, edge_probability=0.5, max_labels=3,
+                              seed=seed)
+        exact = ExactSolver().solve(mrf)
+        result = TRWSSolver(max_iterations=60).solve(mrf)
+        assert result.lower_bound <= exact.energy + 1e-9
+        assert result.energy >= exact.energy - 1e-9
+        # TRW-S should land close to the optimum on these tiny instances.
+        assert result.energy <= exact.energy + 0.5
+
+    def test_frustrated_triangle(self):
+        # Odd cycle with identity penalties: optimum pays exactly one edge.
+        mrf = PairwiseMRF()
+        nodes = [mrf.add_node([0.0, 0.0]) for _ in range(3)]
+        penalty = np.eye(2)
+        mrf.add_edge(nodes[0], nodes[1], penalty)
+        mrf.add_edge(nodes[1], nodes[2], penalty)
+        mrf.add_edge(nodes[0], nodes[2], penalty)
+        result = TRWSSolver(max_iterations=50).solve(mrf)
+        assert result.energy == pytest.approx(1.0)
+        assert result.lower_bound <= 1.0 + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_bound_is_valid(self, seed):
+        mrf = make_random_mrf(nodes=5, edge_probability=0.6, max_labels=3,
+                              seed=seed)
+        exact = ExactSolver().solve(mrf)
+        result = TRWSSolver(max_iterations=30).solve(mrf)
+        assert result.lower_bound <= exact.energy + 1e-9
+        assert result.energy + 1e-9 >= exact.energy
+
+
+class TestDiagnostics:
+    def test_traces_recorded(self):
+        mrf = make_random_mrf(nodes=6, edge_probability=0.5, max_labels=3, seed=1)
+        result = TRWSSolver(max_iterations=10).solve(mrf)
+        assert len(result.energy_trace) == result.iterations
+        assert len(result.bound_trace) == result.iterations
+        # best-energy trace is non-increasing, bound trace non-decreasing.
+        assert all(a >= b for a, b in zip(result.energy_trace, result.energy_trace[1:]))
+        assert all(a <= b for a, b in zip(result.bound_trace, result.bound_trace[1:]))
+
+    def test_compute_bound_disabled(self):
+        # Dense graph so the loopy message-passing path (not the forest DP)
+        # is exercised.
+        mrf = make_random_mrf(nodes=6, edge_probability=1.0, max_labels=3, seed=1)
+        result = TRWSSolver(max_iterations=5, compute_bound=False).solve(mrf)
+        assert result.lower_bound == float("-inf")
+        assert not result.is_certified_optimal()
+
+    def test_optimality_gap(self):
+        mrf = PairwiseMRF()
+        mrf.add_node([0.0, 1.0])
+        result = TRWSSolver().solve(mrf)
+        assert result.optimality_gap == pytest.approx(0.0)

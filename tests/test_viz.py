@@ -1,0 +1,86 @@
+"""Tests for DOT/ASCII visualisation (repro.viz)."""
+
+import pytest
+
+from repro.core import diversify, mono_assignment
+from repro.network.assignment import ProductAssignment
+from repro.network.topologies import chain_network
+from repro.nvd.similarity import SimilarityTable
+from repro.viz import ascii_summary, to_dot
+
+
+@pytest.fixture
+def setting():
+    net = chain_network(3, services={"svc": ["x", "y"]})
+    assignment = ProductAssignment(
+        net, {("h0", "svc"): "x", ("h1", "svc"): "x", ("h2", "svc"): "y"}
+    )
+    table = SimilarityTable(pairs={("x", "y"): 0.4})
+    return net, assignment, table
+
+
+class TestDot:
+    def test_bare_network(self, setting):
+        net, _, _ = setting
+        dot = to_dot(net)
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+        for host in net.hosts:
+            assert f'"{host}"' in dot
+        assert '"h0" -- "h1"' in dot
+
+    def test_assignment_labels(self, setting):
+        net, assignment, _ = setting
+        dot = to_dot(net, assignment)
+        assert "h0\\nx" in dot
+        assert "h2\\ny" in dot
+
+    def test_edge_heat_colours(self, setting):
+        net, assignment, table = setting
+        dot = to_dot(net, assignment, table)
+        # h0-h1 is a mono edge (sim 1.0 → red); h1-h2 sim 0.4.
+        assert 'tooltip="similarity 1.000"' in dot
+        assert 'tooltip="similarity 0.400"' in dot
+        assert "#ff" in dot  # red component maxed on the mono edge
+
+    def test_zone_clusters(self, setting):
+        net, _, _ = setting
+        dot = to_dot(net, zones={"left": ["h0", "h1"], "right": ["h2"]})
+        assert "subgraph cluster_0" in dot
+        assert 'label="left"' in dot
+
+    def test_title_escaped(self, setting):
+        net, _, _ = setting
+        dot = to_dot(net, title='say "hi"')
+        assert '\\"hi\\"' in dot
+
+    def test_case_study_renders(self):
+        from repro.casestudy.stuxnet import ZONES, stuxnet_case_study
+
+        case = stuxnet_case_study()
+        result = diversify(case.network, case.similarity)
+        dot = to_dot(case.network, result.assignment, case.similarity, zones=ZONES)
+        assert dot.count("subgraph") == len(ZONES)
+        assert dot.count("--") == case.network.edge_count()
+
+
+class TestAsciiSummary:
+    def test_basic_stats(self, setting):
+        net, _, _ = setting
+        text = ascii_summary(net)
+        assert "3 hosts" in text and "2 links" in text
+        assert "degree" in text
+
+    def test_top_edges_ranked(self, setting):
+        net, assignment, table = setting
+        text = ascii_summary(net, assignment, table, top_edges=2)
+        lines = text.splitlines()
+        assert "h0 -- h1: mean similarity 1.000" in text
+        first = next(i for i, l in enumerate(lines) if "h0 -- h1" in l)
+        second = next(i for i, l in enumerate(lines) if "h1 -- h2" in l)
+        assert first < second  # most similar edge listed first
+
+    def test_mono_network_flags_everything(self):
+        net = chain_network(4)
+        text = ascii_summary(net, mono_assignment(net), SimilarityTable())
+        assert text.count("1.000") == 3
