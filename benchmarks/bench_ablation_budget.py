@@ -13,7 +13,7 @@ captures half of the achievable gain.
 """
 
 from repro.core.baselines import mono_assignment
-from repro.core.planner import plan_upgrade, upgrade_frontier
+from repro.core.planner import upgrade_frontier
 
 MAX_BUDGET = 30
 

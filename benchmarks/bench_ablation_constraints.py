@@ -7,7 +7,6 @@ bench quantifies that sacrifice on the case study in three currencies:
 MRF energy, total edge similarity, and the d_bn diversity metric.
 """
 
-import pytest
 
 from repro.core.diversify import diversify
 from repro.metrics.diversity import diversity_metric

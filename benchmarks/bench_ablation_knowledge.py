@@ -20,7 +20,6 @@ size across networks depends on where the noise happens to route the
 attacker, so it is reported, not asserted.
 """
 
-import pytest
 
 from repro.adversary.evaluate import knowledge_sweep
 from repro.core.baselines import mono_assignment

@@ -9,7 +9,6 @@ mono-culture (everyone prefers the same product) and show the similarity
 penalty progressively overriding them as λ grows.
 """
 
-import pytest
 
 from repro.core.diversify import diversify
 from repro.network.topologies import ring_network

@@ -35,7 +35,7 @@ def test_table7_benchmark(benchmark, density, hosts):
     _results[(density, hosts)] = cell
 
 
-def test_table7_shape_and_artifact(benchmark, write_artifact):
+def test_table7_shape_and_artifact(benchmark, write_artifact, record_bench):
     if len(_results) < len(HOST_COUNTS):
         pytest.skip("benchmark cells did not run (collection filter?)")
     # Runtime must grow with host count (allowing small-n noise).
@@ -48,3 +48,11 @@ def test_table7_shape_and_artifact(benchmark, write_artifact):
     for (density, hosts), cell in sorted(_results.items()):
         lines.append(f"  {density:<6} " + cell.row())
     benchmark(write_artifact, "table7_hosts", "\n".join(lines))
+    record_bench(
+        "table7_hosts",
+        seconds=sum(cell.seconds for cell in _results.values()),
+        cells={
+            f"{density}/{hosts}": round(cell.seconds, 6)
+            for (density, hosts), cell in sorted(_results.items())
+        },
+    )

@@ -33,7 +33,7 @@ def test_table8_benchmark(benchmark, degree):
     _results[degree] = cell
 
 
-def test_table8_shape_and_artifact(benchmark, write_artifact):
+def test_table8_shape_and_artifact(benchmark, write_artifact, record_bench):
     if len(_results) < len(DEGREES):
         pytest.skip("benchmark cells did not run (collection filter?)")
     # Growing degree costs more time overall...
@@ -46,3 +46,9 @@ def test_table8_shape_and_artifact(benchmark, write_artifact):
     for degree, cell in sorted(_results.items()):
         lines.append("  " + cell.row())
     benchmark(write_artifact, "table8_degree", "\n".join(lines))
+    record_bench(
+        "table8_degree",
+        seconds=sum(cell.seconds for cell in _results.values()),
+        cells={str(degree): round(cell.seconds, 6)
+               for degree, cell in sorted(_results.items())},
+    )

@@ -31,7 +31,7 @@ def test_table9_benchmark(benchmark, services):
     _results[services] = cell
 
 
-def test_table9_shape_and_artifact(benchmark, write_artifact):
+def test_table9_shape_and_artifact(benchmark, write_artifact, record_bench):
     if len(_results) < len(SERVICE_COUNTS):
         pytest.skip("benchmark cells did not run (collection filter?)")
     assert _results[30].seconds > _results[5].seconds
@@ -43,3 +43,9 @@ def test_table9_shape_and_artifact(benchmark, write_artifact):
     for services, cell in sorted(_results.items()):
         lines.append("  " + cell.row())
     benchmark(write_artifact, "table9_services", "\n".join(lines))
+    record_bench(
+        "table9_services",
+        seconds=sum(cell.seconds for cell in _results.values()),
+        cells={str(services): round(cell.seconds, 6)
+               for services, cell in sorted(_results.items())},
+    )

@@ -4,10 +4,19 @@ Every benchmark regenerates one artefact of the paper (a table or figure)
 and, besides the pytest-benchmark timing, writes the rendered rows to
 ``benchmarks/results/<name>.txt`` so the reproduction's numbers are
 inspectable after a run.
+
+Timing records additionally land in ``benchmarks/results/BENCH_<name>.json``
+via the :func:`record_bench` fixture — one small machine-readable file per
+benchmark, with a stable schema, so the performance trajectory of the hot
+paths can be tracked across commits (diff the JSON, plot the series) rather
+than eyeballed out of pytest-benchmark's console table.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from pathlib import Path
 
 import pytest
@@ -15,6 +24,9 @@ import pytest
 from repro.casestudy.stuxnet import stuxnet_case_study
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Schema version of the BENCH_*.json records; bump on breaking changes.
+BENCH_SCHEMA = 1
 
 
 @pytest.fixture(scope="session")
@@ -34,3 +46,36 @@ def write_artifact():
         return path
 
     return write
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Writer for machine-readable timing records.
+
+    ``record_bench("vectorized_trws", seconds=1.23, hosts=120)`` →
+    ``benchmarks/results/BENCH_vectorized_trws.json`` holding::
+
+        {"schema": 1, "bench": "vectorized_trws", "seconds": 1.23,
+         "python": "3.11.7", "created_unix": 1690000000,
+         "extra": {"hosts": 120}}
+
+    ``seconds`` is the headline number trend tooling should chart; every
+    additional keyword lands under ``extra`` for context (per-cell splits,
+    workload parameters, speedup ratios).
+    """
+
+    def record(name: str, seconds: float, **extra) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "bench": name,
+            "seconds": round(float(seconds), 6),
+            "python": platform.python_version(),
+            "created_unix": int(time.time()),
+            "extra": extra,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return record

@@ -23,12 +23,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, List, Sequence, Tuple
 
 from repro.core.costs import assignment_energy
 from repro.core.diversify import diversify
+from repro.network.assignment import ProductAssignment
 from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
+from repro.runner import Job, run_jobs
 
 __all__ = [
     "CalibrationCell",
@@ -65,51 +67,72 @@ class CalibrationCell:
         return f"p_avg={self.p_avg:<5} p_max={self.p_max:<5} [{flag}] {values}"
 
 
+def _calibration_cell(
+    case, entry: str, seed: int, p_avg: float, p_max: float
+) -> CalibrationCell:
+    """Evaluate the Table V ordering under one (p_avg, p_max) calibration.
+
+    Module-level so the runner can ship it to worker processes.
+    """
+    from repro.experiments import table5_diversity
+
+    reports = table5_diversity(case, entry=entry, p_avg=p_avg,
+                               p_max=p_max, seed=seed)
+    d_bn = {label: report.d_bn for label, report in reports.items()}
+    ordering = (
+        d_bn["optimal"] > d_bn["host_constrained"] - 1e-12
+        and d_bn["host_constrained"] >= d_bn["product_constrained"] - 1e-9
+        and d_bn["product_constrained"] > d_bn["random"] - 1e-12
+        and d_bn["random"] > d_bn["mono"] - 1e-12
+    )
+    optimal_wins = (
+        d_bn["optimal"] > d_bn["random"] - 1e-12
+        and d_bn["optimal"] > d_bn["mono"] - 1e-12
+    )
+    return CalibrationCell(
+        p_avg=p_avg,
+        p_max=p_max,
+        d_bn=d_bn,
+        ordering_holds=ordering,
+        optimal_wins=optimal_wins,
+    )
+
+
 def calibration_sensitivity(
     case=None,
     p_avgs: Sequence[float] = (0.05, 0.1, 0.15),
     p_maxs: Sequence[float] = (0.2, 0.3, 0.4),
     entry: str = "c4",
     seed: int = 11,
+    workers: Optional[int] = None,
 ) -> List[CalibrationCell]:
     """Evaluate the Table V ordering over a calibration grid.
 
-    Invalid combinations (p_max < p_avg) are skipped.  The expensive parts
-    (the three optimisations and the baselines) are computed once and
-    reused for every grid point; only the BN metric is re-run.
+    Invalid combinations (p_max < p_avg) are skipped.  Each grid point is
+    an independent runner job keyed by its calibration, so the grid can be
+    spread over ``workers`` processes; cell order (and every value) is
+    identical serial or parallel.
     """
     from repro.casestudy.stuxnet import stuxnet_case_study
-    from repro.experiments import table5_diversity
 
     case = case or stuxnet_case_study()
-    cells: List[CalibrationCell] = []
-    for p_avg in p_avgs:
-        for p_max in p_maxs:
-            if p_max < p_avg:
-                continue
-            reports = table5_diversity(case, entry=entry, p_avg=p_avg,
-                                       p_max=p_max, seed=seed)
-            d_bn = {label: report.d_bn for label, report in reports.items()}
-            ordering = (
-                d_bn["optimal"] > d_bn["host_constrained"] - 1e-12
-                and d_bn["host_constrained"] >= d_bn["product_constrained"] - 1e-9
-                and d_bn["product_constrained"] > d_bn["random"] - 1e-12
-                and d_bn["random"] > d_bn["mono"] - 1e-12
-            )
-            optimal_wins = (
-                d_bn["optimal"] > d_bn["random"] - 1e-12
-                and d_bn["optimal"] > d_bn["mono"] - 1e-12
-            )
-            cells.append(
-                CalibrationCell(
-                    p_avg=p_avg,
-                    p_max=p_max,
-                    d_bn=d_bn,
-                    ordering_holds=ordering,
-                    optimal_wins=optimal_wins,
-                )
-            )
-    return cells
+    # Keys carry the grid position so duplicate calibrations in the input
+    # sequences run (and report) once each, like the original loops did.
+    jobs = [
+        Job(
+            key=(position, p_avg, p_max),
+            fn=_calibration_cell,
+            kwargs=dict(case=case, entry=entry, seed=seed,
+                        p_avg=p_avg, p_max=p_max),
+        )
+        for position, (p_avg, p_max) in enumerate(
+            (p_avg, p_max)
+            for p_avg in p_avgs
+            for p_max in p_maxs
+            if p_max >= p_avg
+        )
+    ]
+    return list(run_jobs(jobs, workers=workers).values())
 
 
 @dataclass(frozen=True)
@@ -164,48 +187,82 @@ def perturbed_similarity(
     return perturbed
 
 
+def _perturbation_cell(
+    network: Network,
+    similarity: SimilarityTable,
+    original_choices: Mapping[Tuple[str, str], str],
+    noise: float,
+    seed: int,
+    diversify_options: Mapping,
+) -> PerturbationResult:
+    """Re-optimise one perturbed world and score drift vs the original.
+
+    Module-level so the runner can ship it to worker processes; the
+    original optimum travels as its plain (host, service) → product
+    mapping and is rebuilt into an assignment for the energy evaluation.
+    """
+    world = perturbed_similarity(similarity, noise, seed)
+    reoptimised = diversify(network, world, **diversify_options)
+    agreement = sum(
+        1
+        for key, product in original_choices.items()
+        if reoptimised.assignment.get(*key) == product
+    ) / len(original_choices)
+    original_assignment = ProductAssignment(network)
+    for (host, service), product in original_choices.items():
+        original_assignment.assign(host, service, product)
+    energy_original = assignment_energy(network, world, original_assignment)
+    energy_reoptimised = assignment_energy(
+        network, world, reoptimised.assignment
+    )
+    regret = (
+        (energy_original - energy_reoptimised) / energy_reoptimised
+        if energy_reoptimised > 0
+        else 0.0
+    )
+    return PerturbationResult(
+        noise=noise, seed=seed, agreement=agreement, regret=regret
+    )
+
+
 def similarity_perturbation_sensitivity(
     network: Network,
     similarity: SimilarityTable,
     noise_levels: Sequence[float] = (0.1, 0.3, 0.5),
     seeds: Sequence[int] = (0, 1, 2),
+    workers: Optional[int] = None,
     **diversify_options,
 ) -> List[PerturbationResult]:
     """Re-optimise under perturbed similarities and measure the drift.
 
     Returns one :class:`PerturbationResult` per (noise, seed) pair; the
-    original optimum is computed once.
+    original optimum is computed once, then every (noise, seed) world is an
+    independent runner job — spread them with ``workers``, the result rows
+    are byte-identical to a serial run.
     """
     original = diversify(network, similarity, **diversify_options)
-    variables = [
-        (host, service)
+    original_choices = {
+        (host, service): original.assignment.get(host, service)
         for host in network.hosts
         for service in network.services_of(host)
+    }
+    # Keys carry the grid position so duplicate (noise, seed) pairs in the
+    # input sequences still yield one row each, like the original loops.
+    jobs = [
+        Job(
+            key=(position, noise, seed),
+            fn=_perturbation_cell,
+            kwargs=dict(
+                network=network,
+                similarity=similarity,
+                original_choices=original_choices,
+                noise=noise,
+                seed=seed,
+                diversify_options=dict(diversify_options),
+            ),
+        )
+        for position, (noise, seed) in enumerate(
+            (noise, seed) for noise in noise_levels for seed in seeds
+        )
     ]
-    results: List[PerturbationResult] = []
-    for noise in noise_levels:
-        for seed in seeds:
-            world = perturbed_similarity(similarity, noise, seed)
-            reoptimised = diversify(network, world, **diversify_options)
-            agreement = sum(
-                1
-                for key in variables
-                if original.assignment.get(*key) == reoptimised.assignment.get(*key)
-            ) / len(variables)
-            energy_original = assignment_energy(
-                network, world, original.assignment
-            )
-            energy_reoptimised = assignment_energy(
-                network, world, reoptimised.assignment
-            )
-            regret = (
-                (energy_original - energy_reoptimised) / energy_reoptimised
-                if energy_reoptimised > 0
-                else 0.0
-            )
-            results.append(
-                PerturbationResult(
-                    noise=noise, seed=seed, agreement=agreement, regret=regret
-                )
-            )
-    return results
+    return list(run_jobs(jobs, workers=workers).values())

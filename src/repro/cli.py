@@ -8,7 +8,8 @@ corresponding table/figure.  Subcommands:
 * ``table2`` / ``table3`` — the published similarity tables.
 * ``table5`` — the diversity metric d_bn.
 * ``table6`` — MTTC simulation (``--runs`` controls the batch size).
-* ``table7`` / ``table8`` / ``table9`` — scalability sweeps.
+* ``table7`` / ``table8`` / ``table9`` — scalability sweeps; ``--workers N``
+  spreads the grid cells over N processes (see :mod:`repro.runner`).
 * ``synthetic-nvd`` — regenerate similarity tables from the synthetic feed.
 
 Extension commands (beyond the paper's tables):
@@ -17,6 +18,7 @@ Extension commands (beyond the paper's tables):
 * ``richness`` — effective-richness diversity metric d1.
 * ``plan`` — greedy budgeted upgrade plan from the mono-culture.
 * ``adversary`` — attacker-knowledge sweep (the paper's future work).
+* ``sensitivity`` — similarity-perturbation sensitivity (``--workers`` too).
 * ``dot`` — Graphviz export of the case study with similarity heat.
 """
 
@@ -73,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="run at the paper's full scale (minutes, not seconds)",
         )
+        t.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="grid cells run in this many processes (-1 = one per CPU; "
+            "default serial); results are identical, only faster",
+        )
 
     nvd = sub.add_parser(
         "synthetic-nvd", help="similarity tables from the synthetic NVD feed"
@@ -98,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
     adversary.add_argument("--target", default="t5")
     adversary.add_argument("--runs", type=int, default=300)
     adversary.add_argument("--seed", type=int, default=7)
+
+    sens = sub.add_parser(
+        "sensitivity",
+        help="similarity-perturbation sensitivity of the case-study optimum",
+    )
+    sens.add_argument("--noise", type=float, nargs="+", default=[0.1, 0.3, 0.5],
+                      help="relative similarity noise levels")
+    sens.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                      help="perturbation seeds per noise level")
+    sens.add_argument("--workers", type=int, default=None,
+                      help="(noise, seed) cells run in this many processes")
 
     dot = sub.add_parser("dot", help="Graphviz export of the case study")
     dot.add_argument("--out", default="case_study.dot")
@@ -160,7 +180,7 @@ def _table7(args: argparse.Namespace) -> None:
         hosts = hosts + (2000, 4000, 6000)
     print("Table VII — optimisation time vs #hosts")
     for (label, count), cell in experiments.table7_rows(
-        host_counts=hosts, seed=args.seed
+        host_counts=hosts, seed=args.seed, workers=args.workers
     ).items():
         print(f"  {label:<14} " + cell.row())
 
@@ -171,7 +191,7 @@ def _table8(args: argparse.Namespace) -> None:
         scales.append(("large-scale", 6000, 25))
     print("Table VIII — optimisation time vs degree")
     for (label, degree), cell in experiments.table8_rows(
-        scales=scales, seed=args.seed
+        scales=scales, seed=args.seed, workers=args.workers
     ).items():
         print(f"  {label:<14} " + cell.row())
 
@@ -182,7 +202,7 @@ def _table9(args: argparse.Namespace) -> None:
         scales.append(("large-scale", 6000, 40))
     print("Table IX — optimisation time vs services per host")
     for (label, services), cell in experiments.table9_rows(
-        scales=scales, seed=args.seed
+        scales=scales, seed=args.seed, workers=args.workers
     ).items():
         print(f"  {label:<14} " + cell.row())
 
@@ -270,6 +290,23 @@ def _adversary(args: argparse.Namespace) -> None:
             print("  " + result.row())
 
 
+def _sensitivity(args: argparse.Namespace) -> None:
+    from repro.analysis.sensitivity import similarity_perturbation_sensitivity
+    from repro.casestudy.stuxnet import stuxnet_case_study
+
+    case = stuxnet_case_study()
+    print("Similarity-perturbation sensitivity (case study)")
+    results = similarity_perturbation_sensitivity(
+        case.network,
+        case.similarity,
+        noise_levels=tuple(args.noise),
+        seeds=tuple(args.seeds),
+        workers=args.workers,
+    )
+    for result in results:
+        print("  " + result.row())
+
+
 def _dot(args: argparse.Namespace) -> None:
     from pathlib import Path
 
@@ -302,6 +339,7 @@ _HANDLERS = {
     "richness": _richness,
     "plan": _plan,
     "adversary": _adversary,
+    "sensitivity": _sensitivity,
     "dot": _dot,
 }
 

@@ -25,7 +25,7 @@ hard cost indicates an infeasible constraint set and is reported as
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np

@@ -10,10 +10,10 @@ diversity-oriented summary statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
 
-from repro.core.costs import HARD_COST, MRFBuild, build_mrf
+from repro.core.costs import MRFBuild, build_mrf
 from repro.mrf.solvers import SolverResult, get_solver
 from repro.network.assignment import ProductAssignment
 from repro.network.constraints import ConstraintSet, ConstraintViolation

@@ -24,7 +24,7 @@ optimiser minimises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.costs import assignment_energy

@@ -14,8 +14,8 @@ with the similarity itself.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.casestudy.stuxnet import CaseStudy, stuxnet_case_study
 from repro.core.baselines import mono_assignment, random_assignment
@@ -24,7 +24,6 @@ from repro.metrics.bayes import compromise_probability
 from repro.metrics.diversity import DiversityReport, diversity_metric
 from repro.metrics.mttc import MTTCResult, mean_time_to_compromise
 from repro.network.assignment import ProductAssignment
-from repro.network.constraints import ConstraintSet
 from repro.network.generator import (
     RandomNetworkConfig,
     random_network,
@@ -36,6 +35,7 @@ from repro.network.topologies import (
     MOTIVATIONAL_TARGET,
     motivational_network,
 )
+from repro.runner import Job, run_jobs
 from repro.sim.attacker import make_attacker
 from repro.sim.malware import InfectionModel
 
@@ -47,6 +47,7 @@ __all__ = [
     "table6_mttc",
     "ScalabilityCell",
     "scalability_cell",
+    "scalability_sweep",
     "table7_rows",
     "table8_rows",
     "table9_rows",
@@ -318,6 +319,26 @@ def scalability_cell(
     )
 
 
+def scalability_sweep(
+    configs: Dict[Tuple[str, int], RandomNetworkConfig],
+    workers: Optional[int] = None,
+    **cell_options,
+) -> Dict[Tuple[str, int], ScalabilityCell]:
+    """Run one :func:`scalability_cell` per grid point, optionally parallel.
+
+    The shared engine behind Tables VII-IX: each cell is an independent
+    :class:`~repro.runner.Job` (the workload's randomness is pinned by its
+    ``RandomNetworkConfig.seed``), executed serially or over a process pool
+    — energies and edge counts are identical either way, only wall-clock
+    timings vary with machine load.
+    """
+    jobs = [
+        Job(key=key, fn=scalability_cell, kwargs=dict(config=config, **cell_options))
+        for key, config in configs.items()
+    ]
+    return run_jobs(jobs, workers=workers)
+
+
 def table7_rows(
     host_counts: Sequence[int] = (100, 200, 400, 600, 800, 1000),
     densities: Sequence[Tuple[str, int, int]] = (
@@ -325,27 +346,30 @@ def table7_rows(
         ("high-density", 40, 25),
     ),
     seed: int = 0,
+    workers: Optional[int] = None,
     **cell_options,
 ) -> Dict[Tuple[str, int], ScalabilityCell]:
     """Runtime vs #hosts at the paper's two density settings (Table VII).
 
     The paper sweeps 100 → 6000 hosts; the default here stops at 1000 to
-    stay laptop-friendly — pass a larger ``host_counts`` to extend.
+    stay laptop-friendly — pass a larger ``host_counts`` to extend, and
+    ``workers`` to spread the cells over processes.
     """
-    results: Dict[Tuple[str, int], ScalabilityCell] = {}
-    for label, degree, services in densities:
-        for hosts in host_counts:
-            config = RandomNetworkConfig(
-                hosts=hosts, degree=degree, services=services, seed=seed
-            )
-            results[(label, hosts)] = scalability_cell(config, **cell_options)
-    return results
+    configs = {
+        (label, hosts): RandomNetworkConfig(
+            hosts=hosts, degree=degree, services=services, seed=seed
+        )
+        for label, degree, services in densities
+        for hosts in host_counts
+    }
+    return scalability_sweep(configs, workers=workers, **cell_options)
 
 
 def table8_rows(
     degrees: Sequence[int] = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50),
     scales: Sequence[Tuple[str, int, int]] = (("mid-scale", 1000, 15),),
     seed: int = 0,
+    workers: Optional[int] = None,
     **cell_options,
 ) -> Dict[Tuple[str, int], ScalabilityCell]:
     """Runtime vs degree at fixed host count (Table VIII).
@@ -353,31 +377,32 @@ def table8_rows(
     The paper's second row is ("large-scale", 6000, 25); include it in
     ``scales`` for a full-size run.
     """
-    results: Dict[Tuple[str, int], ScalabilityCell] = {}
-    for label, hosts, services in scales:
-        for degree in degrees:
-            config = RandomNetworkConfig(
-                hosts=hosts, degree=degree, services=services, seed=seed
-            )
-            results[(label, degree)] = scalability_cell(config, **cell_options)
-    return results
+    configs = {
+        (label, degree): RandomNetworkConfig(
+            hosts=hosts, degree=degree, services=services, seed=seed
+        )
+        for label, hosts, services in scales
+        for degree in degrees
+    }
+    return scalability_sweep(configs, workers=workers, **cell_options)
 
 
 def table9_rows(
     service_counts: Sequence[int] = (5, 10, 15, 20, 25, 30),
     scales: Sequence[Tuple[str, int, int]] = (("mid-scale", 1000, 20),),
     seed: int = 0,
+    workers: Optional[int] = None,
     **cell_options,
 ) -> Dict[Tuple[str, int], ScalabilityCell]:
     """Runtime vs services per host (Table IX).
 
     The paper's second row is ("large-scale", 6000, 40).
     """
-    results: Dict[Tuple[str, int], ScalabilityCell] = {}
-    for label, hosts, degree in scales:
-        for services in service_counts:
-            config = RandomNetworkConfig(
-                hosts=hosts, degree=degree, services=services, seed=seed
-            )
-            results[(label, services)] = scalability_cell(config, **cell_options)
-    return results
+    configs = {
+        (label, services): RandomNetworkConfig(
+            hosts=hosts, degree=degree, services=services, seed=seed
+        )
+        for label, hosts, degree in scales
+        for services in service_counts
+    }
+    return scalability_sweep(configs, workers=workers, **cell_options)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.network.assignment import ProductAssignment
 from repro.network.model import Network

@@ -1,10 +1,18 @@
-"""Loopy min-sum belief propagation.
+"""Loopy min-sum belief propagation, vectorized.
 
 The paper discusses BP as the standard alternative to graph cuts for its
 energy form, and adopts TRW-S because BP "might not converge" on many
 instances (Section V-C).  We implement damped synchronous min-sum BP both as
 a comparison baseline and so the reproduction can demonstrate that claim
 empirically (see ``benchmarks/bench_ablation_solvers.py``).
+
+Synchronous BP vectorizes perfectly: every directed message depends only on
+the previous round, so one round is a single block operation over all
+``2·edges`` slots of the :class:`~repro.mrf.vectorized.MRFArrays` plan.
+Only the sequential-conditioning decode is order-dependent, and it runs on
+the plan's wavefront levels.  The per-edge loop implementation this
+replaces is kept as :class:`~repro.mrf.reference.ReferenceBPSolver`
+(``"bp-ref"``); both compute identical message updates.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import numpy as np
 
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.solvers import SolverResult
+from repro.mrf.vectorized import MRFArrays
 
 __all__ = ["LoopyBPSolver"]
 
@@ -54,24 +63,11 @@ class LoopyBPSolver:
                 labels=[], energy=0.0, iterations=0, converged=True, solver=self.name
             )
 
-        # messages[2e] flows first→second of edge e; messages[2e+1] reverse.
-        messages: List[np.ndarray] = []
-        for edge_id in range(mrf.edge_count):
-            i, j = mrf.edge(edge_id)
-            messages.append(np.zeros(mrf.label_count(j)))
-            messages.append(np.zeros(mrf.label_count(i)))
+        plan = MRFArrays(mrf)
+        messages = plan.zero_messages()
+        unary = plan.padded_beliefs()
 
-        # Per-node incoming message slots: (in_index, out_index, oriented cost).
-        incoming = [[] for _ in range(n)]
-        for edge_id in range(mrf.edge_count):
-            i, j = mrf.edge(edge_id)
-            cost = mrf.edge_cost(edge_id)
-            # Entry layout: (message INTO the node, message OUT of the node
-            # along the same edge, cost oriented with rows = node's labels).
-            incoming[j].append((2 * edge_id, 2 * edge_id + 1, cost.T))
-            incoming[i].append((2 * edge_id + 1, 2 * edge_id, cost))
-
-        best_labels: Optional[List[int]] = None
+        best_labels: Optional[np.ndarray] = None
         best_energy = float("inf")
         energy_trace: List[float] = []
         converged = False
@@ -79,35 +75,30 @@ class LoopyBPSolver:
 
         for iteration in range(self.max_iterations):
             iterations = iteration + 1
-            beliefs = [mrf.unary(i).copy() for i in range(n)]
-            for node in range(n):
-                for in_index, _out, _cost in incoming[node]:
-                    beliefs[node] += messages[in_index]
+            # Beliefs B_i = θ_i + Σ_j M_{j→i} from the previous round.
+            beliefs = unary.copy()
+            np.add.at(beliefs, plan.slot_receiver, messages)
 
-            # Synchronous update of every directed message.
-            new_messages = [None] * len(messages)
-            max_change = 0.0
-            for node in range(n):
-                for in_index, out_index, oriented in incoming[node]:
-                    # Message *out* of `node` along out_index: exclude what
-                    # came in on the same edge (in_index), then min-reduce.
-                    base = beliefs[node] - messages[in_index]
-                    updated = (base[:, None] + oriented).min(axis=0)
-                    updated -= updated.min()
-                    if self.damping > 0.0:
-                        updated = (
-                            self.damping * messages[out_index]
-                            + (1.0 - self.damping) * updated
-                        )
-                    change = float(np.max(np.abs(updated - messages[out_index])))
-                    max_change = max(max_change, change)
-                    new_messages[out_index] = updated
-            for index, updated in enumerate(new_messages):
-                if updated is not None:
-                    messages[index] = updated
+            # Synchronous update of every directed message: exclude what
+            # came in on the same edge, then min-reduce over sender labels.
+            if plan.edge_count:
+                base = beliefs[plan.slot_sender] - messages[plan.slot_reverse]
+                updated = (base[:, :, None] + plan.cost[plan.slot_cid]).min(axis=1)
+                updated -= updated.min(axis=1, keepdims=True)
+                updated = np.where(plan.mask[plan.slot_receiver], updated, 0.0)
+                if self.damping > 0.0:
+                    updated = (
+                        self.damping * messages + (1.0 - self.damping) * updated
+                    )
+                max_change = float(np.max(np.abs(updated - messages)))
+                messages = updated
+            else:
+                max_change = 0.0
 
-            labels = self._decode(mrf, incoming, messages, beliefs)
-            energy = mrf.energy(labels)
+            # Decode against the pre-update beliefs and the new messages,
+            # matching the reference solver's update/decode interleaving.
+            labels = plan.decode(beliefs, messages)
+            energy = plan.energy(labels)
             if energy < best_energy:
                 best_energy = energy
                 best_labels = labels
@@ -119,36 +110,10 @@ class LoopyBPSolver:
 
         assert best_labels is not None
         return SolverResult(
-            labels=best_labels,
+            labels=[int(x) for x in best_labels],
             energy=best_energy,
             iterations=iterations,
             converged=converged,
             solver=self.name,
             energy_trace=energy_trace,
         )
-
-    @staticmethod
-    def _decode(mrf, incoming, messages, beliefs) -> List[int]:
-        """Sequential-conditioning decoding of the current beliefs.
-
-        Naive per-node argmin cannot break ties on symmetric instances
-        (uniform unaries, symmetric costs) where BP's fixed point is
-        uniform — exactly the "nearly flat" degeneracy the paper mentions.
-        Decoding each node conditioned on its already-decoded neighbours
-        (replace their messages by the actual pairwise column) resolves it.
-        """
-        labels = [0] * mrf.node_count
-        decoded = [False] * mrf.node_count
-        for node in range(mrf.node_count):
-            vector = beliefs[node].copy()
-            for in_index, _out, oriented in incoming[node]:
-                # `oriented` has rows = this node's labels.  Slot 2e carries
-                # i→j (sender i); slot 2e+1 carries j→i (sender j).
-                i, j = mrf.edge(in_index // 2)
-                sender = i if in_index % 2 == 0 else j
-                if decoded[sender]:
-                    vector -= messages[in_index]
-                    vector += oriented[:, labels[sender]]
-            labels[node] = int(np.argmin(vector))
-            decoded[node] = True
-        return labels

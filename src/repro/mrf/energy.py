@@ -9,7 +9,7 @@ on the network model.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.mrf.graph import PairwiseMRF, MRFError
 

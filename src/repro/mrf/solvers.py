@@ -9,7 +9,7 @@ Every solver consumes a :class:`~repro.mrf.graph.PairwiseMRF` and produces a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Protocol
 
 import numpy as np
 
@@ -102,12 +102,15 @@ def _register_builtins() -> None:
     from repro.mrf.icm import ICMSolver
     from repro.mrf.exact import ExactSolver
     from repro.mrf.anneal import SimulatedAnnealingSolver
+    from repro.mrf.reference import ReferenceBPSolver, ReferenceTRWSSolver
 
     register_solver("trws", TRWSSolver)
     register_solver("bp", LoopyBPSolver)
     register_solver("icm", ICMSolver)
     register_solver("exact", ExactSolver)
     register_solver("anneal", SimulatedAnnealingSolver)
+    register_solver("trws-ref", ReferenceTRWSSolver)
+    register_solver("bp-ref", ReferenceBPSolver)
 
 
 _register_builtins()

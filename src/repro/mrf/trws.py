@@ -1,4 +1,4 @@
-"""Sequential tree-reweighted message passing (TRW-S).
+"""Sequential tree-reweighted message passing (TRW-S), vectorized.
 
 This is the optimiser the paper uses for MAP inference on its diversification
 MRF (Section V-C), following Kolmogorov's sequential TRW scheme:
@@ -21,34 +21,30 @@ The solver certifies global optimality whenever ``energy == lower_bound``
 matching the paper's "guaranteed to give an optimal MAP solution in most
 cases").
 
-Implementation notes: beliefs ``B_i = θ_i + Σ_j M_{j→i}`` are maintained
-incrementally so each message update costs one ``(L_i × L_j)`` matrix
-min-reduction; edge cost matrices are shared by reference across edges of
-the same service, so memory stays O(nodes·L + edges·L) plus one matrix per
-service.
+Implementation: the sweeps run on the CSR-style array plan of
+:class:`~repro.mrf.vectorized.MRFArrays`.  Sequential node order is
+preserved through the plan's wavefront levels — nodes whose lower-numbered
+dependencies are all satisfied form one level and are updated in a single
+NumPy block operation, which computes the updates of the node-by-node
+schedule (nodes in a level are never adjacent; belief sums accumulate in a
+different order, so agreement is to floating-point round-off, not
+bit-for-bit).  The per-node loop implementation this replaces is kept as
+:class:`~repro.mrf.reference.ReferenceTRWSSolver` (``"trws-ref"``); the two
+return the same energies and bounds, the vectorized one an order of
+magnitude faster (see ``benchmarks/bench_vectorized_speedup.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.solvers import SolverResult
+from repro.mrf.vectorized import MRFArrays, _SendBlock
 
 __all__ = ["TRWSSolver"]
-
-
-@dataclass
-class _NodeLinks:
-    """Precomputed adjacency for one node, split by processing order."""
-
-    # Each entry: (neighbor, out_message_index, in_message_index, cost_rows_self)
-    forward: List[Tuple[int, int, int, np.ndarray]]
-    backward: List[Tuple[int, int, int, np.ndarray]]
-    gamma: float
 
 
 class TRWSSolver:
@@ -124,21 +120,20 @@ class TRWSSolver:
                 energy_trace=[energy], bound_trace=[energy],
             )
 
-        links = self._build_links(mrf)
-        messages = self._init_messages(mrf)
+        plan = MRFArrays(mrf)
+        messages = plan.zero_messages()
+        beliefs = plan.padded_beliefs()
+        bound_slack = 0.0
         if self.tie_break_noise > 0:
+            # Same per-node draw order as the reference solver, so both
+            # perturb identically and their traces stay comparable.
             rng = np.random.default_rng(self.seed)
-            noise = [
-                rng.uniform(0.0, self.tie_break_noise, mrf.label_count(i))
-                for i in range(n)
-            ]
-            beliefs = [mrf.unary(i) + noise[i] for i in range(n)]
-            bound_slack = float(sum(x.max() for x in noise))
-        else:
-            beliefs = [mrf.unary(i).copy() for i in range(n)]
-            bound_slack = 0.0
+            for i in range(n):
+                row = rng.uniform(0.0, self.tie_break_noise, plan.label_counts[i])
+                beliefs[i, : len(row)] += row
+                bound_slack += float(row.max())
 
-        best_labels: Optional[List[int]] = None
+        best_labels: Optional[np.ndarray] = None
         best_energy = float("inf")
         lower_bound = float("-inf")
         energy_trace: List[float] = []
@@ -150,12 +145,12 @@ class TRWSSolver:
         for iteration in range(self.max_iterations):
             iterations = iteration + 1
             previous_energy = best_energy
-            labels = self._forward_sweep(mrf, links, messages, beliefs)
-            energy = mrf.energy(labels)
+            labels = self._forward_sweep(plan, messages, beliefs)
+            energy = plan.energy(labels)
             if energy < best_energy:
                 best_energy = energy
                 best_labels = labels
-            self._backward_sweep(mrf, links, messages, beliefs)
+            self._backward_sweep(plan, messages, beliefs)
 
             previous_bound = lower_bound
             if self.compute_bound:
@@ -163,8 +158,7 @@ class TRWSSolver:
                 # total perturbation makes it valid for the original one.
                 lower_bound = max(
                     lower_bound,
-                    self._reparametrised_bound(mrf, messages, beliefs)
-                    - bound_slack,
+                    plan.dual_bound(messages, beliefs) - bound_slack,
                 )
             energy_trace.append(best_energy)
             bound_trace.append(lower_bound)
@@ -193,8 +187,6 @@ class TRWSSolver:
 
         assert best_labels is not None
         if self.refine:
-            from repro.mrf.icm import ICMSolver
-
             # Polish several primal starting points and keep the best: the
             # message-passing extraction, the unary argmin, and a
             # degree-ordered sequential greedy (which dominates greedy
@@ -203,18 +195,19 @@ class TRWSSolver:
             # mediocre; the extra inits cost a few cheap ICM sweeps.
             candidates = [
                 best_labels,
-                [int(np.argmin(mrf.unary(i))) for i in range(n)],
-                _greedy_labels(mrf),
+                np.argmin(plan.unary_inf, axis=1),
+                np.asarray(_greedy_labels(mrf), dtype=np.int64),
             ]
             for candidate in candidates:
-                polished = ICMSolver(initial=candidate).solve(mrf)
-                if polished.energy < best_energy:
-                    best_labels = polished.labels
-                    best_energy = polished.energy
+                polished = plan.icm(candidate)
+                polished_energy = plan.energy(polished)
+                if polished_energy < best_energy:
+                    best_labels = polished
+                    best_energy = polished_energy
             if self.compute_bound and best_energy - lower_bound <= self.tolerance:
                 converged = True
         return SolverResult(
-            labels=best_labels,
+            labels=[int(x) for x in best_labels],
             energy=best_energy,
             lower_bound=lower_bound,
             iterations=iterations,
@@ -226,119 +219,50 @@ class TRWSSolver:
 
     # ------------------------------------------------------------- internals
 
-    @staticmethod
-    def _build_links(mrf: PairwiseMRF) -> List[_NodeLinks]:
-        """Split each node's adjacency into forward/backward neighbours.
-
-        The processing order is node-index order.  ``cost_rows_self`` is the
-        edge cost matrix oriented so its *rows* index this node's labels
-        (a transposed view when the node is the edge's second endpoint).
-        """
-        links: List[_NodeLinks] = []
-        for i in range(mrf.node_count):
-            forward: List[Tuple[int, int, int, np.ndarray]] = []
-            backward: List[Tuple[int, int, int, np.ndarray]] = []
-            for j, edge_id in mrf.neighbors(i):
-                first, _second = mrf.edge(edge_id)
-                cost = mrf.edge_cost(edge_id)
-                if first == i:
-                    oriented = cost
-                    out_index, in_index = 2 * edge_id, 2 * edge_id + 1
-                else:
-                    oriented = cost.T
-                    out_index, in_index = 2 * edge_id + 1, 2 * edge_id
-                entry = (j, out_index, in_index, oriented)
-                if j > i:
-                    forward.append(entry)
-                else:
-                    backward.append(entry)
-            chains = max(len(forward), len(backward))
-            gamma = 1.0 / chains if chains else 1.0
-            links.append(_NodeLinks(forward=forward, backward=backward, gamma=gamma))
-        return links
-
-    @staticmethod
-    def _init_messages(mrf: PairwiseMRF) -> List[np.ndarray]:
-        """Zero messages; slot 2e is first→second of edge e, 2e+1 reverse."""
-        messages: List[np.ndarray] = []
-        for edge_id in range(mrf.edge_count):
-            i, j = mrf.edge(edge_id)
-            messages.append(np.zeros(mrf.label_count(j)))
-            messages.append(np.zeros(mrf.label_count(i)))
-        return messages
-
     def _forward_sweep(
-        self,
-        mrf: PairwiseMRF,
-        links: List[_NodeLinks],
-        messages: List[np.ndarray],
-        beliefs: List[np.ndarray],
-    ) -> List[int]:
-        """One forward pass; also extracts a labelling by sequential
-        conditioning on already-labelled (earlier) neighbours."""
-        labels = [0] * mrf.node_count
-        for i in range(mrf.node_count):
-            node = links[i]
-            belief = beliefs[i]
+        self, plan: MRFArrays, messages: np.ndarray, beliefs: np.ndarray
+    ) -> np.ndarray:
+        """One forward pass over the wavefront levels.
 
-            # --- label extraction: θ_i + Σ_{j<i} θ_ij(x_j, ·) + Σ_{j>i} M_{j→i}
-            conditioned = belief.copy()
-            for j, _out, in_index, oriented in node.backward:
-                conditioned -= messages[in_index]
-                conditioned += oriented[:, labels[j]]
-            labels[i] = int(np.argmin(conditioned))
-
-            # --- message updates to later neighbours
-            if node.forward:
-                weighted = node.gamma * belief
-                for j, out_index, in_index, oriented in node.forward:
-                    base = weighted - messages[in_index]
-                    new_message = (base[:, None] + oriented).min(axis=0)
-                    new_message -= new_message.min()
-                    beliefs[j] += new_message - messages[out_index]
-                    messages[out_index] = new_message
+        Per level: extract labels by sequential conditioning on earlier
+        neighbours (θ_i + Σ_{j<i} θ_ij(x_j, ·) + Σ_{j>i} M_{j→i}), then send
+        messages to later neighbours.
+        """
+        labels = np.zeros(plan.node_count, dtype=np.int64)
+        for level in plan.fwd_levels:
+            plan.condition_level(level, beliefs, messages, labels)
+            self._send(plan, level, messages, beliefs)
         return labels
 
     def _backward_sweep(
-        self,
-        mrf: PairwiseMRF,
-        links: List[_NodeLinks],
-        messages: List[np.ndarray],
-        beliefs: List[np.ndarray],
+        self, plan: MRFArrays, messages: np.ndarray, beliefs: np.ndarray
     ) -> None:
         """One backward pass (messages to earlier neighbours)."""
-        for i in range(mrf.node_count - 1, -1, -1):
-            node = links[i]
-            if not node.backward:
-                continue
-            weighted = node.gamma * beliefs[i]
-            for j, out_index, in_index, oriented in node.backward:
-                base = weighted - messages[in_index]
-                new_message = (base[:, None] + oriented).min(axis=0)
-                new_message -= new_message.min()
-                beliefs[j] += new_message - messages[out_index]
-                messages[out_index] = new_message
+        for block in plan.bwd_levels:
+            self._send(plan, block, messages, beliefs)
 
     @staticmethod
-    def _reparametrised_bound(
-        mrf: PairwiseMRF,
-        messages: List[np.ndarray],
-        beliefs: List[np.ndarray],
-    ) -> float:
-        """Dual bound from the current reparametrisation.
-
-        With θ'_i = θ_i + Σ_j M_{j→i} (== beliefs) and
-        θ'_ij = θ_ij − M_{j→i}(x_i) − M_{i→j}(x_j), the reparametrisation
-        preserves E exactly, so ``Σ_i min θ'_i + Σ_ij min θ'_ij ≤ min E``.
-        """
-        bound = sum(float(b.min()) for b in beliefs)
-        for edge_id in range(mrf.edge_count):
-            cost = mrf.edge_cost(edge_id)
-            to_second = messages[2 * edge_id]      # M_{i→j}, indexed by x_j
-            to_first = messages[2 * edge_id + 1]   # M_{j→i}, indexed by x_i
-            reduced = cost - to_first[:, None] - to_second[None, :]
-            bound += float(reduced.min())
-        return bound
+    def _send(
+        plan: MRFArrays,
+        block: _SendBlock,
+        messages: np.ndarray,
+        beliefs: np.ndarray,
+    ) -> None:
+        """Block message update: γ·belief minus the opposite message, plus
+        the oriented costs, min-reduced over the sender's labels and
+        normalised; belief deltas are scattered onto the receivers."""
+        if not len(block.snd):
+            return
+        base = (
+            plan.gamma[block.snd][:, None] * beliefs[block.snd]
+            - messages[block.inn]
+        )
+        new = (base[:, :, None] + plan.cost[block.cid]).min(axis=1)
+        new -= new.min(axis=1, keepdims=True)
+        # Padded receiver labels came out +inf; store the 0 convention.
+        new = np.where(plan.mask[block.rcv], new, 0.0)
+        np.add.at(beliefs, block.rcv, new - messages[block.out])
+        messages[block.out] = new
 
 
 def _is_forest(mrf: PairwiseMRF) -> bool:

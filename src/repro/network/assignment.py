@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
-from repro.network.model import Network, NetworkError
+from repro.network.model import Network
 
 __all__ = ["ProductAssignment", "AssignmentError"]
 

@@ -23,7 +23,7 @@ pairwise tables exactly as the paper folds them into the cost function
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.network.assignment import ProductAssignment
 from repro.network.model import Network, NetworkError

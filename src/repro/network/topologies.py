@@ -8,7 +8,7 @@ is the homogeneous setting of the paper's illustrative figures.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence
 
 from repro.network.model import Network
 

@@ -20,7 +20,7 @@ tick simulator can share it.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence
+from typing import Protocol, Sequence
 
 __all__ = [
     "AttackerStrategy",

@@ -19,8 +19,8 @@ seed per run so batches are reproducible and order-independent.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from repro.network.assignment import ProductAssignment
 from repro.network.model import Network

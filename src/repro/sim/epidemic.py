@@ -16,7 +16,7 @@ saturates, averaged over simulation runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
 from repro.network.assignment import ProductAssignment
 from repro.network.model import Network

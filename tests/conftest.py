@@ -1,57 +1,16 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helpers (e.g. ``make_random_mrf``) live in :mod:`helpers` and are
+imported explicitly by the tests that need them; this file holds only
+pytest fixtures.
+"""
 
 from __future__ import annotations
 
-import random
-from typing import List, Tuple
-
-import numpy as np
 import pytest
 
-from repro.mrf.graph import PairwiseMRF
 from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
-
-
-def make_random_mrf(
-    nodes: int,
-    edge_probability: float,
-    max_labels: int,
-    seed: int,
-    tree: bool = False,
-) -> PairwiseMRF:
-    """A random small MRF with non-negative costs (helper, not a fixture).
-
-    With ``tree=True`` the edge set is a random spanning tree, on which
-    TRW-S is exact.
-    """
-    rng = random.Random(seed)
-    mrf = PairwiseMRF()
-    label_counts = [rng.randint(2, max_labels) for _ in range(nodes)]
-    for count in label_counts:
-        mrf.add_node([rng.uniform(0.0, 2.0) for _ in range(count)])
-    if tree:
-        for node in range(1, nodes):
-            parent = rng.randrange(node)
-            matrix = np.array(
-                [
-                    [rng.uniform(0.0, 1.0) for _ in range(label_counts[node])]
-                    for _ in range(label_counts[parent])
-                ]
-            )
-            mrf.add_edge(parent, node, matrix)
-    else:
-        for i in range(nodes):
-            for j in range(i + 1, nodes):
-                if rng.random() < edge_probability:
-                    matrix = np.array(
-                        [
-                            [rng.uniform(0.0, 1.0) for _ in range(label_counts[j])]
-                            for _ in range(label_counts[i])
-                        ]
-                    )
-                    mrf.add_edge(i, j, matrix)
-    return mrf
 
 
 @pytest.fixture

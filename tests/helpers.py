@@ -1,0 +1,59 @@
+"""Shared test helpers, imported explicitly by test modules.
+
+Helpers live here — not in ``conftest.py`` — because pytest imports every
+``conftest.py`` under a top-level module name: with both ``tests/`` and
+``benchmarks/`` carrying one, ``from conftest import ...`` resolves to
+whichever directory was collected first and breaks repo-root runs.  A
+uniquely-named module has no such collision.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.mrf.graph import PairwiseMRF
+
+__all__ = ["make_random_mrf"]
+
+
+def make_random_mrf(
+    nodes: int,
+    edge_probability: float,
+    max_labels: int,
+    seed: int,
+    tree: bool = False,
+) -> PairwiseMRF:
+    """A random small MRF with non-negative costs.
+
+    With ``tree=True`` the edge set is a random spanning tree, on which
+    TRW-S is exact.
+    """
+    rng = random.Random(seed)
+    mrf = PairwiseMRF()
+    label_counts = [rng.randint(2, max_labels) for _ in range(nodes)]
+    for count in label_counts:
+        mrf.add_node([rng.uniform(0.0, 2.0) for _ in range(count)])
+    if tree:
+        for node in range(1, nodes):
+            parent = rng.randrange(node)
+            matrix = np.array(
+                [
+                    [rng.uniform(0.0, 1.0) for _ in range(label_counts[node])]
+                    for _ in range(label_counts[parent])
+                ]
+            )
+            mrf.add_edge(parent, node, matrix)
+    else:
+        for i in range(nodes):
+            for j in range(i + 1, nodes):
+                if rng.random() < edge_probability:
+                    matrix = np.array(
+                        [
+                            [rng.uniform(0.0, 1.0) for _ in range(label_counts[j])]
+                            for _ in range(label_counts[i])
+                        ]
+                    )
+                    mrf.add_edge(i, j, matrix)
+    return mrf

@@ -5,7 +5,6 @@ import pytest
 from repro.adversary.evaluate import evaluate_attacker, knowledge_sweep
 from repro.adversary.knowledge import BlindKnowledge, FullKnowledge, NoisyKnowledge
 from repro.adversary.planner import plan_attack
-from repro.core.baselines import mono_assignment
 from repro.network.assignment import ProductAssignment
 from repro.network.model import Network
 from repro.network.topologies import chain_network

@@ -7,7 +7,7 @@ from repro.mrf.exact import ExactSolver
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.solvers import available_solvers, get_solver
 
-from conftest import make_random_mrf
+from helpers import make_random_mrf
 
 
 class TestConstruction:

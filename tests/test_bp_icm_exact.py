@@ -8,7 +8,7 @@ from repro.mrf.exact import ExactSolver
 from repro.mrf.graph import MRFError, PairwiseMRF
 from repro.mrf.icm import ICMSolver
 
-from conftest import make_random_mrf
+from helpers import make_random_mrf
 
 
 class TestExactSolver:

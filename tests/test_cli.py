@@ -23,6 +23,21 @@ class TestParser:
         args = build_parser().parse_args(["table7", "--full"])
         assert args.full
 
+    @pytest.mark.parametrize("command", ["table7", "table8", "table9"])
+    def test_scalability_workers_flag(self, command):
+        parser = build_parser()
+        assert parser.parse_args([command]).workers is None
+        assert parser.parse_args([command, "--workers", "4"]).workers == 4
+        assert parser.parse_args([command, "--workers", "-1"]).workers == -1
+
+    def test_sensitivity_options(self):
+        args = build_parser().parse_args(
+            ["sensitivity", "--noise", "0.2", "--seeds", "1", "2", "--workers", "2"]
+        )
+        assert args.noise == [0.2]
+        assert args.seeds == [1, 2]
+        assert args.workers == 2
+
 
 class TestExecution:
     def test_fig1_output(self, capsys):
@@ -61,6 +76,12 @@ class TestExecution:
 
 
 class TestExtensionCommands:
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity", "--noise", "0.1", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Similarity-perturbation sensitivity" in out
+        assert "agreement=" in out
+
     def test_effort(self, capsys):
         assert main(["effort"]) == 0
         out = capsys.readouterr().out

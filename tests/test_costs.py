@@ -1,6 +1,5 @@
 """Tests for the MRF cost builder (repro.core.costs)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

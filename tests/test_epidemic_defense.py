@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.baselines import mono_assignment
 from repro.network.assignment import ProductAssignment
-from repro.network.model import Network
 from repro.network.topologies import chain_network, star_network
 from repro.nvd.similarity import SimilarityTable
 from repro.sim.defense import (

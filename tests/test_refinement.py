@@ -17,7 +17,7 @@ from repro.network.generator import (
     random_similarity,
 )
 
-from conftest import make_random_mrf
+from helpers import make_random_mrf
 
 
 def flat_workload(seed, hosts=12, degree=3, services=2):

@@ -1,6 +1,5 @@
 """Tests for the effective-richness metric d1 (repro.metrics.richness)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

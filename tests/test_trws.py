@@ -13,7 +13,7 @@ from repro.mrf.exact import ExactSolver
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.trws import TRWSSolver
 
-from conftest import make_random_mrf
+from helpers import make_random_mrf
 
 
 class TestDegenerateCases:
