@@ -1,0 +1,161 @@
+"""Trend report over ``BENCH_*.json`` timing records.
+
+Every benchmark run drops a schema-versioned JSON record into
+``benchmarks/results/`` (see ``benchmarks/conftest.py``); CI uploads that
+directory as an artifact per commit.  This script closes the loop by
+diffing two record sets and printing a regression table::
+
+    python benchmarks/bench_report.py                       # current only
+    python benchmarks/bench_report.py --baseline old_results/
+    python benchmarks/bench_report.py --baseline old/ --fail-threshold 1.5
+
+``seconds`` is the headline series; a bench whose current/baseline ratio
+exceeds ``--fail-threshold`` is flagged ``REGRESSED`` (and fails the run
+when the threshold is set), ratios below 1 print as speedups.  Benches
+present on only one side are reported as ``new``/``missing`` rather than
+silently dropped.
+
+Not a pytest module — plain argparse so CI and developers call it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Record schema this report understands (see benchmarks/conftest.py).
+SUPPORTED_SCHEMA = 1
+
+DEFAULT_RESULTS = Path(__file__).parent / "results"
+
+
+def load_records(directory: Path) -> Dict[str, dict]:
+    """Read all ``BENCH_*.json`` records of a directory, keyed by bench name.
+
+    Records with an unknown schema or unreadable JSON are skipped with a
+    warning on stderr rather than failing the whole report.
+    """
+    records: Dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        if payload.get("schema") != SUPPORTED_SCHEMA:
+            print(
+                f"warning: skipping {path.name}: schema "
+                f"{payload.get('schema')!r} != {SUPPORTED_SCHEMA}",
+                file=sys.stderr,
+            )
+            continue
+        if not isinstance(payload.get("bench"), str) or not isinstance(
+            payload.get("seconds"), (int, float)
+        ):
+            print(
+                f"warning: skipping {path.name}: missing bench/seconds",
+                file=sys.stderr,
+            )
+            continue
+        records[payload["bench"]] = payload
+    return records
+
+
+def format_report(
+    current: Dict[str, dict],
+    baseline: Optional[Dict[str, dict]] = None,
+    fail_threshold: Optional[float] = None,
+) -> tuple:
+    """Render the table; returns (text, number of regressions)."""
+    names = sorted(set(current) | set(baseline or {}))
+    if not names:
+        return "no BENCH_*.json records found", 0
+    width = max(len(n) for n in names) + 2
+    lines = []
+    regressions = 0
+    if baseline is None:
+        lines.append(f"{'bench':<{width}}{'seconds':>10}")
+        for name in names:
+            lines.append(f"{name:<{width}}{current[name]['seconds']:>10.4f}")
+        return "\n".join(lines), 0
+
+    lines.append(
+        f"{'bench':<{width}}{'baseline':>10}{'current':>10}{'ratio':>8}  status"
+    )
+    for name in names:
+        old = baseline.get(name)
+        new = current.get(name)
+        if old is None:
+            lines.append(
+                f"{name:<{width}}{'-':>10}{new['seconds']:>10.4f}{'-':>8}  new"
+            )
+            continue
+        if new is None:
+            lines.append(
+                f"{name:<{width}}{old['seconds']:>10.4f}{'-':>10}{'-':>8}  missing"
+            )
+            continue
+        old_s, new_s = old["seconds"], new["seconds"]
+        ratio = new_s / old_s if old_s > 0 else float("inf")
+        status = "ok"
+        if fail_threshold is not None and ratio > fail_threshold:
+            status = "REGRESSED"
+            regressions += 1
+        elif ratio < 1.0:
+            status = f"{old_s / new_s:.2f}x faster" if new_s > 0 else "faster"
+        lines.append(
+            f"{name:<{width}}{old_s:>10.4f}{new_s:>10.4f}{ratio:>8.2f}  {status}"
+        )
+    return "\n".join(lines), regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_*.json timing records across runs/commits"
+    )
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        help="directory holding the current records (default benchmarks/results)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="directory holding baseline records (e.g. a previous commit's "
+        "downloaded CI artifact); omit to just list current timings",
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        help="exit non-zero when current/baseline exceeds this ratio "
+        "(e.g. 1.5 = 50%% slower)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results.is_dir():
+        print(f"no results directory at {args.results}", file=sys.stderr)
+        return 2
+    current = load_records(args.results)
+    baseline = None
+    if args.baseline is not None:
+        if not args.baseline.is_dir():
+            print(f"no baseline directory at {args.baseline}", file=sys.stderr)
+            return 2
+        baseline = load_records(args.baseline)
+
+    text, regressions = format_report(current, baseline, args.fail_threshold)
+    print(text)
+    if regressions:
+        print(f"{regressions} regression(s) past threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

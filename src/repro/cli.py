@@ -19,6 +19,9 @@ Extension commands (beyond the paper's tables):
 * ``plan`` — greedy budgeted upgrade plan from the mono-culture.
 * ``adversary`` — attacker-knowledge sweep (the paper's future work).
 * ``sensitivity`` — similarity-perturbation sensitivity (``--workers`` too).
+* ``stream`` — incremental re-diversification under synthetic network churn
+  (the :mod:`repro.stream` engine; ``--compare-cold`` prints per-event
+  speedups over a cold rebuild+solve).
 * ``dot`` — Graphviz export of the case study with similarity heat.
 """
 
@@ -62,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
     t6 = sub.add_parser("table6", help="MTTC simulation (Table VI)")
     t6.add_argument("--runs", type=int, default=200)
     t6.add_argument("--seed", type=int, default=11)
+    t6.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="simulation cells run in this many processes (-1 = one per "
+        "CPU; default serial); results are identical, only faster",
+    )
 
     for name, help_text in (
         ("table7", "runtime vs hosts (Table VII)"),
@@ -119,6 +129,29 @@ def build_parser() -> argparse.ArgumentParser:
     sens.add_argument("--workers", type=int, default=None,
                       help="(noise, seed) cells run in this many processes")
 
+    stream = sub.add_parser(
+        "stream",
+        help="incremental re-diversification under synthetic network churn",
+    )
+    stream.add_argument("--hosts", type=int, default=60)
+    stream.add_argument("--degree", type=int, default=3)
+    stream.add_argument("--services", type=int, default=3)
+    stream.add_argument("--products", type=int, default=6)
+    stream.add_argument("--events", type=int, default=15)
+    stream.add_argument("--seed", type=int, default=1)
+    stream.add_argument("--solver", choices=("trws", "bp"), default="trws")
+    stream.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable warm starts (every event pays a cold rebuild+solve)",
+    )
+    stream.add_argument(
+        "--compare-cold",
+        action="store_true",
+        help="also time a from-scratch cold solve per event and print the "
+        "speedup column",
+    )
+
     dot = sub.add_parser("dot", help="Graphviz export of the case study")
     dot.add_argument("--out", default="case_study.dot")
     return parser
@@ -169,7 +202,9 @@ def _table5(args: argparse.Namespace) -> None:
 
 def _table6(args: argparse.Namespace) -> None:
     print(f"Table VI — MTTC in ticks ({args.runs} runs per cell)")
-    results = experiments.table6_mttc(runs=args.runs, seed=args.seed)
+    results = experiments.table6_mttc(
+        runs=args.runs, seed=args.seed, workers=args.workers
+    )
     for (label, entry), result in results.items():
         print("  " + result.row(label))
 
@@ -307,6 +342,43 @@ def _sensitivity(args: argparse.Namespace) -> None:
         print("  " + result.row())
 
 
+def _stream(args: argparse.Namespace) -> None:
+    from repro.network.generator import (
+        RandomNetworkConfig,
+        random_network,
+        random_similarity,
+    )
+    from repro.stream import ChurnConfig, random_churn_trace, replay_trace
+
+    config = RandomNetworkConfig(
+        hosts=args.hosts,
+        degree=args.degree,
+        services=args.services,
+        products_per_service=args.products,
+        seed=args.seed,
+    )
+    network = random_network(config)
+    similarity = random_similarity(config)
+    trace = random_churn_trace(
+        network, ChurnConfig(events=args.events, seed=args.seed)
+    )
+    print(
+        f"Streaming churn — {args.hosts} hosts, {args.events} events, "
+        f"solver={args.solver}, warm starts "
+        f"{'off' if args.cold else 'on'}"
+    )
+    report = replay_trace(
+        network,
+        similarity,
+        trace,
+        solver=args.solver,
+        warm_start=not args.cold,
+        compare_cold=args.compare_cold,
+    )
+    print(report.format_rows())
+    print(report.summary())
+
+
 def _dot(args: argparse.Namespace) -> None:
     from pathlib import Path
 
@@ -340,6 +412,7 @@ _HANDLERS = {
     "plan": _plan,
     "adversary": _adversary,
     "sensitivity": _sensitivity,
+    "stream": _stream,
     "dot": _dot,
 }
 

@@ -57,14 +57,27 @@ class LoopyBPSolver:
         self.damping = damping
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
-        n = mrf.node_count
+        return self.solve_arrays(MRFArrays(mrf))
+
+    def solve_arrays(
+        self, plan: MRFArrays, messages: Optional[np.ndarray] = None
+    ) -> SolverResult:
+        """Run BP on a prebuilt array plan, optionally warm-started.
+
+        ``messages`` is a caller-owned ``(2·edges, lmax)`` directed message
+        array (zeros = cold start), updated **in place** every round so the
+        caller keeps the post-solve state for the next warm start.  A
+        near-fixed-point start just makes the first max-change small, so
+        convergence costs a round or two instead of a full schedule.
+        """
+        n = plan.node_count
         if n == 0:
             return SolverResult(
                 labels=[], energy=0.0, iterations=0, converged=True, solver=self.name
             )
 
-        plan = MRFArrays(mrf)
-        messages = plan.zero_messages()
+        if messages is None:
+            messages = plan.zero_messages()
         unary = plan.padded_beliefs()
 
         best_labels: Optional[np.ndarray] = None
@@ -91,7 +104,7 @@ class LoopyBPSolver:
                         self.damping * messages + (1.0 - self.damping) * updated
                     )
                 max_change = float(np.max(np.abs(updated - messages)))
-                messages = updated
+                np.copyto(messages, updated)
             else:
                 max_change = 0.0
 

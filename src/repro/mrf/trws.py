@@ -36,7 +36,7 @@ magnitude faster (see ``benchmarks/bench_vectorized_speedup.py``).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -121,17 +121,67 @@ class TRWSSolver:
             )
 
         plan = MRFArrays(mrf)
-        messages = plan.zero_messages()
+        extra_inits = ()
+        if self.refine:  # the greedy labelling only feeds the refine stage
+            extra_inits = (np.asarray(_greedy_labels(mrf), dtype=np.int64),)
+        return self.solve_arrays(plan, extra_inits=extra_inits)
+
+    def solve_arrays(
+        self,
+        plan: MRFArrays,
+        messages: Optional[np.ndarray] = None,
+        extra_inits: Sequence[np.ndarray] = (),
+        default_inits: bool = True,
+    ) -> SolverResult:
+        """Run TRW-S on a prebuilt array plan, optionally warm-started.
+
+        Args:
+            plan: the array plan (built once, reusable across solves).
+            messages: a caller-owned ``(2·edges, lmax)`` directed message
+                array to start from — the warm-start hook of the streaming
+                engine.  Zeros are the cold start; the array is updated **in
+                place**, so after the call it holds the new fixed-point
+                state for the next warm start.  ``None`` allocates a fresh
+                cold-start array.
+            extra_inits: additional primal labellings handed to the ICM
+                refine stage (e.g. the previous solution of an incremental
+                re-solve, or a greedy construction).
+            default_inits: include the unary-argmin labelling among the
+                refine candidates (the cold default).  Warm re-solves with
+                a near-optimal ``extra_inits`` turn it off — the constant
+                init never beats the previous optimum there and costs an
+                ICM run per solve.
+
+        Beliefs are reconstructed from the messages (``θ_i + Σ M_{j→i}``
+        plus the tie-breaking perturbation), preserving the TRW-S belief
+        invariant, and any message state yields a valid dual bound — so a
+        warm start can only save iterations, never corrupt the result.
+        """
+        n = plan.node_count
+        if n == 0:
+            return SolverResult(
+                labels=[], energy=0.0, lower_bound=0.0, iterations=0,
+                converged=True, solver=self.name,
+            )
+        if messages is None:
+            messages = plan.zero_messages()
         beliefs = plan.padded_beliefs()
+        if plan.edge_count:
+            np.add.at(beliefs, plan.slot_receiver, messages)
         bound_slack = 0.0
         if self.tie_break_noise > 0:
-            # Same per-node draw order as the reference solver, so both
-            # perturb identically and their traces stay comparable.
+            # One batched draw yields the same value stream as the
+            # reference solver's per-node draws (uniform doubles consume
+            # one 64-bit word each, in order), so both perturb identically
+            # and their traces stay comparable.
             rng = np.random.default_rng(self.seed)
-            for i in range(n):
-                row = rng.uniform(0.0, self.tie_break_noise, plan.label_counts[i])
-                beliefs[i, : len(row)] += row
-                bound_slack += float(row.max())
+            total = int(plan.label_counts.sum())
+            flat = rng.uniform(0.0, self.tie_break_noise, total)
+            beliefs[plan.mask] += flat
+            starts = np.concatenate(
+                ([0], np.cumsum(plan.label_counts[:-1]))
+            )
+            bound_slack = float(np.maximum.reduceat(flat, starts).sum())
 
         best_labels: Optional[np.ndarray] = None
         best_energy = float("inf")
@@ -188,17 +238,24 @@ class TRWSSolver:
         assert best_labels is not None
         if self.refine:
             # Polish several primal starting points and keep the best: the
-            # message-passing extraction, the unary argmin, and a
-            # degree-ordered sequential greedy (which dominates greedy
-            # colouring baselines by construction).  On instances where the
-            # LP relaxation is uninformative the extraction basin can be
-            # mediocre; the extra inits cost a few cheap ICM sweeps.
-            candidates = [
-                best_labels,
-                np.argmin(plan.unary_inf, axis=1),
-                np.asarray(_greedy_labels(mrf), dtype=np.int64),
-            ]
+            # message-passing extraction, the unary argmin, and the caller's
+            # extra inits — solve() passes a degree-ordered sequential
+            # greedy (which dominates greedy colouring baselines by
+            # construction), warm-started re-solves pass the previous
+            # solution.  On instances where the LP relaxation is
+            # uninformative the extraction basin can be mediocre; the extra
+            # inits cost a few cheap ICM sweeps.
+            candidates = [best_labels]
+            if default_inits:
+                candidates.append(np.argmin(plan.unary_inf, axis=1))
+            candidates.extend(extra_inits)
+            # Dedupe: a warm re-solve's extraction frequently equals the
+            # previous solution it was seeded with; one ICM run suffices.
+            distinct: List[np.ndarray] = []
             for candidate in candidates:
+                if not any(np.array_equal(candidate, kept) for kept in distinct):
+                    distinct.append(candidate)
+            for candidate in distinct:
                 polished = plan.icm(candidate)
                 polished_energy = plan.energy(polished)
                 if polished_energy < best_energy:

@@ -30,18 +30,67 @@ operations instead of per-edge Python loops:
 Directed message slot layout matches the reference solvers: slot ``2e``
 carries first→second of edge ``e`` (indexed by the second endpoint's
 labels), slot ``2e+1`` the reverse.
+
+Besides wrapping a finished :class:`~repro.mrf.graph.PairwiseMRF`, a plan
+can be built straight from arrays (:meth:`MRFArrays.from_parts`) and
+**delta-updated** afterwards — :meth:`MRFArrays.set_cost_matrix` rewrites
+one cost-stack entry in place (similarity feeds change values, not
+structure), and :meth:`MRFArrays.replace_edges` re-derives the directed
+slots, γ weights and wavefront levels from a patched edge set while leaving
+every node array untouched.  This is what lets :mod:`repro.stream` apply
+network churn events to a live plan instead of rebuilding it from the
+Python-level MRF.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.mrf.graph import PairwiseMRF
 
-__all__ = ["MRFArrays"]
+__all__ = ["MRFArrays", "wavefront_schedule"]
+
+
+def wavefront_schedule(n: int, lo: np.ndarray, hi: np.ndarray):
+    """(γ, forward levels, backward levels) of the index-order schedule.
+
+    ``lo``/``hi`` are the per-edge endpoint arrays with ``lo < hi``.  The
+    γ weights are TRW-S's monotonic-chain weights
+    ``1 / max(#forward, #backward neighbours)``.  Levels come from a
+    Jacobi fixpoint (rounds = DAG depth): the forward level of a node is
+    one past the deepest lower-numbered neighbour, the backward levels
+    mirror it over higher-numbered ones.  Nodes sharing a level are never
+    adjacent, which is what lets level-major block updates reproduce the
+    node-by-node schedule — both the general plan here and the
+    replicated-service host-graph plan in :mod:`repro.mrf.batched`
+    consume this one derivation.
+    """
+    m = len(lo)
+    chains = np.maximum(
+        np.bincount(lo, minlength=n) if m else np.zeros(n, dtype=np.int64),
+        np.bincount(hi, minlength=n) if m else np.zeros(n, dtype=np.int64),
+    )
+    gamma = np.ones(n)
+    gamma[chains > 0] = 1.0 / chains[chains > 0]
+
+    flevel = np.zeros(n, dtype=np.int64)
+    while m:
+        deeper = flevel.copy()
+        np.maximum.at(deeper, hi, flevel[lo] + 1)
+        if np.array_equal(deeper, flevel):
+            break
+        flevel = deeper
+    blevel = np.zeros(n, dtype=np.int64)
+    while m:
+        deeper = blevel.copy()
+        np.maximum.at(deeper, lo, blevel[hi] + 1)
+        if np.array_equal(deeper, blevel):
+            break
+        blevel = deeper
+    return gamma, flevel, blevel
 
 
 @dataclass
@@ -82,24 +131,9 @@ class MRFArrays:
     def __init__(self, mrf: PairwiseMRF) -> None:
         n = mrf.node_count
         m = mrf.edge_count
-        self.node_count = n
-        self.edge_count = m
-        counts = np.asarray(
-            [mrf.label_count(i) for i in range(n)], dtype=np.int64
-        )
-        lmax = int(counts.max()) if n else 0
-        self.label_counts = counts
-        self.lmax = lmax
-        self.mask = np.arange(lmax)[None, :] < counts[:, None]
+        unaries = [mrf.unary(i) for i in range(n)]
 
-        unary = np.zeros((n, lmax))
-        for i in range(n):
-            unary[i, : counts[i]] = mrf.unary(i)
-        self.unary = unary
-        #: unaries with +inf padding — safe to argmin directly.
-        self.unary_inf = np.where(self.mask, unary, np.inf)
-
-        # ---- shared cost stack (one entry per distinct matrix + transpose)
+        # ---- dedup shared matrices (one stack entry per distinct object)
         stack_of: Dict[int, int] = {}
         matrices: List[np.ndarray] = []
         edge_first = np.empty(m, dtype=np.int64)
@@ -116,7 +150,66 @@ class MRFArrays:
             edge_first[e] = i
             edge_second[e] = j
             edge_cid[e] = k
+        self._setup_nodes(unaries)
+        self._setup_costs(matrices)
+        self._build_structure(edge_first, edge_second, edge_cid)
+
+    @classmethod
+    def from_parts(
+        cls,
+        unaries: Sequence[np.ndarray],
+        edge_first: np.ndarray,
+        edge_second: np.ndarray,
+        edge_cid: np.ndarray,
+        matrices: Sequence[np.ndarray],
+        lmax: Optional[int] = None,
+    ) -> "MRFArrays":
+        """Build a plan straight from arrays, bypassing the MRF object.
+
+        ``edge_cid[e]`` indexes ``matrices``; matrix rows correspond to the
+        labels of ``edge_first[e]``.  ``lmax`` can force a label padding
+        wider than the largest unary (so message arrays keep their width
+        across delta updates that shrink the label space).
+        """
+        plan = cls.__new__(cls)
+        plan._setup_nodes(unaries, lmax=lmax)
+        plan._setup_costs(matrices)
+        plan._build_structure(
+            np.asarray(edge_first, dtype=np.int64),
+            np.asarray(edge_second, dtype=np.int64),
+            np.asarray(edge_cid, dtype=np.int64),
+        )
+        return plan
+
+    # ------------------------------------------------------- construction
+
+    def _setup_nodes(
+        self, unaries: Sequence[np.ndarray], lmax: Optional[int] = None
+    ) -> None:
+        n = len(unaries)
+        self.node_count = n
+        counts = np.asarray([len(u) for u in unaries], dtype=np.int64)
+        widest = int(counts.max()) if n else 0
+        if lmax is None:
+            lmax = widest
+        elif lmax < widest:
+            raise ValueError(f"lmax={lmax} below widest label space {widest}")
+        self.label_counts = counts
+        self.lmax = lmax
+        self.mask = np.arange(lmax)[None, :] < counts[:, None]
+
+        unary = np.zeros((n, lmax))
+        for i in range(n):
+            unary[i, : counts[i]] = unaries[i]
+        self.unary = unary
+        #: unaries with +inf padding — safe to argmin directly.
+        self.unary_inf = np.where(self.mask, unary, np.inf)
+
+    def _setup_costs(self, matrices: Sequence[np.ndarray]) -> None:
+        """(Re)build the padded cost stack: one entry per distinct matrix
+        plus one per transposed orientation."""
         stacked = len(matrices)
+        lmax = self.lmax
         cost = np.full((2 * stacked, lmax, lmax), np.inf) if stacked else (
             np.zeros((0, lmax, lmax))
         )
@@ -125,6 +218,53 @@ class MRFArrays:
             cost[k, :rows, :cols] = matrix
             cost[stacked + k, :cols, :rows] = matrix.T
         self.cost = cost
+        self.stacked = stacked
+
+    def set_cost_matrix(self, cid: int, matrix: np.ndarray) -> None:
+        """Patch one cost-stack entry (and its transpose) in place.
+
+        Value-only deltas — a similarity feed rescoring a product pair —
+        land here: no slot, level or message state changes, so a
+        warm-started solver continues from its previous fixed point.
+        """
+        if not 0 <= cid < self.stacked:
+            raise ValueError(f"cost id {cid} out of range [0, {self.stacked})")
+        rows, cols = matrix.shape
+        self.cost[cid, :rows, :cols] = matrix
+        self.cost[self.stacked + cid, :cols, :rows] = matrix.T
+
+    def replace_edges(
+        self,
+        edge_first: np.ndarray,
+        edge_second: np.ndarray,
+        edge_cid: np.ndarray,
+        matrices: Sequence[np.ndarray],
+    ) -> None:
+        """Swap in a patched edge set, keeping every node array.
+
+        Re-derives the cost stack, directed slots, γ weights and wavefront
+        levels from the new arrays — all NumPy lexsorts, orders of magnitude
+        cheaper than rebuilding the Python-level MRF.  The caller owns the
+        message-slot remapping (slot ``2e``/``2e+1`` follows edge ``e``'s
+        position in the new arrays).
+        """
+        self._setup_costs(matrices)
+        self._build_structure(
+            np.asarray(edge_first, dtype=np.int64),
+            np.asarray(edge_second, dtype=np.int64),
+            np.asarray(edge_cid, dtype=np.int64),
+        )
+
+    def _build_structure(
+        self,
+        edge_first: np.ndarray,
+        edge_second: np.ndarray,
+        edge_cid: np.ndarray,
+    ) -> None:
+        n = self.node_count
+        m = len(edge_first)
+        stacked = self.stacked
+        self.edge_count = m
         self.edge_first = edge_first
         self.edge_second = edge_second
         self.edge_cid = edge_cid  # oriented rows = first endpoint
@@ -155,33 +295,8 @@ class MRFArrays:
         cid_rows_lo = np.where(first_is_lo, edge_cid, stacked + edge_cid)
         cid_rows_hi = np.where(first_is_lo, stacked + edge_cid, edge_cid)
 
-        # γ_i = 1 / max(#forward, #backward neighbours) — the monotonic
-        # chain weight of the reference TRW-S.
-        chains = np.maximum(
-            np.bincount(lo, minlength=n) if m else np.zeros(n, dtype=np.int64),
-            np.bincount(hi, minlength=n) if m else np.zeros(n, dtype=np.int64),
-        )
-        gamma = np.ones(n)
-        gamma[chains > 0] = 1.0 / chains[chains > 0]
+        gamma, flevel, blevel = wavefront_schedule(n, lo, hi)
         self.gamma = gamma
-
-        # ---- wavefront levels by Jacobi fixpoint (rounds = DAG depth):
-        # forward level of a node is one past the deepest lower-numbered
-        # neighbour; backward levels mirror it over higher-numbered ones.
-        flevel = np.zeros(n, dtype=np.int64)
-        while m:
-            deeper = flevel.copy()
-            np.maximum.at(deeper, hi, flevel[lo] + 1)
-            if np.array_equal(deeper, flevel):
-                break
-            flevel = deeper
-        blevel = np.zeros(n, dtype=np.int64)
-        while m:
-            deeper = blevel.copy()
-            np.maximum.at(deeper, lo, blevel[hi] + 1)
-            if np.array_equal(deeper, blevel):
-                break
-            blevel = deeper
 
         # ---- flattened, level-major orderings.  Secondary sort keys keep
         # each node's edges in edge-insertion order, matching the adjacency
@@ -354,3 +469,34 @@ class MRFArrays:
             if not changed:
                 break
         return current
+
+    # --------------------------------------------------------------- greedy
+
+    def greedy_labels(self) -> np.ndarray:
+        """Degree-descending sequential greedy labelling on the plan.
+
+        The plan-level analogue of the MRF greedy used by the TRW-S refine
+        stage: nodes are labelled from most- to least-connected, each taking
+        the argmin of its unary plus the oriented pairwise costs to
+        already-labelled neighbours.  Lets plan-only callers (the streaming
+        engine) seed ICM without materialising a :class:`PairwiseMRF`.
+        """
+        n = self.node_count
+        incident: List[List[tuple]] = [[] for _ in range(n)]
+        for e in range(self.edge_count):
+            i = int(self.edge_first[e])
+            j = int(self.edge_second[e])
+            cid = int(self.edge_cid[e])
+            incident[i].append((j, cid))
+            incident[j].append((i, self.stacked + cid))
+        order = sorted(range(n), key=lambda i: (-len(incident[i]), i))
+        labels = np.zeros(n, dtype=np.int64)
+        assigned = np.zeros(n, dtype=bool)
+        for node in order:
+            vector = self.unary_inf[node].copy()
+            for neighbor, cid in incident[node]:
+                if assigned[neighbor]:
+                    vector += self.cost[cid, :, labels[neighbor]]
+            labels[node] = int(np.argmin(vector))
+            assigned[node] = True
+        return labels

@@ -46,6 +46,21 @@ class ProductAssignment:
     def network(self) -> Network:
         return self._network
 
+    @classmethod
+    def from_decoded(
+        cls, network: Network, values: Mapping[Tuple[str, str], str]
+    ) -> "ProductAssignment":
+        """Wrap solver-decoded values without re-validating each product.
+
+        Decoders map label indices into the network's own candidate
+        ranges, so every value is range-valid by construction; skipping
+        the per-pair check matters on the streaming hot path, where an
+        assignment is rebuilt after every churn event.
+        """
+        assignment = cls(network)
+        assignment._values = dict(values)
+        return assignment
+
     # ------------------------------------------------------------- mutation
 
     def assign(self, host: str, service: str, product: str) -> None:

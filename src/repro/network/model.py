@@ -99,6 +99,33 @@ class Network:
         for a, b in pairs:
             self.add_link(a, b)
 
+    # ------------------------------------------------------------- mutation
+
+    def remove_link(self, a: str, b: str) -> None:
+        """Remove an undirected link; removing a missing link raises.
+
+        Part of the churn-mutation surface consumed by :mod:`repro.stream`:
+        hosts keep their services and candidate ranges, only the coupling
+        disappears.
+        """
+        self._require_host(a)
+        self._require_host(b)
+        key = _edge_key(a, b)
+        if key not in self._links:
+            raise NetworkError(f"link {key} does not exist")
+        self._links.discard(key)
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+
+    def remove_host(self, host: str) -> None:
+        """Remove a host together with all its links and services."""
+        self._require_host(host)
+        for neighbor in self._adjacency[host]:
+            self._adjacency[neighbor].discard(host)
+            self._links.discard(_edge_key(host, neighbor))
+        del self._adjacency[host]
+        del self._hosts[host]
+
     # -------------------------------------------------------------- queries
 
     @property

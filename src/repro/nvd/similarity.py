@@ -66,6 +66,7 @@ class SimilarityTable:
         vulnerability_counts: Optional[Mapping[str, int]] = None,
         shared_counts: Optional[Mapping[Tuple[str, str], int]] = None,
     ) -> None:
+        self._version = 0
         self._products: List[str] = []
         self._index: Dict[str, int] = {}
         self._pairs: Dict[Tuple[str, str], float] = {}
@@ -87,6 +88,7 @@ class SimilarityTable:
         if product not in self._index:
             self._index[product] = len(self._products)
             self._products.append(product)
+            self._version += 1
 
     def set(self, a: str, b: str, value: float) -> None:
         """Set the symmetric similarity of a pair; values must be in [0, 1]."""
@@ -98,6 +100,31 @@ class SimilarityTable:
         self.add_product(b)
         if a != b:
             self._pairs[_key(a, b)] = float(value)
+            self._version += 1
+
+    def apply_updates(self, pairs: Mapping[Tuple[str, str], float]) -> None:
+        """Batch-patch pair similarities (a CVE-feed delta).
+
+        Each entry re-scores one product pair via :meth:`set`; values are
+        validated before any is applied, so a bad feed leaves the table
+        untouched.
+        """
+        for (a, b), value in pairs.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"similarity must be in [0, 1], got {value} for ({a}, {b})"
+                )
+            if a == b and value != 1.0:
+                raise ValueError("self-similarity is fixed at 1.0")
+        for (a, b), value in pairs.items():
+            self.set(a, b, value)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter — bumps on every product or pair
+        change, letting consumers (cached cost matrices, live MRF plans)
+        detect staleness without diffing the table."""
+        return self._version
 
     # -------------------------------------------------------------- queries
 
@@ -162,6 +189,14 @@ class SimilarityTable:
                 if key in self.shared_counts:
                     table.shared_counts[key] = self.shared_counts[key]
         return table
+
+    def copy(self) -> "SimilarityTable":
+        """An independent deep copy (same products, pairs and counts)."""
+        clone = SimilarityTable(products=self._products)
+        clone._pairs.update(self._pairs)
+        clone.vulnerability_counts.update(self.vulnerability_counts)
+        clone.shared_counts.update(self.shared_counts)
+        return clone
 
     def merged_with(self, other: "SimilarityTable") -> "SimilarityTable":
         """Union of two tables; ``other`` wins on conflicting pairs."""

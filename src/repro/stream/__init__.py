@@ -1,0 +1,49 @@
+"""Incremental diversification under network churn (the streaming engine).
+
+The batch pipeline answers "what is the optimal assignment for this
+network?"; this package answers "the network just changed — what is it
+now?" without paying for a rebuild and a cold solve:
+
+* :mod:`repro.stream.events` — the typed churn vocabulary (host join/leave,
+  link add/remove, similarity re-score) and synthetic trace generation;
+* :mod:`repro.stream.plan` — a live MRF array plan that absorbs event
+  deltas (cost values patched in place, structure re-derived vectorized,
+  message state preserved);
+* :mod:`repro.stream.incremental` — :class:`DynamicDiversifier`, the
+  warm-started re-solver with its cold-rebuild fallback;
+* :mod:`repro.stream.driver` — trace replay with per-event
+  latency/energy/stability metrics (behind ``repro stream``).
+"""
+
+from repro.stream.driver import ChurnRecord, ChurnReport, replay_trace
+from repro.stream.events import (
+    ChurnConfig,
+    Event,
+    HostJoin,
+    HostLeave,
+    LinkAdd,
+    LinkRemove,
+    SimilarityUpdate,
+    apply_event,
+    random_churn_trace,
+)
+from repro.stream.incremental import DynamicDiversifier, StreamSolveResult
+from repro.stream.plan import StreamPlan
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnRecord",
+    "ChurnReport",
+    "DynamicDiversifier",
+    "Event",
+    "HostJoin",
+    "HostLeave",
+    "LinkAdd",
+    "LinkRemove",
+    "SimilarityUpdate",
+    "StreamPlan",
+    "StreamSolveResult",
+    "apply_event",
+    "random_churn_trace",
+    "replay_trace",
+]

@@ -1,0 +1,275 @@
+"""Typed network-churn events and synthetic event traces.
+
+The paper computes one static assignment per network; a production fleet
+churns continuously — hosts are provisioned and decommissioned, links come
+and go with VLAN changes, and CVE feeds re-score product-pair similarity
+every day.  This module gives that churn a typed vocabulary:
+
+* :class:`HostJoin` / :class:`HostLeave` — a host (with its services,
+  candidate ranges and links) enters or leaves the network;
+* :class:`LinkAdd` / :class:`LinkRemove` — the host graph gains or loses an
+  undirected link;
+* :class:`SimilarityUpdate` — a vulnerability feed re-scores one product
+  pair (the table's values change, the network does not).
+
+:func:`apply_event` replays one event onto a ``(network, similarity)``
+pair — the ground-truth mutation every consumer (the incremental engine,
+cold-solve cross-checks, tests) shares.  :func:`random_churn_trace` draws a
+deterministic synthetic workload of valid events against an evolving copy
+of the network, so a trace can be replayed on the original without
+surprises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+
+__all__ = [
+    "HostJoin",
+    "HostLeave",
+    "LinkAdd",
+    "LinkRemove",
+    "SimilarityUpdate",
+    "Event",
+    "apply_event",
+    "ChurnConfig",
+    "random_churn_trace",
+]
+
+
+@dataclass(frozen=True)
+class HostJoin:
+    """A new host joins, running ``services`` and linked to ``links``."""
+
+    host: str
+    services: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    links: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"join {self.host} ({len(self.services)} services, "
+            f"{len(self.links)} links)"
+        )
+
+    def service_map(self) -> Dict[str, Tuple[str, ...]]:
+        """The services as the mapping :meth:`Network.add_host` expects."""
+        return dict(self.services)
+
+
+@dataclass(frozen=True)
+class HostLeave:
+    """A host is decommissioned (its links disappear with it)."""
+
+    host: str
+
+    def describe(self) -> str:
+        return f"leave {self.host}"
+
+
+@dataclass(frozen=True)
+class LinkAdd:
+    """An undirected link appears between two existing hosts."""
+
+    a: str
+    b: str
+
+    def describe(self) -> str:
+        return f"link+ {self.a}--{self.b}"
+
+
+@dataclass(frozen=True)
+class LinkRemove:
+    """An undirected link disappears."""
+
+    a: str
+    b: str
+
+    def describe(self) -> str:
+        return f"link- {self.a}--{self.b}"
+
+
+@dataclass(frozen=True)
+class SimilarityUpdate:
+    """A vulnerability feed re-scores the similarity of one product pair."""
+
+    product_a: str
+    product_b: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.product_a == self.product_b:
+            raise ValueError("self-similarity is fixed at 1.0")
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError(f"similarity must be in [0, 1], got {self.value}")
+
+    def describe(self) -> str:
+        return f"sim {self.product_a}~{self.product_b}={self.value:.3f}"
+
+
+Event = Union[HostJoin, HostLeave, LinkAdd, LinkRemove, SimilarityUpdate]
+
+
+def apply_event(
+    network: Network,
+    similarity: Optional[SimilarityTable],
+    event: Event,
+) -> None:
+    """Mutate ``network`` (and ``similarity``) according to one event.
+
+    This is the reference semantics of the event vocabulary; the
+    incremental engine additionally patches its live plan, and tests
+    cross-validate the two by cold-solving the mutated network.
+    """
+    if isinstance(event, HostJoin):
+        network.add_host(event.host, event.service_map())
+        for peer in event.links:
+            network.add_link(event.host, peer)
+    elif isinstance(event, HostLeave):
+        network.remove_host(event.host)
+    elif isinstance(event, LinkAdd):
+        network.add_link(event.a, event.b)
+    elif isinstance(event, LinkRemove):
+        network.remove_link(event.a, event.b)
+    elif isinstance(event, SimilarityUpdate):
+        if similarity is None:
+            raise ValueError("SimilarityUpdate needs a similarity table")
+        similarity.set(event.product_a, event.product_b, event.value)
+    else:  # pragma: no cover - type escape hatch
+        raise TypeError(f"unknown event {event!r}")
+
+
+# ------------------------------------------------------------------ traces
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of a synthetic churn workload.
+
+    Attributes:
+        events: trace length.
+        seed: PRNG seed (the trace is fully deterministic).
+        weights: relative frequency of each event kind, in the order
+            (host join, host leave, link add, link remove, similarity
+            update).  The defaults skew towards link churn and feed
+            updates — the high-frequency events of a real fleet.
+        join_degree: links a joining host receives.
+        min_hosts: hosts never drop below this (leave events are skipped).
+        sim_low / sim_high: range of re-scored similarity values.
+    """
+
+    events: int = 20
+    seed: int = 0
+    weights: Tuple[float, float, float, float, float] = (1.0, 1.0, 2.0, 2.0, 3.0)
+    join_degree: int = 3
+    min_hosts: int = 3
+    sim_low: float = 0.0
+    sim_high: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.events < 0:
+            raise ValueError("events must be non-negative")
+        if len(self.weights) != 5 or any(w < 0 for w in self.weights):
+            raise ValueError("weights must be five non-negative numbers")
+        if sum(self.weights) <= 0:
+            raise ValueError("at least one event kind needs positive weight")
+        if not 0.0 <= self.sim_low <= self.sim_high <= 1.0:
+            raise ValueError("need 0 <= sim_low <= sim_high <= 1")
+
+
+_KINDS = ("join", "leave", "link_add", "link_remove", "similarity")
+
+
+def random_churn_trace(
+    network: Network,
+    config: ChurnConfig = ChurnConfig(),
+) -> List[Event]:
+    """Draw a deterministic trace of valid churn events for ``network``.
+
+    Events are validated against an evolving *copy* of the network (a
+    removed link is never removed twice, a joining host clones the service
+    spec of an existing one), so replaying the trace on the original — via
+    :func:`apply_event` or the incremental engine — always succeeds.
+    """
+    rng = random.Random(config.seed)
+    state = network.copy()
+    trace: List[Event] = []
+    joined = 0
+    positive = {k for k, w in zip(_KINDS, config.weights) if w > 0}
+    infeasible: set = set()
+    while len(trace) < config.events:
+        kind = rng.choices(_KINDS, weights=config.weights)[0]
+        event = _draw(kind, state, rng, config, joined)
+        if event is None:
+            # The kind is currently infeasible (no removable link, host
+            # floor reached, ...); redraw — unless every positive-weight
+            # kind has come up infeasible since the last success, in which
+            # case the loop would spin forever (e.g. leave-only weights at
+            # the host floor).
+            infeasible.add(kind)
+            if infeasible >= positive:
+                raise ValueError(
+                    f"no feasible event kind under weights {config.weights} "
+                    f"after {len(trace)}/{config.events} events"
+                )
+            continue
+        infeasible.clear()
+        if isinstance(event, HostJoin):
+            joined += 1
+        if not isinstance(event, SimilarityUpdate):
+            apply_event(state, None, event)
+        trace.append(event)
+    return trace
+
+
+def _draw(
+    kind: str,
+    state: Network,
+    rng: random.Random,
+    config: ChurnConfig,
+    joined: int,
+) -> Optional[Event]:
+    hosts = state.hosts
+    if kind == "join":
+        template = rng.choice(hosts)
+        services = tuple(
+            (service, state.candidates(template, service))
+            for service in state.services_of(template)
+        )
+        peers = rng.sample(hosts, min(config.join_degree, len(hosts)))
+        return HostJoin(host=f"joined{joined}", services=services, links=tuple(peers))
+    if kind == "leave":
+        if len(hosts) <= config.min_hosts:
+            return None
+        return HostLeave(host=rng.choice(hosts))
+    if kind == "link_add":
+        for _ in range(10):
+            a = rng.choice(hosts)
+            others = [h for h in hosts if h != a and not state.has_link(a, h)]
+            if others:
+                return LinkAdd(a=a, b=rng.choice(others))
+        return None
+    if kind == "link_remove":
+        links = state.links
+        if not links:
+            return None
+        a, b = rng.choice(links)
+        return LinkRemove(a=a, b=b)
+    # similarity update: re-score a pair inside one candidate range, so the
+    # change actually lands on a pairwise cost matrix.
+    ranges = [
+        state.candidates(host, service)
+        for host in hosts
+        for service in state.services_of(host)
+        if len(state.candidates(host, service)) >= 2
+    ]
+    if not ranges:
+        return None
+    products = rng.choice(ranges)
+    a, b = rng.sample(list(products), 2)
+    value = round(rng.uniform(config.sim_low, config.sim_high), 3)
+    return SimilarityUpdate(product_a=a, product_b=b, value=value)

@@ -1,0 +1,289 @@
+"""Incremental re-diversification with warm-started solvers.
+
+:class:`DynamicDiversifier` keeps a network's optimal product assignment
+fresh while churn events stream in.  Instead of the batch pipeline —
+rebuild the MRF, cold-start TRW-S — it owns a :class:`~repro.stream.plan.
+StreamPlan` (a delta-updated array plan plus the solver's directed-message
+state) and re-solves each delta by
+
+1. patching the live plan (cost values in place, slot/level structure
+   re-derived vectorized),
+2. warm-starting TRW-S or BP from the previous run's messages, and
+3. seeding the ICM refine stage with the previous solution's labels,
+
+falling back to a full cold rebuild when the accumulated delta exceeds a
+configurable fraction of the plan (patching pays off only while the change
+is small).  Warm starts cannot corrupt the *model*: any message state is a
+valid TRW-S reparametrisation, so energies and dual bounds keep their
+meaning, and the reported energy always equals the true E(N) of the
+returned assignment on the mutated network.
+
+Solution *quality* relative to a cold solve depends on the instance.  On
+workloads where TRW-S+ICM reliably finds the optimum — the sparse,
+well-colorable family the tests and ``benchmarks/bench_stream_churn.py``
+pin — an incremental solve reaches exactly the cold-solve energy after
+every event.  On dense, frustrated instances both starts are heuristics
+that can land in different local optima (warm is usually the better one,
+since it continues from a previously-optimised state, but neither
+dominates); treat energy parity as a property of the workload family, not
+a universal guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.mrf.bp import LoopyBPSolver
+from repro.mrf.solvers import SolverResult
+from repro.mrf.trws import TRWSSolver
+from repro.network.assignment import ProductAssignment
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+from repro.stream.events import Event
+from repro.stream.plan import StreamPlan
+
+__all__ = ["StreamSolveResult", "DynamicDiversifier"]
+
+
+@dataclass
+class StreamSolveResult:
+    """One (re-)diversification of the live network.
+
+    Attributes:
+        assignment: the decoded optimal assignment for the current state.
+        energy: MRF energy of the assignment (paper Eq. 1).
+        lower_bound: dual lower bound (TRW-S; ``-inf`` for BP).
+        certified_optimal: True when the gap certifies a global optimum.
+        warm: True when the solve reused the previous message state;
+            False marks a cold (re)build — the first solve, an explicitly
+            cold engine, or a delta past the rebuild threshold.
+        stability: fraction of (host, service) variables present both
+            before and after that kept their product — the
+            assignment-stability metric of the churn scenarios (1.0 on the
+            first solve).
+        seconds: wall-clock time of this solve (patch + solver).
+        solver_result: raw solver output (iterations, traces, ...).
+    """
+
+    assignment: ProductAssignment
+    energy: float
+    lower_bound: float
+    certified_optimal: bool
+    warm: bool
+    stability: float
+    seconds: float
+    solver_result: SolverResult
+
+    @property
+    def iterations(self) -> int:
+        return self.solver_result.iterations
+
+
+class DynamicDiversifier:
+    """Keeps an optimal diversification current under network churn.
+
+    Args:
+        network: the live network; the engine mutates it as events apply.
+        similarity: the live similarity table (likewise).
+        solver: ``"trws"`` (default) or ``"bp"`` — the two message-passing
+            solvers with a warm-start API.
+        warm_start: disable to force a cold rebuild+solve on every
+            :meth:`solve` — the baseline the benchmarks compare against.
+        warm_iterations: sweep budget of a warm re-solve.  Starting from
+            the previous fixed point, a handful of repair sweeps
+            re-propagates a local delta; primal quality is guarded by the
+            ICM refine from the previous labels, so more sweeps buy dual
+            tightening, not better assignments.  The budget is what turns
+            "same iterations as cold" into the measured warm-start
+            speedup.
+        rebuild_fraction: cold-rebuild threshold; when pending events have
+            touched more than this fraction of the plan's nodes or edges,
+            patching is abandoned for a rebuild.
+        cost_jump_threshold: escalation threshold for similarity deltas.
+            A feed update that moves some cost entry by more than this
+            keeps the warm messages but re-solves with the full sweep
+            budget and init set — a large re-score can shift the message
+            fixed point far enough that a couple of repair sweeps would
+            land in a worse basin than a cold solve.
+        unary_constant / pairwise_weight / service_weights: cost model, as
+            in :func:`repro.core.diversify.diversify`.
+        **solver_options: forwarded to the solver constructor.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        similarity: SimilarityTable,
+        solver: str = "trws",
+        warm_start: bool = True,
+        warm_iterations: int = 2,
+        rebuild_fraction: float = 0.25,
+        cost_jump_threshold: float = 0.2,
+        unary_constant: float = 0.01,
+        pairwise_weight: float = 1.0,
+        service_weights: Optional[Mapping[str, float]] = None,
+        **solver_options,
+    ) -> None:
+        if warm_iterations < 1:
+            raise ValueError("warm_iterations must be >= 1")
+        if solver == "trws":
+            self._solver = TRWSSolver(**solver_options)
+            self._warm_solver = TRWSSolver(
+                **{**solver_options, "max_iterations": warm_iterations}
+            )
+        elif solver == "bp":
+            self._solver = LoopyBPSolver(**solver_options)
+            self._warm_solver = LoopyBPSolver(
+                **{**solver_options, "max_iterations": warm_iterations}
+            )
+        else:
+            raise ValueError(
+                f"streaming supports solvers 'trws' and 'bp', got {solver!r}"
+            )
+        if not 0.0 <= rebuild_fraction <= 1.0:
+            raise ValueError("rebuild_fraction must be in [0, 1]")
+        if cost_jump_threshold < 0:
+            raise ValueError("cost_jump_threshold must be non-negative")
+        self.solver_name = solver
+        self.warm_start = warm_start
+        self.rebuild_fraction = rebuild_fraction
+        self.cost_jump_threshold = cost_jump_threshold
+        self.plan = StreamPlan(
+            network,
+            similarity,
+            unary_constant=unary_constant,
+            pairwise_weight=pairwise_weight,
+            service_weights=service_weights,
+        )
+        self._previous: Optional[Dict[Tuple[str, str], str]] = None
+
+    # ----------------------------------------------------------------- churn
+
+    @property
+    def network(self) -> Network:
+        return self.plan.network
+
+    @property
+    def similarity(self) -> SimilarityTable:
+        return self.plan.similarity
+
+    def apply(self, event: Event) -> None:
+        """Apply one churn event (mutates network/similarity, patches the
+        plan).  Events batch: several applies then one :meth:`solve`."""
+        self.plan.apply(event)
+
+    def apply_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.apply(event)
+
+    # ----------------------------------------------------------------- solve
+
+    def solve(self) -> StreamSolveResult:
+        """(Re-)optimise the current network state.
+
+        Warm path: flush pending structural deltas into the plan, restart
+        the solver from the previous messages and seed the refine stage
+        with the previous labels.  Cold path (first solve, ``warm_start=
+        False``, or delta past ``rebuild_fraction``): rebuild everything
+        and start from zero messages and a fresh greedy labelling.
+        """
+        start = time.perf_counter()
+        plan = self.plan
+        warm = (
+            self.warm_start
+            and plan.labels is not None
+            and not self._delta_too_large()
+        )
+        is_trws = self.solver_name == "trws"
+        if warm:
+            plan.flush()
+            if plan.dirty_cost > self.cost_jump_threshold:
+                # A large similarity re-score: keep the warm messages (any
+                # message state is a valid reparametrisation) but give the
+                # solver its full budget and the cold init set so it can
+                # leave the previous basin.
+                solver = self._solver
+                extra_inits = (plan.labels,)
+                if is_trws:
+                    extra_inits += (plan.plan.greedy_labels(),)
+            else:
+                solver = self._warm_solver
+                extra_inits = (plan.labels,)
+        else:
+            plan.rebuild()
+            solver = self._solver
+            # The greedy init only feeds TRW-S's refine stage; BP's
+            # solve_arrays takes no inits, so don't pay for it there.
+            extra_inits = (plan.plan.greedy_labels(),) if is_trws else ()
+
+        if is_trws:
+            result = solver.solve_arrays(
+                plan.plan,
+                messages=plan.messages,
+                extra_inits=extra_inits,
+                default_inits=solver is not self._warm_solver,
+            )
+        else:
+            result = solver.solve_arrays(plan.plan, messages=plan.messages)
+
+        labels = np.asarray(result.labels, dtype=np.int64)
+        energy = result.energy
+        if warm:
+            # Stability tie-break: among equal-energy optima prefer the one
+            # closest to the previous deployment (re-diversification is a
+            # reconfiguration plan — gratuitous churn costs real downtime).
+            # The ICM polish of the previous labels can only tie, never
+            # beat, the solver's best (it was one of the refine inits).
+            polished = plan.plan.icm(plan.labels)
+            polished_energy = plan.plan.energy(polished)
+            if polished_energy <= energy + 1e-9:
+                labels = polished
+                energy = polished_energy
+        plan.record_labels(labels)
+        plan.reset_dirty_counters()
+
+        values = plan.assignment_values(labels)
+        assignment = ProductAssignment.from_decoded(plan.network, values)
+        stability = _stability(self._previous, values)
+        self._previous = values
+        certified = (
+            np.isfinite(result.lower_bound)
+            and energy - result.lower_bound <= 1e-6
+        )
+        return StreamSolveResult(
+            assignment=assignment,
+            energy=energy,
+            lower_bound=result.lower_bound,
+            certified_optimal=certified,
+            warm=warm,
+            stability=stability,
+            seconds=time.perf_counter() - start,
+            solver_result=result,
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _delta_too_large(self) -> bool:
+        plan = self.plan
+        node_frac = plan.dirty_nodes / max(1, plan.plan.node_count)
+        edge_frac = plan.dirty_edges / max(1, plan.plan.edge_count)
+        return max(node_frac, edge_frac) > self.rebuild_fraction
+
+
+def _stability(
+    previous: Optional[Dict[Tuple[str, str], str]],
+    current: Dict[Tuple[str, str], str],
+) -> float:
+    """Fraction of variables present in both snapshots keeping their
+    product; 1.0 when there is no previous snapshot or no overlap."""
+    if previous is None:
+        return 1.0
+    shared = [key for key in current if key in previous]
+    if not shared:
+        return 1.0
+    unchanged = sum(1 for key in shared if previous[key] == current[key])
+    return unchanged / len(shared)

@@ -1,0 +1,356 @@
+"""A live, delta-updatable MRF array plan over a mutating network.
+
+:class:`StreamPlan` is the incremental counterpart of
+:func:`repro.core.costs.build_mrf` + :class:`repro.mrf.vectorized.MRFArrays`
+for the unconstrained diversification MRF.  It owns
+
+* the ``(host, service) → node`` variable mapping and candidate ranges,
+* the shared stack of λ·similarity cost matrices (deduplicated by candidate
+  range, exactly like the batch builder),
+* the per-(link, shared-service) edge list, and
+* a live :class:`MRFArrays` plan plus the solver's directed-message array,
+
+and keeps all of them aligned while churn events arrive:
+
+* **similarity updates** rewrite the affected cost-matrix entries and patch
+  the plan's cost stack in place — no structural change, message state
+  untouched;
+* **link events** append/delete edge rows and the matching message slots
+  eagerly, then re-derive the plan's slot/level structure lazily on
+  :meth:`flush` (one vectorized pass however many events are pending);
+* **host events** additionally append/remove node rows, remapping node ids,
+  previous-solution labels and edge endpoints.
+
+Because padded message entries are 0 — the additive identity — new slots
+start cold at 0 while surviving slots keep their near-fixed-point values,
+which is what makes the warm start work across structural deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.mrf.vectorized import MRFArrays
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+from repro.stream.events import (
+    Event,
+    HostJoin,
+    HostLeave,
+    LinkAdd,
+    LinkRemove,
+    SimilarityUpdate,
+)
+
+__all__ = ["StreamPlan"]
+
+#: (candidate range of first endpoint, of second endpoint, λ·service weight)
+_MatrixKey = Tuple[Tuple[str, ...], Tuple[str, ...], float]
+
+
+class StreamPlan:
+    """Delta-updated MRF plan + message state for one live network.
+
+    Args:
+        network: the live network (mutated in place by :meth:`apply`).
+        similarity: the live similarity table (likewise).
+        unary_constant: the paper's ``Pr_const`` per-label base cost.
+        pairwise_weight: λ scaling of the similarity penalty.
+        service_weights: optional per-service multipliers of λ.
+
+    The constrained/preference-carrying cases stay on the batch
+    :func:`~repro.core.costs.build_mrf` path; streaming covers the
+    unconstrained MRF, which is what re-solves at churn frequency.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        similarity: SimilarityTable,
+        unary_constant: float = 0.01,
+        pairwise_weight: float = 1.0,
+        service_weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if pairwise_weight < 0:
+            raise ValueError("pairwise_weight must be non-negative")
+        if service_weights and any(w < 0 for w in service_weights.values()):
+            raise ValueError("service weights must be non-negative")
+        self.network = network
+        self.similarity = similarity
+        self.unary_constant = float(unary_constant)
+        self.pairwise_weight = float(pairwise_weight)
+        self.service_weights = dict(service_weights or {})
+        self.rebuild()
+
+    # ------------------------------------------------------------ cold build
+
+    def rebuild(self) -> None:
+        """Full cold build from the current network/similarity state.
+
+        Also the fallback when the incremental engine judges a pending
+        delta too large to be worth patching: messages restart at zero and
+        the previous-solution labels are dropped.
+        """
+        network = self.network
+        self.variables: List[Tuple[str, str]] = []
+        self.index: Dict[Tuple[str, str], int] = {}
+        self.candidates: List[Tuple[str, ...]] = []
+        self._unaries: List[np.ndarray] = []
+        for host in network.hosts:
+            for service in network.services_of(host):
+                self._append_variable(host, service)
+
+        self._matrix_ids: Dict[_MatrixKey, int] = {}
+        self._matrices: List[np.ndarray] = []
+        self._matrix_meta: List[_MatrixKey] = []
+        self._edge_keys: List[Tuple[Tuple[str, str], str]] = []
+        self._edge_first: List[int] = []
+        self._edge_second: List[int] = []
+        self._edge_cid: List[int] = []
+        for a, b in network.links:
+            for service in network.shared_services(a, b):
+                self._append_edge(a, b, service)
+
+        self.plan = MRFArrays.from_parts(
+            self._unaries,
+            np.asarray(self._edge_first, dtype=np.int64),
+            np.asarray(self._edge_second, dtype=np.int64),
+            np.asarray(self._edge_cid, dtype=np.int64),
+            self._matrices,
+        )
+        self.messages = self.plan.zero_messages()
+        #: previous-solution labels, kept aligned across deltas (None until
+        #: the engine records a solve).
+        self.labels: Optional[np.ndarray] = None
+        self._edges_dirty = False
+        self._nodes_dirty = False
+        self.reset_dirty_counters()
+
+    def reset_dirty_counters(self) -> None:
+        """Zero the per-solve churn counters (called after each solve)."""
+        self.dirty_nodes = 0
+        self.dirty_edges = 0
+        #: largest |Δ| applied to any cost-matrix entry since the last
+        #: solve — the engine escalates its warm sweep budget when a feed
+        #: update moves costs far enough to shift the message fixed point.
+        self.dirty_cost = 0.0
+
+    # ------------------------------------------------------------ event apply
+
+    def apply(self, event: Event) -> None:
+        """Mutate network/similarity and patch the live plan for one event."""
+        if isinstance(event, SimilarityUpdate):
+            self._apply_similarity(event)
+        elif isinstance(event, LinkAdd):
+            self._apply_link_add(event)
+        elif isinstance(event, LinkRemove):
+            self._apply_link_remove(event)
+        elif isinstance(event, HostJoin):
+            self._apply_host_join(event)
+        elif isinstance(event, HostLeave):
+            self._apply_host_leave(event)
+        else:  # pragma: no cover - type escape hatch
+            raise TypeError(f"unknown event {event!r}")
+
+    def flush(self) -> MRFArrays:
+        """Materialise pending structural deltas into the array plan.
+
+        Value-only updates were already patched in place; this re-derives
+        the slot/level structure once for however many link/host events
+        accumulated.  Returns the (possibly new) plan.
+        """
+        edge_first = np.asarray(self._edge_first, dtype=np.int64)
+        edge_second = np.asarray(self._edge_second, dtype=np.int64)
+        edge_cid = np.asarray(self._edge_cid, dtype=np.int64)
+        if self._nodes_dirty:
+            widest = max((len(u) for u in self._unaries), default=0)
+            lmax = max(self.plan.lmax, widest)
+            if lmax > self.plan.lmax:
+                # Wider label spaces joined: grow the message padding; the
+                # padded-message convention is 0, so this is exact.
+                self.messages = np.pad(
+                    self.messages, ((0, 0), (0, lmax - self.plan.lmax))
+                )
+            self.plan = MRFArrays.from_parts(
+                self._unaries, edge_first, edge_second, edge_cid,
+                self._matrices, lmax=lmax,
+            )
+        elif self._edges_dirty:
+            self.plan.replace_edges(
+                edge_first, edge_second, edge_cid, self._matrices
+            )
+        self._nodes_dirty = False
+        self._edges_dirty = False
+        return self.plan
+
+    # -------------------------------------------------------------- solution
+
+    def record_labels(self, labels: np.ndarray) -> None:
+        """Store the latest solution labels for label-warm re-solves."""
+        self.labels = np.asarray(labels, dtype=np.int64).copy()
+
+    def assignment_values(
+        self, labels: np.ndarray
+    ) -> Dict[Tuple[str, str], str]:
+        """Decode a labelling into a (host, service) → product mapping."""
+        return {
+            variable: self.candidates[node][int(labels[node])]
+            for node, variable in enumerate(self.variables)
+        }
+
+    # ------------------------------------------------------------- internals
+
+    def _append_variable(self, host: str, service: str) -> None:
+        range_ = self.network.candidates(host, service)
+        self.index[(host, service)] = len(self.variables)
+        self.variables.append((host, service))
+        self.candidates.append(range_)
+        self._unaries.append(np.full(len(range_), self.unary_constant))
+
+    def _weight(self, service: str) -> float:
+        return self.pairwise_weight * float(self.service_weights.get(service, 1.0))
+
+    def _matrix_for(
+        self, range_a: Tuple[str, ...], range_b: Tuple[str, ...], weight: float
+    ) -> Tuple[int, bool]:
+        """Cost id for a candidate-range pair, plus whether the stored
+        orientation is the transpose of the requested one (the caller then
+        flips the edge's endpoints instead of storing a second matrix)."""
+        key = (range_a, range_b, weight)
+        cid = self._matrix_ids.get(key)
+        if cid is not None:
+            return cid, False
+        flipped = self._matrix_ids.get((range_b, range_a, weight))
+        if flipped is not None:
+            return flipped, True
+        matrix = np.empty((len(range_a), len(range_b)))
+        for row, product_a in enumerate(range_a):
+            for col, product_b in enumerate(range_b):
+                matrix[row, col] = weight * self.similarity.get(product_a, product_b)
+        cid = len(self._matrices)
+        self._matrix_ids[key] = cid
+        self._matrices.append(matrix)
+        self._matrix_meta.append(key)
+        return cid, False
+
+    def _append_edge(self, a: str, b: str, service: str) -> None:
+        node_a = self.index[(a, service)]
+        node_b = self.index[(b, service)]
+        cid, flip = self._matrix_for(
+            self.candidates[node_a], self.candidates[node_b], self._weight(service)
+        )
+        first, second = (node_b, node_a) if flip else (node_a, node_b)
+        self._edge_keys.append((_link_key(a, b), service))
+        self._edge_first.append(first)
+        self._edge_second.append(second)
+        self._edge_cid.append(cid)
+
+    # ------------------------------------------------------- event internals
+
+    def _apply_similarity(self, event: SimilarityUpdate) -> None:
+        a, b, value = event.product_a, event.product_b, event.value
+        self.similarity.set(a, b, value)
+        for cid, (range_a, range_b, weight) in enumerate(self._matrix_meta):
+            matrix = self._matrices[cid]
+            changed = False
+            if a in range_a and b in range_b:
+                row, col = range_a.index(a), range_b.index(b)
+                self.dirty_cost = max(
+                    self.dirty_cost, abs(weight * value - matrix[row, col])
+                )
+                matrix[row, col] = weight * value
+                changed = True
+            if b in range_a and a in range_b:
+                row, col = range_a.index(b), range_b.index(a)
+                self.dirty_cost = max(
+                    self.dirty_cost, abs(weight * value - matrix[row, col])
+                )
+                matrix[row, col] = weight * value
+                changed = True
+            if changed:
+                self.plan.set_cost_matrix(cid, matrix)
+
+    def _apply_link_add(self, event: LinkAdd) -> None:
+        self.network.add_link(event.a, event.b)
+        added = 0
+        for service in self.network.shared_services(event.a, event.b):
+            self._append_edge(event.a, event.b, service)
+            added += 1
+        if added:
+            self.messages = np.vstack(
+                [self.messages, np.zeros((2 * added, self.messages.shape[1]))]
+            )
+            self._edges_dirty = True
+        self.dirty_edges += added
+
+    def _apply_link_remove(self, event: LinkRemove) -> None:
+        self.network.remove_link(event.a, event.b)
+        key = _link_key(event.a, event.b)
+        positions = [
+            e for e, (link, _service) in enumerate(self._edge_keys) if link == key
+        ]
+        self._delete_edges(positions)
+        self.dirty_edges += len(positions)
+
+    def _apply_host_join(self, event: HostJoin) -> None:
+        self.network.add_host(event.host, event.service_map())
+        for service in self.network.services_of(event.host):
+            self._append_variable(event.host, service)
+            if self.labels is not None:
+                # New variables start at label 0 (flat unaries make any
+                # start equivalent; ICM repositions them in one sweep).
+                self.labels = np.append(self.labels, 0)
+            self.dirty_nodes += 1
+        self._nodes_dirty = True
+        for peer in event.links:
+            self._apply_link_add(LinkAdd(a=event.host, b=peer))
+
+    def _apply_host_leave(self, event: HostLeave) -> None:
+        host = event.host
+        removed = [
+            self.index[(host, service)]
+            for service in self.network.services_of(host)
+        ]
+        self.network.remove_host(host)
+        removed_set = set(removed)
+        positions = [
+            e
+            for e in range(len(self._edge_keys))
+            if self._edge_first[e] in removed_set
+            or self._edge_second[e] in removed_set
+        ]
+        self._delete_edges(positions)
+        self.dirty_edges += len(positions)
+
+        # Renumber surviving nodes (order preserved).
+        keep = [n for n in range(len(self.variables)) if n not in removed_set]
+        remap = {old: new for new, old in enumerate(keep)}
+        self.variables = [self.variables[n] for n in keep]
+        self.candidates = [self.candidates[n] for n in keep]
+        self._unaries = [self._unaries[n] for n in keep]
+        self.index = {variable: n for n, variable in enumerate(self.variables)}
+        if self.labels is not None:
+            self.labels = self.labels[keep]
+        self._edge_first = [remap[n] for n in self._edge_first]
+        self._edge_second = [remap[n] for n in self._edge_second]
+        self._nodes_dirty = True
+        self.dirty_nodes += len(removed)
+
+    def _delete_edges(self, positions: List[int]) -> None:
+        if not positions:
+            return
+        drop = set(positions)
+        keep = [e for e in range(len(self._edge_keys)) if e not in drop]
+        self._edge_keys = [self._edge_keys[e] for e in keep]
+        self._edge_first = [self._edge_first[e] for e in keep]
+        self._edge_second = [self._edge_second[e] for e in keep]
+        self._edge_cid = [self._edge_cid[e] for e in keep]
+        slots = [s for e in positions for s in (2 * e, 2 * e + 1)]
+        self.messages = np.delete(self.messages, slots, axis=0)
+        self._edges_dirty = True
+
+
+def _link_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)

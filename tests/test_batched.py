@@ -136,6 +136,41 @@ class TestFastPathRouting:
         assert slow.build is not None
 
 
+class TestLevelBatching:
+    """The wavefront-level path must reproduce the per-host schedule."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_energy_and_bound_parity(self, seed):
+        network, similarity = workload(hosts=24, degree=4, services=3, seed=seed)
+        problem = replicated_problem_from_network(network, similarity)
+        levels = BatchedTRWSSolver(max_iterations=40).solve(problem)
+        per_host = BatchedTRWSSolver(
+            max_iterations=40, level_batched=False
+        ).solve(problem)
+        assert levels.energy == pytest.approx(per_host.energy, abs=1e-9)
+        assert levels.lower_bound == pytest.approx(per_host.lower_bound, abs=1e-7)
+        assert levels.iterations == per_host.iterations
+
+    def test_default_is_level_batched(self):
+        assert BatchedTRWSSolver().level_batched
+
+    def test_chain_alternation_on_both_paths(self):
+        network = Network()
+        spec = {"x": ["a", "b"]}
+        for i in range(6):
+            network.add_host(f"h{i}", spec)
+        for i in range(5):
+            network.add_link(f"h{i}", f"h{i+1}")
+        problem = replicated_problem_from_network(network, SimilarityTable())
+        for batched in (True, False):
+            result = BatchedTRWSSolver(
+                max_iterations=30, level_batched=batched
+            ).solve(problem)
+            assert result.energy == pytest.approx(0.01 * 6)
+            column = result.labels[:, 0]
+            assert all(a != b for a, b in zip(column, column[1:]))
+
+
 class TestSolverBehaviour:
     def test_chain_alternation(self):
         # Two services over a 6-chain; similarity 1 between equal products

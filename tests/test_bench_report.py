@@ -1,0 +1,101 @@
+"""Tests for the BENCH trend-report script (benchmarks/bench_report.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_report",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "bench_report.py",
+)
+bench_report = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_report)
+
+
+def write_record(directory: Path, name: str, seconds: float, schema: int = 1):
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": schema, "bench": name, "seconds": seconds, "extra": {}}
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestLoadRecords:
+    def test_loads_and_keys_by_bench(self, tmp_path):
+        write_record(tmp_path, "alpha", 1.0)
+        write_record(tmp_path, "beta", 2.0)
+        records = bench_report.load_records(tmp_path)
+        assert sorted(records) == ["alpha", "beta"]
+        assert records["alpha"]["seconds"] == 1.0
+
+    def test_skips_unknown_schema(self, tmp_path, capsys):
+        write_record(tmp_path, "old", 1.0, schema=99)
+        assert bench_report.load_records(tmp_path) == {}
+
+    def test_skips_corrupt_json(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        assert bench_report.load_records(tmp_path) == {}
+
+
+class TestFormatReport:
+    def test_current_only_listing(self, tmp_path):
+        current = {"a": {"bench": "a", "seconds": 0.5}}
+        text, regressions = bench_report.format_report(current)
+        assert "0.5000" in text
+        assert regressions == 0
+
+    def test_diff_flags_regression(self):
+        baseline = {"a": {"bench": "a", "seconds": 1.0}}
+        current = {"a": {"bench": "a", "seconds": 2.0}}
+        text, regressions = bench_report.format_report(
+            current, baseline, fail_threshold=1.5
+        )
+        assert "REGRESSED" in text
+        assert regressions == 1
+
+    def test_diff_reports_speedup_and_new_missing(self):
+        baseline = {
+            "fast": {"bench": "fast", "seconds": 2.0},
+            "gone": {"bench": "gone", "seconds": 1.0},
+        }
+        current = {
+            "fast": {"bench": "fast", "seconds": 1.0},
+            "fresh": {"bench": "fresh", "seconds": 3.0},
+        }
+        text, regressions = bench_report.format_report(current, baseline, 1.5)
+        assert "2.00x faster" in text
+        assert "new" in text
+        assert "missing" in text
+        assert regressions == 0
+
+
+class TestMain:
+    def test_current_only(self, tmp_path, capsys):
+        write_record(tmp_path, "alpha", 1.0)
+        assert bench_report.main(["--results", str(tmp_path)]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+    def test_regression_exit_code(self, tmp_path, capsys):
+        write_record(tmp_path / "new", "alpha", 3.0)
+        write_record(tmp_path / "old", "alpha", 1.0)
+        code = bench_report.main(
+            [
+                "--results", str(tmp_path / "new"),
+                "--baseline", str(tmp_path / "old"),
+                "--fail-threshold", "1.5",
+            ]
+        )
+        assert code == 1
+
+    def test_ok_within_threshold(self, tmp_path):
+        write_record(tmp_path / "new", "alpha", 1.1)
+        write_record(tmp_path / "old", "alpha", 1.0)
+        code = bench_report.main(
+            [
+                "--results", str(tmp_path / "new"),
+                "--baseline", str(tmp_path / "old"),
+                "--fail-threshold", "1.5",
+            ]
+        )
+        assert code == 0
+
+    def test_missing_directory(self, tmp_path):
+        assert bench_report.main(["--results", str(tmp_path / "nope")]) == 2

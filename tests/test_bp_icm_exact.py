@@ -106,3 +106,29 @@ class TestICM:
     def test_empty(self):
         result = ICMSolver().solve(PairwiseMRF())
         assert result.labels == [] and result.converged
+
+
+class TestBPSolveArrays:
+    def test_cold_solve_arrays_matches_solve(self):
+        from repro.mrf.vectorized import MRFArrays
+
+        mrf = make_random_mrf(nodes=8, edge_probability=0.6, max_labels=3, seed=2)
+        solver = LoopyBPSolver(max_iterations=30)
+        direct = solver.solve(mrf)
+        via_plan = solver.solve_arrays(MRFArrays(mrf))
+        assert via_plan.labels == direct.labels
+        assert via_plan.energy == pytest.approx(direct.energy, abs=1e-9)
+
+    def test_warm_start_converges_fast(self):
+        from repro.mrf.vectorized import MRFArrays
+
+        mrf = make_random_mrf(nodes=8, edge_probability=0.6, max_labels=3, seed=3)
+        plan = MRFArrays(mrf)
+        solver = LoopyBPSolver(max_iterations=50)
+        messages = plan.zero_messages()
+        first = solver.solve_arrays(plan, messages=messages)
+        assert first.converged
+        warm = solver.solve_arrays(plan, messages=messages)
+        # Restarting at the fixed point converges immediately.
+        assert warm.iterations <= 2
+        assert warm.energy == pytest.approx(first.energy, abs=1e-9)

@@ -19,6 +19,21 @@ class TestParser:
         args = build_parser().parse_args(["table6", "--runs", "5", "--seed", "2"])
         assert args.runs == 5 and args.seed == 2
 
+    def test_table6_workers_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["table6"]).workers is None
+        assert parser.parse_args(["table6", "--workers", "2"]).workers == 2
+
+    def test_stream_options(self):
+        args = build_parser().parse_args(
+            ["stream", "--hosts", "30", "--events", "5", "--solver", "bp",
+             "--compare-cold"]
+        )
+        assert args.hosts == 30
+        assert args.events == 5
+        assert args.solver == "bp"
+        assert args.compare_cold and not args.cold
+
     def test_scalability_full_flag(self):
         args = build_parser().parse_args(["table7", "--full"])
         assert args.full
@@ -103,6 +118,12 @@ class TestExtensionCommands:
         assert main(["adversary", "--runs", "20"]) == 0
         out = capsys.readouterr().out
         assert "full" in out and "blind" in out
+
+    def test_stream(self, capsys):
+        assert main(["stream", "--hosts", "12", "--events", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming churn" in out
+        assert "events" in out and "warm" in out
 
     def test_dot(self, capsys, tmp_path):
         out_path = tmp_path / "case.dot"

@@ -96,6 +96,17 @@ class TestTable6:
         )
         assert results[("mono", "c4")].mttc < results[("optimal", "c4")].mttc
 
+    def test_parallel_matches_serial(self, case):
+        serial = experiments.table6_mttc(
+            case, runs=30, seed=3, labels=("optimal", "mono")
+        )
+        parallel = experiments.table6_mttc(
+            case, runs=30, seed=3, labels=("optimal", "mono"), workers=2
+        )
+        assert list(serial) == list(parallel)
+        for key in serial:
+            assert serial[key] == parallel[key]
+
 
 class TestScalability:
     def test_cell_runs_and_reports(self):

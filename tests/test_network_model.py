@@ -55,6 +55,35 @@ class TestBuilding:
             net.set_candidates("a", "os", [])
 
 
+class TestMutation:
+    def test_remove_link(self, net):
+        net.remove_link("b", "a")
+        assert not net.has_link("a", "b")
+        assert "b" not in net.neighbors("a")
+        assert net.edge_count() == 1
+
+    def test_remove_missing_link_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.remove_link("b", "c")
+
+    def test_remove_host_drops_links(self, net):
+        net.remove_host("a")
+        assert "a" not in net
+        assert net.edge_count() == 0
+        assert net.neighbors("b") == []
+        assert net.neighbors("c") == []
+
+    def test_remove_unknown_host_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.remove_host("zz")
+
+    def test_readd_after_remove(self, net):
+        net.remove_host("b")
+        net.add_host("b", {"os": ["w", "l"]})
+        net.add_link("a", "b")
+        assert net.has_link("a", "b")
+
+
 class TestQueries:
     def test_basic_counts(self, net):
         assert len(net) == 3

@@ -72,6 +72,40 @@ class TestSimilarityTable:
         with pytest.raises(ValueError):
             SimilarityTable().set("a", "a", 0.5)
 
+    def test_version_tracks_mutations(self):
+        table = SimilarityTable()
+        v0 = table.version
+        table.add_product("a")
+        assert table.version > v0
+        v1 = table.version
+        table.set("a", "b", 0.4)
+        assert table.version > v1
+        v2 = table.version
+        table.add_product("a")  # idempotent add: no change
+        assert table.version == v2
+
+    def test_apply_updates_batch(self):
+        table = SimilarityTable(products=["a", "b", "c"])
+        table.apply_updates({("a", "b"): 0.3, ("b", "c"): 0.6})
+        assert table.get("a", "b") == 0.3
+        assert table.get("c", "b") == 0.6
+
+    def test_apply_updates_validates_before_applying(self):
+        table = SimilarityTable(products=["a", "b", "c"])
+        with pytest.raises(ValueError):
+            table.apply_updates({("a", "b"): 0.3, ("b", "c"): 1.6})
+        # The valid entry must not have been applied either.
+        assert table.get("a", "b") == 0.0
+
+    def test_copy_is_independent(self):
+        table = SimilarityTable(pairs={("a", "b"): 0.2})
+        table.vulnerability_counts["a"] = 5
+        clone = table.copy()
+        clone.set("a", "b", 0.9)
+        assert table.get("a", "b") == 0.2
+        assert clone.get("a", "b") == 0.9
+        assert clone.vulnerability_counts["a"] == 5
+
     def test_unit_self_similarity_allowed(self):
         table = SimilarityTable()
         table.set("a", "a", 1.0)

@@ -135,3 +135,54 @@ class TestDiagnostics:
         mrf.add_node([0.0, 1.0])
         result = TRWSSolver().solve(mrf)
         assert result.optimality_gap == pytest.approx(0.0)
+
+
+class TestSolveArrays:
+    """The warm-start API: solve_arrays on a prebuilt plan."""
+
+    def test_cold_solve_arrays_matches_solve(self):
+        from repro.mrf.vectorized import MRFArrays
+
+        mrf = make_random_mrf(nodes=8, edge_probability=0.7, max_labels=4, seed=3)
+        solver = TRWSSolver(max_iterations=30)
+        direct = solver.solve(mrf)
+        via_plan = solver.solve_arrays(MRFArrays(mrf))
+        assert via_plan.energy == pytest.approx(direct.energy, abs=1e-9)
+        assert via_plan.lower_bound == pytest.approx(direct.lower_bound, abs=1e-7)
+
+    def test_messages_updated_in_place_and_reusable(self):
+        from repro.mrf.vectorized import MRFArrays
+
+        mrf = make_random_mrf(nodes=8, edge_probability=0.7, max_labels=4, seed=4)
+        plan = MRFArrays(mrf)
+        solver = TRWSSolver(max_iterations=30)
+        messages = plan.zero_messages()
+        first = solver.solve_arrays(plan, messages=messages)
+        assert np.any(messages != 0.0)  # state written back in place
+        # Warm restart from the fixed point: same energy, valid bound.
+        warm = TRWSSolver(max_iterations=3).solve_arrays(plan, messages=messages)
+        assert warm.energy == pytest.approx(first.energy, abs=1e-9)
+        assert warm.lower_bound <= warm.energy + 1e-9
+
+    def test_extra_inits_feed_refine(self):
+        from repro.mrf.vectorized import MRFArrays
+
+        mrf = make_random_mrf(nodes=8, edge_probability=0.7, max_labels=4, seed=5)
+        plan = MRFArrays(mrf)
+        solver = TRWSSolver(max_iterations=2)
+        exact = ExactSolver().solve(mrf)
+        seeded = solver.solve_arrays(
+            plan, extra_inits=(np.asarray(exact.labels, dtype=np.int64),)
+        )
+        # Seeding with the optimum guarantees the optimum comes back.
+        assert seeded.energy == pytest.approx(exact.energy, abs=1e-9)
+
+    def test_greedy_labels_on_plan(self):
+        from repro.mrf.vectorized import MRFArrays
+
+        mrf = make_random_mrf(nodes=10, edge_probability=0.5, max_labels=4, seed=6)
+        plan = MRFArrays(mrf)
+        labels = plan.greedy_labels()
+        assert labels.shape == (mrf.node_count,)
+        assert np.all(labels < plan.label_counts)
+        assert np.isfinite(plan.energy(labels))
