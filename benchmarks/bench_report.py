@@ -8,12 +8,19 @@ diffing two record sets and printing a regression table::
     python benchmarks/bench_report.py                       # current only
     python benchmarks/bench_report.py --baseline old_results/
     python benchmarks/bench_report.py --baseline old/ --fail-threshold 1.5
+    python benchmarks/bench_report.py --pinned               # soft perf gate
 
 ``seconds`` is the headline series; a bench whose current/baseline ratio
 exceeds ``--fail-threshold`` is flagged ``REGRESSED`` (and fails the run
 when the threshold is set), ratios below 1 print as speedups.  Benches
 present on only one side are reported as ``new``/``missing`` rather than
 silently dropped.
+
+``--pinned [DIR]`` compares against the *committed* reference records in
+``benchmarks/pinned/`` (or DIR) and exits non-zero past a default 25%
+regression — the soft perf gate CI runs with ``continue-on-error`` so a
+slow runner warns instead of blocking a merge.  Only benches present in
+the pinned set gate; extra current records just report as ``new``.
 
 Not a pytest module — plain argparse so CI and developers call it directly.
 """
@@ -30,6 +37,10 @@ from typing import Dict, Optional
 SUPPORTED_SCHEMA = 1
 
 DEFAULT_RESULTS = Path(__file__).parent / "results"
+DEFAULT_PINNED = Path(__file__).parent / "pinned"
+
+#: The soft perf gate: current/pinned seconds beyond this ratio fails.
+PINNED_FAIL_THRESHOLD = 1.25
 
 
 def load_records(directory: Path) -> Dict[str, dict]:
@@ -136,20 +147,43 @@ def main(argv=None) -> int:
         help="exit non-zero when current/baseline exceeds this ratio "
         "(e.g. 1.5 = 50%% slower)",
     )
+    parser.add_argument(
+        "--pinned",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_PINNED,
+        default=None,
+        metavar="DIR",
+        help="soft perf gate: compare against the committed pinned records "
+        f"(default {DEFAULT_PINNED.name}/) and exit non-zero past "
+        f"{PINNED_FAIL_THRESHOLD:.2f}x (override with --fail-threshold); "
+        "only benches present in the pinned set gate",
+    )
     args = parser.parse_args(argv)
 
+    if args.pinned is not None and args.baseline is not None:
+        print("--pinned and --baseline are mutually exclusive", file=sys.stderr)
+        return 2
     if not args.results.is_dir():
         print(f"no results directory at {args.results}", file=sys.stderr)
         return 2
     current = load_records(args.results)
     baseline = None
-    if args.baseline is not None:
+    fail_threshold = args.fail_threshold
+    if args.pinned is not None:
+        if not args.pinned.is_dir():
+            print(f"no pinned directory at {args.pinned}", file=sys.stderr)
+            return 2
+        baseline = load_records(args.pinned)
+        if fail_threshold is None:
+            fail_threshold = PINNED_FAIL_THRESHOLD
+    elif args.baseline is not None:
         if not args.baseline.is_dir():
             print(f"no baseline directory at {args.baseline}", file=sys.stderr)
             return 2
         baseline = load_records(args.baseline)
 
-    text, regressions = format_report(current, baseline, args.fail_threshold)
+    text, regressions = format_report(current, baseline, fail_threshold)
     print(text)
     if regressions:
         print(f"{regressions} regression(s) past threshold", file=sys.stderr)

@@ -9,7 +9,9 @@ corresponding table/figure.  Subcommands:
 * ``table5`` — the diversity metric d_bn.
 * ``table6`` — MTTC simulation (``--runs`` controls the batch size).
 * ``table7`` / ``table8`` / ``table9`` — scalability sweeps; ``--workers N``
-  spreads the grid cells over N processes (see :mod:`repro.runner`).
+  spreads the grid cells over N processes (see :mod:`repro.runner`;
+  ``REPRO_WORKERS`` in the environment overrides the default) and
+  ``--shards N`` solves each cell over its connected-component shards.
 * ``synthetic-nvd`` — regenerate similarity tables from the synthetic feed.
 
 Extension commands (beyond the paper's tables):
@@ -21,7 +23,8 @@ Extension commands (beyond the paper's tables):
 * ``sensitivity`` — similarity-perturbation sensitivity (``--workers`` too).
 * ``stream`` — incremental re-diversification under synthetic network churn
   (the :mod:`repro.stream` engine; ``--compare-cold`` prints per-event
-  speedups over a cold rebuild+solve).
+  speedups over a cold rebuild+solve, ``--sharded`` re-solves only the
+  connected-component shards each event touches).
 * ``dot`` — Graphviz export of the case study with similarity heat.
 """
 
@@ -70,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="simulation cells run in this many processes (-1 = one per "
-        "CPU; default serial); results are identical, only faster",
+        "CPU; default serial, or the REPRO_WORKERS env var when set); "
+        "results are identical, only faster",
     )
 
     for name, help_text in (
@@ -90,7 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             help="grid cells run in this many processes (-1 = one per CPU; "
-            "default serial); results are identical, only faster",
+            "default serial, or the REPRO_WORKERS env var when set); jobs "
+            "are dispatched in chunks on big grids; results are identical, "
+            "only faster",
+        )
+        t.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="solve each cell over its connected-component shards with "
+            "this many concurrent shard workers (-1 = one per CPU; default "
+            "monolithic); energies are identical — components are "
+            "independent",
         )
 
     nvd = sub.add_parser(
@@ -127,7 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
     sens.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
                       help="perturbation seeds per noise level")
     sens.add_argument("--workers", type=int, default=None,
-                      help="(noise, seed) cells run in this many processes")
+                      help="(noise, seed) cells run in this many processes "
+                      "(-1 = one per CPU; default serial, or the "
+                      "REPRO_WORKERS env var when set)")
 
     stream = sub.add_parser(
         "stream",
@@ -140,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--events", type=int, default=15)
     stream.add_argument("--seed", type=int, default=1)
     stream.add_argument("--solver", choices=("trws", "bp"), default="trws")
+    stream.add_argument(
+        "--sharded",
+        action="store_true",
+        help="partition the plan into connected-component shards and "
+        "re-solve only the shards each event touches",
+    )
     stream.add_argument(
         "--cold",
         action="store_true",
@@ -215,7 +238,8 @@ def _table7(args: argparse.Namespace) -> None:
         hosts = hosts + (2000, 4000, 6000)
     print("Table VII — optimisation time vs #hosts")
     for (label, count), cell in experiments.table7_rows(
-        host_counts=hosts, seed=args.seed, workers=args.workers
+        host_counts=hosts, seed=args.seed, workers=args.workers,
+        shards=args.shards,
     ).items():
         print(f"  {label:<14} " + cell.row())
 
@@ -226,7 +250,8 @@ def _table8(args: argparse.Namespace) -> None:
         scales.append(("large-scale", 6000, 25))
     print("Table VIII — optimisation time vs degree")
     for (label, degree), cell in experiments.table8_rows(
-        scales=scales, seed=args.seed, workers=args.workers
+        scales=scales, seed=args.seed, workers=args.workers,
+        shards=args.shards,
     ).items():
         print(f"  {label:<14} " + cell.row())
 
@@ -237,7 +262,8 @@ def _table9(args: argparse.Namespace) -> None:
         scales.append(("large-scale", 6000, 40))
     print("Table IX — optimisation time vs services per host")
     for (label, services), cell in experiments.table9_rows(
-        scales=scales, seed=args.seed, workers=args.workers
+        scales=scales, seed=args.seed, workers=args.workers,
+        shards=args.shards,
     ).items():
         print(f"  {label:<14} " + cell.row())
 
@@ -364,8 +390,8 @@ def _stream(args: argparse.Namespace) -> None:
     )
     print(
         f"Streaming churn — {args.hosts} hosts, {args.events} events, "
-        f"solver={args.solver}, warm starts "
-        f"{'off' if args.cold else 'on'}"
+        f"solver={args.solver}{' (sharded)' if args.sharded else ''}, "
+        f"warm starts {'off' if args.cold else 'on'}"
     )
     report = replay_trace(
         network,
@@ -374,6 +400,7 @@ def _stream(args: argparse.Namespace) -> None:
         solver=args.solver,
         warm_start=not args.cold,
         compare_cold=args.compare_cold,
+        sharded=args.sharded,
     )
     print(report.format_rows())
     print(report.summary())

@@ -87,6 +87,7 @@ def diversify(
     preferences: Optional[Mapping[Tuple[str, str, str], float]] = None,
     service_weights: Optional[Mapping[str, float]] = None,
     fast_path: bool = True,
+    shards: Optional[int] = None,
     **solver_options,
 ) -> DiversificationResult:
     """Compute the (constrained) optimal diversification of a network.
@@ -106,6 +107,13 @@ def diversify(
             instance qualifies (uniform services, no constraints); the
             labelling rule and costs are identical, only the data layout
             differs.  Set False to force the general per-variable MRF.
+        shards: route the solve through the component partition
+            (:class:`~repro.mrf.sharded.ShardedSolver`), solving shards
+            concurrently with this many workers (``-1`` = one per CPU,
+            ``1`` = sharded but serial — still wins per-shard convergence).
+            ``None``/``0`` keeps the monolithic solve.  Exact for
+            ``"trws"``/``"bp"``, including the batched fast path; other
+            solvers ignore it.
         **solver_options: forwarded to the solver constructor
             (e.g. ``max_iterations=50``).
 
@@ -133,6 +141,7 @@ def diversify(
             similarity,
             unary_constant=unary_constant,
             pairwise_weight=pairwise_weight,
+            shards=shards,
             **solver_options,
         )
         if fast_result is not None:
@@ -147,7 +156,14 @@ def diversify(
         preferences=preferences,
         service_weights=service_weights,
     )
-    solver_instance = get_solver(solver, **solver_options)
+    if shards and solver in ("trws", "bp"):
+        from repro.mrf.sharded import ShardedSolver
+
+        solver_instance = ShardedSolver(
+            solver=solver, workers=shards, **solver_options
+        )
+    else:
+        solver_instance = get_solver(solver, **solver_options)
     solver_result = solver_instance.solve(build.mrf)
     assignment = build.labels_to_assignment(network, solver_result.labels)
 
@@ -174,6 +190,7 @@ def _diversify_replicated(
     similarity: SimilarityTable,
     unary_constant: float,
     pairwise_weight: float,
+    shards: Optional[int] = None,
     **solver_options,
 ) -> Optional[DiversificationResult]:
     """The batched replicated-service fast path; None when ineligible."""
@@ -190,8 +207,14 @@ def _diversify_replicated(
     )
     if problem is None:
         return None
-    solver = BatchedTRWSSolver(**solver_options)
-    batched = solver.solve(problem)
+    if shards:
+        from repro.mrf.sharded import ShardedSolver
+
+        sharded = ShardedSolver(solver="trws", workers=shards, **solver_options)
+        batched = sharded.solve_replicated(problem)
+    else:
+        solver = BatchedTRWSSolver(**solver_options)
+        batched = solver.solve(problem)
 
     assignment = ProductAssignment(network)
     for position, host in enumerate(network.hosts):

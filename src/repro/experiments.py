@@ -35,7 +35,7 @@ from repro.network.topologies import (
     MOTIVATIONAL_TARGET,
     motivational_network,
 )
-from repro.runner import Job, run_jobs
+from repro.runner import Job, resolve_workers, run_jobs
 from repro.sim.attacker import make_attacker
 from repro.sim.malware import InfectionModel
 
@@ -301,13 +301,16 @@ def scalability_cell(
     solver: str = "trws",
     max_iterations: int = 8,
     compute_bound: bool = False,
+    shards: Optional[int] = None,
 ) -> ScalabilityCell:
     """Time one optimisation run on a random workload.
 
     The timer covers MRF construction plus solving — the paper's
     "computational time of optimizing networks".  The dual bound is off by
     default (the paper's timing runs report time-to-solution, and the bound
-    costs one extra message pass per iteration).
+    costs one extra message pass per iteration).  ``shards`` routes the
+    solve through the component partition with that many concurrent shard
+    workers (see :func:`repro.core.diversify.diversify`).
     """
     network = random_network(config)
     similarity = random_similarity(config)
@@ -318,6 +321,7 @@ def scalability_cell(
         solver=solver,
         max_iterations=max_iterations,
         compute_bound=compute_bound,
+        shards=shards,
     )
     elapsed = time.perf_counter() - start
     return ScalabilityCell(
@@ -331,6 +335,7 @@ def scalability_cell(
 def scalability_sweep(
     configs: Dict[Tuple[str, int], RandomNetworkConfig],
     workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
     **cell_options,
 ) -> Dict[Tuple[str, int], ScalabilityCell]:
     """Run one :func:`scalability_cell` per grid point, optionally parallel.
@@ -339,13 +344,17 @@ def scalability_sweep(
     :class:`~repro.runner.Job` (the workload's randomness is pinned by its
     ``RandomNetworkConfig.seed``), executed serially or over a process pool
     — energies and edge counts are identical either way, only wall-clock
-    timings vary with machine load.
+    timings vary with machine load.  Big grids (the ``--full`` sweeps spawn
+    hundreds of cells) dispatch in chunks to amortise pool IPC; pass
+    ``chunksize`` to override the ~4-chunks-per-worker default.
     """
     jobs = [
         Job(key=key, fn=scalability_cell, kwargs=dict(config=config, **cell_options))
         for key, config in configs.items()
     ]
-    return run_jobs(jobs, workers=workers)
+    if chunksize is None:
+        chunksize = max(1, len(jobs) // (4 * resolve_workers(workers)))
+    return run_jobs(jobs, workers=workers, chunksize=chunksize)
 
 
 def table7_rows(

@@ -15,6 +15,10 @@ passing (TRW-S).  This subpackage provides:
     Iterated conditional modes — a cheap local-search baseline/refiner.
 ``repro.mrf.exact``
     Brute-force enumeration for ground truth on small instances.
+``repro.mrf.partition``
+    Component/zone partitioning of plans — the shard layer.
+``repro.mrf.sharded``
+    :class:`ShardedSolver` — concurrent per-shard solving over partitions.
 ``repro.mrf.solvers``
     Common :class:`SolverResult` type and a name → solver registry.
 """
@@ -27,9 +31,18 @@ from repro.mrf.icm import ICMSolver
 from repro.mrf.exact import ExactSolver
 from repro.mrf.anneal import SimulatedAnnealingSolver
 from repro.mrf.batched import BatchedTRWSSolver, ReplicatedProblem
+from repro.mrf.partition import (
+    PlanPartition,
+    split_components,
+    split_parts,
+    split_replicated,
+    zone_groups,
+)
+from repro.mrf.sharded import ShardedSolver
 
 __all__ = [
     "PairwiseMRF",
+    "PlanPartition",
     "SolverResult",
     "TRWSSolver",
     "LoopyBPSolver",
@@ -38,7 +51,12 @@ __all__ = [
     "SimulatedAnnealingSolver",
     "BatchedTRWSSolver",
     "ReplicatedProblem",
+    "ShardedSolver",
     "available_solvers",
     "get_solver",
     "solve",
+    "split_components",
+    "split_parts",
+    "split_replicated",
+    "zone_groups",
 ]

@@ -88,6 +88,28 @@ class ReplicatedProblem:
     def label_count(self) -> int:
         return self.unary.shape[2]
 
+    def subproblem(
+        self, hosts: np.ndarray, edge_rows: np.ndarray
+    ) -> "ReplicatedProblem":
+        """The restriction to a host subset (a host-graph component).
+
+        ``hosts`` must be ascending global host positions and ``edge_rows``
+        the rows of :attr:`edges` internal to that subset (the shard
+        partitioner guarantees both).  Services, products and the cost
+        stack are shared by reference — a component restricts the host
+        graph, not the label model.
+        """
+        hosts = np.asarray(hosts, dtype=np.int64)
+        position = np.searchsorted(hosts, self.edges[edge_rows])
+        return ReplicatedProblem(
+            host_count=len(hosts),
+            edges=position.reshape(-1, 2),
+            services=self.services,
+            products=self.products,
+            unary=self.unary[hosts],
+            costs=self.costs,
+        )
+
     def energy(self, labels: np.ndarray) -> float:
         """E(x) for an (N, S) labelling array."""
         n, s, _ = self.unary.shape

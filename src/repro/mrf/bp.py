@@ -36,7 +36,9 @@ class LoopyBPSolver:
         tolerance: convergence threshold on the max message change.
         damping: convex mixing factor of old/new messages in [0, 1);
             0 is undamped BP, values around 0.5 stabilise loopy graphs.
-        seed: unused (uniform constructor signature).
+        seed: stored but unused by the (deterministic) updates — kept so
+            the uniform constructor signature survives the per-shard
+            reseeding of :class:`~repro.mrf.sharded.ShardedSolver`.
     """
 
     name = "bp"
@@ -55,6 +57,7 @@ class LoopyBPSolver:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.damping = damping
+        self.seed = seed if seed is not None else 0
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
         return self.solve_arrays(MRFArrays(mrf))

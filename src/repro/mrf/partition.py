@@ -1,0 +1,479 @@
+"""Component/zone partitioning of MRF plans — the shard layer.
+
+The diversification MRF of a segmented network factors: products of
+different services never share a pairwise cost, and zones with no
+firewall-permitted path between them share no edges at all, so the field
+decomposes into independent connected components.  Solving each component
+separately is *exact* — energies, bounds and optima add — which makes
+shards a free scaling axis: shard solves parallelise, converge on their own
+schedules, and (in :mod:`repro.stream`) re-solve independently when churn
+only touches one of them.
+
+This module turns that decomposition into first-class objects:
+
+* :func:`split_parts` / :func:`split_components` — partition raw plan parts
+  (or a finished :class:`~repro.mrf.vectorized.MRFArrays`) into per-component
+  :class:`Shard` sub-plans with node/edge/message-slot index maps;
+* :class:`PlanPartition` — the shard list plus :meth:`~PlanPartition.stitch`
+  (per-shard labels → global labelling) and message split/scatter helpers;
+* :func:`zone_groups` — the optional zone-guided grouping: nodes of hosts in
+  the same :class:`~repro.network.zones.ZonedNetwork` zone are pinned to one
+  shard, so the many tiny per-service components of a zone solve as one
+  scheduling unit instead of thousands of micro-tasks;
+* :func:`split_replicated` — the same partition for the batched
+  replicated-service form (:class:`~repro.mrf.batched.ReplicatedProblem`).
+
+Every shard sub-plan is built with the parent's label padding (``lmax``), so
+the parent's directed-message array slices straight into shard message
+arrays (rows ``2e``/``2e+1`` of edge ``e`` map through :attr:`Shard.slots`)
+— the property the warm-started sharded streaming path relies on.  Shard
+node/edge lists preserve ascending global order, hence the wavefront
+schedule of a shard is the restriction of the monolithic schedule and a
+shard solve continues a monolithic solve's message state exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mrf.batched import ReplicatedProblem
+from repro.mrf.vectorized import MRFArrays
+
+__all__ = [
+    "Shard",
+    "PlanPartition",
+    "MergedSolve",
+    "merge_shard_results",
+    "split_parts",
+    "split_components",
+    "zone_groups",
+    "ReplicatedShard",
+    "ReplicatedPartition",
+    "split_replicated",
+]
+
+
+@dataclass(frozen=True)
+class MergedSolve:
+    """Summary reduction of independent shard solves.
+
+    Components share no edges, so energies and dual bounds add; one
+    non-finite bound (BP has none) poisons the total, the slowest shard
+    sets the iteration count, and the merge converged iff every shard did.
+    """
+
+    energy: float
+    lower_bound: float
+    iterations: int
+    converged: bool
+
+
+def merge_shard_results(
+    energies: Sequence[float],
+    bounds: Sequence[float],
+    iterations: Sequence[int],
+    converged: Sequence[bool],
+) -> MergedSolve:
+    """The one shard-merge rule every consumer shares (see MergedSolve)."""
+    return MergedSolve(
+        energy=float(sum(energies)),
+        lower_bound=(
+            float("-inf")
+            if any(not np.isfinite(b) for b in bounds)
+            else float(sum(bounds))
+        ),
+        iterations=max(iterations, default=0),
+        converged=all(converged),
+    )
+
+
+def _component_of(
+    n: int,
+    edge_first: Sequence[int],
+    edge_second: Sequence[int],
+    groups: Optional[Sequence[Optional[int]]] = None,
+) -> np.ndarray:
+    """Dense component ids per node (first-appearance order).
+
+    Union-find with path halving over the edge list; ``groups`` optionally
+    pins nodes sharing a group id (e.g. a zone) into one component even
+    without connecting edges.
+    """
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Smaller index wins the root, keeping ids in node order.
+            parent[max(ra, rb)] = min(ra, rb)
+
+    for a, b in zip(edge_first, edge_second):
+        union(int(a), int(b))
+    if groups is not None:
+        anchor: Dict[int, int] = {}
+        for node, gid in enumerate(groups):
+            if gid is None:
+                continue
+            first = anchor.setdefault(int(gid), node)
+            if first != node:
+                union(first, node)
+
+    component = np.empty(n, dtype=np.int64)
+    ids: Dict[int, int] = {}
+    for node in range(n):
+        component[node] = ids.setdefault(find(node), len(ids))
+    return component
+
+
+def _pack_components(component: np.ndarray, min_size: int) -> np.ndarray:
+    """Component id → shard id, packing small components greedily.
+
+    Components are consumed in id order (= smallest-node order); a shard
+    closes once it has accumulated ``min_size`` members.  ``min_size=1``
+    is the identity mapping.
+    """
+    n_components = int(component.max()) + 1 if len(component) else 0
+    if min_size <= 1:
+        return np.arange(n_components, dtype=np.int64)
+    sizes = np.bincount(component, minlength=n_components)
+    shard_id = np.empty(n_components, dtype=np.int64)
+    current, filled = 0, 0
+    for c in range(n_components):
+        shard_id[c] = current
+        filled += int(sizes[c])
+        if filled >= min_size:
+            current += 1
+            filled = 0
+    return shard_id
+
+
+class Shard:
+    """One sub-plan of a partition, with its global index maps.
+
+    Attributes:
+        index: position in the partition (deterministic: shards are ordered
+            by their smallest global node).
+        nodes: global node ids of this shard, ascending.
+        edges: global edge ids, ascending.
+        slots: global directed-message rows in local slot order — local slot
+            ``2j``/``2j+1`` of local edge ``j`` maps to global rows
+            ``2·edges[j]``/``2·edges[j]+1``, so ``messages[slots]`` is the
+            shard's message array.
+        cids: global cost-matrix ids backing the shard's local cost stack
+            (local cid ``k`` is global matrix ``cids[k]``).
+        local_first / local_second / local_cid: the shard's edge arrays in
+            local coordinates — exactly what :meth:`MRFArrays.from_parts`
+            takes, so a process-pool worker can rebuild the shard plan
+            from raw parts without the parent ever materialising it.
+        plan: the shard's own :class:`MRFArrays`, padded to the parent's
+            ``lmax`` so message widths line up.  Built lazily on first
+            access — the sharded streaming engine partitions on every
+            solve but only materialises the *dirty* shards' plans, which
+            is what keeps churn cost proportional to the touched component.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        nodes: np.ndarray,
+        edges: np.ndarray,
+        slots: np.ndarray,
+        cids: np.ndarray,
+        local_first: np.ndarray,
+        local_second: np.ndarray,
+        local_cid: np.ndarray,
+        plan_factory,
+    ) -> None:
+        self.index = index
+        self.nodes = nodes
+        self.edges = edges
+        self.slots = slots
+        self.cids = cids
+        self.local_first = local_first
+        self.local_second = local_second
+        self.local_cid = local_cid
+        self._plan_factory = plan_factory
+        self._plan: Optional[MRFArrays] = None
+
+    @property
+    def plan(self) -> MRFArrays:
+        if self._plan is None:
+            self._plan = self._plan_factory()
+        return self._plan
+
+
+class PlanPartition:
+    """A node/edge partition of one plan into independent shards."""
+
+    def __init__(
+        self, shards: List[Shard], node_count: int, edge_count: int,
+        shard_of: np.ndarray,
+    ) -> None:
+        self.shards = shards
+        self.node_count = node_count
+        self.edge_count = edge_count
+        #: (node_count,) shard index per global node.
+        self.shard_of = shard_of
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    def stitch(self, labels_by_shard: Sequence[Sequence[int]]) -> np.ndarray:
+        """Merge per-shard labellings into one global label array.
+
+        The inverse of the node maps: entry ``i`` of shard ``s``'s labels
+        lands at global node ``shards[s].nodes[i]``.  Solving shards
+        independently is exact, so the stitched labelling's energy equals
+        the sum of the shard energies.
+        """
+        labels = np.zeros(self.node_count, dtype=np.int64)
+        for shard, sub in zip(self.shards, labels_by_shard):
+            labels[shard.nodes] = np.asarray(sub, dtype=np.int64)
+        return labels
+
+    def split_messages(self, messages: np.ndarray) -> List[np.ndarray]:
+        """Per-shard copies of a global directed-message array."""
+        return [messages[shard.slots] for shard in self.shards]
+
+    def scatter_messages(
+        self, shard_messages: Sequence[np.ndarray], messages: np.ndarray
+    ) -> None:
+        """Write per-shard message arrays back into the global array."""
+        for shard, sub in zip(self.shards, shard_messages):
+            messages[shard.slots] = sub
+
+
+def split_parts(
+    unaries: Sequence[np.ndarray],
+    edge_first: np.ndarray,
+    edge_second: np.ndarray,
+    edge_cid: np.ndarray,
+    matrices: Sequence[np.ndarray],
+    lmax: Optional[int] = None,
+    groups: Optional[Sequence[Optional[int]]] = None,
+    min_nodes: int = 1,
+) -> PlanPartition:
+    """Partition raw plan parts into per-connected-component sub-plans.
+
+    Args:
+        unaries / edge_first / edge_second / edge_cid / matrices: the plan
+            parts, exactly as :meth:`MRFArrays.from_parts` takes them.
+        lmax: label padding forced onto every shard (defaults to the widest
+            unary) — pass the parent plan's ``lmax`` so message arrays
+            slice across.
+        groups: optional per-node group ids; nodes sharing a group id are
+            pinned into one shard (see :func:`zone_groups`).  ``None``
+            entries are unconstrained.
+        min_nodes: pack components smaller than this into combined shards
+            (in smallest-node order).  Multi-component shards are still
+            solved exactly — grouping only coarsens scheduling granularity.
+
+    Returns:
+        A :class:`PlanPartition`; shards are ordered by smallest global
+        node, nodes/edges ascending within each shard.
+    """
+    if min_nodes < 1:
+        raise ValueError("min_nodes must be >= 1")
+    n = len(unaries)
+    edge_first = np.asarray(edge_first, dtype=np.int64)
+    edge_second = np.asarray(edge_second, dtype=np.int64)
+    edge_cid = np.asarray(edge_cid, dtype=np.int64)
+    if n == 0:
+        return PlanPartition([], 0, 0, np.zeros(0, dtype=np.int64))
+
+    component = _component_of(n, edge_first, edge_second, groups)
+    shard_id = _pack_components(component, min_nodes)
+    shard_of = shard_id[component]
+    n_shards = int(shard_id.max()) + 1
+
+    if lmax is None:
+        lmax = max((len(u) for u in unaries), default=0)
+
+    node_order = np.argsort(shard_of, kind="stable")
+    node_bounds = np.searchsorted(
+        shard_of[node_order], np.arange(n_shards + 1)
+    )
+    e_shard = shard_of[edge_first] if len(edge_first) else np.zeros(
+        0, dtype=np.int64
+    )
+    edge_order = np.argsort(e_shard, kind="stable")
+    edge_bounds = np.searchsorted(
+        e_shard[edge_order], np.arange(n_shards + 1)
+    )
+
+    def plan_factory(nodes, local_first, local_second, local_cid, used):
+        def build() -> MRFArrays:
+            return MRFArrays.from_parts(
+                [unaries[int(i)] for i in nodes],
+                local_first,
+                local_second,
+                local_cid,
+                [matrices[int(k)] for k in used],
+                lmax=lmax,
+            )
+
+        return build
+
+    shards: List[Shard] = []
+    for s in range(n_shards):
+        nodes = node_order[node_bounds[s] : node_bounds[s + 1]]
+        edges = edge_order[edge_bounds[s] : edge_bounds[s + 1]]
+        local_first = np.searchsorted(nodes, edge_first[edges])
+        local_second = np.searchsorted(nodes, edge_second[edges])
+        cids = edge_cid[edges]
+        used = np.unique(cids)
+        local_cid = np.searchsorted(used, cids)
+        slots = np.empty(2 * len(edges), dtype=np.int64)
+        slots[0::2] = 2 * edges
+        slots[1::2] = 2 * edges + 1
+        shards.append(
+            Shard(
+                index=s, nodes=nodes, edges=edges, slots=slots, cids=used,
+                local_first=local_first, local_second=local_second,
+                local_cid=local_cid,
+                plan_factory=plan_factory(
+                    nodes, local_first, local_second, local_cid, used
+                ),
+            )
+        )
+    return PlanPartition(shards, n, len(edge_first), shard_of)
+
+
+def split_components(
+    plan: MRFArrays,
+    groups: Optional[Sequence[Optional[int]]] = None,
+    min_nodes: int = 1,
+) -> PlanPartition:
+    """Partition a finished :class:`MRFArrays` plan (see :func:`split_parts`).
+
+    The shard matrices are the parent's padded forward-orientation stack
+    entries; padding rows/columns are ``+inf`` in both, so re-padding them
+    into the shard stacks is exact.
+    """
+    return split_parts(
+        plan.unary_vectors(),
+        plan.edge_first,
+        plan.edge_second,
+        plan.edge_cid,
+        plan.matrix_stack(),
+        lmax=plan.lmax,
+        groups=groups,
+        min_nodes=min_nodes,
+    )
+
+
+def zone_groups(
+    variables: Sequence[Tuple[str, str]], zoned
+) -> List[Optional[int]]:
+    """Per-node group ids from a :class:`~repro.network.zones.ZonedNetwork`.
+
+    Maps every (host, service) variable to its host's zone index; hosts
+    outside the zone model stay unconstrained (``None``).  Feeding this to
+    :func:`split_parts`/:func:`split_components` merges each zone's many
+    per-service micro-components into one shard — the right granularity
+    when zones are the churn/failure domain.
+    """
+    ids = {zone.name: k for k, zone in enumerate(zoned.zones)}
+    out: List[Optional[int]] = []
+    for host, _service in variables:
+        try:
+            out.append(ids[zoned.zone_of(host)])
+        except KeyError:
+            out.append(None)
+    return out
+
+
+# ------------------------------------------------- replicated-service form
+
+
+@dataclass
+class ReplicatedShard:
+    """One host-graph component of a :class:`ReplicatedProblem`."""
+
+    index: int
+    hosts: np.ndarray   # global host positions, ascending
+    edges: np.ndarray   # global edge rows, ascending
+    problem: ReplicatedProblem
+
+
+class ReplicatedPartition:
+    """Host-graph partition of a replicated-service problem."""
+
+    def __init__(
+        self, shards: List[ReplicatedShard], host_count: int
+    ) -> None:
+        self.shards = shards
+        self.host_count = host_count
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[ReplicatedShard]:
+        return iter(self.shards)
+
+    def stitch(self, labels_by_shard: Sequence[np.ndarray]) -> np.ndarray:
+        """Merge per-shard (hosts, services) labellings into the global one."""
+        if not self.shards:
+            return np.zeros((0, 0), dtype=np.int64)
+        services = labels_by_shard[0].shape[1]
+        labels = np.zeros((self.host_count, services), dtype=np.int64)
+        for shard, sub in zip(self.shards, labels_by_shard):
+            labels[shard.hosts] = np.asarray(sub, dtype=np.int64)
+        return labels
+
+
+def split_replicated(
+    problem: ReplicatedProblem, min_hosts: int = 1
+) -> ReplicatedPartition:
+    """Partition a replicated-service problem by host-graph components.
+
+    Every shard shares the parent's (services, L, L) cost stack by
+    reference — components only restrict the host set, not the per-service
+    label model — so splitting costs O(hosts + edges), not O(S·L²).
+    """
+    if min_hosts < 1:
+        raise ValueError("min_hosts must be >= 1")
+    n = problem.host_count
+    edges = problem.edges
+    lo = edges[:, 0] if len(edges) else np.zeros(0, dtype=np.int64)
+    hi = edges[:, 1] if len(edges) else np.zeros(0, dtype=np.int64)
+    component = _component_of(n, lo, hi)
+    shard_id = _pack_components(component, min_hosts)
+    shard_of = shard_id[component] if n else np.zeros(0, dtype=np.int64)
+    n_shards = int(shard_id.max()) + 1 if len(shard_id) else 0
+
+    host_order = np.argsort(shard_of, kind="stable")
+    host_bounds = np.searchsorted(
+        shard_of[host_order], np.arange(n_shards + 1)
+    )
+    e_shard = shard_of[lo] if len(lo) else np.zeros(0, dtype=np.int64)
+    edge_order = np.argsort(e_shard, kind="stable")
+    edge_bounds = np.searchsorted(
+        e_shard[edge_order], np.arange(n_shards + 1)
+    )
+
+    shards: List[ReplicatedShard] = []
+    for s in range(n_shards):
+        hosts = host_order[host_bounds[s] : host_bounds[s + 1]]
+        rows = edge_order[edge_bounds[s] : edge_bounds[s + 1]]
+        shards.append(
+            ReplicatedShard(
+                index=s,
+                hosts=hosts,
+                edges=rows,
+                problem=problem.subproblem(hosts, rows),
+            )
+        )
+    return ReplicatedPartition(shards, n)

@@ -22,9 +22,36 @@ import numpy as np
 
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.solvers import SolverResult
-from repro.mrf.trws import _greedy_labels, _is_forest, _solve_forest
+from repro.mrf.trws import _is_forest, _solve_forest
 
 __all__ = ["ReferenceTRWSSolver", "ReferenceBPSolver"]
+
+
+def _greedy_labels(mrf: PairwiseMRF) -> List[int]:
+    """Degree-descending sequential greedy labelling (MRF-level reference).
+
+    Nodes are labelled from most- to least-connected; each takes the label
+    minimising its unary plus the pairwise cost to already-labelled
+    neighbours — the weighted-colouring heuristic of O'Donnell & Sethu.
+    The production solvers use the identical plan-level implementation
+    (:meth:`~repro.mrf.vectorized.MRFArrays.greedy_labels`).
+    """
+    n = mrf.node_count
+    order = sorted(range(n), key=lambda i: (-len(mrf.neighbors(i)), i))
+    labels = [0] * n
+    assigned = [False] * n
+    for node in order:
+        vector = mrf.unary(node).copy()
+        for neighbor, edge_id in mrf.neighbors(node):
+            if not assigned[neighbor]:
+                continue
+            first, _second = mrf.edge(edge_id)
+            cost = mrf.edge_cost(edge_id)
+            oriented = cost if first == node else cost.T
+            vector = vector + oriented[:, labels[neighbor]]
+        labels[node] = int(np.argmin(vector))
+        assigned[node] = True
+    return labels
 
 
 class ReferenceTRWSSolver:

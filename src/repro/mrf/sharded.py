@@ -1,0 +1,487 @@
+"""Concurrent per-shard MAP solving over partitioned plans.
+
+:class:`ShardedSolver` routes the message-passing solvers
+(:class:`~repro.mrf.trws.TRWSSolver`, :class:`~repro.mrf.bp.LoopyBPSolver`
+and, through :meth:`ShardedSolver.solve_replicated`, the batched
+:class:`~repro.mrf.batched.BatchedTRWSSolver`) through the component
+partition of :mod:`repro.mrf.partition` and solves the shards concurrently.
+Components share no edges, so the decomposition is exact: shard energies,
+dual bounds and optima simply add, and the stitched labelling of per-shard
+optima is a global optimum.
+
+Beyond parallelism, sharding wins even on one core: every shard runs its
+*own* convergence schedule.  The monolithic solver sweeps the whole network
+until its slowest component stalls — easy components pay the hard one's
+iteration count — while shard solves stop individually, and the ICM refine
+stage confines its sweeps to the component it is polishing.  Forest shards
+skip message passing entirely: TRW-S is exact on trees, and the per-shard
+dispatch realises that guarantee with one min-sum dynamic program over the
+shard arrays (the plan-level analogue of ``TRWSSolver.solve``'s forest
+path, which a monolithic ``solve_arrays`` over a mixed plan cannot take).
+
+Execution backends (``executor=``):
+
+* ``"threads"`` (default) — a thread pool; the hot loops are NumPy block
+  operations that release the GIL, and shard plans are shared by
+  reference.
+* ``"processes"`` — :func:`repro.runner.run_jobs` process jobs for huge
+  shards.  The shard *cost stacks* travel via a
+  :class:`~repro.runner.shared.SharedArrayBlock` (one shared-memory
+  segment holding the parent plan's deduplicated matrix stack) instead of
+  being pickled per job; when shared memory is unavailable the matrices
+  fall back to inline pickling, and when process pools are unavailable
+  :func:`run_jobs` itself degrades to serial.
+* ``"serial"`` — in-process loop (also used for single-shard partitions).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mrf.batched import BatchedResult, BatchedTRWSSolver
+from repro.mrf.bp import LoopyBPSolver
+from repro.mrf.graph import PairwiseMRF
+from repro.mrf.partition import (
+    PlanPartition,
+    Shard,
+    _component_of,
+    merge_shard_results,
+    split_components,
+    split_replicated,
+)
+from repro.mrf.solvers import SolverResult
+from repro.mrf.trws import TRWSSolver
+from repro.mrf.vectorized import MRFArrays
+from repro.runner import Job, resolve_workers, run_jobs
+from repro.runner.shared import SharedArrayBlock
+
+__all__ = ["ShardedSolver"]
+
+_FACTORIES = {"trws": TRWSSolver, "bp": LoopyBPSolver}
+_EXECUTORS = ("threads", "processes", "serial")
+
+
+class ShardedSolver:
+    """Solve a plan as independent shards, concurrently.
+
+    Args:
+        solver: base message-passing solver, ``"trws"`` or ``"bp"``.
+        workers: concurrent shard solves (semantics of
+            :func:`repro.runner.resolve_workers`; default ``-1`` = one per
+            CPU).  Determinism never depends on the worker count — shard
+            seeds derive from shard identity, results merge in shard order.
+        executor: ``"threads"`` / ``"processes"`` / ``"serial"`` (see the
+            module docstring).
+        min_shard_nodes: pack components smaller than this into combined
+            shards — the scheduling-granularity knob (still exact).
+        seed: base tie-breaking seed; shard ``i`` solves with ``seed + i``
+            so replicated components do not tie-break in lockstep.
+        **solver_options: forwarded to every per-shard solver constructor.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        solver: str = "trws",
+        workers: Optional[int] = -1,
+        executor: str = "threads",
+        min_shard_nodes: int = 1,
+        seed: Optional[int] = None,
+        **solver_options: Any,
+    ) -> None:
+        if solver not in _FACTORIES:
+            raise ValueError(
+                f"sharded solving supports {sorted(_FACTORIES)}, got {solver!r}"
+            )
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        if min_shard_nodes < 1:
+            raise ValueError("min_shard_nodes must be >= 1")
+        self.solver_name = solver
+        self.workers = workers
+        self.executor = executor
+        self.min_shard_nodes = min_shard_nodes
+        self.seed = 0 if seed is None else int(seed)
+        self.solver_options = dict(solver_options)
+        self.name = f"{solver}-sharded"
+
+    # ----------------------------------------------------------------- API
+
+    def solve(self, mrf: PairwiseMRF) -> SolverResult:
+        """Partition + solve a :class:`PairwiseMRF` (registry protocol)."""
+        if mrf.node_count == 0:
+            return SolverResult(
+                labels=[], energy=0.0, lower_bound=0.0, iterations=0,
+                converged=True, solver=self.name,
+            )
+        return self.solve_arrays(MRFArrays(mrf))
+
+    def solve_arrays(
+        self,
+        plan: MRFArrays,
+        messages: Optional[np.ndarray] = None,
+        extra_inits: Sequence[np.ndarray] = (),
+        default_inits: bool = True,
+        partition: Optional[PlanPartition] = None,
+    ) -> SolverResult:
+        """Solve a prebuilt plan shard-by-shard.
+
+        Mirrors the monolithic ``solve_arrays`` contract: ``messages`` is
+        the caller-owned global directed-message array (updated in place —
+        shard slices are scattered back), ``extra_inits`` are global
+        labellings sliced per shard for the TRW-S refine stage.  Pass a
+        prebuilt ``partition`` (e.g. zone-grouped via
+        :func:`~repro.mrf.partition.zone_groups`) to skip the component
+        scan; it must partition exactly this plan.
+        """
+        if plan.node_count == 0:
+            return SolverResult(
+                labels=[], energy=0.0, lower_bound=0.0, iterations=0,
+                converged=True, solver=self.name,
+            )
+        if partition is None:
+            partition = split_components(plan, min_nodes=self.min_shard_nodes)
+        greedy = (
+            self.solver_name == "trws"
+            and messages is None
+            and self.solver_options.get("refine", True)
+        )
+        tasks = []
+        for shard in partition:
+            tasks.append(
+                (
+                    shard,
+                    messages[shard.slots] if messages is not None else None,
+                    tuple(
+                        np.asarray(init, dtype=np.int64)[shard.nodes]
+                        for init in extra_inits
+                    ),
+                )
+            )
+        results = self._run(plan, tasks, default_inits, greedy)
+        if messages is not None:
+            partition.scatter_messages([msg for _result, msg in results], messages)
+        return self._merge(partition, [result for result, _msg in results])
+
+    def solve_replicated(self, problem) -> BatchedResult:
+        """Shard-solve a replicated-service problem (TRW-S only).
+
+        Partitions the host graph into components and runs one
+        :class:`BatchedTRWSSolver` per shard.  Shards always solve on a
+        thread pool (or serially): the replicated form's per-service cost
+        stacks are shared by reference across every shard, which a
+        process pool would forfeit by copying them per worker — so
+        ``executor="processes"`` applies to :meth:`solve_arrays` only.
+        """
+        if self.solver_name != "trws":
+            raise ValueError("solve_replicated requires solver='trws'")
+        partition = split_replicated(problem, min_hosts=self.min_shard_nodes)
+        if len(partition) <= 1:
+            solver = BatchedTRWSSolver(seed=self.seed, **self.solver_options)
+            return solver.solve(problem)
+
+        def solve_one(shard) -> BatchedResult:
+            solver = BatchedTRWSSolver(
+                seed=self.seed + shard.index, **self.solver_options
+            )
+            return solver.solve(shard.problem)
+
+        count = min(resolve_workers(self.workers), len(partition))
+        if count <= 1 or self.executor == "serial":
+            results = [solve_one(shard) for shard in partition]
+        else:
+            with ThreadPoolExecutor(max_workers=count) as pool:
+                results = list(pool.map(solve_one, partition.shards))
+        merged = merge_shard_results(
+            [r.energy for r in results],
+            [r.lower_bound for r in results],
+            [r.iterations for r in results],
+            [r.converged for r in results],
+        )
+        return BatchedResult(
+            labels=partition.stitch([r.labels for r in results]),
+            energy=merged.energy,
+            lower_bound=merged.lower_bound,
+            iterations=merged.iterations,
+            converged=merged.converged,
+        )
+
+    # ------------------------------------------------------------ execution
+
+    def _solve_one(
+        self,
+        shard: Shard,
+        messages: Optional[np.ndarray],
+        inits: Tuple[np.ndarray, ...],
+        default_inits: bool,
+        greedy: bool,
+    ) -> Tuple[SolverResult, Optional[np.ndarray]]:
+        result = _solve_plan(
+            shard.plan,
+            self.solver_name,
+            self.solver_options,
+            self.seed + shard.index,
+            messages,
+            inits,
+            default_inits,
+            greedy,
+        )
+        return result, messages
+
+    def _run(
+        self,
+        plan: MRFArrays,
+        tasks: List[Tuple[Shard, Optional[np.ndarray], Tuple[np.ndarray, ...]]],
+        default_inits: bool,
+        greedy: bool,
+    ) -> List[Tuple[SolverResult, Optional[np.ndarray]]]:
+        count = min(resolve_workers(self.workers), len(tasks))
+        if self.executor == "processes" and count > 1:
+            return self._run_processes(plan, tasks, default_inits, greedy, count)
+        if self.executor == "threads" and count > 1:
+            with ThreadPoolExecutor(max_workers=count) as pool:
+                return list(
+                    pool.map(
+                        lambda task: self._solve_one(
+                            task[0], task[1], task[2], default_inits, greedy
+                        ),
+                        tasks,
+                    )
+                )
+        return [
+            self._solve_one(shard, msg, inits, default_inits, greedy)
+            for shard, msg, inits in tasks
+        ]
+
+    def _run_processes(
+        self,
+        plan: MRFArrays,
+        tasks: List[Tuple[Shard, Optional[np.ndarray], Tuple[np.ndarray, ...]]],
+        default_inits: bool,
+        greedy: bool,
+        count: int,
+    ) -> List[Tuple[SolverResult, Optional[np.ndarray]]]:
+        """Dispatch shard solves as runner jobs, cost stacks via shm.
+
+        Each job rebuilds its shard plan from raw parts in the worker; the
+        parent plan's deduplicated cost stack crosses the process boundary
+        once, as one shared-memory segment, instead of once per job over a
+        pipe (shards index into it through their global ``cids``).
+        """
+        lmax = plan.lmax
+        block: Optional[SharedArrayBlock] = None
+        if plan.stacked:
+            try:
+                block = SharedArrayBlock.create(plan.cost[: plan.stacked])
+            except OSError:
+                block = None  # fall back to inline matrices
+        try:
+            jobs = []
+            for shard, msg, inits in tasks:
+                # Raw parts only — the worker rebuilds the shard plan, so
+                # the parent never pays the slot/level derivation itself.
+                kwargs: Dict[str, Any] = dict(
+                    unaries=[
+                        plan.unary[int(i), : plan.label_counts[int(i)]]
+                        for i in shard.nodes
+                    ],
+                    edge_first=shard.local_first,
+                    edge_second=shard.local_second,
+                    edge_cid=shard.local_cid,
+                    lmax=lmax,
+                    solver_name=self.solver_name,
+                    options=self.solver_options,
+                    seed=self.seed + shard.index,
+                    messages=msg,
+                    inits=inits,
+                    default_inits=default_inits,
+                    greedy=greedy,
+                )
+                if block is not None:
+                    kwargs["cost_spec"] = block.spec
+                    kwargs["cost_ids"] = shard.cids
+                else:
+                    kwargs["matrices"] = [plan.cost[int(k)] for k in shard.cids]
+                jobs.append(Job(key=shard.index, fn=_solve_shard_job, kwargs=kwargs))
+            outcome = run_jobs(jobs, workers=count)
+        finally:
+            if block is not None:
+                block.unlink()
+        return [outcome[shard.index] for shard, _msg, _inits in tasks]
+
+    # -------------------------------------------------------------- merging
+
+    def _merge(
+        self, partition: PlanPartition, results: List[SolverResult]
+    ) -> SolverResult:
+        labels = partition.stitch([r.labels for r in results])
+        merged = merge_shard_results(
+            [r.energy for r in results],
+            [r.lower_bound for r in results],
+            [r.iterations for r in results],
+            [r.converged for r in results],
+        )
+        return SolverResult(
+            labels=[int(x) for x in labels],
+            energy=merged.energy,
+            lower_bound=merged.lower_bound,
+            iterations=merged.iterations,
+            converged=merged.converged,
+            solver=self.name,
+        )
+
+
+def _solve_plan(
+    plan: MRFArrays,
+    solver_name: str,
+    options: Dict[str, Any],
+    seed: int,
+    messages: Optional[np.ndarray],
+    inits: Tuple[np.ndarray, ...],
+    default_inits: bool,
+    greedy: bool,
+) -> SolverResult:
+    """Solve one shard plan — the shared core of every execution backend.
+
+    Cold TRW-S shards whose graph is a forest dispatch to the exact
+    min-sum DP (deterministic, certified, non-iterative); everything else
+    runs the configured message-passing solver.  Warm starts (``messages``
+    given) always take the message-passing path so the caller keeps a
+    reusable fixed-point state.
+    """
+    if (
+        solver_name == "trws"
+        and messages is None
+        and _is_forest_plan(plan)
+    ):
+        labels = _solve_forest_arrays(plan)
+        energy = plan.energy(labels)
+        return SolverResult(
+            labels=[int(x) for x in labels],
+            energy=energy,
+            lower_bound=energy,
+            iterations=1,
+            converged=True,
+            solver="trws",
+            energy_trace=[energy],
+            bound_trace=[energy],
+        )
+    solver = _FACTORIES[solver_name](**{**options, "seed": seed})
+    if solver_name == "trws":
+        if greedy:
+            inits = tuple(inits) + (plan.greedy_labels(),)
+        return solver.solve_arrays(
+            plan, messages=messages, extra_inits=inits,
+            default_inits=default_inits,
+        )
+    return solver.solve_arrays(plan, messages=messages)
+
+
+def _is_forest_plan(plan: MRFArrays) -> bool:
+    """True when the plan's graph is cycle-free.
+
+    A graph is a forest iff ``edges == nodes - components`` (every edge
+    joins two previously-unconnected nodes); the component labelling is
+    the partitioner's own union-find.
+    """
+    if plan.edge_count == 0:
+        return True
+    component = _component_of(
+        plan.node_count, plan.edge_first, plan.edge_second
+    )
+    return plan.edge_count == plan.node_count - (int(component.max()) + 1)
+
+
+def _solve_forest_arrays(plan: MRFArrays) -> np.ndarray:
+    """Exact min-sum dynamic programming on a forest plan.
+
+    The array-level analogue of the forest dispatch in
+    ``TRWSSolver.solve``: each component is rooted at its smallest node,
+    min-marginal messages flow leaves → root, and an argmin backtrack
+    assigns labels.  The ``+inf`` padding convention keeps every reduction
+    exact (padded labels never win an argmin).
+    """
+    n = plan.node_count
+    adjacency: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for e in range(plan.edge_count):
+        i = int(plan.edge_first[e])
+        j = int(plan.edge_second[e])
+        cid = int(plan.edge_cid[e])
+        adjacency[i].append((j, cid))                 # rows = i's labels
+        adjacency[j].append((i, plan.stacked + cid))  # rows = j's labels
+    labels = np.zeros(n, dtype=np.int64)
+    visited = [False] * n
+    for root in range(n):
+        if visited[root]:
+            continue
+        order: List[Tuple[int, int, int]] = []  # (node, parent, cid rows=parent)
+        stack = [(root, -1, -1)]
+        visited[root] = True
+        while stack:
+            node, up_parent, up_cid = stack.pop()
+            order.append((node, up_parent, up_cid))
+            for neighbor, cid in adjacency[node]:
+                if not visited[neighbor]:
+                    visited[neighbor] = True
+                    # cid rows = node's labels; the parent→child orientation.
+                    stack.append((neighbor, node, cid))
+        accumulated = {node: plan.unary_inf[node].copy() for node, _p, _c in order}
+        choice: Dict[int, np.ndarray] = {}
+        for node, up_parent, up_cid in reversed(order):
+            if up_parent < 0:
+                continue
+            totals = plan.cost[up_cid] + accumulated[node][None, :]
+            choice[node] = np.argmin(totals, axis=1)
+            accumulated[up_parent] += totals.min(axis=1)
+        labels[root] = int(np.argmin(accumulated[root]))
+        for node, up_parent, _up_cid in order:
+            if up_parent >= 0:
+                labels[node] = int(choice[node][labels[up_parent]])
+    return labels
+
+
+def _solve_shard_job(
+    unaries,
+    edge_first,
+    edge_second,
+    edge_cid,
+    lmax,
+    solver_name,
+    options,
+    seed,
+    messages,
+    inits,
+    default_inits,
+    greedy,
+    cost_spec=None,
+    cost_ids=None,
+    matrices=None,
+) -> Tuple[SolverResult, Optional[np.ndarray]]:
+    """Top-level shard solve for the process pool (picklable).
+
+    Rebuilds the shard plan in the worker — from the shared-memory cost
+    stack when a spec is given, from inline matrices otherwise — and
+    returns ``(result, messages)`` so the parent can scatter the final
+    message state back into its global array.
+    """
+    if cost_spec is not None:
+        block = SharedArrayBlock.attach(cost_spec)
+        try:
+            stack = block.array()
+            matrices = [np.array(stack[int(k)]) for k in cost_ids]
+        finally:
+            block.close()
+    plan = MRFArrays.from_parts(
+        unaries, edge_first, edge_second, edge_cid, matrices or [], lmax=lmax
+    )
+    result = _solve_plan(
+        plan, solver_name, options, seed, messages, tuple(inits),
+        default_inits, greedy,
+    )
+    return result, messages

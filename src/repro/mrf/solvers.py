@@ -97,12 +97,15 @@ def solve(mrf: PairwiseMRF, solver: str = "trws", **options) -> SolverResult:
 
 def _register_builtins() -> None:
     """Populate the registry with the built-in solvers (import-time)."""
+    import functools
+
     from repro.mrf.trws import TRWSSolver
     from repro.mrf.bp import LoopyBPSolver
     from repro.mrf.icm import ICMSolver
     from repro.mrf.exact import ExactSolver
     from repro.mrf.anneal import SimulatedAnnealingSolver
     from repro.mrf.reference import ReferenceBPSolver, ReferenceTRWSSolver
+    from repro.mrf.sharded import ShardedSolver
 
     register_solver("trws", TRWSSolver)
     register_solver("bp", LoopyBPSolver)
@@ -111,6 +114,12 @@ def _register_builtins() -> None:
     register_solver("anneal", SimulatedAnnealingSolver)
     register_solver("trws-ref", ReferenceTRWSSolver)
     register_solver("bp-ref", ReferenceBPSolver)
+    register_solver(
+        "trws-sharded", functools.partial(ShardedSolver, solver="trws")
+    )
+    register_solver(
+        "bp-sharded", functools.partial(ShardedSolver, solver="bp")
+    )
 
 
 _register_builtins()

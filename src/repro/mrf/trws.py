@@ -123,7 +123,7 @@ class TRWSSolver:
         plan = MRFArrays(mrf)
         extra_inits = ()
         if self.refine:  # the greedy labelling only feeds the refine stage
-            extra_inits = (np.asarray(_greedy_labels(mrf), dtype=np.int64),)
+            extra_inits = (plan.greedy_labels(),)
         return self.solve_arrays(plan, extra_inits=extra_inits)
 
     def solve_arrays(
@@ -386,27 +386,6 @@ def _solve_forest(mrf: PairwiseMRF) -> List[int]:
     return labels
 
 
-def _greedy_labels(mrf: PairwiseMRF) -> List[int]:
-    """Degree-descending sequential greedy labelling.
-
-    Nodes are labelled from most- to least-connected; each takes the label
-    minimising its unary plus the pairwise cost to already-labelled
-    neighbours — the weighted-colouring heuristic of O'Donnell & Sethu,
-    expressed at the MRF level.
-    """
-    n = mrf.node_count
-    order = sorted(range(n), key=lambda i: (-len(mrf.neighbors(i)), i))
-    labels = [0] * n
-    assigned = [False] * n
-    for node in order:
-        vector = mrf.unary(node).copy()
-        for neighbor, edge_id in mrf.neighbors(node):
-            if not assigned[neighbor]:
-                continue
-            first, _second = mrf.edge(edge_id)
-            cost = mrf.edge_cost(edge_id)
-            oriented = cost if first == node else cost.T
-            vector = vector + oriented[:, labels[neighbor]]
-        labels[node] = int(np.argmin(vector))
-        assigned[node] = True
-    return labels
+# The degree-descending greedy init lives on the plan now
+# (:meth:`MRFArrays.greedy_labels`) so the monolithic solve, the sharded
+# solver and the streaming engine all share one implementation.

@@ -362,6 +362,28 @@ class MRFArrays:
                 )
             )
 
+    # ------------------------------------------------------------- accessors
+
+    def unary_vectors(self) -> List[np.ndarray]:
+        """The unpadded per-node unary vectors (copies into from_parts form).
+
+        ``unary_vectors()[i]`` has ``label_counts[i]`` entries — the exact
+        inputs a rebuilt (or shard) plan needs.
+        """
+        return [
+            self.unary[i, : self.label_counts[i]]
+            for i in range(self.node_count)
+        ]
+
+    def matrix_stack(self) -> List[np.ndarray]:
+        """The padded forward-orientation cost matrices, one per raw cid.
+
+        Entries are ``(lmax, lmax)`` with ``+inf`` padding; feeding them
+        back through :meth:`from_parts` with the same ``lmax`` reproduces
+        the stack exactly, which is what the shard partitioner relies on.
+        """
+        return [self.cost[k] for k in range(self.stacked)]
+
     # ------------------------------------------------------------ evaluation
 
     def zero_messages(self) -> np.ndarray:

@@ -82,7 +82,23 @@ def resolve_workers(workers: Optional[int]) -> int:
 
     ``None``, ``0`` and ``1`` mean serial; ``-1`` means one worker per CPU;
     any other positive integer is taken literally.
+
+    When ``workers`` is ``None`` (the caller expressed no preference) the
+    ``REPRO_WORKERS`` environment variable supplies the value instead —
+    the CI/sandbox override: export ``REPRO_WORKERS=1`` to force every
+    unpinned grid serial in a pool-hostile sandbox, or ``REPRO_WORKERS=-1``
+    to parallelise a whole benchmark session without touching call sites.
+    Explicit ``workers`` arguments always win over the environment.
     """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WORKERS must be an integer, got {env!r}"
+                ) from None
     if workers is None or workers == 0:
         return 1
     if workers == -1:
@@ -100,6 +116,7 @@ def _run_job(job: Job) -> Any:
 def run_jobs(
     jobs: Iterable[Job],
     workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
 ) -> Dict[Hashable, Any]:
     """Execute ``jobs`` and collect ``{job.key: result}`` in job order.
 
@@ -110,14 +127,20 @@ def run_jobs(
             each execute whole jobs; per-job randomness must come from the
             job's own seed, which is what keeps serial and parallel runs
             identical.
+        chunksize: jobs dispatched to a worker per round-trip (default 1).
+            Large grids of short cells — the 6000-host ``--full`` sweeps
+            spawn hundreds — amortise pool IPC by batching; results are
+            identical either way, only scheduling granularity changes.
 
     Raises:
-        ValueError: on duplicate job keys.
+        ValueError: on duplicate job keys or a non-positive chunksize.
 
     Any exception raised by a job propagates (from the pool: re-raised in
     the parent).  Pool *infrastructure* failures — no process support,
     unpicklable jobs — degrade to the serial path with a warning.
     """
+    if chunksize is not None and chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     job_list: List[Job] = list(jobs)
     seen = set()
     for job in job_list:
@@ -146,7 +169,9 @@ def run_jobs(
     else:
         try:
             with ProcessPoolExecutor(max_workers=count) as pool:
-                results = list(pool.map(_run_job, job_list))
+                results = list(
+                    pool.map(_run_job, job_list, chunksize=chunksize or 1)
+                )
         except (OSError, PermissionError, BrokenProcessPool) as exc:
             warnings.warn(
                 f"process pool unavailable ({exc!r}); running "

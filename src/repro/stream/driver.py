@@ -40,6 +40,8 @@ class ChurnRecord:
         hosts / links: network size after the event.
         cold_seconds / cold_energy: from-scratch rebuild+solve baseline for
             the same state (None unless the replay compared cold).
+        shards_solved / shards_total: dirty-vs-total shard counts of a
+            sharded replay (None for the monolithic engine).
     """
 
     step: int
@@ -53,6 +55,8 @@ class ChurnRecord:
     links: int
     cold_seconds: Optional[float] = None
     cold_energy: Optional[float] = None
+    shards_solved: Optional[int] = None
+    shards_total: Optional[int] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -69,6 +73,8 @@ class ChurnRecord:
             f"stab={self.stability:5.3f}  it={self.iterations:<3} "
             f"hosts={self.hosts:<4} links={self.links}"
         )
+        if self.shards_total is not None:
+            text += f" shards={self.shards_solved}/{self.shards_total}"
         if self.cold_seconds is not None:
             text += (
                 f"  cold={1000 * self.cold_seconds:8.1f}ms"
@@ -131,13 +137,16 @@ def replay_trace(
     warm_start: bool = True,
     compare_cold: bool = False,
     rebuild_fraction: float = 0.25,
+    sharded: bool = False,
     **engine_options,
 ) -> ChurnReport:
     """Replay ``trace`` over ``network``, re-solving after every event.
 
     Mutates ``network`` and ``similarity`` in place (pass copies to keep
     the originals).  ``engine_options`` are forwarded to
-    :class:`DynamicDiversifier` (cost model + solver options).
+    :class:`DynamicDiversifier` (cost model + solver options);
+    ``sharded=True`` switches the engine to per-component re-solves and
+    fills the records' shard columns.
 
     With ``compare_cold=True`` each event also times a fresh engine's cold
     solve of the same mutated state, filling the records'
@@ -150,6 +159,7 @@ def replay_trace(
         solver=solver,
         warm_start=warm_start,
         rebuild_fraction=rebuild_fraction,
+        sharded=sharded,
         **engine_options,
     )
     report = ChurnReport(initial=engine.solve())
@@ -181,6 +191,8 @@ def replay_trace(
                 links=network.edge_count(),
                 cold_seconds=cold_seconds,
                 cold_energy=cold_energy,
+                shards_solved=result.shards_solved if sharded else None,
+                shards_total=result.shards_total if sharded else None,
             )
         )
     return report

@@ -17,7 +17,12 @@ pair — the ground-truth mutation every consumer (the incremental engine,
 cold-solve cross-checks, tests) shares.  :func:`random_churn_trace` draws a
 deterministic synthetic workload of valid events against an evolving copy
 of the network, so a trace can be replayed on the original without
-surprises.
+surprises.  Real-world churn is not independent — provisioning lands a
+rack at a time and CVE feeds re-score one vendor's products in a batch —
+so :class:`ChurnConfig` can correlate the trace: ``rack_size`` expands
+each join draw into a rack of hosts sharing one peer set (plus intra-rack
+links), ``vendor_batch`` expands each feed draw into a burst of re-scores
+against one candidate range.
 """
 
 from __future__ import annotations
@@ -160,6 +165,18 @@ class ChurnConfig:
         join_degree: links a joining host receives.
         min_hosts: hosts never drop below this (leave events are skipped).
         sim_low / sim_high: range of re-scored similarity values.
+        rack_size: hosts per join burst.  Real provisioning is
+            rack-correlated — machines come up a rack at a time, wired to
+            the same aggregation peers; ``rack_size > 1`` turns each join
+            draw into that many :class:`HostJoin` events sharing one
+            service template and one peer set, plus full intra-rack links.
+            The default 1 reproduces the original independent joins (and
+            the exact original draw sequence).
+        vendor_batch: similarity re-scores per feed burst.  CVE disclosures
+            batch by vendor — one advisory re-scores many product pairs of
+            one candidate range at once; ``vendor_batch > 1`` emits that
+            many :class:`SimilarityUpdate` events against a single range.
+            Default 1 reproduces the original independent updates.
     """
 
     events: int = 20
@@ -169,6 +186,8 @@ class ChurnConfig:
     min_hosts: int = 3
     sim_low: float = 0.0
     sim_high: float = 0.9
+    rack_size: int = 1
+    vendor_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.events < 0:
@@ -179,6 +198,10 @@ class ChurnConfig:
             raise ValueError("at least one event kind needs positive weight")
         if not 0.0 <= self.sim_low <= self.sim_high <= 1.0:
             raise ValueError("need 0 <= sim_low <= sim_high <= 1")
+        if self.rack_size < 1:
+            raise ValueError("rack_size must be >= 1")
+        if self.vendor_batch < 1:
+            raise ValueError("vendor_batch must be >= 1")
 
 
 _KINDS = ("join", "leave", "link_add", "link_remove", "similarity")
@@ -194,6 +217,10 @@ def random_churn_trace(
     removed link is never removed twice, a joining host clones the service
     spec of an existing one), so replaying the trace on the original — via
     :func:`apply_event` or the incremental engine — always succeeds.
+
+    With ``rack_size``/``vendor_batch`` above 1 a single draw expands into
+    a correlated burst (rack joins, vendor CVE batches); the trace is
+    truncated at ``config.events`` even mid-burst.
     """
     rng = random.Random(config.seed)
     state = network.copy()
@@ -203,8 +230,8 @@ def random_churn_trace(
     infeasible: set = set()
     while len(trace) < config.events:
         kind = rng.choices(_KINDS, weights=config.weights)[0]
-        event = _draw(kind, state, rng, config, joined)
-        if event is None:
+        burst = _draw(kind, state, rng, config, joined)
+        if not burst:
             # The kind is currently infeasible (no removable link, host
             # floor reached, ...); redraw — unless every positive-weight
             # kind has come up infeasible since the last success, in which
@@ -218,11 +245,14 @@ def random_churn_trace(
                 )
             continue
         infeasible.clear()
-        if isinstance(event, HostJoin):
-            joined += 1
-        if not isinstance(event, SimilarityUpdate):
-            apply_event(state, None, event)
-        trace.append(event)
+        for event in burst:
+            if len(trace) >= config.events:
+                break
+            if isinstance(event, HostJoin):
+                joined += 1
+            if not isinstance(event, SimilarityUpdate):
+                apply_event(state, None, event)
+            trace.append(event)
     return trace
 
 
@@ -232,7 +262,13 @@ def _draw(
     rng: random.Random,
     config: ChurnConfig,
     joined: int,
-) -> Optional[Event]:
+) -> Optional[List[Event]]:
+    """One draw of ``kind``: a burst of valid events, or None if infeasible.
+
+    Single events are one-element bursts; the draw sequence for the
+    default config is identical to the pre-burst implementation, so traces
+    under old seeds are unchanged.
+    """
     hosts = state.hosts
     if kind == "join":
         template = rng.choice(hosts)
@@ -240,27 +276,41 @@ def _draw(
             (service, state.candidates(template, service))
             for service in state.services_of(template)
         )
-        peers = rng.sample(hosts, min(config.join_degree, len(hosts)))
-        return HostJoin(host=f"joined{joined}", services=services, links=tuple(peers))
+        peers = tuple(rng.sample(hosts, min(config.join_degree, len(hosts))))
+        rack: List[Event] = []
+        for position in range(config.rack_size):
+            # Rack-correlated: every member wires to the same aggregation
+            # peers and to its rack mates (earlier members exist by the
+            # time a later one applies).
+            mates = tuple(member.host for member in rack)  # type: ignore[union-attr]
+            rack.append(
+                HostJoin(
+                    host=f"joined{joined + position}",
+                    services=services,
+                    links=peers + mates,
+                )
+            )
+        return rack
     if kind == "leave":
         if len(hosts) <= config.min_hosts:
             return None
-        return HostLeave(host=rng.choice(hosts))
+        return [HostLeave(host=rng.choice(hosts))]
     if kind == "link_add":
         for _ in range(10):
             a = rng.choice(hosts)
             others = [h for h in hosts if h != a and not state.has_link(a, h)]
             if others:
-                return LinkAdd(a=a, b=rng.choice(others))
+                return [LinkAdd(a=a, b=rng.choice(others))]
         return None
     if kind == "link_remove":
         links = state.links
         if not links:
             return None
         a, b = rng.choice(links)
-        return LinkRemove(a=a, b=b)
-    # similarity update: re-score a pair inside one candidate range, so the
-    # change actually lands on a pairwise cost matrix.
+        return [LinkRemove(a=a, b=b)]
+    # similarity update: re-score pairs inside one candidate range, so the
+    # change actually lands on a pairwise cost matrix.  A vendor batch
+    # draws every pair from the same range — one advisory, one vendor.
     ranges = [
         state.candidates(host, service)
         for host in hosts
@@ -270,6 +320,9 @@ def _draw(
     if not ranges:
         return None
     products = rng.choice(ranges)
-    a, b = rng.sample(list(products), 2)
-    value = round(rng.uniform(config.sim_low, config.sim_high), 3)
-    return SimilarityUpdate(product_a=a, product_b=b, value=value)
+    updates: List[Event] = []
+    for _ in range(config.vendor_batch):
+        a, b = rng.sample(list(products), 2)
+        value = round(rng.uniform(config.sim_low, config.sim_high), 3)
+        updates.append(SimilarityUpdate(product_a=a, product_b=b, value=value))
+    return updates

@@ -18,6 +18,18 @@ valid TRW-S reparametrisation, so energies and dual bounds keep their
 meaning, and the reported energy always equals the true E(N) of the
 returned assignment on the mutated network.
 
+With ``sharded=True`` the engine additionally partitions the live plan
+into connected-component shards (:mod:`repro.mrf.partition`) and re-solves
+**only the shards touched by the pending events** — the plan's stable
+(host, service) touched-keys map each event to the components it dirtied,
+link adds merge shards and removals split them (the partition is recomputed
+from the raw parts every solve, so merges/splits are handled by
+construction), and clean shards keep their message slices, labels and
+cached energies byte-for-byte.  Churn cost becomes proportional to the
+touched component instead of the network; components share no edges, so
+per-shard energies and dual bounds just add and the parity contract below
+is unchanged.
+
 Solution *quality* relative to a cold solve depends on the instance.  On
 workloads where TRW-S+ICM reliably finds the optimum — the sparse,
 well-colorable family the tests and ``benchmarks/bench_stream_churn.py``
@@ -32,21 +44,33 @@ a universal guarantee.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.mrf.bp import LoopyBPSolver
+from repro.mrf.partition import Shard, merge_shard_results, split_parts
 from repro.mrf.solvers import SolverResult
 from repro.mrf.trws import TRWSSolver
 from repro.network.assignment import ProductAssignment
 from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
+from repro.runner import resolve_workers
 from repro.stream.events import Event
 from repro.stream.plan import StreamPlan
 
 __all__ = ["StreamSolveResult", "DynamicDiversifier"]
+
+
+@dataclass
+class _ShardEntry:
+    """Cached per-shard solve summary (valid while the shard stays clean)."""
+
+    energy: float
+    lower_bound: float
+    converged: bool
 
 
 @dataclass
@@ -67,6 +91,11 @@ class StreamSolveResult:
             first solve).
         seconds: wall-clock time of this solve (patch + solver).
         solver_result: raw solver output (iterations, traces, ...).
+        shards_total: shard count of the partition this solve ran over
+            (1 for the monolithic engine).
+        shards_solved: shards actually re-solved — on a sharded warm solve
+            only the components touched by the pending events; clean
+            shards kept their messages/labels/energy untouched.
     """
 
     assignment: ProductAssignment
@@ -77,6 +106,8 @@ class StreamSolveResult:
     stability: float
     seconds: float
     solver_result: SolverResult
+    shards_total: int = 1
+    shards_solved: int = 1
 
     @property
     def iterations(self) -> int:
@@ -111,6 +142,21 @@ class DynamicDiversifier:
             land in a worse basin than a cold solve.
         unary_constant / pairwise_weight / service_weights: cost model, as
             in :func:`repro.core.diversify.diversify`.
+        sharded: partition the live plan into connected-component shards
+            and warm re-solve only the shards touched by pending events
+            (see the module docstring).  The decomposition itself is
+            exact (shard energies/bounds add, reported energy always
+            equals the true E(N) of the returned assignment), and on the
+            workload families where warm/cold parity holds it holds for
+            this mode too — but the two modes follow *different* warm
+            trajectories (per-shard tie-breaking noise, per-shard ICM
+            basins), so on hard instances they can land in different
+            local optima and the stability metric may differ; cross-mode
+            energy equality is a property of the workload, exactly like
+            the warm/cold contract above.
+        shard_workers: concurrent dirty-shard solves (``None``/1 serial,
+            ``-1`` one thread per CPU); dirty shards are independent, so
+            the fan-out never changes results.
         **solver_options: forwarded to the solver constructor.
     """
 
@@ -126,6 +172,8 @@ class DynamicDiversifier:
         unary_constant: float = 0.01,
         pairwise_weight: float = 1.0,
         service_weights: Optional[Mapping[str, float]] = None,
+        sharded: bool = False,
+        shard_workers: Optional[int] = None,
         **solver_options,
     ) -> None:
         if warm_iterations < 1:
@@ -152,12 +200,17 @@ class DynamicDiversifier:
         self.warm_start = warm_start
         self.rebuild_fraction = rebuild_fraction
         self.cost_jump_threshold = cost_jump_threshold
+        self.sharded = sharded
+        self.shard_workers = shard_workers
+        #: per-shard cache: frozen variable-key set → solved summary.
+        self._shard_cache: Dict[frozenset, _ShardEntry] = {}
         self.plan = StreamPlan(
             network,
             similarity,
             unary_constant=unary_constant,
             pairwise_weight=pairwise_weight,
             service_weights=service_weights,
+            track_touched=sharded,
         )
         self._previous: Optional[Dict[Tuple[str, str], str]] = None
 
@@ -190,7 +243,12 @@ class DynamicDiversifier:
         with the previous labels.  Cold path (first solve, ``warm_start=
         False``, or delta past ``rebuild_fraction``): rebuild everything
         and start from zero messages and a fresh greedy labelling.
+
+        A ``sharded=True`` engine dispatches to the per-component path,
+        which re-solves only the shards the pending events touched.
         """
+        if self.sharded:
+            return self._solve_sharded()
         start = time.perf_counter()
         plan = self.plan
         warm = (
@@ -265,12 +323,185 @@ class DynamicDiversifier:
             solver_result=result,
         )
 
+    # -------------------------------------------------------- sharded solve
+
+    def _solve_sharded(self) -> StreamSolveResult:
+        """Per-component re-solve: only touched shards pay a solver run.
+
+        Partitions the live plan's raw parts (no global slot/level
+        re-derivation), keys each shard by its frozen (host, service) set
+        — stable across node renumbering — and re-solves a shard only when
+        it is new or contains a touched key.  Clean shards keep their
+        message slices and labels untouched and contribute their cached
+        energy/bound; merges and splits fall out of re-partitioning.
+        """
+        start = time.perf_counter()
+        plan = self.plan
+        warm = (
+            self.warm_start
+            and plan.labels is not None
+            and not self._delta_too_large()
+        )
+        if not warm:
+            plan.rebuild()
+            self._shard_cache.clear()
+        touched = set(plan.touched)
+        escalate = warm and plan.dirty_cost > self.cost_jump_threshold
+        width = plan.pad_messages()
+        unaries, edge_first, edge_second, edge_cid, matrices = plan.parts()
+        partition = split_parts(
+            unaries, edge_first, edge_second, edge_cid, matrices, lmax=width
+        )
+
+        labels = (
+            plan.labels.copy()
+            if plan.labels is not None
+            else np.zeros(plan.node_count, dtype=np.int64)
+        )
+        keys = [
+            frozenset(plan.variables[int(node)] for node in shard.nodes)
+            for shard in partition
+        ]
+        entries: List[Optional[_ShardEntry]] = []
+        dirty: List[Tuple[Shard, frozenset]] = []
+        for shard, key in zip(partition, keys):
+            entry = self._shard_cache.get(key)
+            if warm and entry is not None and not (key & touched):
+                entries.append(entry)
+            else:
+                entries.append(None)
+                dirty.append((shard, key))
+
+        solved: Dict[frozenset, _ShardEntry] = {}
+        fan_out = min(resolve_workers(self.shard_workers), len(dirty))
+        if fan_out > 1:
+            # Dirty shards are independent (disjoint nodes and message
+            # slots), so a thread fan-out never changes results.
+            with ThreadPoolExecutor(max_workers=fan_out) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda pair: self._solve_shard(
+                            pair[0], labels, warm, escalate
+                        ),
+                        dirty,
+                    )
+                )
+        else:
+            outcomes = [
+                self._solve_shard(shard, labels, warm, escalate)
+                for shard, _key in dirty
+            ]
+        dirty_iterations = []
+        for (shard, key), (entry, sub_labels, sub_iters) in zip(dirty, outcomes):
+            labels[shard.nodes] = sub_labels
+            solved[key] = entry
+            dirty_iterations.append(sub_iters)
+        for position, (entry, key) in enumerate(zip(entries, keys)):
+            if entry is None:
+                entries[position] = solved[key]
+        final_entries: List[_ShardEntry] = entries  # all filled now
+        # Clean shards contribute no iterations — nothing ran for them.
+        merged = merge_shard_results(
+            [e.energy for e in final_entries],
+            [e.lower_bound for e in final_entries],
+            dirty_iterations,
+            [e.converged for e in final_entries],
+        )
+        energy = merged.energy
+        lower_bound = merged.lower_bound
+        # Prune stale keys so departed/merged shards cannot resurrect.
+        self._shard_cache = dict(zip(keys, final_entries))
+
+        plan.record_labels(labels)
+        plan.reset_dirty_counters()
+        values = plan.assignment_values(labels)
+        assignment = ProductAssignment.from_decoded(plan.network, values)
+        stability = _stability(self._previous, values)
+        self._previous = values
+        certified = (
+            np.isfinite(lower_bound) and energy - lower_bound <= 1e-6
+        )
+        solver_result = SolverResult(
+            labels=[int(x) for x in labels],
+            energy=energy,
+            lower_bound=lower_bound,
+            iterations=merged.iterations,
+            converged=merged.converged,
+            solver=f"{self.solver_name}-sharded",
+        )
+        return StreamSolveResult(
+            assignment=assignment,
+            energy=energy,
+            lower_bound=lower_bound,
+            certified_optimal=certified,
+            warm=warm,
+            stability=stability,
+            seconds=time.perf_counter() - start,
+            solver_result=solver_result,
+            shards_total=len(partition),
+            shards_solved=len(dirty),
+        )
+
+    def _solve_shard(
+        self,
+        shard: Shard,
+        labels: np.ndarray,
+        warm: bool,
+        escalate: bool,
+    ) -> Tuple[_ShardEntry, np.ndarray, int]:
+        """One dirty-shard solve, mirroring the monolithic mode choice."""
+        plan = self.plan
+        is_trws = self.solver_name == "trws"
+        messages = plan.messages[shard.slots]
+        previous = labels[shard.nodes] if warm else None
+        if warm and not escalate:
+            solver = self._warm_solver
+            extra_inits: Tuple[np.ndarray, ...] = (previous,)
+            default_inits = False
+        elif warm:
+            solver = self._solver
+            extra_inits = (previous,)
+            if is_trws:
+                extra_inits += (shard.plan.greedy_labels(),)
+            default_inits = True
+        else:
+            solver = self._solver
+            extra_inits = (shard.plan.greedy_labels(),) if is_trws else ()
+            default_inits = True
+
+        if is_trws:
+            result = solver.solve_arrays(
+                shard.plan,
+                messages=messages,
+                extra_inits=extra_inits,
+                default_inits=default_inits,
+            )
+        else:
+            result = solver.solve_arrays(shard.plan, messages=messages)
+        plan.messages[shard.slots] = messages
+
+        sub_labels = np.asarray(result.labels, dtype=np.int64)
+        energy = result.energy
+        if warm and previous is not None:
+            # Stability tie-break, per shard (see the monolithic path).
+            polished = shard.plan.icm(previous)
+            polished_energy = shard.plan.energy(polished)
+            if polished_energy <= energy + 1e-9:
+                sub_labels = polished
+                energy = polished_energy
+        entry = _ShardEntry(
+            energy=energy,
+            lower_bound=result.lower_bound,
+            converged=result.converged,
+        )
+        return entry, sub_labels, result.iterations
+
     # ------------------------------------------------------------- internals
 
     def _delta_too_large(self) -> bool:
         plan = self.plan
-        node_frac = plan.dirty_nodes / max(1, plan.plan.node_count)
-        edge_frac = plan.dirty_edges / max(1, plan.plan.edge_count)
+        node_frac = plan.dirty_nodes / max(1, plan.node_count)
+        edge_frac = plan.dirty_edges / max(1, plan.edge_count)
         return max(node_frac, edge_frac) > self.rebuild_fraction
 
 

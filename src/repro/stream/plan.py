@@ -24,11 +24,23 @@ and keeps all of them aligned while churn events arrive:
 Because padded message entries are 0 — the additive identity — new slots
 start cold at 0 while surviving slots keep their near-fixed-point values,
 which is what makes the warm start work across structural deltas.
+
+For the sharded re-solve path the plan additionally keeps a **touched set**
+of (host, service) variable keys — every event adds the variables whose
+node, incident edges or cost matrices it changed.  Keys are stable across
+the node renumbering of host churn, so the incremental engine can map each
+event to the connected components it dirtied (link adds merge shards, link
+removals split them — both endpoints are touched either way, so every
+resulting component carries a touched key) and leave every clean shard's
+messages, labels and cached energy untouched.  :meth:`StreamPlan.parts`
+exposes the raw arrays the shard partitioner consumes, which is how the
+sharded engine skips the O(network) global slot/level re-derivation
+entirely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -59,6 +71,12 @@ class StreamPlan:
         unary_constant: the paper's ``Pr_const`` per-label base cost.
         pairwise_weight: λ scaling of the similarity penalty.
         service_weights: optional per-service multipliers of λ.
+        track_touched: pay the O(edges) endpoint scan that maps a
+            similarity event onto the :attr:`touched` variable-key set
+            (the sharded engine's dirtiness signal).  Structural events
+            always record their own (cheap, O(delta)) touched keys; a
+            monolithic consumer turns this flag off to keep feed updates
+            off the scan.
 
     The constrained/preference-carrying cases stay on the batch
     :func:`~repro.core.costs.build_mrf` path; streaming covers the
@@ -72,6 +90,7 @@ class StreamPlan:
         unary_constant: float = 0.01,
         pairwise_weight: float = 1.0,
         service_weights: Optional[Mapping[str, float]] = None,
+        track_touched: bool = True,
     ) -> None:
         if pairwise_weight < 0:
             raise ValueError("pairwise_weight must be non-negative")
@@ -82,6 +101,7 @@ class StreamPlan:
         self.unary_constant = float(unary_constant)
         self.pairwise_weight = float(pairwise_weight)
         self.service_weights = dict(service_weights or {})
+        self.track_touched = track_touched
         self.rebuild()
 
     # ------------------------------------------------------------ cold build
@@ -94,6 +114,9 @@ class StreamPlan:
         the previous-solution labels are dropped.
         """
         network = self.network
+        #: (host, service) keys of variables touched since the last solve —
+        #: stable across node renumbering, consumed by the sharded engine.
+        self.touched: Set[Tuple[str, str]] = set()
         self.variables: List[Tuple[str, str]] = []
         self.index: Dict[Tuple[str, str], int] = {}
         self.candidates: List[Tuple[str, ...]] = []
@@ -136,6 +159,7 @@ class StreamPlan:
         #: solve — the engine escalates its warm sweep budget when a feed
         #: update moves costs far enough to shift the message fixed point.
         self.dirty_cost = 0.0
+        self.touched.clear()
 
     # ------------------------------------------------------------ event apply
 
@@ -185,6 +209,49 @@ class StreamPlan:
         self._edges_dirty = False
         return self.plan
 
+    # ------------------------------------------------------------ shard view
+
+    @property
+    def node_count(self) -> int:
+        """Live variable count (tracks pending deltas, unlike ``plan``)."""
+        return len(self.variables)
+
+    @property
+    def edge_count(self) -> int:
+        """Live edge count (tracks pending deltas, unlike ``plan``)."""
+        return len(self._edge_first)
+
+    def parts(self):
+        """The raw plan parts, as the shard partitioner consumes them.
+
+        Returns ``(unaries, edge_first, edge_second, edge_cid, matrices)``
+        reflecting every applied event — including structural deltas not
+        yet flushed into the global :class:`MRFArrays` plan, which is what
+        lets the sharded engine partition without paying the global
+        slot/level re-derivation.
+        """
+        return (
+            self._unaries,
+            np.asarray(self._edge_first, dtype=np.int64),
+            np.asarray(self._edge_second, dtype=np.int64),
+            np.asarray(self._edge_cid, dtype=np.int64),
+            self._matrices,
+        )
+
+    def pad_messages(self) -> int:
+        """Grow the message padding to the widest live label space.
+
+        Returns the (possibly new) message width.  Padded message entries
+        are the 0 additive identity, so widening is exact — the same
+        invariant :meth:`flush` relies on.
+        """
+        widest = max((len(u) for u in self._unaries), default=0)
+        width = self.messages.shape[1]
+        if widest > width:
+            self.messages = np.pad(self.messages, ((0, 0), (0, widest - width)))
+            width = widest
+        return width
+
     # -------------------------------------------------------------- solution
 
     def record_labels(self, labels: np.ndarray) -> None:
@@ -208,6 +275,9 @@ class StreamPlan:
         self.variables.append((host, service))
         self.candidates.append(range_)
         self._unaries.append(np.full(len(range_), self.unary_constant))
+        # Touched-set bookkeeping: a rebuild touches everything and then
+        # clears the set, so only post-rebuild appends persist.
+        self.touched.add((host, service))
 
     def _weight(self, service: str) -> float:
         return self.pairwise_weight * float(self.service_weights.get(service, 1.0))
@@ -246,12 +316,15 @@ class StreamPlan:
         self._edge_first.append(first)
         self._edge_second.append(second)
         self._edge_cid.append(cid)
+        self.touched.add((a, service))
+        self.touched.add((b, service))
 
     # ------------------------------------------------------- event internals
 
     def _apply_similarity(self, event: SimilarityUpdate) -> None:
         a, b, value = event.product_a, event.product_b, event.value
         self.similarity.set(a, b, value)
+        changed_cids = set()
         for cid, (range_a, range_b, weight) in enumerate(self._matrix_meta):
             matrix = self._matrices[cid]
             changed = False
@@ -270,7 +343,22 @@ class StreamPlan:
                 matrix[row, col] = weight * value
                 changed = True
             if changed:
-                self.plan.set_cost_matrix(cid, matrix)
+                changed_cids.add(cid)
+                # Matrices born after the last flush/rebuild (a pending
+                # structural delta allocated them) are not in the live
+                # plan's stack yet; the pending flush — or the sharded
+                # path's per-shard rebuild — picks the new value up from
+                # self._matrices, so only patch ids the stack knows.
+                if cid < self.plan.stacked:
+                    self.plan.set_cost_matrix(cid, matrix)
+        if changed_cids and self.track_touched:
+            # Shards whose edges price through a changed matrix must
+            # re-solve; their endpoints mark them dirty (one pass for the
+            # whole event, however many matrices it hit).
+            for e, edge_cid in enumerate(self._edge_cid):
+                if edge_cid in changed_cids:
+                    self.touched.add(self.variables[self._edge_first[e]])
+                    self.touched.add(self.variables[self._edge_second[e]])
 
     def _apply_link_add(self, event: LinkAdd) -> None:
         self.network.add_link(event.a, event.b)
@@ -291,6 +379,10 @@ class StreamPlan:
         positions = [
             e for e, (link, _service) in enumerate(self._edge_keys) if link == key
         ]
+        for e in positions:
+            # A removal can split a shard; both halves keep a touched key.
+            self.touched.add(self.variables[self._edge_first[e]])
+            self.touched.add(self.variables[self._edge_second[e]])
         self._delete_edges(positions)
         self.dirty_edges += len(positions)
 
@@ -321,6 +413,12 @@ class StreamPlan:
             if self._edge_first[e] in removed_set
             or self._edge_second[e] in removed_set
         ]
+        for e in positions:
+            # Surviving neighbours mark the shrunken/split shards dirty
+            # (the removed variables' own keys vanish with them).
+            for node in (self._edge_first[e], self._edge_second[e]):
+                if node not in removed_set:
+                    self.touched.add(self.variables[node])
         self._delete_edges(positions)
         self.dirty_edges += len(positions)
 

@@ -97,5 +97,59 @@ class TestMain:
         )
         assert code == 0
 
+    def test_pinned_gate_passes_within_threshold(self, tmp_path, capsys):
+        results, pinned = tmp_path / "results", tmp_path / "pinned"
+        write_record(results, "alpha", 1.2)
+        write_record(pinned, "alpha", 1.0)
+        # 1.2x is inside the 1.25x soft gate.
+        code = bench_report.main(
+            ["--results", str(results), "--pinned", str(pinned)]
+        )
+        assert code == 0
+
+    def test_pinned_gate_fails_past_threshold(self, tmp_path, capsys):
+        results, pinned = tmp_path / "results", tmp_path / "pinned"
+        write_record(results, "alpha", 1.5)
+        write_record(pinned, "alpha", 1.0)
+        code = bench_report.main(
+            ["--results", str(results), "--pinned", str(pinned)]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_pinned_gate_ignores_unpinned_benches(self, tmp_path):
+        results, pinned = tmp_path / "results", tmp_path / "pinned"
+        write_record(results, "alpha", 1.0)
+        write_record(results, "extra", 99.0)  # not pinned → 'new', no gate
+        write_record(pinned, "alpha", 1.0)
+        code = bench_report.main(
+            ["--results", str(results), "--pinned", str(pinned)]
+        )
+        assert code == 0
+
+    def test_pinned_threshold_override(self, tmp_path):
+        results, pinned = tmp_path / "results", tmp_path / "pinned"
+        write_record(results, "alpha", 1.2)
+        write_record(pinned, "alpha", 1.0)
+        code = bench_report.main(
+            ["--results", str(results), "--pinned", str(pinned),
+             "--fail-threshold", "1.1"]
+        )
+        assert code == 1
+
+    def test_pinned_and_baseline_exclusive(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        write_record(results, "alpha", 1.0)
+        code = bench_report.main(
+            ["--results", str(results), "--pinned", str(tmp_path),
+             "--baseline", str(tmp_path)]
+        )
+        assert code == 2
+
+    def test_pinned_directory_committed(self):
+        # The soft gate CI step relies on these records existing.
+        assert bench_report.DEFAULT_PINNED.is_dir()
+        assert list(bench_report.DEFAULT_PINNED.glob("BENCH_*.json"))
+
     def test_missing_directory(self, tmp_path):
         assert bench_report.main(["--results", str(tmp_path / "nope")]) == 2

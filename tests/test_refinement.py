@@ -10,7 +10,9 @@ import pytest
 
 from repro.mrf.batched import BatchedTRWSSolver, replicated_problem_from_network
 from repro.mrf.graph import PairwiseMRF
-from repro.mrf.trws import TRWSSolver, _greedy_labels
+from repro.mrf.reference import _greedy_labels
+from repro.mrf.trws import TRWSSolver
+from repro.mrf.vectorized import MRFArrays
 from repro.network.generator import (
     RandomNetworkConfig,
     random_network,
@@ -48,6 +50,16 @@ class TestGreedyLabels:
         mrf = PairwiseMRF()
         mrf.add_node([2.0, 0.0, 1.0])
         assert _greedy_labels(mrf) == [1]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_plan_level_greedy_matches_mrf_level(self, seed):
+        # The production solvers construct the greedy init on the plan
+        # (MRFArrays.greedy_labels); it must reproduce the MRF-level
+        # reference exactly.
+        mrf = make_random_mrf(nodes=10, edge_probability=0.5, max_labels=4,
+                              seed=seed)
+        plan_labels = MRFArrays(mrf).greedy_labels()
+        assert [int(x) for x in plan_labels] == _greedy_labels(mrf)
 
 
 class TestRefinementEffect:

@@ -60,6 +60,28 @@ class TestResolveWorkers:
         with pytest.raises(ValueError):
             resolve_workers(-2)
 
+    def test_env_override_fills_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_env_override_all_cpus(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-1")
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(2) == 2
+        assert resolve_workers(0) == 1
+
+    def test_env_junk_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    def test_env_blank_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert resolve_workers(None) == 1
+
 
 class TestRunJobs:
     def _jobs(self):
@@ -107,6 +129,74 @@ class TestRunJobs:
         with pytest.warns(RuntimeWarning, match="pool unavailable"):
             results = run_jobs(self._jobs(), workers=4)
         assert results == run_jobs(self._jobs(), workers=None)
+
+    def test_chunksize_results_identical(self):
+        serial = run_jobs(self._jobs(), workers=1)
+        chunked = run_jobs(self._jobs(), workers=2, chunksize=3)
+        assert chunked == serial
+        assert list(chunked) == list(serial)
+
+    def test_chunksize_validated(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            run_jobs(self._jobs(), workers=2, chunksize=0)
+
+
+class TestSharedArrayBlock:
+    def _block(self, array):
+        from repro.runner import SharedArrayBlock
+
+        try:
+            return SharedArrayBlock.create(array)
+        except OSError:
+            pytest.skip("shared memory unavailable in this environment")
+
+    def test_roundtrip_and_spec_pickles(self):
+        import numpy as np
+        import pickle
+
+        from repro.runner import SharedArrayBlock
+
+        source = np.arange(24.0).reshape(2, 3, 4)
+        block = self._block(source)
+        try:
+            spec = pickle.loads(pickle.dumps(block.spec))
+            view = SharedArrayBlock.attach(spec)
+            got = view.array()
+            assert got.shape == source.shape
+            assert np.array_equal(got, source)
+            assert not got.flags.writeable
+            view.close()
+        finally:
+            block.unlink()
+
+    def test_close_is_idempotent_and_guards_array(self):
+        import numpy as np
+
+        from repro.runner import SharedArrayBlock
+
+        block = self._block(np.ones(3))
+        spec = block.spec
+        block.close()
+        block.close()
+        with pytest.raises(ValueError, match="closed"):
+            block.array()
+        # unlink after close still destroys the segment (no leak) ...
+        block.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArrayBlock.attach(spec)
+        block.unlink()  # ... and stays idempotent
+
+    def test_context_manager_owner_unlinks(self):
+        import numpy as np
+
+        from repro.runner import SharedArrayBlock
+
+        block = self._block(np.ones(2))
+        spec = block.spec
+        with block:
+            pass
+        with pytest.raises(FileNotFoundError):
+            SharedArrayBlock.attach(spec)
 
 
 class TestExperimentGrids:
