@@ -1,0 +1,118 @@
+"""Plan compilation — direct network→plan compiler vs the Python builder.
+
+Pins the headline claim of the compile layer (:mod:`repro.core.compile`):
+on the Table VII mid-density workload at **1000 hosts** (degree 20, 15
+services — 15k variables, 150k coupled edges), compiling the solver plan
+straight from the network is at least **5×** faster end-to-end than the
+classic ``build_mrf`` → ``MRFArrays`` object pipeline, while producing a
+**byte-identical** plan (same unary stack, cost stack, edge arrays,
+message slots and wavefront levels) and therefore identical solve results.
+
+Why the old path is slow: ``build_mrf`` walks hosts × links × labels in
+Python into a dict-based :class:`PairwiseMRF` (one ``add_edge`` per
+(link, shared-service) pair), and ``MRFArrays`` then walks every edge
+again to flatten it.  The compiler interns hosts/services/ranges once and
+emits the same arrays with NumPy group operations; the remaining cost is
+the slot/level derivation both paths share.
+
+Timings are best-of-``ROUNDS``; the record lands in
+``benchmarks/results/BENCH_plan_compile.json`` (CI runs this on every push
+and the pinned-record soft gate flags >25% regressions).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.compile import compile_plan
+from repro.core.costs import build_mrf
+from repro.mrf.sharded import solve_plan
+from repro.mrf.trws import TRWSSolver
+from repro.mrf.vectorized import MRFArrays
+from repro.network.generator import (
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+
+ROUNDS = 3
+HOSTS = 1000
+DEGREE = 20
+SERVICES = 15
+SEED = 0
+#: The acceptance bar: compiled vs Python end-to-end plan build.
+MIN_SPEEDUP = 5.0
+
+#: The arrays that define solver behaviour — byte-compared between paths.
+PARITY_ARRAYS = (
+    "label_counts", "mask", "unary", "unary_inf", "cost",
+    "edge_first", "edge_second", "edge_cid",
+    "slot_sender", "slot_receiver", "slot_reverse", "slot_cid",
+    "gamma",
+)
+
+
+def _best(fn, rounds=ROUNDS):
+    result, best = None, float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_plan_compile_speedup(record_bench, write_artifact):
+    config = RandomNetworkConfig(
+        hosts=HOSTS, degree=DEGREE, services=SERVICES, seed=SEED
+    )
+    network = random_network(config)
+    similarity = random_similarity(config)
+
+    reference, python_seconds = _best(
+        lambda: MRFArrays(build_mrf(network, similarity).mrf)
+    )
+    compiled, compile_seconds = _best(
+        lambda: compile_plan(network, similarity).plan
+    )
+    speedup = python_seconds / compile_seconds
+
+    # Parity: the compiler emits the same plan, byte for byte.
+    for name in PARITY_ARRAYS:
+        assert np.array_equal(
+            getattr(reference, name), getattr(compiled, name), equal_nan=True
+        ), f"plan array {name!r} differs"
+
+    # Identical plans solve identically (same labels, same energy).
+    solver_options = dict(max_iterations=4, compute_bound=False)
+    via_mrf = TRWSSolver(**solver_options).solve_arrays(
+        reference, extra_inits=(reference.greedy_labels(),)
+    )
+    via_compile = solve_plan(compiled, solver="trws", **solver_options)
+    assert via_compile.labels == via_mrf.labels
+    assert via_compile.energy == pytest.approx(via_mrf.energy, abs=1e-9)
+
+    rows = [
+        f"python build (build_mrf + MRFArrays): {1000 * python_seconds:8.1f}ms",
+        f"direct compile (compile_plan):        {1000 * compile_seconds:8.1f}ms",
+        f"speedup: {speedup:4.2f}x  "
+        f"(nodes={compiled.node_count}, edges={compiled.edge_count}, "
+        f"matrices={compiled.stacked})",
+        f"solve energy parity: E={via_compile.energy:.6f}",
+    ]
+    write_artifact("plan_compile", "\n".join(rows))
+    record_bench(
+        "plan_compile",
+        seconds=compile_seconds,
+        python_seconds=round(python_seconds, 6),
+        speedup=round(speedup, 2),
+        hosts=HOSTS,
+        nodes=compiled.node_count,
+        edges=compiled.edge_count,
+        matrices=compiled.stacked,
+        energy=round(via_compile.energy, 6),
+    )
+    # The acceptance bar for the compile layer.
+    assert speedup >= MIN_SPEEDUP, (
+        f"direct compiler only {speedup:.2f}x faster (bar: {MIN_SPEEDUP}x)"
+    )

@@ -44,6 +44,18 @@ from repro.nvd.datasets import (
 __all__ = ["main", "build_parser"]
 
 
+def _shards_value(value: str):
+    """``--shards`` accepts a worker count or the literal ``zones``."""
+    if value == "zones":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--shards takes an integer or 'zones', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro`` entry point."""
     parser = argparse.ArgumentParser(
@@ -100,12 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         t.add_argument(
             "--shards",
-            type=int,
+            type=_shards_value,
             default=None,
             help="solve each cell over its connected-component shards with "
             "this many concurrent shard workers (-1 = one per CPU; default "
-            "monolithic); energies are identical — components are "
-            "independent",
+            "monolithic), or 'zones' to derive the shard grouping from a "
+            "zone model over the workload; energies are identical — "
+            "components are independent",
         )
 
     nvd = sub.add_parser(

@@ -4,6 +4,10 @@
     Builds the diversification MRF from a network, a similarity table and a
     constraint set — the paper's cost function (Eqs. 1-3) with constraints
     folded into unary masks and intra-host pairwise tables (Section V-A/B).
+``repro.core.compile``
+    The direct network→plan compiler: emits the byte-identical
+    :class:`~repro.mrf.vectorized.MRFArrays` plan without materialising a
+    Python-level MRF — the default build path of ``diversify``.
 ``repro.core.diversify``
     The top-level API: :func:`~repro.core.diversify.diversify` returns the
     (constrained) optimal product assignment α̂ / α̂_C (Definition 5).
@@ -13,6 +17,7 @@
 """
 
 from repro.core.costs import MRFBuild, assignment_energy, build_mrf
+from repro.core.compile import CompiledPlan, compile_plan
 from repro.core.diversify import DiversificationResult, diversify
 from repro.core.baselines import (
     greedy_assignment,
@@ -24,6 +29,8 @@ __all__ = [
     "MRFBuild",
     "build_mrf",
     "assignment_energy",
+    "CompiledPlan",
+    "compile_plan",
     "DiversificationResult",
     "diversify",
     "mono_assignment",

@@ -1,0 +1,705 @@
+"""Direct network → array-plan compiler (no Python-level MRF).
+
+:func:`repro.core.costs.build_mrf` walks the network with per-host /
+per-link / per-label Python loops into a dict-based
+:class:`~repro.mrf.graph.PairwiseMRF`, which :class:`~repro.mrf.vectorized.
+MRFArrays` then walks *again* to flatten into arrays.  On the scalability
+sweeps (1000-6000 hosts, tens of services) that double walk — hundreds of
+thousands of ``add_edge`` calls — dominates the cold plan-build cost now
+that the solvers themselves are vectorized.  This module compiles the plan
+directly:
+
+* **Variables** are enumerated once (hosts in insertion order × services in
+  declaration order, exactly the ``build_mrf`` node order) while interning
+  services, candidate ranges and products into integer ids.
+* **Edges** are emitted per *host-profile pair*: hosts sharing a service
+  list share a profile, so the (link, shared-service) → (node, node)
+  expansion is a handful of NumPy repeats/tiles instead of a per-edge loop.
+* **Cost matrices** are deduplicated by (candidate range, candidate range,
+  λ·weight) key in first-appearance order over the edge stream — the same
+  stack the ``id()``-dedup of ``MRFArrays(mrf)`` recovers from the builder's
+  matrix cache — and computed as slices of one product-similarity matrix.
+* **Constraints** (Fix/Forbid unary masks, combination tables) land as
+  array writes replicating the builder's accumulation order bit-for-bit.
+
+The result is **byte-identical** to ``MRFArrays(build_mrf(...).mrf)`` — the
+same unary stack, cost stack, edge arrays, message slots, γ weights and
+wavefront levels — which the parity suite in ``tests/test_compile.py``
+asserts array by array.  :func:`compile_stream_parts` emits the same plan
+in the :class:`~repro.stream.plan.StreamPlan` convention instead (one
+matrix per unordered range pair, edges flipped onto the stored orientation,
+per-edge link/service keys), which is what the streaming engine's cold
+rebuilds consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.costs import (
+    HARD_COST,
+    _reject_conflicting_fixes,
+    decode_assignment,
+    encode_labels,
+)
+from repro.mrf.vectorized import MRFArrays
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import (
+    GLOBAL,
+    AvoidCombination,
+    ConstraintSet,
+    FixProduct,
+    ForbidProduct,
+    RequireCombination,
+)
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+
+__all__ = [
+    "CompiledPlan",
+    "CompiledParts",
+    "compile_plan",
+    "compile_parts",
+    "compile_stream_parts",
+]
+
+
+@dataclass
+class CompiledParts:
+    """Raw plan parts straight from the network, plus the variable mapping.
+
+    ``edge_first``/``edge_second``/``edge_cid`` index ``matrices`` exactly
+    as :meth:`MRFArrays.from_parts` consumes them.  ``matrix_meta`` and
+    ``edge_keys`` are filled by the stream convention only (see
+    :func:`compile_stream_parts`).
+    """
+
+    variables: List[Tuple[str, str]]
+    index: Dict[Tuple[str, str], int]
+    candidates: List[Tuple[str, ...]]
+    unary: np.ndarray          # (n, lmax) padded, zeros outside the mask
+    label_counts: np.ndarray   # (n,)
+    edge_first: np.ndarray
+    edge_second: np.ndarray
+    edge_cid: np.ndarray
+    matrices: List[np.ndarray]
+    matrix_meta: Optional[List[Tuple[Tuple[str, ...], Tuple[str, ...], float]]] = None
+    edge_keys: Optional[List[Tuple[Tuple[str, str], str]]] = None
+
+    def unary_vectors(self) -> List[np.ndarray]:
+        """Per-node unpadded unary vectors (the ``from_parts`` form)."""
+        return [
+            self.unary[node, : int(count)]
+            for node, count in enumerate(self.label_counts)
+        ]
+
+
+@dataclass
+class CompiledPlan:
+    """A compiled :class:`MRFArrays` plan plus the variable mapping.
+
+    The plan-level counterpart of :class:`~repro.core.costs.MRFBuild`:
+    same ``variables``/``index``/``candidates`` contract, but the model
+    lives in the array plan instead of a :class:`PairwiseMRF`.
+    """
+
+    plan: MRFArrays
+    variables: List[Tuple[str, str]]
+    index: Dict[Tuple[str, str], int]
+    candidates: List[Tuple[str, ...]]
+
+    def labels_to_assignment(
+        self, network: Network, labels: Sequence[int]
+    ) -> ProductAssignment:
+        """Decode a solver labelling back into a product assignment."""
+        return decode_assignment(network, self.variables, self.candidates, labels)
+
+    def assignment_to_labels(self, assignment: ProductAssignment) -> List[int]:
+        """Encode a complete assignment as a labelling of this plan."""
+        return encode_labels(self.variables, self.candidates, assignment)
+
+
+# ------------------------------------------------------------ network index
+
+
+class _NetworkIndex:
+    """Interned array view of a network's variables and link couplings.
+
+    Built in one O(hosts·services + links) pass; everything downstream —
+    edge emission, cost-matrix assembly, vectorized energy evaluation — is
+    NumPy over the interned ids.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        hosts = network.hosts
+        self.host_ids: Dict[str, int] = {h: k for k, h in enumerate(hosts)}
+        self.service_names: List[str] = []
+        service_ids: Dict[str, int] = {}
+        self.ranges: List[Tuple[str, ...]] = []
+        range_ids: Dict[Tuple[str, ...], int] = {}
+        self.variables: List[Tuple[str, str]] = []
+        self.index: Dict[Tuple[str, str], int] = {}
+        self.candidates: List[Tuple[str, ...]] = []
+        var_host: List[int] = []
+        var_sid: List[int] = []
+        var_rid: List[int] = []
+        profiles: Dict[Tuple[int, ...], int] = {}
+        self.profile_sids: List[Tuple[int, ...]] = []
+        host_profile = np.zeros(len(hosts), dtype=np.int64)
+
+        for h, host in enumerate(hosts):
+            sids: List[int] = []
+            for service, range_ in network.service_ranges(host):
+                sid = service_ids.get(service)
+                if sid is None:
+                    sid = len(self.service_names)
+                    service_ids[service] = sid
+                    self.service_names.append(service)
+                rid = range_ids.get(range_)
+                if rid is None:
+                    rid = len(self.ranges)
+                    range_ids[range_] = rid
+                    self.ranges.append(range_)
+                self.index[(host, service)] = len(self.variables)
+                self.variables.append((host, service))
+                self.candidates.append(range_)
+                var_host.append(h)
+                var_sid.append(sid)
+                var_rid.append(rid)
+                sids.append(sid)
+            key = tuple(sids)
+            pid = profiles.get(key)
+            if pid is None:
+                pid = len(self.profile_sids)
+                profiles[key] = pid
+                self.profile_sids.append(key)
+            host_profile[h] = pid
+
+        n = len(self.variables)
+        self.node_count = n
+        s_count = len(self.service_names)
+        self.var_host = np.asarray(var_host, dtype=np.int64)
+        self.var_sid = np.asarray(var_sid, dtype=np.int64)
+        self.node_rid = np.asarray(var_rid, dtype=np.int64)
+        self.host_profile = host_profile
+        #: (hosts, services) → node id (-1 where the host lacks the service).
+        self.node_of = np.full((len(hosts), s_count), -1, dtype=np.int64)
+        if n:
+            self.node_of[self.var_host, self.var_sid] = np.arange(n)
+        self.label_counts = np.asarray(
+            [len(r) for r in self.candidates], dtype=np.int64
+        )
+
+        # Product interning + per-range product-index arrays (for slicing
+        # the global similarity matrix into range-pair cost matrices).
+        product_ids: Dict[str, int] = {}
+        self.range_pids: List[np.ndarray] = []
+        for range_ in self.ranges:
+            pids = []
+            for product in range_:
+                pid = product_ids.get(product)
+                if pid is None:
+                    pid = len(product_ids)
+                    product_ids[product] = pid
+                pids.append(pid)
+            self.range_pids.append(np.asarray(pids, dtype=np.int64))
+        self.product_names: List[str] = list(product_ids)
+        self.product_ids = product_ids
+
+    # -------------------------------------------------------------- edges
+
+    def link_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(first, second, sid, link row) per (link, shared-service) edge.
+
+        Edge order matches ``build_mrf`` exactly: links in sorted order,
+        each link's shared services in the first host's declaration order.
+        """
+        links = self.network.links
+        empty = np.zeros(0, dtype=np.int64)
+        if not links:
+            self._links = links
+            return empty, empty.copy(), empty.copy(), empty.copy()
+        self._links = links
+        la = np.fromiter(
+            (self.host_ids[a] for a, _b in links), np.int64, len(links)
+        )
+        lb = np.fromiter(
+            (self.host_ids[b] for _a, b in links), np.int64, len(links)
+        )
+        p_count = len(self.profile_sids)
+        pair = self.host_profile[la] * p_count + self.host_profile[lb]
+        uniq_pairs, inv = np.unique(pair, return_inverse=True)
+        shared: List[np.ndarray] = []
+        for up in uniq_pairs:
+            pa, pb = divmod(int(up), p_count)
+            members = set(self.profile_sids[pb])
+            shared.append(
+                np.asarray(
+                    [sid for sid in self.profile_sids[pa] if sid in members],
+                    dtype=np.int64,
+                )
+            )
+        counts = np.asarray([len(shared[u]) for u in inv], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        m = int(offsets[-1])
+        first = np.empty(m, dtype=np.int64)
+        second = np.empty(m, dtype=np.int64)
+        sid = np.empty(m, dtype=np.int64)
+        link_of = np.empty(m, dtype=np.int64)
+        # One segmented grouping of links by profile pair — a stable
+        # argsort keeps each group's links ascending, so the scatter below
+        # is order-identical to a per-pair scan without being O(pairs·links)
+        # when every host has its own profile.
+        group_order = np.argsort(inv, kind="stable")
+        group_bounds = np.searchsorted(
+            inv[group_order], np.arange(len(uniq_pairs) + 1)
+        )
+        for u, sids in enumerate(shared):
+            k = len(sids)
+            if k == 0:
+                continue
+            rows = group_order[group_bounds[u] : group_bounds[u + 1]]
+            slots = (offsets[rows][:, None] + np.arange(k)[None, :]).ravel()
+            svc = np.tile(sids, len(rows))
+            ha = np.repeat(la[rows], k)
+            hb = np.repeat(lb[rows], k)
+            first[slots] = self.node_of[ha, svc]
+            second[slots] = self.node_of[hb, svc]
+            sid[slots] = svc
+            link_of[slots] = np.repeat(rows, k)
+        return first, second, sid, link_of
+
+    # ------------------------------------------------------------- weights
+
+    def service_weight_ids(
+        self,
+        pairwise_weight: float,
+        service_weights: Optional[Mapping[str, float]],
+    ) -> Tuple[np.ndarray, List[float]]:
+        """(wid per sid, distinct weight values) with value-level interning.
+
+        ``build_mrf`` keys its matrix cache on the weight *value*, so two
+        services with equal weights (and ranges) share one matrix; the
+        interning here preserves that sharing.
+        """
+        weight_ids: Dict[float, int] = {}
+        values: List[float] = []
+        wid_of = np.zeros(len(self.service_names), dtype=np.int64)
+        for sid, service in enumerate(self.service_names):
+            weight = pairwise_weight
+            if service_weights:
+                weight *= float(service_weights.get(service, 1.0))
+            wid = weight_ids.get(weight)
+            if wid is None:
+                wid = len(values)
+                weight_ids[weight] = wid
+                values.append(weight)
+            wid_of[sid] = wid
+        return wid_of, values
+
+    # ---------------------------------------------------------- similarity
+
+    def similarity_matrix(self, similarity: SimilarityTable) -> np.ndarray:
+        """Dense product-pair similarity over the network's product universe."""
+        return similarity.matrix(self.product_names)
+
+
+def _check_weights(
+    pairwise_weight: float, service_weights: Optional[Mapping[str, float]]
+) -> None:
+    """The builder's weight validation, shared by both conventions."""
+    if pairwise_weight < 0:
+        raise ValueError("pairwise_weight must be non-negative")
+    if service_weights and any(w < 0 for w in service_weights.values()):
+        raise ValueError("service weights must be non-negative")
+
+
+def _base_unary(net: _NetworkIndex, unary_constant: float) -> np.ndarray:
+    """The padded ``Pr_const`` unary stack (zeros outside the label mask)."""
+    counts = net.label_counts
+    lmax = int(counts.max()) if net.node_count else 0
+    mask = np.arange(lmax)[None, :] < counts[:, None]
+    return np.where(mask, float(unary_constant), 0.0)
+
+
+def _range_matrix(
+    net: _NetworkIndex, sim: np.ndarray, rid_a: int, rid_b: int, weight: float
+) -> np.ndarray:
+    """One λ·similarity cost matrix between two interned candidate ranges."""
+    return weight * sim[np.ix_(net.range_pids[rid_a], net.range_pids[rid_b])]
+
+
+def _appearance_rank(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(cid per key, first-occurrence position per cid) in appearance order.
+
+    ``np.unique`` sorts; re-ranking by the first-occurrence index restores
+    the first-appearance order that the ``id()``-dedup of ``MRFArrays``
+    (and the builder's matrix cache) produce.
+    """
+    uniq, first_idx, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[order] = np.arange(len(uniq))
+    return rank[inverse], first_idx[order]
+
+
+# ----------------------------------------------------------------- compile
+
+
+def compile_parts(
+    network: Network,
+    similarity: SimilarityTable,
+    constraints: Optional[ConstraintSet] = None,
+    unary_constant: float = 0.01,
+    pairwise_weight: float = 1.0,
+    preferences: Optional[Mapping[Tuple[str, str, str], float]] = None,
+    service_weights: Optional[Mapping[str, float]] = None,
+) -> CompiledParts:
+    """Compile raw plan parts in the ``build_mrf`` convention.
+
+    Arguments mirror :func:`repro.core.costs.build_mrf`; the emitted parts
+    reproduce its plan byte-for-byte once assembled (oriented transpose
+    entries in the cost stack, similarity edges before combination edges,
+    constraint masks accumulated in constraint order).
+    """
+    _check_weights(pairwise_weight, service_weights)
+    constraint_set = constraints or ConstraintSet()
+    constraint_set.validate_against(network)
+    _reject_conflicting_fixes(constraint_set)
+
+    net = _NetworkIndex(network)
+    counts = net.label_counts
+    unary = _base_unary(net, unary_constant)
+
+    # ---- soft preferences (one add per named (host, service, product)).
+    if preferences:
+        for (host, service, product), extra in preferences.items():
+            node = net.index.get((host, service))
+            if node is None:
+                continue
+            range_ = net.candidates[node]
+            if product in range_:
+                unary[node, range_.index(product)] += float(extra)
+
+    # ---- hard unary masks, accumulated in constraint order like the
+    # builder's add_unary calls (element-wise addition, same sequence).
+    for constraint in constraint_set:
+        if isinstance(constraint, FixProduct):
+            node = net.index[(constraint.host, constraint.service)]
+            count = int(counts[node])
+            mask_vec = np.full(count, HARD_COST)
+            mask_vec[net.candidates[node].index(constraint.product)] = 0.0
+            unary[node, :count] = unary[node, :count] + mask_vec
+        elif isinstance(constraint, ForbidProduct):
+            node = net.index[(constraint.host, constraint.service)]
+            count = int(counts[node])
+            mask_vec = np.zeros(count)
+            mask_vec[net.candidates[node].index(constraint.product)] = HARD_COST
+            unary[node, :count] = unary[node, :count] + mask_vec
+
+    # ---- similarity edges, cost stack deduplicated by oriented key.
+    first, second, sid, _link_of = net.link_edges()
+    wid_of, weight_values = net.service_weight_ids(
+        pairwise_weight, service_weights
+    )
+    matrices: List[np.ndarray] = []
+    if len(first):
+        r_count = max(len(net.ranges), 1)
+        w_count = max(len(weight_values), 1)
+        keys = (
+            net.node_rid[first] * r_count + net.node_rid[second]
+        ) * w_count + wid_of[sid]
+        edge_cid, first_pos = _appearance_rank(keys)
+        sim = net.similarity_matrix(similarity)
+        for position in first_pos:
+            e = int(position)
+            matrices.append(
+                _range_matrix(
+                    net,
+                    sim,
+                    int(net.node_rid[first[e]]),
+                    int(net.node_rid[second[e]]),
+                    weight_values[int(wid_of[sid[e]])],
+                )
+            )
+    else:
+        edge_cid = np.zeros(0, dtype=np.int64)
+
+    # ---- intra-host combination-constraint edges (appended after the
+    # similarity edges, one table per node pair, insertion order).
+    extra_first, extra_second, extra_cid, tables = _combination_edges(
+        network, constraint_set, net, base_cid=len(matrices)
+    )
+    if extra_first:
+        first = np.concatenate([first, np.asarray(extra_first, dtype=np.int64)])
+        second = np.concatenate(
+            [second, np.asarray(extra_second, dtype=np.int64)]
+        )
+        edge_cid = np.concatenate(
+            [edge_cid, np.asarray(extra_cid, dtype=np.int64)]
+        )
+        matrices.extend(tables)
+
+    return CompiledParts(
+        variables=net.variables,
+        index=net.index,
+        candidates=net.candidates,
+        unary=unary,
+        label_counts=counts,
+        edge_first=first,
+        edge_second=second,
+        edge_cid=edge_cid,
+        matrices=matrices,
+    )
+
+
+def compile_plan(
+    network: Network,
+    similarity: SimilarityTable,
+    constraints: Optional[ConstraintSet] = None,
+    unary_constant: float = 0.01,
+    pairwise_weight: float = 1.0,
+    preferences: Optional[Mapping[Tuple[str, str, str], float]] = None,
+    service_weights: Optional[Mapping[str, float]] = None,
+) -> CompiledPlan:
+    """Compile a network straight into an :class:`MRFArrays` plan.
+
+    Byte-identical to ``MRFArrays(build_mrf(...).mrf)`` (asserted by the
+    parity suite), built without materialising per-edge Python objects.
+    """
+    parts = compile_parts(
+        network,
+        similarity,
+        constraints=constraints,
+        unary_constant=unary_constant,
+        pairwise_weight=pairwise_weight,
+        preferences=preferences,
+        service_weights=service_weights,
+    )
+    plan = MRFArrays.from_dense(
+        parts.unary,
+        parts.label_counts,
+        parts.edge_first,
+        parts.edge_second,
+        parts.edge_cid,
+        parts.matrices,
+    )
+    return CompiledPlan(
+        plan=plan,
+        variables=parts.variables,
+        index=parts.index,
+        candidates=parts.candidates,
+    )
+
+
+def compile_stream_parts(
+    network: Network,
+    similarity: SimilarityTable,
+    unary_constant: float = 0.01,
+    pairwise_weight: float = 1.0,
+    service_weights: Optional[Mapping[str, float]] = None,
+) -> CompiledParts:
+    """Compile raw parts in the :class:`~repro.stream.plan.StreamPlan`
+    convention: one matrix per *unordered* range pair (edges whose key was
+    first seen in the opposite orientation flip their endpoints instead of
+    storing a transpose), plus the per-edge (link key, service) list and
+    per-matrix (range, range, weight) metadata the streaming engine's
+    delta updates index by.
+
+    Unconstrained by design — constraint-carrying instances stay on the
+    batch path, exactly like :class:`StreamPlan` itself.
+    """
+    _check_weights(pairwise_weight, service_weights)
+    net = _NetworkIndex(network)
+    counts = net.label_counts
+    unary = _base_unary(net, unary_constant)
+
+    first, second, sid, link_of = net.link_edges()
+    # StreamPlan weights every service through the same formula; the value
+    # is identical to the builder's conditional multiply (w·1.0 == w).
+    wid_of, weight_values = net.service_weight_ids(
+        pairwise_weight, service_weights or None
+    )
+    matrices: List[np.ndarray] = []
+    meta: List[Tuple[Tuple[str, ...], Tuple[str, ...], float]] = []
+    if len(first):
+        rid_a = net.node_rid[first]
+        rid_b = net.node_rid[second]
+        r_count = max(len(net.ranges), 1)
+        w_count = max(len(weight_values), 1)
+        keys = (
+            np.minimum(rid_a, rid_b) * r_count + np.maximum(rid_a, rid_b)
+        ) * w_count + wid_of[sid]
+        edge_cid, first_pos = _appearance_rank(keys)
+        # Stored orientation = the orientation of the key's first edge;
+        # later reverse-orientation edges flip endpoints instead.
+        stored_rid_a = rid_a[first_pos]
+        flip = stored_rid_a[edge_cid] != rid_a
+        out_first = np.where(flip, second, first)
+        out_second = np.where(flip, first, second)
+        sim = net.similarity_matrix(similarity)
+        for position in first_pos:
+            e = int(position)
+            ra = int(net.node_rid[first[e]])
+            rb = int(net.node_rid[second[e]])
+            weight = weight_values[int(wid_of[sid[e]])]
+            matrices.append(_range_matrix(net, sim, ra, rb, weight))
+            meta.append((net.ranges[ra], net.ranges[rb], weight))
+        first, second = out_first, out_second
+    else:
+        edge_cid = np.zeros(0, dtype=np.int64)
+
+    links = net._links
+    service_names = net.service_names
+    edge_keys = [
+        (links[link], service_names[s])
+        for link, s in zip(link_of.tolist(), sid.tolist())
+    ]
+    return CompiledParts(
+        variables=net.variables,
+        index=net.index,
+        candidates=net.candidates,
+        unary=unary,
+        label_counts=counts,
+        edge_first=first,
+        edge_second=second,
+        edge_cid=edge_cid,
+        matrices=matrices,
+        matrix_meta=meta,
+        edge_keys=edge_keys,
+    )
+
+
+# ------------------------------------------------------------- constraints
+
+
+def _combination_edges(
+    network: Network,
+    constraints: ConstraintSet,
+    net: _NetworkIndex,
+    base_cid: int,
+) -> Tuple[List[int], List[int], List[int], List[np.ndarray]]:
+    """Combination constraints as intra-host tables (builder-order parity).
+
+    Mirrors :func:`repro.core.costs._add_combination_edges`: one table per
+    (lower node, higher node) pair, accumulated across constraints in
+    order, emitted in insertion order after the similarity edges.
+    """
+    tables: Dict[Tuple[int, int], np.ndarray] = {}
+    counts = net.label_counts
+    for constraint in constraints:
+        if not isinstance(constraint, (RequireCombination, AvoidCombination)):
+            continue
+        hosts = network.hosts if constraint.host == GLOBAL else [constraint.host]
+        for host in hosts:
+            if not (
+                network.has_service(host, constraint.service_m)
+                and network.has_service(host, constraint.service_n)
+            ):
+                continue
+            node_m = net.index[(host, constraint.service_m)]
+            node_n = net.index[(host, constraint.service_n)]
+            key = (min(node_m, node_n), max(node_m, node_n))
+            table = tables.get(key)
+            if table is None:
+                table = np.zeros((int(counts[key[0]]), int(counts[key[1]])))
+                tables[key] = table
+            _write_combination(constraint, net, node_m, node_n, key, table)
+    first: List[int] = []
+    second: List[int] = []
+    cids: List[int] = []
+    stack: List[np.ndarray] = []
+    for position, ((lo, hi), table) in enumerate(tables.items()):
+        first.append(lo)
+        second.append(hi)
+        cids.append(base_cid + position)
+        stack.append(table)
+    return first, second, cids, stack
+
+
+def _write_combination(
+    constraint,
+    net: _NetworkIndex,
+    node_m: int,
+    node_n: int,
+    key: Tuple[int, int],
+    table: np.ndarray,
+) -> None:
+    range_m = net.candidates[node_m]
+    range_n = net.candidates[node_n]
+    if isinstance(constraint, AvoidCombination):
+        if (
+            constraint.product_j not in range_m
+            or constraint.product_k not in range_n
+        ):
+            return
+        row = range_m.index(constraint.product_j)
+        col = range_n.index(constraint.product_k)
+        if key[0] == node_m:
+            table[row, col] = HARD_COST
+        else:
+            table[col, row] = HARD_COST
+    elif isinstance(constraint, RequireCombination):
+        if constraint.product_j not in range_m:
+            return
+        row = range_m.index(constraint.product_j)
+        cols = np.asarray(
+            [product != constraint.product_l for product in range_n], dtype=bool
+        )
+        if key[0] == node_m:
+            table[row, cols] = HARD_COST
+        else:
+            table[cols, row] = HARD_COST
+
+
+# -------------------------------------------------- vectorized energy eval
+
+
+def network_energy(
+    network: Network,
+    similarity: SimilarityTable,
+    assignment: ProductAssignment,
+    constraints: Optional[ConstraintSet] = None,
+    unary_constant: float = 0.01,
+    pairwise_weight: float = 1.0,
+    service_weights: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Vectorized E(N) (paper Eq. 1) of an assignment on the network model.
+
+    The array-form backend of :func:`repro.core.costs.assignment_energy`:
+    one interned pass over the network, one gather over the edge stream —
+    no per-link/per-service Python loop.  Unassigned pairs contribute no
+    pairwise cost, matching the reference implementation.
+    """
+    constraint_set = constraints or ConstraintSet()
+    net = _NetworkIndex(network)
+    total = unary_constant * float(network.variable_count())
+
+    first, second, sid, _link_of = net.link_edges()
+    if len(first):
+        # Per-node product id (-1 where unassigned).
+        pid = np.full(net.node_count, -1, dtype=np.int64)
+        for node, (host, service) in enumerate(net.variables):
+            product = assignment.get(host, service)
+            if product is not None:
+                pid[node] = net.product_ids[product]
+        wid_of, weight_values = net.service_weight_ids(
+            pairwise_weight, service_weights
+        )
+        weights = np.asarray(weight_values)[wid_of[sid]]
+        pa = pid[first]
+        pb = pid[second]
+        live = (pa >= 0) & (pb >= 0)
+        if live.any():
+            sim = net.similarity_matrix(similarity)
+            total += float(
+                (weights[live] * sim[pa[live], pb[live]]).sum()
+            )
+    total += HARD_COST * len(constraint_set.violations(assignment, network))
+    return total

@@ -44,12 +44,58 @@ from repro.network.constraints import (
 from repro.network.model import Network, NetworkError
 from repro.nvd.similarity import SimilarityTable
 
-__all__ = ["HARD_COST", "MRFBuild", "build_mrf", "assignment_energy"]
+__all__ = [
+    "HARD_COST",
+    "MRFBuild",
+    "build_mrf",
+    "assignment_energy",
+    "decode_assignment",
+    "encode_labels",
+]
 
 #: Cost standing in for the paper's ∞ on disallowed configurations.  Large
 #: enough to dominate any realistic sum of similarity terms, small enough to
 #: keep float arithmetic exact.
 HARD_COST = 1.0e7
+
+
+def decode_assignment(
+    network: Network,
+    variables: Sequence[Tuple[str, str]],
+    candidates: Sequence[Tuple[str, ...]],
+    labels: Sequence[int],
+) -> ProductAssignment:
+    """Decode a solver labelling over a variable mapping into α′.
+
+    Shared by :class:`MRFBuild` and the compiled plans: labels index the
+    mapping's own candidate ranges, so every decoded value is range-valid
+    by construction and the per-pair validation of
+    :meth:`ProductAssignment.assign` is skipped — this decode runs once
+    per job across thousand-job grids.
+    """
+    values = {
+        variable: candidates[node][int(labels[node])]
+        for node, variable in enumerate(variables)
+    }
+    return ProductAssignment.from_decoded(network, values)
+
+
+def encode_labels(
+    variables: Sequence[Tuple[str, str]],
+    candidates: Sequence[Tuple[str, ...]],
+    assignment: ProductAssignment,
+) -> List[int]:
+    """Encode a complete assignment as a labelling of a variable mapping."""
+    labels: List[int] = []
+    for node, (host, service) in enumerate(variables):
+        product = assignment.get(host, service)
+        if product is None:
+            raise NetworkError(
+                f"assignment misses ({host!r}, {service!r}); "
+                f"a labelling needs a complete assignment"
+            )
+        labels.append(candidates[node].index(product))
+    return labels
 
 
 @dataclass
@@ -72,23 +118,11 @@ class MRFBuild:
         self, network: Network, labels: Sequence[int]
     ) -> ProductAssignment:
         """Decode a solver labelling back into a product assignment."""
-        assignment = ProductAssignment(network)
-        for node, (host, service) in enumerate(self.variables):
-            assignment.assign(host, service, self.candidates[node][labels[node]])
-        return assignment
+        return decode_assignment(network, self.variables, self.candidates, labels)
 
     def assignment_to_labels(self, assignment: ProductAssignment) -> List[int]:
         """Encode a complete assignment as a labelling of this MRF."""
-        labels: List[int] = []
-        for node, (host, service) in enumerate(self.variables):
-            product = assignment.get(host, service)
-            if product is None:
-                raise NetworkError(
-                    f"assignment misses ({host!r}, {service!r}); "
-                    f"a labelling needs a complete assignment"
-                )
-            labels.append(self.candidates[node].index(product))
-        return labels
+        return encode_labels(self.variables, self.candidates, assignment)
 
 
 def build_mrf(
@@ -200,23 +234,26 @@ def assignment_energy(
 
     This is an MRF-free evaluation used to cross-validate
     :func:`build_mrf`: for any complete, constraint-satisfying assignment
-    the value equals ``build.mrf.energy(labels)``.  Violated hard
-    constraints contribute :data:`HARD_COST` each, mirroring the MRF
-    encoding.
+    the value equals ``build.mrf.energy(labels)`` (to float summation
+    order).  Violated hard constraints contribute :data:`HARD_COST` each,
+    mirroring the MRF encoding.
+
+    The evaluation is vectorized (:func:`repro.core.compile.
+    network_energy`): one interned pass over the network, one gather over
+    the (link, shared-service) edge stream — it runs once per job across
+    thousand-job grids, where the former per-link Python loop added up.
     """
-    constraint_set = constraints or ConstraintSet()
-    total = unary_constant * float(network.variable_count())
-    for a, b in network.links:
-        for service in network.shared_services(a, b):
-            product_a = assignment.get(a, service)
-            product_b = assignment.get(b, service)
-            if product_a is not None and product_b is not None:
-                weight = pairwise_weight
-                if service_weights:
-                    weight *= float(service_weights.get(service, 1.0))
-                total += weight * similarity.get(product_a, product_b)
-    total += HARD_COST * len(constraint_set.violations(assignment, network))
-    return total
+    from repro.core.compile import network_energy
+
+    return network_energy(
+        network,
+        similarity,
+        assignment,
+        constraints=constraints,
+        unary_constant=unary_constant,
+        pairwise_weight=pairwise_weight,
+        service_weights=service_weights,
+    )
 
 
 # --------------------------------------------------------------- internals

@@ -1,26 +1,40 @@
 """Top-level diversification API (paper Definition 5).
 
 :func:`diversify` computes the optimal product assignment α̂ for a network —
-or the constrained optimum α̂_C when a constraint set is given — by building
-the MRF of Section V and running a MAP solver (TRW-S by default).  The
-result bundles the decoded assignment with optimisation diagnostics
+or the constrained optimum α̂_C when a constraint set is given — by
+compiling the MRF of Section V and running a MAP solver (TRW-S by default).
+The result bundles the decoded assignment with optimisation diagnostics
 (energy, dual lower bound, certificate of optimality) and
 diversity-oriented summary statistics.
+
+The general path compiles the network **directly into an array plan**
+(:mod:`repro.core.compile`) — byte-identical to the classic
+``build_mrf`` + ``MRFArrays`` pipeline but without materialising per-edge
+Python objects, which is what keeps cold plan builds off the critical path
+of the 1000-6000-host sweeps.  ``compile="python"`` forces the classic
+object pipeline (solvers without a plan-level API always use it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple, Union
 
+from repro.core.compile import CompiledPlan, compile_plan
 from repro.core.costs import MRFBuild, build_mrf
 from repro.mrf.solvers import SolverResult, get_solver
+from repro.mrf.vectorized import MRFArrays
 from repro.network.assignment import ProductAssignment
 from repro.network.constraints import ConstraintSet, ConstraintViolation
 from repro.network.model import Network
+from repro.network.zones import ZonedNetwork
 from repro.nvd.similarity import SimilarityTable
 
 __all__ = ["DiversificationResult", "diversify"]
+
+#: Solvers with a plan-level (``solve_arrays``) API — the ones the direct
+#: compiler path can drive without a :class:`PairwiseMRF`.
+_PLAN_SOLVERS = ("trws", "bp")
 
 
 @dataclass
@@ -43,8 +57,10 @@ class DiversificationResult:
             (link, shared-service) pairs; 0.0 means perfectly diversified.
         solver_result: raw solver output (traces, iterations, ...).
         build: the MRF build (variable mapping), for advanced inspection;
-            None when the replicated-service fast path was taken (no
-            explicit MRF is materialised there).
+            None unless the Python object pipeline ran
+            (``compile="python"``, or a solver without a plan-level API).
+        plan: the compiled array plan + variable mapping when the direct
+            compiler path ran; None on the Python and fast paths.
     """
 
     assignment: ProductAssignment
@@ -57,6 +73,7 @@ class DiversificationResult:
     mean_edge_similarity: float
     solver_result: SolverResult
     build: Optional[MRFBuild]
+    plan: Optional[CompiledPlan] = None
 
     def summary(self) -> str:
         """One-paragraph human-readable report."""
@@ -87,7 +104,9 @@ def diversify(
     preferences: Optional[Mapping[Tuple[str, str, str], float]] = None,
     service_weights: Optional[Mapping[str, float]] = None,
     fast_path: bool = True,
-    shards: Optional[int] = None,
+    shards: Optional[Union[int, str]] = None,
+    zones: Optional[ZonedNetwork] = None,
+    compile: str = "direct",
     **solver_options,
 ) -> DiversificationResult:
     """Compute the (constrained) optimal diversification of a network.
@@ -111,9 +130,20 @@ def diversify(
             (:class:`~repro.mrf.sharded.ShardedSolver`), solving shards
             concurrently with this many workers (``-1`` = one per CPU,
             ``1`` = sharded but serial — still wins per-shard convergence).
+            ``"zones"`` derives the partition from the ``zones`` model
+            instead: each zone's micro-components are pinned into one
+            shard (still exact — zone grouping only merges components).
             ``None``/``0`` keeps the monolithic solve.  Exact for
             ``"trws"``/``"bp"``, including the batched fast path; other
             solvers ignore it.
+        zones: the :class:`~repro.network.zones.ZonedNetwork` backing
+            ``shards="zones"`` (required then, unused otherwise).
+        compile: ``"direct"`` (default) compiles the network straight into
+            an array plan; ``"python"`` keeps the classic
+            ``build_mrf`` → ``MRFArrays`` object pipeline.  The two
+            produce byte-identical plans (asserted in
+            ``tests/test_compile.py``); solvers without a plan-level API
+            always take the Python pipeline.
         **solver_options: forwarded to the solver constructor
             (e.g. ``max_iterations=50``).
 
@@ -128,10 +158,17 @@ def diversify(
     >>> result.certified_optimal
     True
     """
+    if compile not in ("direct", "python"):
+        raise ValueError(
+            f"compile must be 'direct' or 'python', got {compile!r}"
+        )
+    if shards == "zones" and zones is None:
+        raise ValueError("shards='zones' needs a ZonedNetwork via zones=")
     constraint_set = constraints or ConstraintSet()
     if (
         fast_path
         and solver == "trws"
+        and shards != "zones"
         and not constraint_set
         and not preferences
         and not service_weights
@@ -147,25 +184,54 @@ def diversify(
         if fast_result is not None:
             return fast_result
 
-    build = build_mrf(
-        network,
-        similarity,
-        constraints=constraint_set,
-        unary_constant=unary_constant,
-        pairwise_weight=pairwise_weight,
-        preferences=preferences,
-        service_weights=service_weights,
-    )
-    if shards and solver in ("trws", "bp"):
-        from repro.mrf.sharded import ShardedSolver
-
-        solver_instance = ShardedSolver(
-            solver=solver, workers=shards, **solver_options
+    build: Optional[MRFBuild] = None
+    compiled: Optional[CompiledPlan] = None
+    if compile == "direct" and solver in _PLAN_SOLVERS:
+        compiled = compile_plan(
+            network,
+            similarity,
+            constraints=constraint_set,
+            unary_constant=unary_constant,
+            pairwise_weight=pairwise_weight,
+            preferences=preferences,
+            service_weights=service_weights,
+        )
+        solver_result = _solve_compiled(
+            compiled, solver, shards, zones, solver_options
+        )
+        assignment = compiled.labels_to_assignment(
+            network, solver_result.labels
         )
     else:
-        solver_instance = get_solver(solver, **solver_options)
-    solver_result = solver_instance.solve(build.mrf)
-    assignment = build.labels_to_assignment(network, solver_result.labels)
+        build = build_mrf(
+            network,
+            similarity,
+            constraints=constraint_set,
+            unary_constant=unary_constant,
+            pairwise_weight=pairwise_weight,
+            preferences=preferences,
+            service_weights=service_weights,
+        )
+        if shards and solver in _PLAN_SOLVERS:
+            from repro.mrf.partition import split_components, zone_groups
+            from repro.mrf.sharded import ShardedSolver
+
+            if shards == "zones":
+                plan = MRFArrays(build.mrf)
+                partition = split_components(
+                    plan, groups=zone_groups(build.variables, zones)
+                )
+                solver_result = ShardedSolver(
+                    solver=solver, workers=-1, **solver_options
+                ).solve_arrays(plan, partition=partition)
+            else:
+                solver_result = ShardedSolver(
+                    solver=solver, workers=shards, **solver_options
+                ).solve(build.mrf)
+        else:
+            solver_instance = get_solver(solver, **solver_options)
+            solver_result = solver_instance.solve(build.mrf)
+        assignment = build.labels_to_assignment(network, solver_result.labels)
 
     violations = constraint_set.violations(assignment, network)
     similarity_total, coupled_edges = _edge_similarity(network, similarity, assignment)
@@ -182,7 +248,39 @@ def diversify(
         mean_edge_similarity=mean_similarity,
         solver_result=solver_result,
         build=build,
+        plan=compiled,
     )
+
+
+def _solve_compiled(
+    compiled: CompiledPlan,
+    solver: str,
+    shards: Optional[Union[int, str]],
+    zones: Optional[ZonedNetwork],
+    solver_options: Mapping,
+) -> SolverResult:
+    """Solve a compiled plan — monolithic, shard-count or zone-sharded.
+
+    The monolithic dispatch (forest DP for cold TRW-S forests, greedy
+    refine init otherwise) mirrors ``TRWSSolver.solve`` on the equivalent
+    MRF, so compiled and Python-built solves return identical labellings.
+    """
+    from repro.mrf.sharded import ShardedSolver, solve_plan
+
+    if shards == "zones":
+        from repro.mrf.partition import split_components, zone_groups
+
+        partition = split_components(
+            compiled.plan, groups=zone_groups(compiled.variables, zones)
+        )
+        return ShardedSolver(
+            solver=solver, workers=-1, **solver_options
+        ).solve_arrays(compiled.plan, partition=partition)
+    if shards:
+        return ShardedSolver(
+            solver=solver, workers=shards, **solver_options
+        ).solve_arrays(compiled.plan)
+    return solve_plan(compiled.plan, solver=solver, **solver_options)
 
 
 def _diversify_replicated(

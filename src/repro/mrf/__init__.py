@@ -38,10 +38,13 @@ from repro.mrf.partition import (
     split_replicated,
     zone_groups,
 )
-from repro.mrf.sharded import ShardedSolver
+from repro.mrf.sharded import ShardedSolver, solve_plan
+from repro.mrf.vectorized import MRFArrays, SolverScratch
 
 __all__ = [
+    "MRFArrays",
     "PairwiseMRF",
+    "SolverScratch",
     "PlanPartition",
     "SolverResult",
     "TRWSSolver",
@@ -55,6 +58,7 @@ __all__ = [
     "available_solvers",
     "get_solver",
     "solve",
+    "solve_plan",
     "split_components",
     "split_parts",
     "split_replicated",

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.solvers import SolverResult
-from repro.mrf.vectorized import MRFArrays
+from repro.mrf.vectorized import MRFArrays, SolverScratch
 
 __all__ = ["LoopyBPSolver"]
 
@@ -63,7 +63,10 @@ class LoopyBPSolver:
         return self.solve_arrays(MRFArrays(mrf))
 
     def solve_arrays(
-        self, plan: MRFArrays, messages: Optional[np.ndarray] = None
+        self,
+        plan: MRFArrays,
+        messages: Optional[np.ndarray] = None,
+        scratch: Optional[SolverScratch] = None,
     ) -> SolverResult:
         """Run BP on a prebuilt array plan, optionally warm-started.
 
@@ -72,6 +75,10 @@ class LoopyBPSolver:
         caller keeps the post-solve state for the next warm start.  A
         near-fixed-point start just makes the first max-change small, so
         convergence costs a round or two instead of a full schedule.
+
+        ``scratch`` holds the round buffers (the big one is the
+        ``(2·edges, L, L)`` cost gather of the synchronous update); pass a
+        shared :class:`SolverScratch` so repeated solves allocate nothing.
         """
         n = plan.node_count
         if n == 0:
@@ -79,9 +86,13 @@ class LoopyBPSolver:
                 labels=[], energy=0.0, iterations=0, converged=True, solver=self.name
             )
 
+        scratch = scratch if scratch is not None else SolverScratch()
+        slots = 2 * plan.edge_count
+        lmax = plan.lmax
         if messages is None:
-            messages = plan.zero_messages()
-        unary = plan.padded_beliefs()
+            messages = scratch.zeros("bp_messages", (slots, lmax))
+        unary = plan.unary_inf  # +inf padded — identical to padded_beliefs()
+        beliefs = scratch.array("bp_beliefs", (n, lmax))
 
         best_labels: Optional[np.ndarray] = None
         best_energy = float("inf")
@@ -92,28 +103,42 @@ class LoopyBPSolver:
         for iteration in range(self.max_iterations):
             iterations = iteration + 1
             # Beliefs B_i = θ_i + Σ_j M_{j→i} from the previous round.
-            beliefs = unary.copy()
+            np.copyto(beliefs, unary)
             np.add.at(beliefs, plan.slot_receiver, messages)
 
             # Synchronous update of every directed message: exclude what
             # came in on the same edge, then min-reduce over sender labels.
             if plan.edge_count:
-                base = beliefs[plan.slot_sender] - messages[plan.slot_reverse]
-                updated = (base[:, :, None] + plan.cost[plan.slot_cid]).min(axis=1)
-                updated -= updated.min(axis=1, keepdims=True)
-                updated = np.where(plan.mask[plan.slot_receiver], updated, 0.0)
+                base = scratch.array("bp_base", (slots, lmax))
+                diff = scratch.array("bp_diff", (slots, lmax))
+                cost = scratch.array("bp_cost", (slots, lmax, lmax))
+                updated = scratch.array("bp_new", (slots, lmax))
+                rowmin = scratch.array("bp_rowmin", (slots, 1))
+                beliefs.take(plan.slot_sender, axis=0, out=base, mode="clip")
+                messages.take(
+                    plan.slot_reverse, axis=0, out=diff, mode="clip"
+                )
+                np.subtract(base, diff, out=base)
+                plan.cost.take(plan.slot_cid, axis=0, out=cost, mode="clip")
+                np.add(cost, base[:, :, None], out=cost)
+                cost.min(axis=1, out=updated)
+                updated.min(axis=1, keepdims=True, out=rowmin)
+                np.subtract(updated, rowmin, out=updated)
+                np.copyto(updated, 0.0, where=plan.slot_pad)
                 if self.damping > 0.0:
-                    updated = (
-                        self.damping * messages + (1.0 - self.damping) * updated
-                    )
-                max_change = float(np.max(np.abs(updated - messages)))
+                    np.multiply(updated, 1.0 - self.damping, out=updated)
+                    np.multiply(messages, self.damping, out=diff)
+                    np.add(updated, diff, out=updated)
+                np.subtract(updated, messages, out=diff)
+                np.abs(diff, out=diff)
+                max_change = float(diff.max())
                 np.copyto(messages, updated)
             else:
                 max_change = 0.0
 
             # Decode against the pre-update beliefs and the new messages,
             # matching the reference solver's update/decode interleaving.
-            labels = plan.decode(beliefs, messages)
+            labels = plan.decode(beliefs, messages, scratch)
             energy = plan.energy(labels)
             if energy < best_energy:
                 best_energy = energy

@@ -54,14 +54,19 @@ from repro.mrf.partition import (
 )
 from repro.mrf.solvers import SolverResult
 from repro.mrf.trws import TRWSSolver
-from repro.mrf.vectorized import MRFArrays
+from repro.mrf.vectorized import MRFArrays, SolverScratch, SolverScratchPool
 from repro.runner import Job, resolve_workers, run_jobs
 from repro.runner.shared import SharedArrayBlock
 
-__all__ = ["ShardedSolver"]
+__all__ = ["ShardedSolver", "solve_plan"]
 
 _FACTORIES = {"trws": TRWSSolver, "bp": LoopyBPSolver}
 _EXECUTORS = ("threads", "processes", "serial")
+
+#: Per-process workspace of :func:`_solve_shard_job` — pool workers are
+#: single-threaded, so one scratch per worker process is reused across all
+#: the shard jobs it executes.
+_JOB_SCRATCH: Optional[SolverScratch] = None
 
 
 class ShardedSolver:
@@ -110,6 +115,12 @@ class ShardedSolver:
         self.seed = 0 if seed is None else int(seed)
         self.solver_options = dict(solver_options)
         self.name = f"{solver}-sharded"
+        # Leased solver workspaces: concurrent shard solves each hold a
+        # private SolverScratch for the duration of one shard (the
+        # single-thread contract), and returned scratches are reused by
+        # later shards — including across solve_arrays calls, which spawn
+        # fresh thread pools whose threads would defeat thread-local reuse.
+        self._workspaces = SolverScratchPool()
 
     # ----------------------------------------------------------------- API
 
@@ -222,16 +233,21 @@ class ShardedSolver:
         default_inits: bool,
         greedy: bool,
     ) -> Tuple[SolverResult, Optional[np.ndarray]]:
-        result = _solve_plan(
-            shard.plan,
-            self.solver_name,
-            self.solver_options,
-            self.seed + shard.index,
-            messages,
-            inits,
-            default_inits,
-            greedy,
-        )
+        scratch = self._workspaces.acquire()
+        try:
+            result = _solve_plan(
+                shard.plan,
+                self.solver_name,
+                self.solver_options,
+                self.seed + shard.index,
+                messages,
+                inits,
+                default_inits,
+                greedy,
+                scratch=scratch,
+            )
+        finally:
+            self._workspaces.release(scratch)
         return result, messages
 
     def _run(
@@ -337,6 +353,36 @@ class ShardedSolver:
         )
 
 
+def solve_plan(
+    plan: MRFArrays,
+    solver: str = "trws",
+    seed: Optional[int] = None,
+    scratch: Optional[SolverScratch] = None,
+    **solver_options: Any,
+) -> SolverResult:
+    """Cold-solve one array plan with the standard dispatch.
+
+    The public plan-level entry point (used by the compiled
+    :func:`~repro.core.diversify.diversify` path): forest plans take the
+    exact min-sum DP, loopy plans run the configured message-passing
+    solver with the degree-descending greedy refine init — exactly the
+    dispatch of ``TRWSSolver.solve`` on the equivalent ``PairwiseMRF``.
+    """
+    options = dict(solver_options)
+    greedy = solver == "trws" and options.get("refine", True)
+    return _solve_plan(
+        plan,
+        solver,
+        options,
+        0 if seed is None else int(seed),
+        None,
+        (),
+        True,
+        greedy,
+        scratch=scratch,
+    )
+
+
 def _solve_plan(
     plan: MRFArrays,
     solver_name: str,
@@ -346,6 +392,7 @@ def _solve_plan(
     inits: Tuple[np.ndarray, ...],
     default_inits: bool,
     greedy: bool,
+    scratch: Optional[SolverScratch] = None,
 ) -> SolverResult:
     """Solve one shard plan — the shared core of every execution backend.
 
@@ -378,9 +425,9 @@ def _solve_plan(
             inits = tuple(inits) + (plan.greedy_labels(),)
         return solver.solve_arrays(
             plan, messages=messages, extra_inits=inits,
-            default_inits=default_inits,
+            default_inits=default_inits, scratch=scratch,
         )
-    return solver.solve_arrays(plan, messages=messages)
+    return solver.solve_arrays(plan, messages=messages, scratch=scratch)
 
 
 def _is_forest_plan(plan: MRFArrays) -> bool:
@@ -470,6 +517,9 @@ def _solve_shard_job(
     returns ``(result, messages)`` so the parent can scatter the final
     message state back into its global array.
     """
+    global _JOB_SCRATCH
+    if _JOB_SCRATCH is None:
+        _JOB_SCRATCH = SolverScratch()
     if cost_spec is not None:
         block = SharedArrayBlock.attach(cost_spec)
         try:
@@ -482,6 +532,6 @@ def _solve_shard_job(
     )
     result = _solve_plan(
         plan, solver_name, options, seed, messages, tuple(inits),
-        default_inits, greedy,
+        default_inits, greedy, scratch=_JOB_SCRATCH,
     )
     return result, messages

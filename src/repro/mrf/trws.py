@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.solvers import SolverResult
-from repro.mrf.vectorized import MRFArrays, _SendBlock
+from repro.mrf.vectorized import MRFArrays, SolverScratch, _SendBlock
 
 __all__ = ["TRWSSolver"]
 
@@ -132,6 +132,7 @@ class TRWSSolver:
         messages: Optional[np.ndarray] = None,
         extra_inits: Sequence[np.ndarray] = (),
         default_inits: bool = True,
+        scratch: Optional[SolverScratch] = None,
     ) -> SolverResult:
         """Run TRW-S on a prebuilt array plan, optionally warm-started.
 
@@ -151,6 +152,11 @@ class TRWSSolver:
                 a near-optimal ``extra_inits`` turn it off — the constant
                 init never beats the previous optimum there and costs an
                 ICM run per solve.
+            scratch: a reusable :class:`SolverScratch` holding the sweep
+                work buffers.  Steady-state callers (streaming re-solves,
+                per-shard workers, grid sweeps) pass one in so repeated
+                solves allocate nothing; ``None`` keeps a private scratch
+                for this call (still allocation-free *across iterations*).
 
         Beliefs are reconstructed from the messages (``θ_i + Σ M_{j→i}``
         plus the tie-breaking perturbation), preserving the TRW-S belief
@@ -163,9 +169,13 @@ class TRWSSolver:
                 labels=[], energy=0.0, lower_bound=0.0, iterations=0,
                 converged=True, solver=self.name,
             )
+        scratch = scratch if scratch is not None else SolverScratch()
         if messages is None:
-            messages = plan.zero_messages()
-        beliefs = plan.padded_beliefs()
+            messages = scratch.zeros(
+                "trws_messages", (2 * plan.edge_count, plan.lmax)
+            )
+        beliefs = scratch.array("trws_beliefs", (n, plan.lmax))
+        np.copyto(beliefs, plan.unary_inf)
         if plan.edge_count:
             np.add.at(beliefs, plan.slot_receiver, messages)
         bound_slack = 0.0
@@ -195,12 +205,12 @@ class TRWSSolver:
         for iteration in range(self.max_iterations):
             iterations = iteration + 1
             previous_energy = best_energy
-            labels = self._forward_sweep(plan, messages, beliefs)
+            labels = self._forward_sweep(plan, messages, beliefs, scratch)
             energy = plan.energy(labels)
             if energy < best_energy:
                 best_energy = energy
                 best_labels = labels
-            self._backward_sweep(plan, messages, beliefs)
+            self._backward_sweep(plan, messages, beliefs, scratch)
 
             previous_bound = lower_bound
             if self.compute_bound:
@@ -208,7 +218,8 @@ class TRWSSolver:
                 # total perturbation makes it valid for the original one.
                 lower_bound = max(
                     lower_bound,
-                    plan.dual_bound(messages, beliefs) - bound_slack,
+                    plan.dual_bound(messages, beliefs, scratch=scratch)
+                    - bound_slack,
                 )
             energy_trace.append(best_energy)
             bound_trace.append(lower_bound)
@@ -256,7 +267,7 @@ class TRWSSolver:
                 if not any(np.array_equal(candidate, kept) for kept in distinct):
                     distinct.append(candidate)
             for candidate in distinct:
-                polished = plan.icm(candidate)
+                polished = plan.icm(candidate, scratch=scratch)
                 polished_energy = plan.energy(polished)
                 if polished_energy < best_energy:
                     best_labels = polished
@@ -277,7 +288,11 @@ class TRWSSolver:
     # ------------------------------------------------------------- internals
 
     def _forward_sweep(
-        self, plan: MRFArrays, messages: np.ndarray, beliefs: np.ndarray
+        self,
+        plan: MRFArrays,
+        messages: np.ndarray,
+        beliefs: np.ndarray,
+        scratch: SolverScratch,
     ) -> np.ndarray:
         """One forward pass over the wavefront levels.
 
@@ -287,16 +302,20 @@ class TRWSSolver:
         """
         labels = np.zeros(plan.node_count, dtype=np.int64)
         for level in plan.fwd_levels:
-            plan.condition_level(level, beliefs, messages, labels)
-            self._send(plan, level, messages, beliefs)
+            plan.condition_level(level, beliefs, messages, labels, scratch)
+            self._send(plan, level, messages, beliefs, scratch)
         return labels
 
     def _backward_sweep(
-        self, plan: MRFArrays, messages: np.ndarray, beliefs: np.ndarray
+        self,
+        plan: MRFArrays,
+        messages: np.ndarray,
+        beliefs: np.ndarray,
+        scratch: SolverScratch,
     ) -> None:
         """One backward pass (messages to earlier neighbours)."""
         for block in plan.bwd_levels:
-            self._send(plan, block, messages, beliefs)
+            self._send(plan, block, messages, beliefs, scratch)
 
     @staticmethod
     def _send(
@@ -304,21 +323,38 @@ class TRWSSolver:
         block: _SendBlock,
         messages: np.ndarray,
         beliefs: np.ndarray,
+        scratch: SolverScratch,
     ) -> None:
         """Block message update: γ·belief minus the opposite message, plus
         the oriented costs, min-reduced over the sender's labels and
-        normalised; belief deltas are scattered onto the receivers."""
-        if not len(block.snd):
+        normalised; belief deltas are scattered onto the receivers.
+
+        Every temporary — the (edges, L, L) cost gather included — lives in
+        ``scratch``, so sweeps allocate nothing once the buffers are warm.
+        """
+        k = len(block.snd)
+        if not k:
             return
-        base = (
-            plan.gamma[block.snd][:, None] * beliefs[block.snd]
-            - messages[block.inn]
-        )
-        new = (base[:, :, None] + plan.cost[block.cid]).min(axis=1)
-        new -= new.min(axis=1, keepdims=True)
+        lmax = plan.lmax
+        base = scratch.array("send_base", (k, lmax))
+        tmp = scratch.array("send_tmp", (k, lmax))
+        cost = scratch.array("send_cost", (k, lmax, lmax))
+        new = scratch.array("send_new", (k, lmax))
+        rowmin = scratch.array("send_rowmin", (k, 1))
+        beliefs.take(block.snd, axis=0, out=base, mode="clip")
+        np.multiply(base, block.gam, out=base)
+        messages.take(block.inn, axis=0, out=tmp, mode="clip")
+        np.subtract(base, tmp, out=base)
+        plan.cost.take(block.cid, axis=0, out=cost, mode="clip")
+        np.add(cost, base[:, :, None], out=cost)
+        cost.min(axis=1, out=new)
+        new.min(axis=1, keepdims=True, out=rowmin)
+        np.subtract(new, rowmin, out=new)
         # Padded receiver labels came out +inf; store the 0 convention.
-        new = np.where(plan.mask[block.rcv], new, 0.0)
-        np.add.at(beliefs, block.rcv, new - messages[block.out])
+        np.copyto(new, 0.0, where=block.pad)
+        messages.take(block.out, axis=0, out=tmp, mode="clip")
+        np.subtract(new, tmp, out=tmp)
+        np.add.at(beliefs, block.rcv, tmp)
         messages[block.out] = new
 
 

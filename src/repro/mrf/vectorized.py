@@ -51,7 +51,89 @@ import numpy as np
 
 from repro.mrf.graph import PairwiseMRF
 
-__all__ = ["MRFArrays", "wavefront_schedule"]
+__all__ = [
+    "MRFArrays",
+    "SolverScratch",
+    "SolverScratchPool",
+    "wavefront_schedule",
+]
+
+
+class SolverScratch:
+    """Reusable named work buffers for the solver kernels.
+
+    The message-passing kernels allocate the same large temporaries every
+    iteration — the (edges, L, L) cost gather of a send block, padded
+    belief copies, message deltas.  A :class:`SolverScratch` keeps one
+    flat, monotonically-grown buffer per (name, dtype) and hands out
+    reshaped views, so a steady-state consumer (streaming warm re-solves,
+    grid sweeps, per-shard workers) stops churning the NumPy allocator:
+    after the first solve of a given plan shape, iterations allocate
+    nothing.
+
+    Buffers are handed out by *name*; two live views of the same name
+    alias, so every kernel uses distinct names for distinct roles.  A
+    scratch is **not** thread-safe — concurrent solvers each need their
+    own (:class:`~repro.mrf.sharded.ShardedSolver` keeps one per worker
+    thread).  Passing ``scratch=None`` to a solver creates a private one
+    per call, which still reuses buffers *across iterations* of that
+    solve.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def array(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """An uninitialised ``shape`` view of the named buffer."""
+        need = 1
+        for extent in shape:
+            need *= int(extent)
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.size < need or buffer.dtype != dtype:
+            buffer = np.empty(max(need, 1), dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer[:need].reshape(shape)
+
+    def zeros(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Like :meth:`array`, but zero-filled."""
+        view = self.array(name, shape, dtype)
+        view.fill(0)
+        return view
+
+
+class SolverScratchPool:
+    """A check-out pool of :class:`SolverScratch` instances.
+
+    Concurrent shard solves each need a private scratch, but tying
+    scratches to *threads* (``threading.local``) loses all reuse when the
+    consumer builds a fresh thread pool per solve — the streaming engine
+    does exactly that, once per event.  Leasing from a pool instead keeps
+    the buffers alive across pools: the pool grows to the peak concurrent
+    lease count and no further, and a lease is exclusive for its duration,
+    so the single-thread contract of :class:`SolverScratch` holds.
+    """
+
+    __slots__ = ("_idle",)
+
+    def __init__(self) -> None:
+        import queue
+
+        self._idle: "queue.SimpleQueue[SolverScratch]" = queue.SimpleQueue()
+
+    def acquire(self) -> SolverScratch:
+        """A scratch no other live lease holds (created on demand)."""
+        import queue
+
+        try:
+            return self._idle.get_nowait()
+        except queue.Empty:
+            return SolverScratch()
+
+    def release(self, scratch: SolverScratch) -> None:
+        """Return a scratch to the idle pool."""
+        self._idle.put(scratch)
 
 
 def wavefront_schedule(n: int, lo: np.ndarray, hi: np.ndarray):
@@ -59,11 +141,12 @@ def wavefront_schedule(n: int, lo: np.ndarray, hi: np.ndarray):
 
     ``lo``/``hi`` are the per-edge endpoint arrays with ``lo < hi``.  The
     γ weights are TRW-S's monotonic-chain weights
-    ``1 / max(#forward, #backward neighbours)``.  Levels come from a
-    Jacobi fixpoint (rounds = DAG depth): the forward level of a node is
-    one past the deepest lower-numbered neighbour, the backward levels
-    mirror it over higher-numbered ones.  Nodes sharing a level are never
-    adjacent, which is what lets level-major block updates reproduce the
+    ``1 / max(#forward, #backward neighbours)``.  Levels are longest-path
+    DAG depths: the forward level of a node is one past the deepest
+    lower-numbered neighbour, the backward levels mirror it over
+    higher-numbered ones (see ``_levels`` for the two size-dispatched
+    exact implementations).  Nodes sharing a level are never adjacent,
+    which is what lets level-major block updates reproduce the
     node-by-node schedule — both the general plan here and the
     replicated-service host-graph plan in :mod:`repro.mrf.batched`
     consume this one derivation.
@@ -76,21 +159,54 @@ def wavefront_schedule(n: int, lo: np.ndarray, hi: np.ndarray):
     gamma = np.ones(n)
     gamma[chains > 0] = 1.0 / chains[chains > 0]
 
-    flevel = np.zeros(n, dtype=np.int64)
-    while m:
-        deeper = flevel.copy()
-        np.maximum.at(deeper, hi, flevel[lo] + 1)
-        if np.array_equal(deeper, flevel):
-            break
-        flevel = deeper
-    blevel = np.zeros(n, dtype=np.int64)
-    while m:
-        deeper = blevel.copy()
-        np.maximum.at(deeper, lo, blevel[hi] + 1)
-        if np.array_equal(deeper, blevel):
-            break
-        blevel = deeper
-    return gamma, flevel, blevel
+    def _levels(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Longest-path levels of the src→dst DAG.
+
+        level[d] = 1 + max over edges (s→d) of level[s].  Two exact
+        implementations with identical output, picked by size: small
+        plans (shard sub-plans, case studies) run the 3-ops-per-round
+        Jacobi fixpoint — minimal constant cost, O(edges · depth) total —
+        while big plans run a Kahn wave propagation that relaxes each
+        edge exactly once (a node's out-edges fire in the wave where its
+        last incoming dependency resolved), O(edges + depth · overhead):
+        on a 150k-edge estate the waves win 3×, on a 200-node chain shard
+        the rounds win 3× — crossover is around a few thousand edges.
+        """
+        level = np.zeros(n, dtype=np.int64)
+        if not m:
+            return level
+        if m <= 4096:
+            while True:
+                deeper = level.copy()
+                np.maximum.at(deeper, dst, level[src] + 1)
+                if np.array_equal(deeper, level):
+                    return level
+                level = deeper
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        dst_sorted = dst[order]
+        starts = np.searchsorted(src_sorted, np.arange(n + 1))
+        indegree = np.bincount(dst, minlength=n)
+        frontier = np.flatnonzero(indegree == 0)
+        while len(frontier):
+            counts = starts[frontier + 1] - starts[frontier]
+            total = int(counts.sum())
+            if not total:
+                break
+            base = np.repeat(starts[frontier], counts)
+            offset = np.arange(total) - np.repeat(
+                np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            rows = base + offset
+            senders = src_sorted[rows]
+            receivers = dst_sorted[rows]
+            np.maximum.at(level, receivers, level[senders] + 1)
+            fired = np.bincount(receivers, minlength=n)
+            indegree -= fired
+            frontier = np.flatnonzero((indegree == 0) & (fired > 0))
+        return level
+
+    return gamma, _levels(lo, hi), _levels(hi, lo)
 
 
 @dataclass
@@ -102,6 +218,8 @@ class _SendBlock:
     out: np.ndarray  # message slot written (sender → receiver)
     inn: np.ndarray  # opposite slot on the same edge (receiver → sender)
     cid: np.ndarray  # cost-stack index, oriented rows = sender labels
+    gam: np.ndarray  # (edges, 1) sender γ weights, pregathered
+    pad: np.ndarray  # (edges, lmax) True at the receiver's padded labels
 
 
 @dataclass
@@ -181,26 +299,76 @@ class MRFArrays:
         )
         return plan
 
+    @classmethod
+    def from_dense(
+        cls,
+        unary: np.ndarray,
+        label_counts: np.ndarray,
+        edge_first: np.ndarray,
+        edge_second: np.ndarray,
+        edge_cid: np.ndarray,
+        matrices: Sequence[np.ndarray],
+        lmax: Optional[int] = None,
+    ) -> "MRFArrays":
+        """Build a plan from an already-padded ``(n, lmax)`` unary stack.
+
+        The zero-copy entry point of the network→plan compiler
+        (:mod:`repro.core.compile`): ``unary`` must be zero at padded
+        label slots (``from_parts``'s fill convention).  Everything else
+        matches :meth:`from_parts`.
+        """
+        plan = cls.__new__(cls)
+        plan._install_nodes(
+            np.asarray(unary, dtype=float),
+            np.asarray(label_counts, dtype=np.int64),
+            lmax=lmax,
+        )
+        plan._setup_costs(matrices)
+        plan._build_structure(
+            np.asarray(edge_first, dtype=np.int64),
+            np.asarray(edge_second, dtype=np.int64),
+            np.asarray(edge_cid, dtype=np.int64),
+        )
+        return plan
+
     # ------------------------------------------------------- construction
 
     def _setup_nodes(
         self, unaries: Sequence[np.ndarray], lmax: Optional[int] = None
     ) -> None:
         n = len(unaries)
-        self.node_count = n
         counts = np.asarray([len(u) for u in unaries], dtype=np.int64)
         widest = int(counts.max()) if n else 0
         if lmax is None:
             lmax = widest
         elif lmax < widest:
             raise ValueError(f"lmax={lmax} below widest label space {widest}")
-        self.label_counts = counts
-        self.lmax = lmax
-        self.mask = np.arange(lmax)[None, :] < counts[:, None]
-
         unary = np.zeros((n, lmax))
         for i in range(n):
             unary[i, : counts[i]] = unaries[i]
+        self._install_nodes(unary, counts, lmax=lmax)
+
+    def _install_nodes(
+        self, unary: np.ndarray, counts: np.ndarray, lmax: Optional[int] = None
+    ) -> None:
+        """Adopt a padded unary stack (zeros outside the label masks)."""
+        n = len(counts)
+        self.node_count = n
+        widest = int(counts.max()) if n else 0
+        if lmax is None:
+            lmax = widest
+        elif lmax < widest:
+            raise ValueError(f"lmax={lmax} below widest label space {widest}")
+        if unary.shape != (n, lmax):
+            padded = np.zeros((n, lmax))
+            padded[:, : unary.shape[1]] = unary
+            unary = padded
+        self.label_counts = counts
+        self.lmax = lmax
+        self.mask = np.arange(lmax)[None, :] < counts[:, None]
+        #: inverse mask, kept so kernels can pad without re-negating.
+        self._pad = ~self.mask
+        self._iota = np.arange(n, dtype=np.int64)
         self.unary = unary
         #: unaries with +inf padding — safe to argmin directly.
         self.unary_inf = np.where(self.mask, unary, np.inf)
@@ -283,6 +451,10 @@ class MRFArrays:
         self.slot_reverse[1::2] = np.arange(0, slots, 2)
         self.slot_cid[0::2] = edge_cid
         self.slot_cid[1::2] = stacked + edge_cid
+        #: (2·edges, lmax) True at each receiving slot's padded labels —
+        #: pregathered so the synchronous BP update pads without a fancy
+        #: index per round.
+        self.slot_pad = self._pad[self.slot_receiver]
 
         # ---- orientation by node order: every edge is a "forward" edge of
         # its lower endpoint and a "backward" edge of its higher one.
@@ -338,6 +510,8 @@ class MRFArrays:
                     out=slot_lo2hi[send],
                     inn=slot_hi2lo[send],
                     cid=cid_rows_lo[send],
+                    gam=gamma[lo[send]][:, None],
+                    pad=self._pad[hi[send]],
                     all_seg=np.searchsorted(nodes, a_node[full]),
                     all_nbr=a_nbr[full],
                     all_cid=a_cid[full],
@@ -359,6 +533,8 @@ class MRFArrays:
                     out=slot_hi2lo[send],
                     inn=slot_lo2hi[send],
                     cid=cid_rows_hi[send],
+                    gam=gamma[hi[send]][:, None],
+                    pad=self._pad[lo[send]],
                 )
             )
 
@@ -398,7 +574,7 @@ class MRFArrays:
     def energy(self, labels: np.ndarray) -> float:
         """E(x) for an (n,) label array; equals ``mrf.energy`` up to
         floating-point summation order."""
-        total = self.unary[np.arange(self.node_count), labels].sum()
+        total = self.unary[self._iota, labels].sum()
         if self.edge_count:
             total += self.cost[
                 self.edge_cid, labels[self.edge_first], labels[self.edge_second]
@@ -406,20 +582,29 @@ class MRFArrays:
         return float(total)
 
     def dual_bound(
-        self, messages: np.ndarray, beliefs: np.ndarray, chunk: int = 8192
+        self,
+        messages: np.ndarray,
+        beliefs: np.ndarray,
+        chunk: int = 8192,
+        scratch: Optional[SolverScratch] = None,
     ) -> float:
         """Reparametrisation lower bound ``Σ_i min θ'_i + Σ_ij min θ'_ij``
-        (chunked over edges to cap peak memory)."""
+        (chunked over edges to cap peak memory; the chunk buffer comes from
+        ``scratch`` so repeated bounds allocate nothing)."""
+        scratch = scratch if scratch is not None else SolverScratch()
         bound = float(beliefs.min(axis=1).sum())
         for start in range(0, self.edge_count, chunk):
             stop = min(start + chunk, self.edge_count)
             to_second = messages[2 * start : 2 * stop : 2]
             to_first = messages[2 * start + 1 : 2 * stop : 2]
-            reduced = (
-                self.cost[self.edge_cid[start:stop]]
-                - to_first[:, :, None]
-                - to_second[:, None, :]
+            reduced = scratch.array(
+                "bound_cost", (stop - start, self.lmax, self.lmax)
             )
+            self.cost.take(
+                self.edge_cid[start:stop], axis=0, out=reduced, mode="clip"
+            )
+            np.subtract(reduced, to_first[:, :, None], out=reduced)
+            np.subtract(reduced, to_second[:, None, :], out=reduced)
             bound += float(reduced.min(axis=(1, 2)).sum())
         return bound
 
@@ -431,6 +616,7 @@ class MRFArrays:
         beliefs: np.ndarray,
         messages: np.ndarray,
         labels: np.ndarray,
+        scratch: Optional[SolverScratch] = None,
     ) -> None:
         """Label one level by sequential conditioning on earlier levels.
 
@@ -440,7 +626,9 @@ class MRFArrays:
         into ``labels`` in place.  This is the shared conditioning rule of
         the TRW-S forward-sweep extraction and the BP decode.
         """
-        cond = beliefs[level.nodes]
+        scratch = scratch if scratch is not None else SolverScratch()
+        cond = scratch.array("cond", (len(level.nodes), self.lmax))
+        beliefs.take(level.nodes, axis=0, out=cond, mode="clip")
         if len(level.ext_nbr):
             np.add.at(
                 cond,
@@ -450,21 +638,32 @@ class MRFArrays:
             )
         labels[level.nodes] = np.argmin(cond, axis=1)
 
-    def decode(self, beliefs: np.ndarray, messages: np.ndarray) -> np.ndarray:
+    def decode(
+        self,
+        beliefs: np.ndarray,
+        messages: np.ndarray,
+        scratch: Optional[SolverScratch] = None,
+    ) -> np.ndarray:
         """Sequential-conditioning decode, one wavefront level at a time.
 
         Node ``i`` takes the argmin of its belief with every earlier
         neighbour's message replaced by the actual pairwise column — the
         same rule (and the same result) as the per-node reference decode.
         """
+        scratch = scratch if scratch is not None else SolverScratch()
         labels = np.zeros(self.node_count, dtype=np.int64)
         for level in self.fwd_levels:
-            self.condition_level(level, beliefs, messages, labels)
+            self.condition_level(level, beliefs, messages, labels, scratch)
         return labels
 
     # ------------------------------------------------------------------ ICM
 
-    def icm(self, labels: np.ndarray, max_sweeps: int = 100) -> np.ndarray:
+    def icm(
+        self,
+        labels: np.ndarray,
+        max_sweeps: int = 100,
+        scratch: Optional[SolverScratch] = None,
+    ) -> np.ndarray:
         """Iterated conditional modes on the plan (Gauss-Seidel order).
 
         Processes levels ascending so each node sees its lower-numbered
@@ -473,11 +672,15 @@ class MRFArrays:
         :class:`~repro.mrf.icm.ICMSolver`, stopped when a full sweep
         changes nothing.
         """
+        scratch = scratch if scratch is not None else SolverScratch()
         current = labels.copy()
         for _ in range(max_sweeps):
             changed = False
             for level in self.fwd_levels:
-                cond = self.unary_inf[level.nodes]
+                cond = scratch.array("icm_cond", (len(level.nodes), self.lmax))
+                self.unary_inf.take(
+                    level.nodes, axis=0, out=cond, mode="clip"
+                )
                 if len(level.all_nbr):
                     np.add.at(
                         cond,

@@ -169,6 +169,16 @@ class Network:
         self._require_service(host, service)
         return self._hosts[host][service]
 
+    def service_ranges(self, host: str) -> List[Tuple[str, Tuple[str, ...]]]:
+        """(service, candidate products) pairs at ``host``, declaration order.
+
+        One validated lookup for the whole host instead of one per
+        (host, service) — what the network→plan compiler's variable
+        interning wants on 10⁵-variable estates.
+        """
+        self._require_host(host)
+        return list(self._hosts[host].items())
+
     def all_services(self) -> List[str]:
         """The union S of services across hosts, in first-seen order."""
         seen: Dict[str, None] = {}

@@ -68,13 +68,20 @@ class SharedArrayBlock:
     # ------------------------------------------------------------ lifecycle
 
     @classmethod
-    def create(cls, array: np.ndarray) -> "SharedArrayBlock":
+    def create(
+        cls, array: np.ndarray, name: Optional[str] = None
+    ) -> "SharedArrayBlock":
         """Copy ``array`` into a fresh shared segment (raises OSError when
-        shared memory is unavailable in this environment)."""
+        shared memory is unavailable in this environment).
+
+        ``name`` pins the segment name — callers that may crash before
+        handing the spec to the consumer (pool workers parking result
+        arrays) use a shared prefix so the consumer can sweep orphans.
+        """
         if _shm is None:
             raise OSError("multiprocessing.shared_memory unavailable")
         array = np.ascontiguousarray(array)
-        shm = _shm.SharedMemory(create=True, size=max(1, array.nbytes))
+        shm = _shm.SharedMemory(create=True, size=max(1, array.nbytes), name=name)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
         view[...] = array
         spec = SharedArraySpec(
@@ -105,6 +112,30 @@ class SharedArrayBlock:
         if self._shm is not None:
             self._shm.close()
             self._shm = None
+
+    def disown(self) -> None:
+        """Hand lifecycle responsibility to another process.
+
+        Removes the segment from *this* process's ``resource_tracker``
+        registration, so a creator that exits before the consumer unlinks
+        (a pool worker parking result arrays for the parent) does not have
+        its tracker reap — and warn about — a segment the parent still
+        owns.  The consumer must eventually call :meth:`unlink`.
+        """
+        try:  # pragma: no branch - tracker exists on POSIX only
+            from multiprocessing import resource_tracker
+
+            # The tracker knows the raw POSIX name (leading slash), which
+            # the public ``name`` property strips; prefer the segment's
+            # internal name and fall back to re-prefixing.
+            name = getattr(self._shm, "_name", None)
+            if name is None:
+                name = self.spec.name
+                if not name.startswith("/"):
+                    name = "/" + name
+            resource_tracker.unregister(name, "shared_memory")
+        except Exception:  # pragma: no cover - platform without tracker
+            pass
 
     def unlink(self) -> None:
         """Destroy the segment (owner side; idempotent).

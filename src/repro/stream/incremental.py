@@ -54,6 +54,7 @@ from repro.mrf.bp import LoopyBPSolver
 from repro.mrf.partition import Shard, merge_shard_results, split_parts
 from repro.mrf.solvers import SolverResult
 from repro.mrf.trws import TRWSSolver
+from repro.mrf.vectorized import SolverScratch, SolverScratchPool
 from repro.network.assignment import ProductAssignment
 from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
@@ -204,6 +205,12 @@ class DynamicDiversifier:
         self.shard_workers = shard_workers
         #: per-shard cache: frozen variable-key set → solved summary.
         self._shard_cache: Dict[frozenset, _ShardEntry] = {}
+        #: reusable solver work buffers — steady-state warm re-solves stop
+        #: churning the NumPy allocator.  Monolithic solves use one scratch;
+        #: the sharded fan-out leases from a pool (the per-event thread
+        #: pools are short-lived, so thread-locals would never be reused).
+        self._scratch = SolverScratch()
+        self._shard_scratches = SolverScratchPool()
         self.plan = StreamPlan(
             network,
             similarity,
@@ -284,9 +291,12 @@ class DynamicDiversifier:
                 messages=plan.messages,
                 extra_inits=extra_inits,
                 default_inits=solver is not self._warm_solver,
+                scratch=self._scratch,
             )
         else:
-            result = solver.solve_arrays(plan.plan, messages=plan.messages)
+            result = solver.solve_arrays(
+                plan.plan, messages=plan.messages, scratch=self._scratch
+            )
 
         labels = np.asarray(result.labels, dtype=np.int64)
         energy = result.energy
@@ -296,7 +306,7 @@ class DynamicDiversifier:
             # reconfiguration plan — gratuitous churn costs real downtime).
             # The ICM polish of the previous labels can only tie, never
             # beat, the solver's best (it was one of the refine inits).
-            polished = plan.plan.icm(plan.labels)
+            polished = plan.plan.icm(plan.labels, scratch=self._scratch)
             polished_energy = plan.plan.energy(polished)
             if polished_energy <= energy + 1e-9:
                 labels = polished
@@ -469,26 +479,33 @@ class DynamicDiversifier:
             extra_inits = (shard.plan.greedy_labels(),) if is_trws else ()
             default_inits = True
 
-        if is_trws:
-            result = solver.solve_arrays(
-                shard.plan,
-                messages=messages,
-                extra_inits=extra_inits,
-                default_inits=default_inits,
-            )
-        else:
-            result = solver.solve_arrays(shard.plan, messages=messages)
-        plan.messages[shard.slots] = messages
+        scratch = self._shard_scratches.acquire()
+        try:
+            if is_trws:
+                result = solver.solve_arrays(
+                    shard.plan,
+                    messages=messages,
+                    extra_inits=extra_inits,
+                    default_inits=default_inits,
+                    scratch=scratch,
+                )
+            else:
+                result = solver.solve_arrays(
+                    shard.plan, messages=messages, scratch=scratch
+                )
+            plan.messages[shard.slots] = messages
 
-        sub_labels = np.asarray(result.labels, dtype=np.int64)
-        energy = result.energy
-        if warm and previous is not None:
-            # Stability tie-break, per shard (see the monolithic path).
-            polished = shard.plan.icm(previous)
-            polished_energy = shard.plan.energy(polished)
-            if polished_energy <= energy + 1e-9:
-                sub_labels = polished
-                energy = polished_energy
+            sub_labels = np.asarray(result.labels, dtype=np.int64)
+            energy = result.energy
+            if warm and previous is not None:
+                # Stability tie-break, per shard (see the monolithic path).
+                polished = shard.plan.icm(previous, scratch=scratch)
+                polished_energy = shard.plan.energy(polished)
+                if polished_energy <= energy + 1e-9:
+                    sub_labels = polished
+                    energy = polished_energy
+        finally:
+            self._shard_scratches.release(scratch)
         entry = _ShardEntry(
             energy=energy,
             lower_bound=result.lower_bound,

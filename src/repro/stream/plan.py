@@ -112,35 +112,48 @@ class StreamPlan:
         Also the fallback when the incremental engine judges a pending
         delta too large to be worth patching: messages restart at zero and
         the previous-solution labels are dropped.
+
+        The build runs through the direct network→parts compiler
+        (:func:`repro.core.compile.compile_stream_parts`) — the same
+        variable/edge/matrix state the per-event append path maintains,
+        emitted vectorized, so the incremental engine's cold-rebuild
+        escalation costs NumPy passes instead of per-edge Python loops.
         """
-        network = self.network
+        from repro.core.compile import compile_stream_parts
+
+        parts = compile_stream_parts(
+            self.network,
+            self.similarity,
+            unary_constant=self.unary_constant,
+            pairwise_weight=self.pairwise_weight,
+            service_weights=self.service_weights or None,
+        )
         #: (host, service) keys of variables touched since the last solve —
         #: stable across node renumbering, consumed by the sharded engine.
         self.touched: Set[Tuple[str, str]] = set()
-        self.variables: List[Tuple[str, str]] = []
-        self.index: Dict[Tuple[str, str], int] = {}
-        self.candidates: List[Tuple[str, ...]] = []
-        self._unaries: List[np.ndarray] = []
-        for host in network.hosts:
-            for service in network.services_of(host):
-                self._append_variable(host, service)
+        self.variables: List[Tuple[str, str]] = parts.variables
+        self.index: Dict[Tuple[str, str], int] = parts.index
+        self.candidates: List[Tuple[str, ...]] = parts.candidates
+        self._unaries: List[np.ndarray] = parts.unary_vectors()
 
-        self._matrix_ids: Dict[_MatrixKey, int] = {}
-        self._matrices: List[np.ndarray] = []
-        self._matrix_meta: List[_MatrixKey] = []
-        self._edge_keys: List[Tuple[Tuple[str, str], str]] = []
-        self._edge_first: List[int] = []
-        self._edge_second: List[int] = []
-        self._edge_cid: List[int] = []
-        for a, b in network.links:
-            for service in network.shared_services(a, b):
-                self._append_edge(a, b, service)
+        self._matrices: List[np.ndarray] = parts.matrices
+        self._matrix_meta: List[_MatrixKey] = list(parts.matrix_meta)
+        self._matrix_ids: Dict[_MatrixKey, int] = {
+            key: cid for cid, key in enumerate(self._matrix_meta)
+        }
+        self._edge_keys: List[Tuple[Tuple[str, str], str]] = list(
+            parts.edge_keys
+        )
+        self._edge_first: List[int] = parts.edge_first.tolist()
+        self._edge_second: List[int] = parts.edge_second.tolist()
+        self._edge_cid: List[int] = parts.edge_cid.tolist()
 
-        self.plan = MRFArrays.from_parts(
-            self._unaries,
-            np.asarray(self._edge_first, dtype=np.int64),
-            np.asarray(self._edge_second, dtype=np.int64),
-            np.asarray(self._edge_cid, dtype=np.int64),
+        self.plan = MRFArrays.from_dense(
+            parts.unary,
+            parts.label_counts,
+            parts.edge_first,
+            parts.edge_second,
+            parts.edge_cid,
             self._matrices,
         )
         self.messages = self.plan.zero_messages()

@@ -128,12 +128,21 @@ class TestFastPathRouting:
         result = diversify(network, similarity, solver="icm")
         assert result.solver_result.solver == "icm"
 
-    def test_fast_path_result_has_no_build(self):
+    def test_fast_path_result_has_no_build_or_plan(self):
         network, similarity = workload(hosts=8, degree=2, services=1, seed=1)
         fast = diversify(network, similarity)
         assert fast.build is None
+        assert fast.plan is None
+        # The general path compiles an array plan by default...
         slow = diversify(network, similarity, fast_path=False)
-        assert slow.build is not None
+        assert slow.plan is not None
+        assert slow.build is None
+        # ...and compile="python" keeps the classic MRF object pipeline.
+        classic = diversify(
+            network, similarity, fast_path=False, compile="python"
+        )
+        assert classic.build is not None
+        assert classic.plan is None
 
 
 class TestLevelBatching:

@@ -28,6 +28,18 @@ def _fail(message):
     raise RuntimeError(message)
 
 
+def _array_result(seed=0, rows=128):
+    """A result mixing a shared-memory-sized array with inline payload."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return {
+        "big": rng.standard_normal((rows, 128)),   # ≥ the shm threshold
+        "small": rng.standard_normal(4),           # stays inline
+        "meta": ("cell", seed),
+    }
+
+
 class TestDeriveSeed:
     def test_deterministic(self):
         assert derive_seed(11, ("table7", 100)) == derive_seed(11, ("table7", 100))
@@ -139,6 +151,104 @@ class TestRunJobs:
     def test_chunksize_validated(self):
         with pytest.raises(ValueError, match="chunksize"):
             run_jobs(self._jobs(), workers=2, chunksize=0)
+
+
+class TestSharedResults:
+    """Large result arrays travel back via shared memory, value-identical."""
+
+    def _jobs(self):
+        return [
+            Job(key=i, fn=_array_result, kwargs={"seed": i}) for i in range(4)
+        ]
+
+    def _assert_equal(self, left, right):
+        import numpy as np
+
+        assert list(left) == list(right)
+        for key in left:
+            assert np.array_equal(left[key]["big"], right[key]["big"])
+            assert np.array_equal(left[key]["small"], right[key]["small"])
+            assert left[key]["meta"] == right[key]["meta"]
+            assert left[key]["big"].dtype == right[key]["big"].dtype
+
+    def test_parallel_equals_serial(self):
+        serial = run_jobs(self._jobs(), workers=1)
+        parallel = run_jobs(self._jobs(), workers=2)  # auto shared results
+        self._assert_equal(serial, parallel)
+
+    def test_forced_inline_identical(self):
+        serial = run_jobs(self._jobs(), workers=1)
+        inline = run_jobs(self._jobs(), workers=2, shared_results=False)
+        self._assert_equal(serial, inline)
+
+    def test_export_falls_back_when_segments_unavailable(self, monkeypatch):
+        import numpy as np
+
+        def refuse(array, name=None):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(
+            runner_engine.SharedArrayBlock, "create", staticmethod(refuse)
+        )
+        payload = _array_result(seed=3)
+        exported = runner_engine._export_result(payload)
+        assert np.array_equal(exported["big"], payload["big"])  # inline
+
+    def test_export_roundtrip_structures(self):
+        import numpy as np
+
+        payload = {
+            "tuple": (np.zeros((120, 120)), "x"),
+            "list": [np.ones((120, 120))],
+            "nested": {"deep": np.full((120, 120), 2.0)},
+            "small": np.arange(3.0),
+            "plain": 7,
+        }
+        restored = runner_engine._import_result(
+            runner_engine._export_result(payload)
+        )
+        assert np.array_equal(restored["tuple"][0], payload["tuple"][0])
+        assert restored["tuple"][1] == "x"
+        assert np.array_equal(restored["list"][0], payload["list"][0])
+        assert np.array_equal(restored["nested"]["deep"], payload["nested"]["deep"])
+        assert restored["small"] is payload["small"]  # below threshold: untouched
+        assert restored["plain"] == 7
+
+    def test_failing_grid_raises_and_leaks_no_segments(self):
+        import glob
+
+        def segments():
+            # Both naming schemes run_jobs segments can carry: the per-run
+            # "rr<hex>_" result prefix and anonymous psm_* blocks.
+            return set(glob.glob("/dev/shm/rr*")) | set(
+                glob.glob("/dev/shm/psm_*")
+            )
+
+        before = segments()
+        jobs = [Job(key=0, fn=_fail, kwargs={"message": "boom"})] + [
+            Job(key=i, fn=_array_result, kwargs={"seed": i})
+            for i in range(1, 4)
+        ]
+        with pytest.raises(RuntimeError, match="boom"):
+            run_jobs(jobs, workers=2)
+        # Every other job's shared-memory result was drained before the
+        # re-raise — a failing cell must not strand /dev/shm segments.
+        assert not segments() - before
+
+    def test_export_handles_dataclasses(self):
+        import numpy as np
+
+        from repro.mrf.solvers import SolverResult
+
+        result = (
+            SolverResult(labels=[1, 2], energy=0.5),
+            np.full((128, 128), 3.0),
+        )
+        restored = runner_engine._import_result(
+            runner_engine._export_result(result)
+        )
+        assert restored[0].labels == [1, 2]
+        assert np.array_equal(restored[1], result[1])
 
 
 class TestSharedArrayBlock:
