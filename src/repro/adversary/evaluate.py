@@ -60,6 +60,7 @@ class AdversaryResult:
     runs: int
 
     def row(self) -> str:
+        """One formatted row for the knowledge-sweep table."""
         return (
             f"{self.knowledge:<8} plan={'->'.join(self.plan.path):<40} "
             f"E[ticks]={self.true_expected_ticks:8.2f} "

@@ -35,6 +35,7 @@ class KnowledgeModel(Protocol):
     name: str
 
     def perceive(self, true_rates: RateMap) -> RateMap:  # pragma: no cover
+        """Map the true per-edge success rates to the attacker's view."""
         ...
 
 
@@ -45,6 +46,7 @@ class FullKnowledge:
     name: str = "full"
 
     def perceive(self, true_rates: RateMap) -> RateMap:
+        """Perfect knowledge: the true rates, unchanged."""
         return dict(true_rates)
 
 
@@ -71,6 +73,7 @@ class NoisyKnowledge:
             raise ValueError("floor must be in (0, 1]")
 
     def perceive(self, true_rates: RateMap) -> RateMap:
+        """Perturb every true rate with the model's deterministic noise."""
         rng = random.Random(self.seed)
         perceived: RateMap = {}
         for edge in sorted(true_rates):
@@ -95,6 +98,7 @@ class BlindKnowledge:
             raise ValueError("assumed_rate must be in (0, 1]")
 
     def perceive(self, true_rates: RateMap) -> RateMap:
+        """Ignore the truth; assume one flat success rate everywhere."""
         return {
             edge: (self.assumed_rate if rate > 0.0 else 0.0)
             for edge, rate in true_rates.items()

@@ -41,12 +41,15 @@ class AttackPlan:
 
     @property
     def hops(self) -> int:
+        """Number of link traversals in the path."""
         return len(self.path) - 1
 
     def edges(self) -> List[Tuple[str, str]]:
+        """The path as (source, destination) link pairs."""
         return list(zip(self.path, self.path[1:]))
 
     def describe(self) -> str:
+        """Human-readable plan summary."""
         return (
             f"{' -> '.join(self.path)}  "
             f"(perceived success {self.perceived_success:.4f}, "

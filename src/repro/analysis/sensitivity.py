@@ -60,6 +60,7 @@ class CalibrationCell:
     optimal_wins: bool
 
     def row(self) -> str:
+        """One formatted row of the calibration table."""
         values = "  ".join(f"{k}={v:.4f}" for k, v in self.d_bn.items())
         flag = "full-order" if self.ordering_holds else (
             "optimal-wins" if self.optimal_wins else "VIOLATED"
@@ -155,6 +156,7 @@ class PerturbationResult:
     regret: float
 
     def row(self) -> str:
+        """One formatted row of the perturbation table."""
         return (
             f"noise={self.noise:<5} seed={self.seed:<3} "
             f"agreement={100 * self.agreement:5.1f}%  "

@@ -171,6 +171,21 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=1)
     stream.add_argument("--solver", choices=("trws", "bp"), default="trws")
     stream.add_argument(
+        "--constraint-weight",
+        type=float,
+        default=0.0,
+        help="relative frequency of operator-constraint events "
+        "(pin/unpin/forbid/allow/combination updates) alongside the "
+        "topology and feed churn; 0 (default) disables constraint churn",
+    )
+    stream.add_argument(
+        "--constraint-burst",
+        type=int,
+        default=1,
+        help="constraint events per draw — >1 models bulk policy loads "
+        "(a compliance file, not a single rule)",
+    )
+    stream.add_argument(
         "--sharded",
         action="store_true",
         help="partition the plan into connected-component shards and "
@@ -399,7 +414,13 @@ def _stream(args: argparse.Namespace) -> None:
     network = random_network(config)
     similarity = random_similarity(config)
     trace = random_churn_trace(
-        network, ChurnConfig(events=args.events, seed=args.seed)
+        network,
+        ChurnConfig(
+            events=args.events,
+            seed=args.seed,
+            constraint_weight=args.constraint_weight,
+            constraint_burst=args.constraint_burst,
+        ),
     )
     print(
         f"Streaming churn — {args.hosts} hosts, {args.events} events, "

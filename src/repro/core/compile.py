@@ -35,7 +35,7 @@ rebuilds consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -59,12 +59,21 @@ from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
 
 __all__ = [
+    "COMBO_META",
     "CompiledPlan",
     "CompiledParts",
     "compile_plan",
     "compile_parts",
     "compile_stream_parts",
+    "constraint_mask",
+    "write_combination",
 ]
+
+#: matrix-meta sentinel of an intra-host combination table in the stream
+#: convention — the empty ranges can never match a similarity re-score's
+#: product scan, and :class:`~repro.stream.plan.StreamPlan` excludes it
+#: from the similarity dedup index by the same emptiness test.
+COMBO_META: Tuple[Tuple[str, ...], Tuple[str, ...], float] = ((), (), 0.0)
 
 
 @dataclass
@@ -87,7 +96,11 @@ class CompiledParts:
     edge_cid: np.ndarray
     matrices: List[np.ndarray]
     matrix_meta: Optional[List[Tuple[Tuple[str, ...], Tuple[str, ...], float]]] = None
-    edge_keys: Optional[List[Tuple[Tuple[str, str], str]]] = None
+    #: similarity edges carry ((link a, link b), service); combination
+    #: edges carry ((host, host), (service_lo, service_hi)).
+    edge_keys: Optional[
+        List[Tuple[Tuple[str, str], Union[str, Tuple[str, str]]]]
+    ] = None
 
     def unary_vectors(self) -> List[np.ndarray]:
         """Per-node unpadded unary vectors (the ``from_parts`` form)."""
@@ -390,18 +403,12 @@ def compile_parts(
     # ---- hard unary masks, accumulated in constraint order like the
     # builder's add_unary calls (element-wise addition, same sequence).
     for constraint in constraint_set:
-        if isinstance(constraint, FixProduct):
+        if isinstance(constraint, (FixProduct, ForbidProduct)):
             node = net.index[(constraint.host, constraint.service)]
             count = int(counts[node])
-            mask_vec = np.full(count, HARD_COST)
-            mask_vec[net.candidates[node].index(constraint.product)] = 0.0
-            unary[node, :count] = unary[node, :count] + mask_vec
-        elif isinstance(constraint, ForbidProduct):
-            node = net.index[(constraint.host, constraint.service)]
-            count = int(counts[node])
-            mask_vec = np.zeros(count)
-            mask_vec[net.candidates[node].index(constraint.product)] = HARD_COST
-            unary[node, :count] = unary[node, :count] + mask_vec
+            unary[node, :count] = unary[node, :count] + constraint_mask(
+                net.candidates[node], constraint
+            )
 
     # ---- similarity edges, cost stack deduplicated by oriented key.
     first, second, sid, _link_of = net.link_edges()
@@ -504,6 +511,7 @@ def compile_stream_parts(
     unary_constant: float = 0.01,
     pairwise_weight: float = 1.0,
     service_weights: Optional[Mapping[str, float]] = None,
+    constraints: Optional[ConstraintSet] = None,
 ) -> CompiledParts:
     """Compile raw parts in the :class:`~repro.stream.plan.StreamPlan`
     convention: one matrix per *unordered* range pair (edges whose key was
@@ -512,13 +520,31 @@ def compile_stream_parts(
     per-matrix (range, range, weight) metadata the streaming engine's
     delta updates index by.
 
-    Unconstrained by design — constraint-carrying instances stay on the
-    batch path, exactly like :class:`StreamPlan` itself.
+    With ``constraints``, Fix/Forbid masks land on the unary stack through
+    :func:`constraint_mask` and combination constraints become intra-host
+    edges appended after the similarity edges — the streaming extension of
+    the batch encoding.  Combination edges carry an
+    ``((host, host), (service_lo, service_hi))`` entry in ``edge_keys``
+    (host self-pairs cannot collide with real links) and an empty-range
+    placeholder in ``matrix_meta`` so feed re-scores never touch their
+    tables.  Soft preferences stay on the batch path, exactly like
+    :class:`StreamPlan` itself.
     """
     _check_weights(pairwise_weight, service_weights)
+    constraint_set = constraints or ConstraintSet()
+    constraint_set.validate_against(network)
+    _reject_conflicting_fixes(constraint_set)
     net = _NetworkIndex(network)
     counts = net.label_counts
     unary = _base_unary(net, unary_constant)
+
+    for constraint in constraint_set:
+        if isinstance(constraint, (FixProduct, ForbidProduct)):
+            node = net.index[(constraint.host, constraint.service)]
+            count = int(counts[node])
+            unary[node, :count] = unary[node, :count] + constraint_mask(
+                net.candidates[node], constraint
+            )
 
     first, second, sid, link_of = net.link_edges()
     # StreamPlan weights every service through the same formula; the value
@@ -561,6 +587,29 @@ def compile_stream_parts(
         (links[link], service_names[s])
         for link, s in zip(link_of.tolist(), sid.tolist())
     ]
+
+    # ---- intra-host combination edges, appended after the similarity
+    # edges exactly like the batch convention; their matrices are per node
+    # pair (never deduplicated) and their meta entries are empty-range
+    # placeholders a SimilarityUpdate scan can never match.
+    extra_first, extra_second, extra_cid, tables = _combination_edges(
+        network, constraint_set, net, base_cid=len(matrices)
+    )
+    if extra_first:
+        for lo, hi in zip(extra_first, extra_second):
+            host, svc_lo = net.variables[lo]
+            svc_hi = net.variables[hi][1]
+            edge_keys.append(((host, host), (svc_lo, svc_hi)))
+            meta.append(COMBO_META)
+        first = np.concatenate([first, np.asarray(extra_first, dtype=np.int64)])
+        second = np.concatenate(
+            [second, np.asarray(extra_second, dtype=np.int64)]
+        )
+        edge_cid = np.concatenate(
+            [edge_cid, np.asarray(extra_cid, dtype=np.int64)]
+        )
+        matrices.extend(tables)
+
     return CompiledParts(
         variables=net.variables,
         index=net.index,
@@ -577,6 +626,73 @@ def compile_stream_parts(
 
 
 # ------------------------------------------------------------- constraints
+
+
+def constraint_mask(
+    range_: Tuple[str, ...], constraint: Union[FixProduct, ForbidProduct]
+) -> np.ndarray:
+    """The hard unary mask of one Fix/Forbid constraint over a range.
+
+    The builder's ``P_c ∝ ∞`` encoding as a reusable array-level writer: a
+    :class:`FixProduct` masks every label except the pinned product with
+    :data:`~repro.core.costs.HARD_COST`, a :class:`ForbidProduct` masks
+    only the named product.  Masks *add* onto the base unary (and onto
+    each other), which is what lets consumers — the batch compiler here,
+    the streaming engine's in-place unary patching — recompute a node's
+    unary from the live constraint set without replaying history.
+
+    >>> constraint_mask(("w", "l"), ForbidProduct("h", "os", "w"))
+    array([10000000.,        0.])
+    """
+    if isinstance(constraint, FixProduct):
+        mask = np.full(len(range_), HARD_COST)
+        mask[range_.index(constraint.product)] = 0.0
+    else:
+        mask = np.zeros(len(range_))
+        mask[range_.index(constraint.product)] = HARD_COST
+    return mask
+
+
+def write_combination(
+    constraint: Union[RequireCombination, AvoidCombination],
+    range_m: Tuple[str, ...],
+    range_n: Tuple[str, ...],
+    m_is_first: bool,
+    table: np.ndarray,
+) -> None:
+    """Accumulate one combination constraint into an intra-host table.
+
+    ``table`` is the pairwise cost table of the (lower node, higher node)
+    pair the constraint couples; ``m_is_first`` says whether the trigger
+    service ``s_m`` is the lower-numbered node (rows) or the higher one
+    (columns).  Constraints whose trigger/partner products fall outside
+    the candidate ranges are vacuous and write nothing — exactly the
+    builder's behaviour.  Shared by the batch compiler and the streaming
+    engine's :class:`~repro.stream.events.CombinationUpdate` patching.
+    """
+    if isinstance(constraint, AvoidCombination):
+        if (
+            constraint.product_j not in range_m
+            or constraint.product_k not in range_n
+        ):
+            return
+        row = range_m.index(constraint.product_j)
+        col = range_n.index(constraint.product_k)
+        if m_is_first:
+            table[row, col] = HARD_COST
+        else:
+            table[col, row] = HARD_COST
+    elif isinstance(constraint, RequireCombination):
+        if constraint.product_j not in range_m:
+            return
+        row = range_m.index(constraint.product_j)
+        cols = np.asarray(
+            [product != constraint.product_l for product in range_n], dtype=bool
+        )
+        if m_is_first:
+            table[row, cols] = HARD_COST
+        else:
+            table[cols, row] = HARD_COST
 
 
 def _combination_edges(
@@ -610,7 +726,13 @@ def _combination_edges(
             if table is None:
                 table = np.zeros((int(counts[key[0]]), int(counts[key[1]])))
                 tables[key] = table
-            _write_combination(constraint, net, node_m, node_n, key, table)
+            write_combination(
+                constraint,
+                net.candidates[node_m],
+                net.candidates[node_n],
+                key[0] == node_m,
+                table,
+            )
     first: List[int] = []
     second: List[int] = []
     cids: List[int] = []
@@ -621,41 +743,6 @@ def _combination_edges(
         cids.append(base_cid + position)
         stack.append(table)
     return first, second, cids, stack
-
-
-def _write_combination(
-    constraint,
-    net: _NetworkIndex,
-    node_m: int,
-    node_n: int,
-    key: Tuple[int, int],
-    table: np.ndarray,
-) -> None:
-    range_m = net.candidates[node_m]
-    range_n = net.candidates[node_n]
-    if isinstance(constraint, AvoidCombination):
-        if (
-            constraint.product_j not in range_m
-            or constraint.product_k not in range_n
-        ):
-            return
-        row = range_m.index(constraint.product_j)
-        col = range_n.index(constraint.product_k)
-        if key[0] == node_m:
-            table[row, col] = HARD_COST
-        else:
-            table[col, row] = HARD_COST
-    elif isinstance(constraint, RequireCombination):
-        if constraint.product_j not in range_m:
-            return
-        row = range_m.index(constraint.product_j)
-        cols = np.asarray(
-            [product != constraint.product_l for product in range_n], dtype=bool
-        )
-        if key[0] == node_m:
-            table[row, cols] = HARD_COST
-        else:
-            table[cols, row] = HARD_COST
 
 
 # -------------------------------------------------- vectorized energy eval

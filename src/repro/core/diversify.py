@@ -154,9 +154,11 @@ def diversify(
     >>> from repro.nvd import SimilarityTable
     >>> net = chain_network(3)
     >>> table = SimilarityTable(products=["p0", "p1"])
-    >>> result = diversify(net, table)
+    >>> result = diversify(net, table, fast_path=False)
     >>> result.certified_optimal
     True
+    >>> round(result.energy, 2)
+    0.03
     """
     if compile not in ("direct", "python"):
         raise ValueError(

@@ -55,6 +55,7 @@ class UpgradeStep:
     gain: float
 
     def describe(self) -> str:
+        """Human-readable one-liner for this upgrade step."""
         return (
             f"{self.host}.{self.service}: {self.old_product} -> "
             f"{self.new_product}   (gain {self.gain:.4f}, "
@@ -81,13 +82,16 @@ class UpgradePlan:
 
     @property
     def changes(self) -> int:
+        """Number of upgrade steps in the plan."""
         return len(self.steps)
 
     @property
     def total_gain(self) -> float:
+        """Total energy reduction from the initial assignment."""
         return self.initial_energy - self.final_energy
 
     def describe(self) -> str:
+        """Multi-line human-readable plan report."""
         lines = [
             f"upgrade plan: {self.changes} change(s) within budget "
             f"{self.budget}, energy {self.initial_energy:.4f} -> "

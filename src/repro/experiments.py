@@ -191,6 +191,7 @@ def table5_diversity(
     assignments = case_study_assignments(case, seed=seed)
 
     def evaluate(assignment: ProductAssignment) -> DiversityReport:
+        """Diversity metric of one assignment (shared sweep settings)."""
         return diversity_metric(
             case.network,
             assignment,
@@ -292,6 +293,7 @@ class ScalabilityCell:
     edges: int
 
     def row(self) -> str:
+        """One formatted row of the scalability table."""
         return (
             f"hosts={self.config.hosts:<6} deg={self.config.degree:<3} "
             f"serv={self.config.services:<3} edges={self.edges:<7} "

@@ -79,6 +79,7 @@ class AttackBayesianNetwork:
 
     @property
     def entry(self) -> str:
+        """The entry host of the metric's attack model."""
         return self._entry
 
     def layer_of(self, host: str) -> Optional[int]:
@@ -121,6 +122,7 @@ class AttackBayesianNetwork:
         order = {host: position for position, host in enumerate(network.hosts)}
 
         def rank(host: str) -> Tuple[int, int]:
+            """Stable (layer, declaration-order) sort key for a host."""
             return (layers[host], order[host])
 
         parents: Dict[str, List[str]] = {}

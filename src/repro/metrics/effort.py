@@ -65,6 +65,7 @@ class AttackEffortResult:
     exact: bool
 
     def row(self, label: str) -> str:
+        """One formatted row (label-prefixed) for the effort table."""
         kind = "=" if self.exact else "<="
         return (
             f"{label:<18} effort {kind} {self.effort}  "
@@ -180,6 +181,7 @@ def exploit_equivalence_classes(
     parent = {name: name for name in products}
 
     def find(name: str) -> str:
+        """Union-find root with path compression."""
         while parent[name] != name:
             parent[name] = parent[parent[name]]
             name = parent[name]

@@ -58,6 +58,7 @@ class RichnessReport:
     per_service: Dict[str, float]
 
     def row(self, label: str) -> str:
+        """One formatted row (label-prefixed) for the richness table."""
         return (
             f"{label:<18} n={self.installations:<4} distinct={self.distinct:<3} "
             f"effective={self.effective:7.3f} d1={self.d1:.4f}"

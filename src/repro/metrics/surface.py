@@ -51,6 +51,7 @@ class AttackSurfaceReport:
     target: str
 
     def format(self) -> str:
+        """Multi-line attack-surface report."""
         lines = [f"attack surface for target {self.target}:"]
         for entry, probability in sorted(
             self.per_entry.items(), key=lambda item: -item[1]

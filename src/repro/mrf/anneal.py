@@ -54,6 +54,7 @@ class SimulatedAnnealingSolver:
         self.initial = initial
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
+        """Run simulated annealing on ``mrf``; see :class:`SolverResult`."""
         n = mrf.node_count
         if n == 0:
             return SolverResult(
@@ -78,6 +79,7 @@ class SimulatedAnnealingSolver:
             oriented[j].append((i, cost.T))
 
         def move_delta(node: int, new_label: int) -> float:
+            """Energy change of relabelling ``node`` to ``new_label``."""
             old_label = labels[node]
             delta = float(mrf.unary(node)[new_label] - mrf.unary(node)[old_label])
             for neighbor, cost in oriented[node]:

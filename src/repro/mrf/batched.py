@@ -86,6 +86,7 @@ class ReplicatedProblem:
 
     @property
     def label_count(self) -> int:
+        """Labels per variable (the shared candidate-range size)."""
         return self.unary.shape[2]
 
     def subproblem(
@@ -173,6 +174,7 @@ class BatchedTRWSSolver:
         self.level_batched = level_batched
 
     def solve(self, problem: ReplicatedProblem) -> BatchedResult:
+        """Run batched TRW-S on a replicated-service problem."""
         n = problem.host_count
         s = len(problem.services)
         l = problem.label_count

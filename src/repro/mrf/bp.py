@@ -60,6 +60,7 @@ class LoopyBPSolver:
         self.seed = seed if seed is not None else 0
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
+        """Run loopy BP on ``mrf`` (array plan built on the fly)."""
         return self.solve_arrays(MRFArrays(mrf))
 
     def solve_arrays(

@@ -31,6 +31,7 @@ class ExactSolver:
         self.max_space = max_space
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
+        """Exhaustive exact MAP (guarded by ``max_space``)."""
         if mrf.node_count == 0:
             return SolverResult(
                 labels=[], energy=0.0, lower_bound=0.0, iterations=0,

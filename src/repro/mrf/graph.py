@@ -98,13 +98,16 @@ class PairwiseMRF:
 
     @property
     def node_count(self) -> int:
+        """Number of variables."""
         return len(self._unaries)
 
     @property
     def edge_count(self) -> int:
+        """Number of pairwise edges."""
         return len(self._edges)
 
     def label_count(self, node: int) -> int:
+        """Label-space size of ``node``."""
         self._require_node(node)
         return self._unaries[node].size
 
@@ -114,6 +117,7 @@ class PairwiseMRF:
         return self._unaries[node]
 
     def edge(self, edge_id: int) -> Tuple[int, int]:
+        """The (first, second) endpoints of edge ``edge_id``."""
         return self._edges[edge_id]
 
     def edge_cost(self, edge_id: int) -> np.ndarray:
@@ -131,9 +135,11 @@ class PairwiseMRF:
         return list(self._adjacency[node])
 
     def has_edge(self, i: int, j: int) -> bool:
+        """True when nodes ``i`` and ``j`` share an edge."""
         return (min(i, j), max(i, j)) in self._edge_index
 
     def edge_id(self, i: int, j: int) -> int:
+        """The edge id coupling ``i`` and ``j`` (KeyError when absent)."""
         return self._edge_index[(min(i, j), max(i, j))]
 
     def connected_components(self) -> List[List[int]]:

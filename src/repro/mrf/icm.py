@@ -43,6 +43,7 @@ class ICMSolver:
         self.seed = seed
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
+        """Run ICM from a deterministic start; see :class:`SolverResult`."""
         n = mrf.node_count
         if n == 0:
             return SolverResult(

@@ -105,12 +105,14 @@ def _component_of(
     parent = list(range(n))
 
     def find(x: int) -> int:
+        """Root of ``x``, with path halving."""
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]
         return x
 
     def union(a: int, b: int) -> None:
+        """Merge the components of ``a`` and ``b`` (smaller root wins)."""
         ra, rb = find(a), find(b)
         if ra != rb:
             # Smaller index wins the root, keeping ids in node order.
@@ -206,6 +208,7 @@ class Shard:
 
     @property
     def plan(self) -> MRFArrays:
+        """The shard's :class:`MRFArrays` sub-plan (built lazily, cached)."""
         if self._plan is None:
             self._plan = self._plan_factory()
         return self._plan
@@ -283,6 +286,21 @@ def split_parts(
     Returns:
         A :class:`PlanPartition`; shards are ordered by smallest global
         node, nodes/edges ascending within each shard.
+
+    Two disconnected anti-ferromagnetic pairs split into two shards, and
+    :meth:`PlanPartition.stitch` maps the per-shard labellings back:
+
+    >>> import numpy as np
+    >>> unaries = [np.zeros(2) for _ in range(4)]
+    >>> repel = np.array([[1.0, 0.0], [0.0, 1.0]])
+    >>> partition = split_parts(
+    ...     unaries, np.array([0, 2]), np.array([1, 3]),
+    ...     np.array([0, 0]), [repel],
+    ... )
+    >>> len(partition)
+    2
+    >>> partition.stitch([[0, 1], [1, 0]]).tolist()
+    [0, 1, 1, 0]
     """
     if min_nodes < 1:
         raise ValueError("min_nodes must be >= 1")
@@ -314,7 +332,9 @@ def split_parts(
     )
 
     def plan_factory(nodes, local_first, local_second, local_cid, used):
+        """Deferred shard-plan builder bound to one component's arrays."""
         def build() -> MRFArrays:
+            """Materialise the shard's :class:`MRFArrays` sub-plan."""
             return MRFArrays.from_parts(
                 [unaries[int(i)] for i in nodes],
                 local_first,

@@ -85,6 +85,7 @@ class ReferenceTRWSSolver:
     # ----------------------------------------------------------------- API
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
+        """Run per-node reference TRW-S; see :class:`SolverResult`."""
         n = mrf.node_count
         if n == 0:
             return SolverResult(
@@ -303,6 +304,7 @@ class ReferenceBPSolver:
         self.damping = damping
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
+        """Run per-node reference loopy BP; see :class:`SolverResult`."""
         n = mrf.node_count
         if n == 0:
             return SolverResult(

@@ -198,6 +198,7 @@ class ShardedSolver:
             return solver.solve(problem)
 
         def solve_one(shard) -> BatchedResult:
+            """Solve one replicated shard on its own convergence schedule."""
             solver = BatchedTRWSSolver(
                 seed=self.seed + shard.index, **self.solver_options
             )
@@ -367,6 +368,22 @@ def solve_plan(
     exact min-sum DP, loopy plans run the configured message-passing
     solver with the degree-descending greedy refine init — exactly the
     dispatch of ``TRWSSolver.solve`` on the equivalent ``PairwiseMRF``.
+
+    A two-node plan with an agreement penalty solves to disagreeing
+    labels at zero energy (one edge, no cycle — the exact forest DP):
+
+    >>> import numpy as np
+    >>> from repro.mrf.vectorized import MRFArrays
+    >>> agree = np.array([[1.0, 0.0], [0.0, 1.0]])
+    >>> plan = MRFArrays.from_parts(
+    ...     [np.zeros(2), np.zeros(2)],
+    ...     np.array([0]), np.array([1]), np.array([0]), [agree],
+    ... )
+    >>> result = solve_plan(plan)
+    >>> result.energy
+    0.0
+    >>> result.labels[0] != result.labels[1]
+    True
     """
     options = dict(solver_options)
     greedy = solver == "trws" and options.get("refine", True)

@@ -58,6 +58,7 @@ class Solver(Protocol):
     """Anything with a ``solve(mrf) -> SolverResult`` method."""
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:  # pragma: no cover
+        """Run MAP inference on ``mrf``."""
         ...
 
 
@@ -86,7 +87,18 @@ def get_solver(name: str, **options) -> Solver:
 
 
 def available_solvers() -> List[str]:
-    """Sorted names of registered solvers."""
+    """Sorted names of registered solvers.
+
+    The registry is populated when :mod:`repro.mrf` imports: the
+    vectorized pair (``trws``/``bp``), their per-node reference twins
+    (``trws-ref``/``bp-ref``, kept for parity tests), the sharded
+    wrappers (``trws-sharded``/``bp-sharded``), and the refine/baseline
+    solvers (``icm``, ``exact``, ``anneal``).
+
+    >>> import repro.mrf  # registers the built-in solvers
+    >>> [name for name in available_solvers() if name.startswith("trws")]
+    ['trws', 'trws-ref', 'trws-sharded']
+    """
     return sorted(_REGISTRY)
 
 

@@ -35,11 +35,12 @@ Besides wrapping a finished :class:`~repro.mrf.graph.PairwiseMRF`, a plan
 can be built straight from arrays (:meth:`MRFArrays.from_parts`) and
 **delta-updated** afterwards — :meth:`MRFArrays.set_cost_matrix` rewrites
 one cost-stack entry in place (similarity feeds change values, not
-structure), and :meth:`MRFArrays.replace_edges` re-derives the directed
-slots, γ weights and wavefront levels from a patched edge set while leaving
-every node array untouched.  This is what lets :mod:`repro.stream` apply
-network churn events to a live plan instead of rebuilding it from the
-Python-level MRF.
+structure), :meth:`MRFArrays.set_unary` rewrites one node's hard-mask
+unary (constraint pins/forbids), and :meth:`MRFArrays.replace_edges`
+re-derives the directed slots, γ weights and wavefront levels from a
+patched edge set while leaving every node array untouched.  This is what
+lets :mod:`repro.stream` apply network churn and constraint events to a
+live plan instead of rebuilding it from the Python-level MRF.
 """
 
 from __future__ import annotations
@@ -400,6 +401,24 @@ class MRFArrays:
         rows, cols = matrix.shape
         self.cost[cid, :rows, :cols] = matrix
         self.cost[self.stacked + cid, :cols, :rows] = matrix.T
+
+    def set_unary(self, node: int, vector: np.ndarray) -> None:
+        """Patch one node's unary vector (and its +inf view) in place.
+
+        The unary counterpart of :meth:`set_cost_matrix`: constraint
+        deltas — a service pinned or a product forbidden mid-stream —
+        rewrite a node's hard-mask unary without touching slots, levels or
+        message state, so a warm-started solver continues from its
+        previous fixed point.  ``vector`` must have exactly the node's
+        label count; padded entries keep their 0 / +inf conventions.
+        """
+        count = int(self.label_counts[node])
+        if len(vector) != count:
+            raise ValueError(
+                f"node {node} has {count} labels, got a vector of {len(vector)}"
+            )
+        self.unary[node, :count] = vector
+        self.unary_inf[node, :count] = vector
 
     def replace_edges(
         self,

@@ -44,6 +44,7 @@ class ProductAssignment:
 
     @property
     def network(self) -> Network:
+        """The network this assignment is defined over."""
         return self._network
 
     @classmethod
@@ -96,6 +97,7 @@ class ProductAssignment:
         return iter(self._values)
 
     def items(self) -> Iterator[Tuple[Tuple[str, str], str]]:
+        """Iterator of ((host, service), product) pairs, in assignment order."""
         return iter(self._values.items())
 
     def products_at(self, host: str) -> Dict[str, str]:
@@ -131,6 +133,7 @@ class ProductAssignment:
         )
 
     def copy(self) -> "ProductAssignment":
+        """An independent copy (the network object is shared)."""
         return ProductAssignment(self._network, dict(self._values))
 
     def as_dict(self) -> Dict[Tuple[str, str], str]:

@@ -52,6 +52,7 @@ class FixProduct:
     product: str
 
     def describe(self) -> str:
+        """Human-readable one-liner for reports."""
         return f"{self.host}.{self.service} must be {self.product}"
 
 
@@ -64,6 +65,7 @@ class ForbidProduct:
     product: str
 
     def describe(self) -> str:
+        """Human-readable one-liner for reports."""
         return f"{self.host}.{self.service} must not be {self.product}"
 
 
@@ -81,6 +83,7 @@ class RequireCombination:
     product_l: str
 
     def describe(self) -> str:
+        """Human-readable one-liner for reports."""
         scope = "all hosts" if self.host == GLOBAL else self.host
         return (
             f"at {scope}: {self.service_m}={self.product_j} requires "
@@ -102,6 +105,7 @@ class AvoidCombination:
     product_k: str
 
     def describe(self) -> str:
+        """Human-readable one-liner for reports."""
         scope = "all hosts" if self.host == GLOBAL else self.host
         return (
             f"at {scope}: {self.service_m}={self.product_j} forbids "
@@ -131,7 +135,46 @@ class ConstraintSet:
         self._constraints: List[Constraint] = list(constraints)
 
     def add(self, constraint: Constraint) -> None:
+        """Append one constraint (order matters for cost accumulation)."""
         self._constraints.append(constraint)
+
+    def remove(self, constraint: Constraint) -> None:
+        """Remove the first occurrence of ``constraint``.
+
+        Raises :class:`ValueError` when the constraint is not in the set —
+        the streaming engine relies on removals naming live constraints.
+        """
+        self._constraints.remove(constraint)
+
+    def discard_where(self, predicate) -> List[Constraint]:
+        """Drop every constraint matching ``predicate``; return the dropped.
+
+        The bulk-removal primitive behind the streaming engine's
+        idempotent events (``UnpinService``/``AllowRange``) and the
+        host-departure pruning of :func:`~repro.stream.events.apply_event`.
+        """
+        dropped = [c for c in self._constraints if predicate(c)]
+        if dropped:
+            self._constraints = [
+                c for c in self._constraints if not predicate(c)
+            ]
+        return dropped
+
+    def prune_host(self, host: str) -> List[Constraint]:
+        """Drop constraints referencing ``host``; return the dropped.
+
+        Host constraints (Fix/Forbid) and host-scoped combination
+        constraints vanish with the host; ``GLOBAL`` combination rules
+        survive (they re-apply to whichever hosts remain).  This is the
+        reference semantics of a host decommission under constraint churn.
+        """
+        return self.discard_where(
+            lambda c: getattr(c, "host", None) == host
+        )
+
+    def copy(self) -> "ConstraintSet":
+        """A shallow copy (constraints are frozen, so sharing is safe)."""
+        return ConstraintSet(self._constraints)
 
     def __iter__(self) -> Iterator[Constraint]:
         return iter(self._constraints)
@@ -143,7 +186,30 @@ class ConstraintSet:
         return bool(self._constraints)
 
     def fixed_products(self) -> List[FixProduct]:
+        """All :class:`FixProduct` constraints, in insertion order."""
         return [c for c in self._constraints if isinstance(c, FixProduct)]
+
+    def unary_constraints_for(
+        self, host: str, service: str
+    ) -> List[Union[FixProduct, ForbidProduct]]:
+        """Fix/Forbid constraints pinned to one (host, service) variable."""
+        return [
+            c
+            for c in self._constraints
+            if isinstance(c, (FixProduct, ForbidProduct))
+            and c.host == host
+            and c.service == service
+        ]
+
+    def combination_constraints(
+        self,
+    ) -> List[Union[RequireCombination, AvoidCombination]]:
+        """All combination constraints, in insertion order."""
+        return [
+            c
+            for c in self._constraints
+            if isinstance(c, (RequireCombination, AvoidCombination))
+        ]
 
     def validate_against(self, network: Network) -> None:
         """Check constraints refer to real hosts/services/candidates.
@@ -184,9 +250,11 @@ class ConstraintSet:
     def is_satisfied(
         self, assignment: ProductAssignment, network: Optional[Network] = None
     ) -> bool:
+        """True when ``assignment`` violates nothing in this set."""
         return not self.violations(assignment, network)
 
     def describe(self) -> str:
+        """One line per constraint, in insertion order."""
         return "\n".join(c.describe() for c in self._constraints)
 
     def __repr__(self) -> str:

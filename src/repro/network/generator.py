@@ -60,12 +60,15 @@ class RandomNetworkConfig:
             raise ValueError("similarity_density must be a probability")
 
     def service_names(self) -> List[str]:
+        """The synthetic service names ``s0..s{services-1}``."""
         return [f"s{i}" for i in range(self.services)]
 
     def product_names(self, service: str) -> List[str]:
+        """The synthetic candidate products of ``service``."""
         return [f"{service}_p{j}" for j in range(self.products_per_service)]
 
     def expected_edges(self) -> int:
+        """Approximate link count of the drawn topology."""
         return self.hosts * self.degree // 2
 
 

@@ -145,6 +145,7 @@ class Network:
         return len(self._hosts)
 
     def has_link(self, a: str, b: str) -> bool:
+        """True when an undirected link couples ``a`` and ``b``."""
         return _edge_key(a, b) in self._links
 
     def neighbors(self, host: str) -> List[str]:
@@ -153,6 +154,7 @@ class Network:
         return sorted(self._adjacency[host])
 
     def degree(self, host: str) -> int:
+        """Number of links incident to ``host``."""
         self._require_host(host)
         return len(self._adjacency[host])
 
@@ -162,6 +164,7 @@ class Network:
         return list(self._hosts[host])
 
     def has_service(self, host: str, service: str) -> bool:
+        """True when ``host`` exists and runs ``service``."""
         return host in self._hosts and service in self._hosts[host]
 
     def candidates(self, host: str, service: str) -> Tuple[str, ...]:
@@ -209,6 +212,7 @@ class Network:
         return [h for h, services in self._hosts.items() if service in services]
 
     def edge_count(self) -> int:
+        """Number of undirected links."""
         return len(self._links)
 
     def variable_count(self) -> int:

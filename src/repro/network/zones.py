@@ -114,6 +114,7 @@ class FirewallRule:
         return [(s, d) for s in self.sources for d in self.destinations]
 
     def describe(self) -> str:
+        """Human-readable one-liner for this firewall rule."""
         text = (
             f"{self.source_zone} -> {self.destination_zone}: "
             f"{', '.join(self.sources)} -> {', '.join(self.destinations)}"
@@ -190,6 +191,7 @@ class ZonedNetwork:
         return self._zone_of[host]
 
     def hosts(self) -> List[str]:
+        """Every host, zone by zone, in declaration order."""
         return [host for zone in self.zones for host in zone.hosts]
 
     def cross_zone_links(self) -> List[Tuple[str, str]]:
@@ -252,6 +254,7 @@ class ZonedNetwork:
         return violations
 
     def describe(self) -> str:
+        """Multi-line zone-model summary."""
         lines = [f"{len(self.zones)} zones, {len(self.rules)} firewall rules"]
         for zone in self.zones:
             lines.append(

@@ -51,6 +51,7 @@ class ProductLineage:
         return [self.cpe_for(version) for version in self.versions]
 
     def cpe_for(self, version: str) -> CPE:
+        """The CPE of one version of this synthetic product."""
         return CPE(part=self.part, vendor=self.vendor, product=f"{self.product}_{version}")
 
 

@@ -84,6 +84,7 @@ class Job:
     seed: Optional[int] = None
 
     def run(self) -> Any:
+        """Execute the job's callable (its seed injected into kwargs)."""
         kwargs = dict(self.kwargs)
         if self.seed is not None:
             kwargs.setdefault("seed", self.seed)
@@ -374,6 +375,12 @@ def run_jobs(
     Any exception raised by a job propagates (from the pool: re-raised in
     the parent).  Pool *infrastructure* failures — no process support,
     unpicklable jobs — degrade to the serial path with a warning.
+
+    >>> def cell(n, seed=None):
+    ...     return n * n
+    >>> jobs = [Job(key=n, fn=cell, kwargs={"n": n}) for n in range(4)]
+    >>> run_jobs(jobs, workers=1)
+    {0: 0, 1: 1, 2: 4, 3: 9}
     """
     if chunksize is not None and chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")

@@ -36,6 +36,7 @@ class AttackerStrategy(Protocol):
     name: str
 
     def combine(self, rates: Sequence[float]) -> float:  # pragma: no cover
+        """Reduce per-edge success rates to one attempt success rate."""
         ...
 
 

@@ -70,6 +70,7 @@ class RaceReport:
     runs: int
 
     def row(self, label: str) -> str:
+        """One formatted row (label-prefixed) for the MTTC table."""
         return (
             f"{label:<18} attacker wins {100 * self.attacker_wins:5.1f}%  "
             f"defender wins {100 * self.defender_wins:5.1f}%  "

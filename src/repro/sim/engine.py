@@ -45,6 +45,7 @@ class SimulationRun:
 
     @property
     def target_compromised(self) -> bool:
+        """True when the attack reached the target."""
         return self.ticks_to_target is not None
 
     def infection_count(self) -> int:

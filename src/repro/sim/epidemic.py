@@ -51,9 +51,11 @@ class InfectionCurve:
 
     @property
     def final_size(self) -> float:
+        """Mean infected fraction at the end of the horizon."""
         return self.mean_infected[-1] if self.mean_infected else 0.0
 
     def row(self, label: str) -> str:
+        """One formatted row (label-prefixed) for the epidemic table."""
         half = f"{self.half_time}" if self.half_time is not None else "-"
         return (
             f"{label:<18} final={self.final_size:7.2f}/{self.hosts} "

@@ -5,7 +5,8 @@ network?"; this package answers "the network just changed — what is it
 now?" without paying for a rebuild and a cold solve:
 
 * :mod:`repro.stream.events` — the typed churn vocabulary (host join/leave,
-  link add/remove, similarity re-score) and synthetic trace generation;
+  link add/remove, similarity re-score, constraint pin/forbid/combination
+  updates) and synthetic trace generation;
 * :mod:`repro.stream.plan` — a live MRF array plan that absorbs event
   deltas (cost values patched in place, structure re-derived vectorized,
   message state preserved);
@@ -17,13 +18,20 @@ now?" without paying for a rebuild and a cold solve:
 
 from repro.stream.driver import ChurnRecord, ChurnReport, replay_trace
 from repro.stream.events import (
+    AllowRange,
     ChurnConfig,
+    CombinationUpdate,
+    ConstraintEvent,
     Event,
+    ForbidRange,
     HostJoin,
     HostLeave,
     LinkAdd,
     LinkRemove,
+    PinService,
     SimilarityUpdate,
+    UnpinService,
+    apply_constraint_event,
     apply_event,
     random_churn_trace,
 )
@@ -31,18 +39,25 @@ from repro.stream.incremental import DynamicDiversifier, StreamSolveResult
 from repro.stream.plan import StreamPlan
 
 __all__ = [
+    "AllowRange",
     "ChurnConfig",
     "ChurnRecord",
     "ChurnReport",
+    "CombinationUpdate",
+    "ConstraintEvent",
     "DynamicDiversifier",
     "Event",
+    "ForbidRange",
     "HostJoin",
     "HostLeave",
     "LinkAdd",
     "LinkRemove",
+    "PinService",
     "SimilarityUpdate",
     "StreamPlan",
     "StreamSolveResult",
+    "UnpinService",
+    "apply_constraint_event",
     "apply_event",
     "random_churn_trace",
     "replay_trace",

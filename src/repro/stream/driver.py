@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.network.constraints import ConstraintSet
 from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
 from repro.stream.events import Event
@@ -66,6 +67,7 @@ class ChurnRecord:
         return self.cold_seconds / self.seconds
 
     def row(self) -> str:
+        """One formatted per-event row for the churn table."""
         mode = "warm" if self.warm else "cold"
         text = (
             f"[{self.step:>3}] {self.event:<28} {mode:<4} "
@@ -92,24 +94,29 @@ class ChurnReport:
 
     @property
     def total_seconds(self) -> float:
+        """Total incremental re-solve time over the trace."""
         return sum(r.seconds for r in self.records)
 
     @property
     def total_cold_seconds(self) -> Optional[float]:
+        """Total cold-baseline time, or None when not compared."""
         timed = [r.cold_seconds for r in self.records if r.cold_seconds is not None]
         return sum(timed) if timed else None
 
     @property
     def warm_count(self) -> int:
+        """Number of events re-solved on the warm path."""
         return sum(1 for r in self.records if r.warm)
 
     @property
     def mean_stability(self) -> float:
+        """Mean per-event assignment stability (1.0 with no records)."""
         if not self.records:
             return 1.0
         return sum(r.stability for r in self.records) / len(self.records)
 
     def summary(self) -> str:
+        """Multi-line replay summary (totals, stability, speedup)."""
         lines = [
             f"initial solve: {1000 * self.initial.seconds:.1f}ms, "
             f"energy {self.initial.energy:.4f}",
@@ -126,6 +133,7 @@ class ChurnReport:
         return "\n".join(lines)
 
     def format_rows(self) -> str:
+        """The per-event table, one row per record."""
         return "\n".join(record.row() for record in self.records)
 
 
@@ -138,20 +146,38 @@ def replay_trace(
     compare_cold: bool = False,
     rebuild_fraction: float = 0.25,
     sharded: bool = False,
+    constraints: Optional[ConstraintSet] = None,
     **engine_options,
 ) -> ChurnReport:
     """Replay ``trace`` over ``network``, re-solving after every event.
 
-    Mutates ``network`` and ``similarity`` in place (pass copies to keep
-    the originals).  ``engine_options`` are forwarded to
+    Mutates ``network``, ``similarity`` and ``constraints`` in place (pass
+    copies to keep the originals).  ``engine_options`` are forwarded to
     :class:`DynamicDiversifier` (cost model + solver options);
     ``sharded=True`` switches the engine to per-component re-solves and
     fills the records' shard columns.
 
     With ``compare_cold=True`` each event also times a fresh engine's cold
-    solve of the same mutated state, filling the records'
-    ``cold_seconds``/``cold_energy`` — the measured baseline for the
-    warm-start speedup and the energy-parity check.
+    solve of the same mutated state (same network, similarity *and*
+    constraint set), filling the records' ``cold_seconds``/``cold_energy``
+    — the measured baseline for the warm-start speedup and the
+    energy-parity check.
+
+    >>> from repro.network import chain_network
+    >>> from repro.nvd import SimilarityTable
+    >>> from repro.stream import LinkRemove, PinService
+    >>> net = chain_network(8)
+    >>> table = SimilarityTable(products=["p0", "p1"])
+    >>> report = replay_trace(
+    ...     net, table,
+    ...     [LinkRemove("h1", "h2"), PinService("h0", "svc", "p0")],
+    ... )
+    >>> len(report.records)
+    2
+    >>> report.warm_count
+    2
+    >>> report.records[1].event
+    'pin h0.svc=p0'
     """
     engine = DynamicDiversifier(
         network,
@@ -160,6 +186,7 @@ def replay_trace(
         warm_start=warm_start,
         rebuild_fraction=rebuild_fraction,
         sharded=sharded,
+        constraints=constraints,
         **engine_options,
     )
     report = ChurnReport(initial=engine.solve())
@@ -173,6 +200,7 @@ def replay_trace(
                 similarity,
                 solver=solver,
                 warm_start=False,
+                constraints=engine.constraints,
                 **engine_options,
             )
             cold_result = cold_engine.solve()

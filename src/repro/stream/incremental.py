@@ -13,10 +13,14 @@ state) and re-solves each delta by
 
 falling back to a full cold rebuild when the accumulated delta exceeds a
 configurable fraction of the plan (patching pays off only while the change
-is small).  Warm starts cannot corrupt the *model*: any message state is a
-valid TRW-S reparametrisation, so energies and dual bounds keep their
-meaning, and the reported energy always equals the true E(N) of the
-returned assignment on the mutated network.
+is small).  Operator-constraint churn streams the same way: pins and
+forbids are in-place unary-mask rewrites, combination rules edit the
+intra-host edges, and a flip that hard-masks the previous solution
+escalates to the full-budget solve (``docs/streaming.md`` tabulates the
+per-event semantics).  Warm starts cannot corrupt the *model*: any message
+state is a valid TRW-S reparametrisation, so energies and dual bounds keep
+their meaning, and the reported energy always equals the true E(N) of the
+returned assignment on the mutated network and constraint set.
 
 With ``sharded=True`` the engine additionally partitions the live plan
 into connected-component shards (:mod:`repro.mrf.partition`) and re-solves
@@ -56,6 +60,7 @@ from repro.mrf.solvers import SolverResult
 from repro.mrf.trws import TRWSSolver
 from repro.mrf.vectorized import SolverScratch, SolverScratchPool
 from repro.network.assignment import ProductAssignment
+from repro.network.constraints import ConstraintSet
 from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
 from repro.runner import resolve_workers
@@ -112,6 +117,7 @@ class StreamSolveResult:
 
     @property
     def iterations(self) -> int:
+        """Solver sweeps of this re-solve."""
         return self.solver_result.iterations
 
 
@@ -143,6 +149,15 @@ class DynamicDiversifier:
             land in a worse basin than a cold solve.
         unary_constant / pairwise_weight / service_weights: cost model, as
             in :func:`repro.core.diversify.diversify`.
+        constraints: initial operator constraint set (pins, forbids,
+            combination rules).  Constraint *churn* then streams in as
+            typed events — :class:`~repro.stream.events.PinService`,
+            :class:`~repro.stream.events.ForbidRange`,
+            :class:`~repro.stream.events.CombinationUpdate` & co. — and
+            patches the live plan in place; a flip that hard-masks the
+            previous solution escalates to the full-budget solve, and a
+            bulk load past ``rebuild_fraction`` falls back to a cold
+            recompile.
         sharded: partition the live plan into connected-component shards
             and warm re-solve only the shards touched by pending events
             (see the module docstring).  The decomposition itself is
@@ -173,6 +188,7 @@ class DynamicDiversifier:
         unary_constant: float = 0.01,
         pairwise_weight: float = 1.0,
         service_weights: Optional[Mapping[str, float]] = None,
+        constraints: Optional[ConstraintSet] = None,
         sharded: bool = False,
         shard_workers: Optional[int] = None,
         **solver_options,
@@ -218,6 +234,7 @@ class DynamicDiversifier:
             pairwise_weight=pairwise_weight,
             service_weights=service_weights,
             track_touched=sharded,
+            constraints=constraints,
         )
         self._previous: Optional[Dict[Tuple[str, str], str]] = None
 
@@ -225,11 +242,18 @@ class DynamicDiversifier:
 
     @property
     def network(self) -> Network:
+        """The live network (mutated as events apply)."""
         return self.plan.network
 
     @property
     def similarity(self) -> SimilarityTable:
+        """The live similarity table (mutated by feed events)."""
         return self.plan.similarity
+
+    @property
+    def constraints(self) -> ConstraintSet:
+        """The live constraint set (mutated by constraint events)."""
+        return self.plan.constraints
 
     def apply(self, event: Event) -> None:
         """Apply one churn event (mutates network/similarity, patches the
@@ -237,6 +261,7 @@ class DynamicDiversifier:
         self.plan.apply(event)
 
     def apply_all(self, events: Iterable[Event]) -> None:
+        """Apply a batch of events (one solve then covers them all)."""
         for event in events:
             self.apply(event)
 
@@ -266,11 +291,13 @@ class DynamicDiversifier:
         is_trws = self.solver_name == "trws"
         if warm:
             plan.flush()
-            if plan.dirty_cost > self.cost_jump_threshold:
-                # A large similarity re-score: keep the warm messages (any
-                # message state is a valid reparametrisation) but give the
-                # solver its full budget and the cold init set so it can
-                # leave the previous basin.
+            if plan.dirty_cost > self.cost_jump_threshold or plan.stranded:
+                # A large similarity re-score, or a constraint flip that
+                # hard-masked the previous solution: keep the warm
+                # messages (any message state is a valid
+                # reparametrisation) but give the solver its full budget
+                # and the cold init set so it can leave the previous
+                # basin — which a stranding mask just made infeasible.
                 solver = self._solver
                 extra_inits = (plan.labels,)
                 if is_trws:
@@ -356,7 +383,9 @@ class DynamicDiversifier:
             plan.rebuild()
             self._shard_cache.clear()
         touched = set(plan.touched)
-        escalate = warm and plan.dirty_cost > self.cost_jump_threshold
+        escalate = warm and (
+            plan.dirty_cost > self.cost_jump_threshold or plan.stranded
+        )
         width = plan.pad_messages()
         unaries, edge_first, edge_second, edge_cid, matrices = plan.parts()
         partition = split_parts(
@@ -516,10 +545,15 @@ class DynamicDiversifier:
     # ------------------------------------------------------------- internals
 
     def _delta_too_large(self) -> bool:
+        """Did pending deltas (topology or constraint churn) outgrow the
+        rebuild threshold?  Bulk constraint loads count like topology: a
+        policy file rewriting a quarter of the unary masks is cheaper to
+        recompile than to patch mask by mask."""
         plan = self.plan
         node_frac = plan.dirty_nodes / max(1, plan.node_count)
         edge_frac = plan.dirty_edges / max(1, plan.edge_count)
-        return max(node_frac, edge_frac) > self.rebuild_fraction
+        mask_frac = plan.dirty_masked / max(1, plan.node_count)
+        return max(node_frac, edge_frac, mask_frac) > self.rebuild_fraction
 
 
 def _stability(

@@ -2,9 +2,11 @@
 
 :class:`StreamPlan` is the incremental counterpart of
 :func:`repro.core.costs.build_mrf` + :class:`repro.mrf.vectorized.MRFArrays`
-for the unconstrained diversification MRF.  It owns
+for the (constrained) diversification MRF.  It owns
 
 * the ``(host, service) → node`` variable mapping and candidate ranges,
+* the live operator :class:`~repro.network.constraints.ConstraintSet` and
+  the unary masks / intra-host combination tables it compiles to,
 * the shared stack of λ·similarity cost matrices (deduplicated by candidate
   range, exactly like the batch builder),
 * the per-(link, shared-service) edge list, and
@@ -19,7 +21,17 @@ and keeps all of them aligned while churn events arrive:
   eagerly, then re-derive the plan's slot/level structure lazily on
   :meth:`flush` (one vectorized pass however many events are pending);
 * **host events** additionally append/remove node rows, remapping node ids,
-  previous-solution labels and edge endpoints.
+  previous-solution labels and edge endpoints;
+* **pin/forbid events** recompute one node's hard-mask unary from the live
+  constraint set and write it in place (:meth:`MRFArrays.set_unary`) —
+  value-only, like a feed update, but with a *stranded* flag when the mask
+  lands on the label previously in use;
+* **combination updates** recompute the affected hosts' intra-host tables
+  from the live set: in place when the node pair already carries a table,
+  an eager edge append/delete (through the lazy :meth:`flush` path) when a
+  pair gains its first rule or retires its last.
+
+See ``docs/streaming.md`` for the per-event contract table.
 
 Because padded message entries are 0 — the additive identity — new slots
 start cold at 0 while surviving slots keep their near-fixed-point values,
@@ -44,16 +56,25 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.compile import COMBO_META as _COMBO_META
+from repro.core.costs import HARD_COST
 from repro.mrf.vectorized import MRFArrays
+from repro.network.constraints import GLOBAL, ConstraintSet
 from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
 from repro.stream.events import (
+    AllowRange,
+    CombinationUpdate,
     Event,
+    ForbidRange,
     HostJoin,
     HostLeave,
     LinkAdd,
     LinkRemove,
+    PinService,
     SimilarityUpdate,
+    UnpinService,
+    apply_constraint_event,
 )
 
 __all__ = ["StreamPlan"]
@@ -77,10 +98,17 @@ class StreamPlan:
             always record their own (cheap, O(delta)) touched keys; a
             monolithic consumer turns this flag off to keep feed updates
             off the scan.
+        constraints: the live operator constraint set.  Fix/Forbid masks
+            and combination tables are compiled in, and constraint events
+            (:class:`~repro.stream.events.PinService` & co.) keep plan and
+            set aligned: unary masks rewrite in place
+            (:meth:`MRFArrays.set_unary`), combination deltas edit the
+            intra-host edges through the eager edge-edit + lazy
+            :meth:`flush` path.
 
-    The constrained/preference-carrying cases stay on the batch
+    The soft-preference-carrying cases stay on the batch
     :func:`~repro.core.costs.build_mrf` path; streaming covers the
-    unconstrained MRF, which is what re-solves at churn frequency.
+    (constrained) MRF that re-solves at churn frequency.
     """
 
     def __init__(
@@ -91,6 +119,7 @@ class StreamPlan:
         pairwise_weight: float = 1.0,
         service_weights: Optional[Mapping[str, float]] = None,
         track_touched: bool = True,
+        constraints: Optional[ConstraintSet] = None,
     ) -> None:
         if pairwise_weight < 0:
             raise ValueError("pairwise_weight must be non-negative")
@@ -102,6 +131,8 @@ class StreamPlan:
         self.pairwise_weight = float(pairwise_weight)
         self.service_weights = dict(service_weights or {})
         self.track_touched = track_touched
+        #: the live constraint set (mutated in place by constraint events).
+        self.constraints = constraints if constraints is not None else ConstraintSet()
         self.rebuild()
 
     # ------------------------------------------------------------ cold build
@@ -127,6 +158,7 @@ class StreamPlan:
             unary_constant=self.unary_constant,
             pairwise_weight=self.pairwise_weight,
             service_weights=self.service_weights or None,
+            constraints=self.constraints,
         )
         #: (host, service) keys of variables touched since the last solve —
         #: stable across node renumbering, consumed by the sharded engine.
@@ -138,12 +170,23 @@ class StreamPlan:
 
         self._matrices: List[np.ndarray] = parts.matrices
         self._matrix_meta: List[_MatrixKey] = list(parts.matrix_meta)
+        # Combination tables carry the placeholder meta; they never join
+        # the similarity dedup index.
         self._matrix_ids: Dict[_MatrixKey, int] = {
-            key: cid for cid, key in enumerate(self._matrix_meta)
+            key: cid
+            for cid, key in enumerate(self._matrix_meta)
+            if key[0]
         }
-        self._edge_keys: List[Tuple[Tuple[str, str], str]] = list(
+        self._edge_keys: List[Tuple[Tuple[str, str], object]] = list(
             parts.edge_keys
         )
+        #: (host, service_lo, service_hi) → cost id of the pair's live
+        #: combination table (service order follows node order).
+        self._combo_cids: Dict[Tuple[str, str, str], int] = {
+            (key[0][0], key[1][0], key[1][1]): int(parts.edge_cid[e])
+            for e, key in enumerate(parts.edge_keys)
+            if isinstance(key[1], tuple)
+        }
         self._edge_first: List[int] = parts.edge_first.tolist()
         self._edge_second: List[int] = parts.edge_second.tolist()
         self._edge_cid: List[int] = parts.edge_cid.tolist()
@@ -168,10 +211,18 @@ class StreamPlan:
         """Zero the per-solve churn counters (called after each solve)."""
         self.dirty_nodes = 0
         self.dirty_edges = 0
+        #: unary-mask rewrites since the last solve — bulk constraint
+        #: loads count against the rebuild threshold just like topology.
+        self.dirty_masked = 0
         #: largest |Δ| applied to any cost-matrix entry since the last
         #: solve — the engine escalates its warm sweep budget when a feed
         #: update moves costs far enough to shift the message fixed point.
         self.dirty_cost = 0.0
+        #: True when a constraint delta hard-masked the previous solution
+        #: (the pinned/forbidden label was the one in use) — the engine
+        #: then re-solves with its full budget, since the previous basin
+        #: is no longer feasible.
+        self.stranded = False
         self.touched.clear()
 
     # ------------------------------------------------------------ event apply
@@ -188,6 +239,12 @@ class StreamPlan:
             self._apply_host_join(event)
         elif isinstance(event, HostLeave):
             self._apply_host_leave(event)
+        elif isinstance(
+            event, (PinService, UnpinService, ForbidRange, AllowRange)
+        ):
+            self._apply_unary_constraint(event)
+        elif isinstance(event, CombinationUpdate):
+            self._apply_combination(event)
         else:  # pragma: no cover - type escape hatch
             raise TypeError(f"unknown event {event!r}")
 
@@ -373,6 +430,145 @@ class StreamPlan:
                     self.touched.add(self.variables[self._edge_first[e]])
                     self.touched.add(self.variables[self._edge_second[e]])
 
+    def _apply_unary_constraint(self, event) -> None:
+        """Pin/Unpin/Forbid/Allow: mutate the set, rewrite one unary mask.
+
+        The node's unary is recomputed from the *live constraint set* (base
+        ``Pr_const`` plus every Fix/Forbid mask in constraint order — the
+        exact accumulation of the batch compiler) and written onto the
+        plan in place (:meth:`MRFArrays.set_unary`): a value-only delta,
+        no slot/level/message change.
+        """
+        apply_constraint_event(self.network, self.constraints, event)
+        self._refresh_unary(self.index[(event.host, event.service)])
+
+    def _refresh_unary(self, node: int) -> None:
+        """Recompute one node's unary from the live constraint set."""
+        from repro.core.compile import constraint_mask
+
+        host, service = self.variables[node]
+        vector = np.full(len(self.candidates[node]), self.unary_constant)
+        for constraint in self.constraints.unary_constraints_for(host, service):
+            vector = vector + constraint_mask(
+                self.candidates[node], constraint
+            )
+        self._unaries[node] = vector
+        if not self._nodes_dirty:
+            # Node ids in the live plan only diverge while a host delta is
+            # pending; until then the in-place write keeps the plan hot.
+            self.plan.set_unary(node, vector)
+        if (
+            self.labels is not None
+            and vector[int(self.labels[node])] >= HARD_COST
+        ):
+            self.stranded = True
+        self.touched.add((host, service))
+        self.dirty_masked += 1
+
+    def _apply_combination(self, event: CombinationUpdate) -> None:
+        """Combination add/retire: mutate the set, patch intra-host edges.
+
+        Each affected host's (service, service) pair gets its table
+        recomputed from the live set — in-place (:meth:`MRFArrays.
+        set_cost_matrix`) when the pair already carries a table, an eager
+        edge append (new message slots at the 0 identity) when the rule
+        couples the pair for the first time, an edge deletion when the
+        last rule on the pair is retired.  Structural cases go through the
+        usual lazy :meth:`flush`.
+        """
+        apply_constraint_event(self.network, self.constraints, event)
+        constraint = event.constraint
+        hosts = (
+            self.network.hosts
+            if constraint.host == GLOBAL
+            else [constraint.host]
+        )
+        for host in hosts:
+            if not (
+                self.network.has_service(host, constraint.service_m)
+                and self.network.has_service(host, constraint.service_n)
+            ):
+                continue
+            self._refresh_combination(
+                host, constraint.service_m, constraint.service_n
+            )
+
+    def _refresh_combination(
+        self, host: str, service_m: str, service_n: str
+    ) -> None:
+        """Recompute one host pair's combination table from the live set."""
+        from repro.core.compile import write_combination
+
+        node_m = self.index[(host, service_m)]
+        node_n = self.index[(host, service_n)]
+        lo, hi = min(node_m, node_n), max(node_m, node_n)
+        svc_lo = self.variables[lo][1]
+        svc_hi = self.variables[hi][1]
+        table = np.zeros(
+            (len(self.candidates[lo]), len(self.candidates[hi]))
+        )
+        for constraint in self.constraints.combination_constraints():
+            if constraint.host not in (host, GLOBAL):
+                continue
+            if not (
+                self.network.has_service(host, constraint.service_m)
+                and self.network.has_service(host, constraint.service_n)
+            ):
+                continue
+            c_m = self.index[(host, constraint.service_m)]
+            c_n = self.index[(host, constraint.service_n)]
+            if {c_m, c_n} != {lo, hi}:
+                continue
+            write_combination(
+                constraint,
+                self.candidates[c_m],
+                self.candidates[c_n],
+                c_m == lo,
+                table,
+            )
+
+        key = (host, svc_lo, svc_hi)
+        cid = self._combo_cids.get(key)
+        if table.any():
+            if cid is None:
+                cid = len(self._matrices)
+                self._matrices.append(table)
+                self._matrix_meta.append(_COMBO_META)
+                self._combo_cids[key] = cid
+                self._edge_keys.append(((host, host), (svc_lo, svc_hi)))
+                self._edge_first.append(lo)
+                self._edge_second.append(hi)
+                self._edge_cid.append(cid)
+                self.messages = np.vstack(
+                    [self.messages, np.zeros((2, self.messages.shape[1]))]
+                )
+                self._edges_dirty = True
+            else:
+                self._matrices[cid][...] = table
+                if cid < self.plan.stacked:
+                    self.plan.set_cost_matrix(cid, table)
+            if (
+                self.labels is not None
+                and table[int(self.labels[lo]), int(self.labels[hi])]
+                >= HARD_COST
+            ):
+                self.stranded = True
+        elif cid is not None:
+            # The pair's last rule was retired: the edge goes with it (a
+            # cold compile of the current set would not emit it either).
+            # The orphaned table stays in the stack — cost ids are
+            # append-only — and is dropped by the next rebuild.
+            positions = [
+                e
+                for e, k in enumerate(self._edge_keys)
+                if k == ((host, host), (svc_lo, svc_hi))
+            ]
+            self._delete_edges(positions)
+            del self._combo_cids[key]
+        self.touched.add((host, svc_lo))
+        self.touched.add((host, svc_hi))
+        self.dirty_edges += 1
+
     def _apply_link_add(self, event: LinkAdd) -> None:
         self.network.add_link(event.a, event.b)
         added = 0
@@ -411,6 +607,19 @@ class StreamPlan:
         self._nodes_dirty = True
         for peer in event.links:
             self._apply_link_add(LinkAdd(a=event.host, b=peer))
+        # GLOBAL combination rules apply to the newcomer immediately — a
+        # cold compile of the same state would emit its tables too.
+        pairs = set()
+        for constraint in self.constraints.combination_constraints():
+            if constraint.host == GLOBAL and (
+                self.network.has_service(event.host, constraint.service_m)
+                and self.network.has_service(event.host, constraint.service_n)
+            ):
+                pairs.add(
+                    frozenset((constraint.service_m, constraint.service_n))
+                )
+        for pair in sorted(sorted(p) for p in pairs):
+            self._refresh_combination(event.host, pair[0], pair[1])
 
     def _apply_host_leave(self, event: HostLeave) -> None:
         host = event.host
@@ -419,6 +628,14 @@ class StreamPlan:
             for service in self.network.services_of(host)
         ]
         self.network.remove_host(host)
+        # The host's constraints vanish with it (GLOBAL rules survive);
+        # its combination edges are deleted by the endpoint scan below.
+        self.constraints.prune_host(host)
+        self._combo_cids = {
+            key: cid
+            for key, cid in self._combo_cids.items()
+            if key[0] != host
+        }
         removed_set = set(removed)
         positions = [
             e

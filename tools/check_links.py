@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the docs CI job.
+
+Validates every inline markdown link in the given files:
+
+* **relative file links** (``docs/streaming.md``, ``../README.md``) must
+  point at an existing file or directory, resolved against the linking
+  file's own directory;
+* **internal anchors** (``#the-shard-layer``, ``other.md#contract``) must
+  match a heading in the target file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens);
+* **external links** (``http://``, ``https://``, ``mailto:``) are skipped —
+  the job runs offline by design.
+
+Links inside fenced code blocks are ignored.  Exits non-zero with one line
+per broken link, so the CI log names every offender at once.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+#: inline link: [text](target) — target captured without title suffix.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor slug: lowercase, drop punctuation,
+    spaces become hyphens (inline code/emphasis markers stripped)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_code_blocks(lines: List[str]) -> List[str]:
+    """The lines outside fenced code blocks (others replaced by '')."""
+    kept: List[str] = []
+    fenced = False
+    for line in lines:
+        if _FENCE.match(line.strip()):
+            fenced = not fenced
+            kept.append("")
+            continue
+        kept.append("" if fenced else line)
+    return kept
+
+
+def heading_slugs(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    """All anchor slugs of a markdown file (duplicate-suffix rule included)."""
+    resolved = path.resolve()
+    slugs = cache.get(resolved)
+    if slugs is not None:
+        return slugs
+    slugs = set()
+    seen: Dict[str, int] = {}
+    lines = strip_code_blocks(path.read_text().splitlines())
+    for line in lines:
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    cache[resolved] = slugs
+    return slugs
+
+
+def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
+    """All broken-link complaints for one markdown file."""
+    problems: List[str] = []
+    lines = strip_code_blocks(path.read_text().splitlines())
+    for number, line in enumerate(lines, start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path}:{number}: broken file link -> {target}"
+                    )
+                    continue
+                anchor_host = resolved
+            else:
+                anchor_host = path
+            if anchor:
+                if anchor_host.is_dir() or anchor_host.suffix != ".md":
+                    problems.append(
+                        f"{path}:{number}: anchor into non-markdown -> {target}"
+                    )
+                elif anchor not in heading_slugs(anchor_host, cache):
+                    problems.append(
+                        f"{path}:{number}: broken anchor -> {target}"
+                    )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """Check every file named on the command line; 0 iff all links hold."""
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    cache: Dict[Path, Set[str]] = {}
+    problems: List[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        checked += 1
+        problems.extend(check_file(path, cache))
+    for problem in problems:
+        print(problem)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not problems else f'{len(problems)} problem(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
