@@ -1,0 +1,127 @@
+"""Service benchmark — sustained HTTP ingestion rate + read latency p99.
+
+Boots a real :class:`~repro.service.app.DiversificationService` (ephemeral
+port, batch_max=16) over a 120-host workload and drives it the way an
+operator's integration would: one thread streams a churn trace through
+``POST /events`` (chunked, honouring backpressure) while this thread
+hammers snapshot reads (``GET /assignment`` alternated with what-if
+``POST /energy``) for the whole drain.
+
+Two headline numbers land in ``benchmarks/results/BENCH_service.json``:
+
+* ``seconds`` — wall-clock to ingest-and-solve the full trace (the
+  events/sec figure derives from it), and
+* ``read_p99_ms`` — the 99th-percentile read latency *measured during
+  ingestion*, the empirical form of the snapshot-isolation contract:
+  readers answer from the immutable view and never wait for the writer.
+
+The parity assert (final energy self-consistent via a no-op what-if) keeps
+the benchmark honest — throughput with a wrong answer is not throughput.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.network.generator import (
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+from repro.service import DiversificationService, ServiceClient, ServiceConfig
+from repro.stream import ChurnConfig, random_churn_trace
+
+#: 120-host sparse workload, matching bench_stream_churn's scale.
+CONFIG = RandomNetworkConfig(
+    hosts=120, degree=3, services=3, products_per_service=6,
+    similarity_density=0.3, seed=1,
+)
+#: Host/link churn plus a slice of operator-constraint events.
+TRACE = ChurnConfig(events=60, seed=1, constraint_weight=0.2)
+READS_MIN = 200
+
+
+def _percentile(samples, fraction):
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1, int(round(fraction * (len(ranked) - 1))))
+    return ranked[index]
+
+
+def test_service_throughput_and_read_p99(record_bench):
+    network, similarity = random_network(CONFIG), random_similarity(CONFIG)
+    trace = random_churn_trace(network, TRACE)
+    service = DiversificationService(
+        network.copy(), similarity.copy(),
+        config=ServiceConfig(port=0, batch_max=16, high_water=10_000),
+    )
+    started = threading.Event()
+
+    async def runner():
+        await service.start()
+        started.set()
+        await service._stopped.wait()
+
+    server_thread = threading.Thread(
+        target=lambda: asyncio.run(runner()), daemon=True
+    )
+    server_thread.start()
+    assert started.wait(timeout=60)
+    client = ServiceClient(port=service.port, timeout=60)
+    writer = ServiceClient(port=service.port, timeout=60)
+
+    ingest_done = threading.Event()
+    ingest_box = {}
+
+    def ingest():
+        begin = time.perf_counter()
+        writer.send(trace, chunk=16)
+        writer.wait_idle(timeout=300)
+        ingest_box["seconds"] = time.perf_counter() - begin
+        ingest_done.set()
+
+    ingest_thread = threading.Thread(target=ingest, daemon=True)
+    ingest_thread.start()
+
+    # Reads under load: alternate full-assignment reads and what-if
+    # evaluations until ingestion drains (and at least READS_MIN samples).
+    latencies = []
+    flip = False
+    while not ingest_done.is_set() or len(latencies) < READS_MIN:
+        begin = time.perf_counter()
+        if flip:
+            whatif = client.what_if({})
+            assert whatif["delta"] == pytest.approx(0.0, abs=1e-9)
+        else:
+            client.assignment()
+        latencies.append(time.perf_counter() - begin)
+        flip = not flip
+    ingest_thread.join(timeout=300)
+    assert "seconds" in ingest_box, "ingestion never drained"
+
+    final = client.assignment()
+    assert final["events_applied"] == len(trace)
+
+    client.shutdown()
+    server_thread.join(timeout=60)
+    assert not server_thread.is_alive()
+
+    seconds = ingest_box["seconds"]
+    events_per_sec = len(trace) / seconds
+    read_p99_ms = _percentile(latencies, 0.99) * 1e3
+    record_bench(
+        "service",
+        seconds=seconds,
+        events=len(trace),
+        events_per_sec=round(events_per_sec, 1),
+        reads=len(latencies),
+        read_p50_ms=round(_percentile(latencies, 0.50) * 1e3, 3),
+        read_p99_ms=round(read_p99_ms, 3),
+        hosts=CONFIG.hosts,
+        final_energy=round(final["energy"], 6),
+    )
+    # Sanity bars, deliberately loose (CI machines vary): the service must
+    # sustain real ingestion while answering reads in interactive time.
+    assert events_per_sec >= 5.0, f"only {events_per_sec:.1f} events/sec"
+    assert read_p99_ms < 1000.0, f"read p99 {read_p99_ms:.0f}ms"

@@ -25,7 +25,12 @@ Extension commands (beyond the paper's tables):
   (the :mod:`repro.stream` engine; ``--compare-cold`` prints per-event
   speedups over a cold rebuild+solve, ``--sharded`` re-solves only the
   connected-component shards each event touches).
+* ``serve`` — the always-on diversification daemon (:mod:`repro.service`):
+  HTTP event ingestion with backpressure, snapshot-consistent reads,
+  Prometheus metrics, on-disk snapshots and ``--restore`` warm restarts.
 * ``dot`` — Graphviz export of the case study with similarity heat.
+
+``docs/cli.md`` catalogues every subcommand and flag.
 """
 
 from __future__ import annotations
@@ -201,6 +206,73 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also time a from-scratch cold solve per event and print the "
         "speedup column",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="always-on diversification daemon (HTTP ingestion + reads)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8351,
+                       help="listen port; 0 binds an ephemeral port")
+    serve.add_argument(
+        "--network",
+        default=None,
+        help="bootstrap from a JSON network file (the repro.network.io "
+        "format, constraints included); omitted, a synthetic network is "
+        "generated from --hosts/--degree/--services/--products/--seed",
+    )
+    serve.add_argument(
+        "--similarity",
+        default=None,
+        help="similarity table JSON (the repro.nvd.io format) — required "
+        "with --network",
+    )
+    serve.add_argument("--hosts", type=int, default=60)
+    serve.add_argument("--degree", type=int, default=3)
+    serve.add_argument("--services", type=int, default=3)
+    serve.add_argument("--products", type=int, default=6)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--solver", choices=("trws", "bp"), default="trws")
+    serve.add_argument(
+        "--sharded",
+        action="store_true",
+        help="re-solve only the connected-component shards each batch touches",
+    )
+    serve.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable warm starts (every batch pays a cold rebuild+solve)",
+    )
+    serve.add_argument("--batch-max", type=int, default=64,
+                       help="max events applied per solve (default 64)")
+    serve.add_argument(
+        "--high-water",
+        type=int,
+        default=1024,
+        help="queue depth past which POST /events answers 429 (default 1024)",
+    )
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       help="Retry-After seconds sent with a 429 (default 1)")
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="directory for plan snapshots; unset disables snapshotting",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="snapshot every N solves (0 = only the shutdown snapshot)",
+    )
+    serve.add_argument("--keep-snapshots", type=int, default=3,
+                       help="snapshots retained on disk (default 3)")
+    serve.add_argument(
+        "--restore",
+        action="store_true",
+        help="warm-restart from the newest snapshot under --snapshot-dir "
+        "instead of bootstrapping a fresh network",
     )
 
     dot = sub.add_parser("dot", help="Graphviz export of the case study")
@@ -440,6 +512,85 @@ def _stream(args: argparse.Namespace) -> None:
     print(report.summary())
 
 
+def _serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.service import DiversificationService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        solver=args.solver,
+        sharded=args.sharded,
+        warm_start=not args.cold,
+        batch_max=args.batch_max,
+        high_water=args.high_water,
+        retry_after=args.retry_after,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_every=args.snapshot_every,
+        keep_snapshots=args.keep_snapshots,
+    )
+    if args.restore:
+        if not config.snapshots_enabled:
+            raise SystemExit("--restore needs --snapshot-dir")
+        service = DiversificationService.from_snapshot(config)
+        origin = f"snapshot under {config.snapshot_dir}"
+    elif args.network:
+        from pathlib import Path
+
+        from repro.network.io import network_from_json
+        from repro.nvd.io import load_similarity
+
+        if not args.similarity:
+            raise SystemExit("--network needs --similarity (see repro.nvd.io)")
+        network, constraints = network_from_json(Path(args.network).read_text())
+        similarity = load_similarity(args.similarity)
+        service = DiversificationService(
+            network, similarity, config=config, constraints=constraints
+        )
+        origin = args.network
+    else:
+        from repro.network.generator import (
+            RandomNetworkConfig,
+            random_network,
+            random_similarity,
+        )
+
+        generator = RandomNetworkConfig(
+            hosts=args.hosts,
+            degree=args.degree,
+            services=args.services,
+            products_per_service=args.products,
+            seed=args.seed,
+        )
+        service = DiversificationService(
+            random_network(generator), random_similarity(generator), config=config
+        )
+        origin = f"synthetic ({args.hosts} hosts, seed {args.seed})"
+
+    async def _run() -> None:
+        await service.start()
+        print(
+            f"repro serve — listening on http://{config.host}:{service.port} "
+            f"(solver={config.solver}"
+            f"{', sharded' if config.sharded else ''}), plan from {origin}"
+        )
+        if config.snapshots_enabled:
+            cadence = (
+                f"every {config.snapshot_every} solves"
+                if config.snapshot_every
+                else "on shutdown only"
+            )
+            print(
+                f"snapshots -> {config.snapshot_dir} "
+                f"({cadence}, keep {config.keep_snapshots})"
+            )
+        await service.run_until_stopped()
+
+    asyncio.run(_run())
+    print("repro serve — drained and stopped")
+
+
 def _dot(args: argparse.Namespace) -> None:
     from pathlib import Path
 
@@ -474,6 +625,7 @@ _HANDLERS = {
     "adversary": _adversary,
     "sensitivity": _sensitivity,
     "stream": _stream,
+    "serve": _serve,
     "dot": _dot,
 }
 

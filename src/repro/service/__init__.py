@@ -1,0 +1,54 @@
+"""The always-on diversification service (``repro serve``).
+
+Layers the streaming engine (:mod:`repro.stream`) behind a long-lived
+asyncio daemon:
+
+* :mod:`repro.service.app` — :class:`DiversificationService`, the daemon:
+  HTTP ingestion with bounded backpressure, a single writer task applying
+  event batches and re-solving warm, snapshot-consistent reads from an
+  immutable :class:`ReadView`, health/metrics endpoints, graceful drain;
+* :mod:`repro.service.config` — :class:`ServiceConfig`, every operational
+  knob validated at startup;
+* :mod:`repro.service.snapshot` — versioned on-disk plan snapshots with
+  byte-identical restore (warm restarts survive process death);
+* :mod:`repro.service.metrics` — :class:`ServiceMetrics`, the Prometheus
+  text exposition behind ``GET /metrics``;
+* :mod:`repro.service.client` — :class:`ServiceClient`, blocking stdlib
+  helpers used by the tests, benchmarks and the CI smoke check.
+
+``docs/service.md`` is the operator-facing reference.
+"""
+
+from repro.service.app import DiversificationService, ReadView
+from repro.service.client import Backpressure, ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.metrics import SOLVE_BUCKETS, ServiceMetrics
+from repro.service.snapshot import (
+    SNAPSHOT_SCHEMA,
+    Snapshot,
+    latest_snapshot,
+    load_snapshot,
+    prune_snapshots,
+    restore_engine,
+    restore_plan,
+    save_snapshot,
+)
+
+__all__ = [
+    "Backpressure",
+    "DiversificationService",
+    "ReadView",
+    "SNAPSHOT_SCHEMA",
+    "SOLVE_BUCKETS",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "Snapshot",
+    "latest_snapshot",
+    "load_snapshot",
+    "prune_snapshots",
+    "restore_engine",
+    "restore_plan",
+    "save_snapshot",
+]

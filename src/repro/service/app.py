@@ -1,0 +1,661 @@
+"""The always-on diversification daemon behind ``repro serve``.
+
+:class:`DiversificationService` turns the streaming engine into a
+long-lived asyncio service:
+
+* **Ingestion** — churn/constraint events arrive as JSON over HTTP
+  (``POST /events``, the :func:`~repro.stream.events.event_from_dict` wire
+  format), land on a bounded queue, and are applied in batches by a
+  **single writer task** driving one
+  :class:`~repro.stream.incremental.DynamicDiversifier`.  Past the
+  configured high-water mark ingestion answers ``429`` with a
+  ``Retry-After`` header — backpressure instead of unbounded memory.
+* **Reads** — ``GET /assignment``, ``GET /hosts/<host>`` and the what-if
+  ``POST /energy`` are served from an immutable :class:`ReadView` swapped
+  in atomically after every solve.  Readers never touch live engine
+  state, so they never block the writer and never observe a half-applied
+  batch; the solver itself runs on a one-thread executor, keeping the
+  event loop free to answer reads mid-solve.
+* **Operations** — ``GET /healthz``, Prometheus-format ``GET /metrics``,
+  periodic plan snapshots to disk (:mod:`repro.service.snapshot`) and a
+  graceful shutdown (``POST /shutdown`` or SIGINT/SIGTERM) that drains
+  the queue, snapshots, and only then stops answering.
+
+The single-writer design is what makes the consistency story trivial:
+every mutation of network, plan, and message state happens on one task in
+batch order, exactly like an offline :func:`~repro.stream.driver.
+replay_trace` — which is why the HTTP path reproduces its energies
+bit-for-bit (the parity contract of ``tests/test_service_http.py`` and
+``tools/service_smoke.py``).
+
+``docs/service.md`` is the operator-facing reference for everything here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.costs import HARD_COST, assignment_energy
+from repro.network.assignment import ProductAssignment
+from repro.network.constraints import ConstraintSet
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+from repro.service.config import ServiceConfig
+from repro.service.metrics import ServiceMetrics
+from repro.service.snapshot import (
+    latest_snapshot,
+    prune_snapshots,
+    restore_engine,
+    save_snapshot,
+)
+from repro.stream.events import Event, event_from_dict
+from repro.stream.incremental import DynamicDiversifier
+
+__all__ = ["ReadView", "DiversificationService"]
+
+#: writer-queue sentinel: drain what is left, then exit the writer task.
+_STOP = object()
+
+#: request bodies above this are rejected with 413 before parsing.
+_MAX_BODY = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ReadView:
+    """One immutable, snapshot-consistent view of the service state.
+
+    Built by the writer after every solve and swapped in atomically;
+    every read endpoint answers from the view current at request time, so
+    a response is always internally consistent (assignment, energy and
+    version all describe the same solve) even while the next batch is
+    being applied.  The network/similarity/constraints members are
+    *copies* — what-if evaluation works on them without ever touching
+    live engine state.
+    """
+
+    version: int
+    events_applied: int
+    energy: float
+    lower_bound: float
+    certified_optimal: bool
+    warm: bool
+    stability: float
+    solve_seconds: float
+    values: Dict[Tuple[str, str], str]
+    network: Network
+    similarity: SimilarityTable
+    constraints: ConstraintSet
+    cost_model: Dict[str, object] = field(default_factory=dict)
+    shards_total: int = 1
+    shards_solved: int = 1
+
+    def assignment_payload(self) -> Dict[str, object]:
+        """The ``GET /assignment`` response body."""
+        nested: Dict[str, Dict[str, str]] = {}
+        for (host, service), product in sorted(self.values.items()):
+            nested.setdefault(host, {})[service] = product
+        return {
+            "version": self.version,
+            "events_applied": self.events_applied,
+            "energy": self.energy,
+            "lower_bound": self.lower_bound,
+            "certified_optimal": self.certified_optimal,
+            "warm": self.warm,
+            "stability": self.stability,
+            "hosts": len(self.network),
+            "links": self.network.edge_count(),
+            "assignment": nested,
+        }
+
+    def host_payload(self, host: str) -> Optional[Dict[str, object]]:
+        """The ``GET /hosts/<host>`` response body, or None if unknown."""
+        if host not in self.network:
+            return None
+        services = {}
+        for service in self.network.services_of(host):
+            services[service] = {
+                "assigned": self.values.get((host, service)),
+                "candidates": list(self.network.candidates(host, service)),
+            }
+        return {
+            "version": self.version,
+            "host": host,
+            "services": services,
+            "neighbors": self.network.neighbors(host),
+            "constraints": [
+                constraint.describe()
+                for constraint in self.constraints
+                if getattr(constraint, "host", None) == host
+            ],
+        }
+
+    def whatif_energy(self, changes: Mapping[str, Mapping[str, str]]) -> Dict[str, object]:
+        """The ``POST /energy`` evaluation: current assignment + overrides.
+
+        Builds the current assignment on the view's *copies*, applies the
+        ``{host: {service: product}}`` overrides, and evaluates the
+        paper's E(N) via :func:`repro.core.costs.assignment_energy` —
+        a pure read, the live plan is never touched.  Unknown hosts,
+        services or products raise ``ValueError`` (HTTP 400).
+
+        The baseline is re-evaluated with the same function rather than
+        taken from the solver-reported ``self.energy`` (whose summation
+        order differs by float round-off), so a no-op what-if reports a
+        delta of exactly ``0.0``.
+        """
+        assignment = ProductAssignment.from_decoded(self.network, self.values)
+        baseline = assignment_energy(
+            self.network,
+            self.similarity,
+            assignment,
+            constraints=self.constraints,
+            **self.cost_model,
+        )
+        changed = 0
+        for host, overrides in changes.items():
+            if host not in self.network:
+                raise ValueError(f"unknown host {host!r}")
+            for service, product in overrides.items():
+                assignment.assign(host, service, product)
+                changed += 1
+        if changed:
+            energy = assignment_energy(
+                self.network,
+                self.similarity,
+                assignment,
+                constraints=self.constraints,
+                **self.cost_model,
+            )
+        else:
+            energy = baseline
+        return {
+            "version": self.version,
+            "energy": energy,
+            "baseline_energy": baseline,
+            "delta": energy - baseline,
+            "changed": changed,
+            "feasible": bool(energy < HARD_COST),
+        }
+
+
+class DiversificationService:
+    """Asyncio daemon owning one live plan and answering traffic over HTTP.
+
+    Args:
+        network / similarity / constraints: the initial model state; the
+            service owns and mutates them as events stream in (pass copies
+            to keep originals).
+        config: every operational knob (:class:`ServiceConfig`).
+        engine: pre-built engine to adopt instead of constructing one —
+            the warm-restart path (:meth:`from_snapshot`) uses it.
+        events_applied: ingestion counter to resume from (restarts).
+
+    Use as::
+
+        service = DiversificationService(network, similarity, config=config)
+        asyncio.run(service.run())          # serve until SIGINT/SIGTERM
+
+    or drive the lifecycle explicitly in a running loop —
+    ``await service.start()`` … ``await service.shutdown()`` — which is
+    what the tests and benchmarks do.
+    """
+
+    def __init__(
+        self,
+        network: Optional[Network] = None,
+        similarity: Optional[SimilarityTable] = None,
+        config: Optional[ServiceConfig] = None,
+        constraints: Optional[ConstraintSet] = None,
+        engine: Optional[DynamicDiversifier] = None,
+        events_applied: int = 0,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if engine is None:
+            if network is None or similarity is None:
+                raise ValueError(
+                    "DiversificationService needs (network, similarity) "
+                    "or a pre-built engine"
+                )
+            engine = DynamicDiversifier(
+                network,
+                similarity,
+                solver=self.config.solver,
+                warm_start=self.config.warm_start,
+                sharded=self.config.sharded,
+                constraints=constraints,
+                **self.config.engine_options,
+            )
+        self._engine = engine
+        self.metrics = ServiceMetrics()
+        self.metrics.set_gauge("queue_high_water", self.config.high_water)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._view: Optional[ReadView] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-writer"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._stopped = asyncio.Event()
+        self._draining = False
+        self._shutting_down = False
+        self._solves = 0
+        self._inflight = 0
+        self._events_applied = events_applied
+        self._last_snapshot_path: Optional[str] = None
+
+    @classmethod
+    def from_snapshot(
+        cls, config: ServiceConfig, path: Optional[str] = None
+    ) -> "DiversificationService":
+        """Warm-restart a service from a snapshot directory.
+
+        ``path`` names one ``snap-<version>/`` directory; by default the
+        newest snapshot under ``config.snapshot_dir`` is used.  The first
+        solve after restart is warm (restored messages + labels), and the
+        ingestion counter resumes where the snapshot left it.
+        """
+        if path is None:
+            if not config.snapshots_enabled:
+                raise ValueError("config.snapshot_dir is not set")
+            found = latest_snapshot(config.snapshot_dir)  # type: ignore[arg-type]
+            if found is None:
+                raise ValueError(f"no snapshot under {config.snapshot_dir}")
+            path = str(found)
+        engine, snapshot = restore_engine(
+            path,
+            solver=config.solver,
+            warm_start=config.warm_start,
+            sharded=config.sharded,
+            **config.engine_options,
+        )
+        return cls(
+            config=config,
+            engine=engine,
+            events_applied=snapshot.events_applied,
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> int:
+        """The bound listen port (resolves port 0 after :meth:`start`)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def view(self) -> Optional[ReadView]:
+        """The current immutable read view (None before :meth:`start`)."""
+        return self._view
+
+    async def start(self) -> None:
+        """Run the initial solve, publish the first view, start serving."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._ingest, [])
+        self._writer_task = asyncio.create_task(self._writer_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+
+    async def run(self) -> None:
+        """Start, install signal handlers, serve until shutdown completes."""
+        await self.start()
+        await self.run_until_stopped()
+
+    async def run_until_stopped(self) -> None:
+        """After :meth:`start`: handle SIGINT/SIGTERM, block until stopped."""
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(self.shutdown()),
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain the queue, final snapshot, close the server.
+
+        Idempotent.  New events are refused (503) the moment draining
+        starts; everything already queued is still applied and solved, so
+        an acknowledged event is never lost by a clean shutdown.
+        """
+        if self._shutting_down:
+            await self._stopped.wait()
+            return
+        self._shutting_down = True
+        self._draining = True
+        await self._queue.put(_STOP)
+        if self._writer_task is not None:
+            await self._writer_task
+        loop = asyncio.get_running_loop()
+        if self.config.snapshots_enabled:
+            await loop.run_in_executor(self._executor, self._write_snapshot)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=True)
+        self._stopped.set()
+
+    # ------------------------------------------------------------ writer side
+
+    async def _writer_loop(self) -> None:
+        """The single writer: batch events off the queue, apply, solve."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            stop = item is _STOP
+            batch: List[Event] = [] if stop else [item]
+            while not stop and len(batch) < self.config.batch_max:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _STOP:
+                    stop = True
+                    break
+                batch.append(item)
+            if batch:
+                self._inflight = len(batch)
+                try:
+                    await loop.run_in_executor(self._executor, self._ingest, batch)
+                finally:
+                    self._inflight = 0
+                self.metrics.set_gauge("queue_depth", self._queue.qsize())
+            if stop:
+                # Drain whatever raced in behind the sentinel, then exit.
+                leftovers: List[Event] = []
+                while True:
+                    try:
+                        item = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if item is not _STOP:
+                        leftovers.append(item)
+                if leftovers:
+                    self._inflight = len(leftovers)
+                    try:
+                        await loop.run_in_executor(
+                            self._executor, self._ingest, leftovers
+                        )
+                    finally:
+                        self._inflight = 0
+                self.metrics.set_gauge("queue_depth", 0)
+                return
+
+    def _ingest(self, batch: List[Event]) -> None:
+        """Apply one batch and re-solve (writer thread only).
+
+        A bad event — e.g. removing a link that is already gone — fails
+        alone: it is counted and skipped, the rest of the batch applies.
+        After the solve the fresh :class:`ReadView` is swapped in and, when
+        due, a snapshot is written.
+        """
+        applied = 0
+        for event in batch:
+            try:
+                self._engine.apply(event)
+            except Exception:
+                self.metrics.inc("events_failed_total")
+            else:
+                applied += 1
+        result = self._engine.solve()
+        self._events_applied += applied
+        self._solves += 1
+        self.metrics.inc("events_applied_total", applied)
+        self.metrics.inc("solves_total")
+        self.metrics.inc(
+            "solves_warm_total" if result.warm else "solves_cold_total"
+        )
+        self.metrics.observe_solve(result.seconds)
+        plan = self._engine.plan
+        self.metrics.set_gauge("plan_nodes", plan.node_count)
+        self.metrics.set_gauge("plan_edges", plan.edge_count)
+        self._view = ReadView(
+            version=self._solves,
+            events_applied=self._events_applied,
+            energy=result.energy,
+            lower_bound=result.lower_bound,
+            certified_optimal=result.certified_optimal,
+            warm=result.warm,
+            stability=result.stability,
+            solve_seconds=result.seconds,
+            values=dict(result.assignment.as_dict()),
+            network=self._engine.network.copy(),
+            similarity=self._engine.similarity.copy(),
+            constraints=self._engine.constraints.copy(),
+            cost_model={
+                "unary_constant": plan.unary_constant,
+                "pairwise_weight": plan.pairwise_weight,
+                "service_weights": plan.service_weights or None,
+            },
+            shards_total=result.shards_total,
+            shards_solved=result.shards_solved,
+        )
+        if (
+            self.config.snapshots_enabled
+            and self.config.snapshot_every
+            and self._solves % self.config.snapshot_every == 0
+        ):
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        """Write a snapshot of the live engine (writer thread only)."""
+        if not self.config.snapshots_enabled:
+            return
+        view = self._view
+        path = save_snapshot(
+            self._engine,
+            self.config.snapshot_dir,  # type: ignore[arg-type]
+            version=self._solves,
+            events_applied=self._events_applied,
+            energy=view.energy if view is not None else None,
+        )
+        prune_snapshots(
+            self.config.snapshot_dir,  # type: ignore[arg-type]
+            self.config.keep_snapshots,
+        )
+        self._last_snapshot_path = str(path)
+        self.metrics.inc("snapshots_total")
+
+    # -------------------------------------------------------------- HTTP side
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One HTTP/1.1 exchange (``Connection: close`` semantics)."""
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, payload, headers = await self._route(method, path, body)
+            text = (
+                payload
+                if isinstance(payload, str)
+                else json.dumps(payload, indent=1) + "\n"
+            )
+            content_type = (
+                "text/plain; charset=utf-8"
+                if isinstance(payload, str)
+                else "application/json"
+            )
+            raw = text.encode()
+            head = [
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(raw)}",
+                "Connection: close",
+            ]
+            head.extend(f"{name}: {value}" for name, value in headers.items())
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + raw)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """Dispatch one request; returns (status, payload, extra headers)."""
+        no_headers: Dict[str, str] = {}
+        if method == "GET" and path == "/healthz":
+            return 200, self._health_payload(), no_headers
+        if method == "GET" and path == "/metrics":
+            return 200, self.metrics.render(), no_headers
+        if method == "GET" and path == "/assignment":
+            self.metrics.inc("reads_total")
+            view = self._view
+            if view is None:  # pragma: no cover - start() always publishes
+                return 503, {"error": "no solve yet"}, no_headers
+            return 200, view.assignment_payload(), no_headers
+        if method == "GET" and path.startswith("/hosts/"):
+            self.metrics.inc("reads_total")
+            view = self._view
+            if view is None:  # pragma: no cover
+                return 503, {"error": "no solve yet"}, no_headers
+            payload = view.host_payload(path[len("/hosts/") :])
+            if payload is None:
+                return 404, {"error": "unknown host"}, no_headers
+            return 200, payload, no_headers
+        if method == "POST" and path == "/energy":
+            return self._route_whatif(body)
+        if method == "POST" and path == "/events":
+            return self._route_events(body)
+        if method == "POST" and path == "/snapshot":
+            if not self.config.snapshots_enabled:
+                return 409, {"error": "snapshots are disabled"}, no_headers
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(self._executor, self._write_snapshot)
+            return 200, {"snapshot": self._last_snapshot_path}, no_headers
+        if method == "POST" and path == "/shutdown":
+            # refuse new events before the response even goes out — an
+            # event acknowledged after shutdown would race the drain
+            self._draining = True
+            asyncio.ensure_future(self.shutdown())
+            return 202, {"status": "draining"}, no_headers
+        return 404, {"error": f"no route {method} {path}"}, no_headers
+
+    def _route_events(
+        self, body: bytes
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """``POST /events``: decode, apply backpressure, enqueue."""
+        if self._draining:
+            return 503, {"error": "service is draining"}, {}
+        try:
+            payload = json.loads(body.decode() or "null")
+            entries = payload if isinstance(payload, list) else [payload]
+            events = [event_from_dict(entry) for entry in entries]
+        except (ValueError, UnicodeDecodeError) as problem:
+            return 400, {"error": str(problem)}, {}
+        depth = self._queue.qsize()
+        if depth + len(events) > self.config.high_water:
+            self.metrics.inc("events_rejected_total", len(events))
+            return (
+                429,
+                {
+                    "error": "ingestion queue past its high-water mark",
+                    "queue_depth": depth,
+                    "high_water": self.config.high_water,
+                },
+                {"Retry-After": f"{self.config.retry_after:g}"},
+            )
+        for event in events:
+            self._queue.put_nowait(event)
+        self.metrics.inc("events_ingested_total", len(events))
+        depth = self._queue.qsize()
+        self.metrics.set_gauge("queue_depth", depth)
+        return 202, {"queued": len(events), "queue_depth": depth}, {}
+
+    def _route_whatif(
+        self, body: bytes
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """``POST /energy``: what-if evaluation on the current view."""
+        self.metrics.inc("reads_total")
+        view = self._view
+        if view is None:  # pragma: no cover - start() always publishes
+            return 503, {"error": "no solve yet"}, {}
+        try:
+            payload = json.loads(body.decode() or "{}")
+            changes = payload.get("changes", {}) if isinstance(payload, dict) else None
+            if not isinstance(changes, dict):
+                raise ValueError(
+                    'body must be {"changes": {host: {service: product}}}'
+                )
+            return 200, view.whatif_energy(changes), {}
+        except (ValueError, UnicodeDecodeError, KeyError) as problem:
+            return 400, {"error": str(problem)}, {}
+
+    def _health_payload(self) -> Dict[str, object]:
+        """The ``GET /healthz`` body."""
+        view = self._view
+        depth = self._queue.qsize()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": view.version if view is not None else 0,
+            "events_applied": self._events_applied,
+            "queue_depth": depth,
+            "idle": depth == 0 and self._inflight == 0,
+            "solver": self._engine.solver_name,
+            "sharded": self.config.sharded,
+        }
+
+
+#: the subset of HTTP reason phrases the service emits.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
+}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one HTTP/1.x request: (method, path, body), or None on EOF.
+
+    Minimal by design: request line, headers (only ``Content-Length`` is
+    honoured), then the body.  Query strings are stripped from the path.
+    Oversized bodies raise ``ValueError`` → connection closed.
+    """
+    line = await reader.readline()
+    if not line or not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, target = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        header = await reader.readline()
+        if not header or header in (b"\r\n", b"\n"):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                length = 0
+    if length > _MAX_BODY:
+        raise ValueError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    path = target.partition("?")[0]
+    return method, path, body

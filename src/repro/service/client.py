@@ -1,0 +1,211 @@
+"""Blocking client helpers for the diversification service.
+
+:class:`ServiceClient` wraps the daemon's HTTP surface in plain method
+calls over :mod:`http.client` (stdlib, one connection per request) so
+scripts, tests, and benchmarks never hand-roll requests.  Backpressure is
+a first-class outcome: a 429 raises :class:`Backpressure` carrying the
+server's ``Retry-After``, and :meth:`ServiceClient.send` will sleep and
+retry on the caller's behalf.
+
+>>> from repro.stream.events import LinkAdd
+>>> ServiceClient.normalize_events([LinkAdd("h0", "h1"), {"type": "host_leave", "host": "h2"}])
+[{'type': 'link_add', 'a': 'h0', 'b': 'h1'}, {'type': 'host_leave', 'host': 'h2'}]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.stream.events import Event, event_to_dict
+
+__all__ = ["ServiceClient", "ServiceError", "Backpressure"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service (other than backpressure)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class Backpressure(ServiceError):
+    """A 429 from ``POST /events``; honours the server's ``Retry-After``."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Typed access to one running :class:`~repro.service.app.DiversificationService`.
+
+    Args:
+        host / port: where the daemon listens.
+        timeout: socket timeout (seconds) per request.
+
+    Every method performs one HTTP request and returns the decoded JSON
+    body (or raw text for ``/metrics``); error statuses raise
+    :class:`ServiceError` / :class:`Backpressure`.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8351, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @staticmethod
+    def normalize_events(
+        events: Iterable[Union[Event, Mapping[str, object]]],
+    ) -> List[Dict[str, object]]:
+        """Typed events and/or raw wire dicts → a list of wire dicts."""
+        normalized: List[Dict[str, object]] = []
+        for event in events:
+            if isinstance(event, Mapping):
+                normalized.append(dict(event))
+            else:
+                normalized.append(event_to_dict(event))
+        return normalized
+
+    # -------------------------------------------------------------- plumbing
+
+    def _request(
+        self, method: str, path: str, payload: Optional[object] = None
+    ):
+        """One request/response cycle; returns (status, headers, raw body)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, payload: Optional[object] = None):
+        """Request + decode, mapping error statuses onto exceptions."""
+        status, headers, raw = self._request(method, path, payload)
+        try:
+            decoded = json.loads(raw.decode() or "null")
+        except ValueError:
+            decoded = {"error": raw.decode(errors="replace")}
+        if status == 429:
+            retry_after = float(headers.get("Retry-After", 1.0))
+            message = decoded.get("error", "backpressure") if isinstance(decoded, dict) else "backpressure"
+            raise Backpressure(message, retry_after)
+        if status >= 400:
+            message = decoded.get("error", raw.decode(errors="replace")) if isinstance(decoded, dict) else str(decoded)
+            raise ServiceError(status, message)
+        return decoded
+
+    # ------------------------------------------------------------- ingestion
+
+    def post_events(
+        self, events: Iterable[Union[Event, Mapping[str, object]]]
+    ) -> Dict[str, object]:
+        """One ``POST /events`` with no retries; raises on 429."""
+        return self._json("POST", "/events", self.normalize_events(events))
+
+    def send(
+        self,
+        events: Iterable[Union[Event, Mapping[str, object]]],
+        chunk: int = 64,
+        max_wait: float = 60.0,
+    ) -> int:
+        """Deliver every event, chunking and honouring backpressure.
+
+        Splits the trace into ``chunk``-sized posts; on a 429 sleeps the
+        server's ``Retry-After`` and retries the same chunk, giving up
+        (re-raising :class:`Backpressure`) once ``max_wait`` seconds of
+        cumulative waiting is exceeded.  Returns the number of events
+        accepted.
+        """
+        wire = self.normalize_events(events)
+        accepted = 0
+        waited = 0.0
+        position = 0
+        while position < len(wire):
+            piece = wire[position : position + chunk]
+            try:
+                self._json("POST", "/events", piece)
+            except Backpressure as pushback:
+                if waited >= max_wait:
+                    raise
+                pause = min(pushback.retry_after, max_wait - waited)
+                time.sleep(pause)
+                waited += pause
+                continue
+            accepted += len(piece)
+            position += chunk
+        return accepted
+
+    # ----------------------------------------------------------------- reads
+
+    def healthz(self) -> Dict[str, object]:
+        """``GET /healthz``."""
+        return self._json("GET", "/healthz")
+
+    def assignment(self) -> Dict[str, object]:
+        """``GET /assignment`` — the full current-view payload."""
+        return self._json("GET", "/assignment")
+
+    def host_view(self, name: str) -> Dict[str, object]:
+        """``GET /hosts/<name>`` — one host's services and constraints."""
+        return self._json("GET", f"/hosts/{name}")
+
+    def what_if(
+        self, changes: Mapping[str, Mapping[str, str]]
+    ) -> Dict[str, object]:
+        """``POST /energy`` — evaluate overrides against the current view."""
+        return self._json("POST", "/energy", {"changes": dict(changes)})
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw Prometheus exposition text."""
+        status, _, raw = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(status, raw.decode(errors="replace"))
+        return raw.decode()
+
+    # ------------------------------------------------------------ operations
+
+    def snapshot(self) -> Dict[str, object]:
+        """``POST /snapshot`` — force a snapshot to disk now."""
+        return self._json("POST", "/snapshot")
+
+    def shutdown(self) -> Dict[str, object]:
+        """``POST /shutdown`` — begin the graceful drain."""
+        return self._json("POST", "/shutdown")
+
+    def wait_idle(
+        self, timeout: float = 30.0, poll: float = 0.02
+    ) -> Dict[str, object]:
+        """Poll ``/healthz`` until the service reports itself idle.
+
+        Idle means the ingestion queue is empty *and* no batch is being
+        applied, so the current view reflects every accepted event.
+        Returns the final health payload; raises :class:`TimeoutError`
+        if the service is still busy after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            health = self.healthz()
+            if health.get("idle"):
+                return health
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"queue still at depth {health.get('queue_depth')} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)

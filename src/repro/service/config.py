@@ -1,0 +1,99 @@
+"""Configuration of the always-on diversification service.
+
+:class:`ServiceConfig` bundles every operational knob of the ``repro
+serve`` daemon — where to listen, how ingestion backpressure behaves, how
+events batch into solves, and when plan snapshots land on disk — with the
+validation done once at construction, so a bad flag fails at startup, not
+mid-traffic.  ``docs/service.md`` documents each knob from the operator's
+side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Operational knobs of a :class:`~repro.service.app.DiversificationService`.
+
+    Attributes:
+        host / port: HTTP listen address.  Port 0 binds an ephemeral port
+            (the bound port is reported by ``DiversificationService.port``)
+            — the form the tests and benchmarks use.
+        solver: ``"trws"`` (default) or ``"bp"`` — forwarded to the
+            underlying :class:`~repro.stream.incremental.DynamicDiversifier`.
+        sharded: re-solve only the connected-component shards each batch
+            touches (the engine's ``sharded=True`` mode).
+        warm_start: disable to force a cold rebuild+solve per batch — the
+            measurement baseline, never the production setting.
+        batch_max: events drained from the ingestion queue per solve.  The
+            writer always takes everything already queued (up to this cap)
+            before solving once, so bursts amortise the re-solve instead
+            of paying one per event.
+        high_water: ingestion backpressure threshold.  While the queue
+            holds this many pending events, ``POST /events`` answers
+            ``429 Too Many Requests`` with a ``Retry-After`` header
+            instead of queueing more.
+        retry_after: the ``Retry-After`` value (seconds) of a 429.
+        snapshot_dir: directory for plan snapshots (created on demand).
+            ``None`` disables snapshotting entirely, including the
+            shutdown snapshot.
+        snapshot_every: write a snapshot every N solves (0 = only the
+            graceful-shutdown snapshot).
+        keep_snapshots: retention — older snapshots beyond this many are
+            deleted after each successful write.
+        engine_options: extra keyword arguments forwarded verbatim to
+            :class:`~repro.stream.incremental.DynamicDiversifier`
+            (``rebuild_fraction``, ``warm_iterations``, cost model, ...).
+
+    >>> config = ServiceConfig(port=0, batch_max=16)
+    >>> config.high_water
+    1024
+    >>> ServiceConfig(batch_max=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: batch_max must be >= 1
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8351
+    solver: str = "trws"
+    sharded: bool = False
+    warm_start: bool = True
+    batch_max: int = 64
+    high_water: int = 1024
+    retry_after: float = 1.0
+    snapshot_dir: Optional[Union[str, Path]] = None
+    snapshot_every: int = 0
+    keep_snapshots: int = 3
+    engine_options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.solver not in ("trws", "bp"):
+            raise ValueError(
+                f"solver must be 'trws' or 'bp', got {self.solver!r}"
+            )
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.high_water < 1:
+            raise ValueError("high_water must be >= 1")
+        if self.retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
+        if self.keep_snapshots < 1:
+            raise ValueError("keep_snapshots must be >= 1")
+        if self.snapshot_dir is not None:
+            self.snapshot_dir = Path(self.snapshot_dir)
+
+    @property
+    def snapshots_enabled(self) -> bool:
+        """True when a snapshot directory is configured."""
+        return self.snapshot_dir is not None

@@ -1,0 +1,128 @@
+"""Operational metrics of the diversification service.
+
+:class:`ServiceMetrics` is a tiny in-process registry — counters, gauges
+and one fixed-bucket latency histogram — rendered in the Prometheus text
+exposition format by :meth:`ServiceMetrics.render` (the body of ``GET
+/metrics``).  No client library: the format is five lines of string
+building, and the service has exactly one exporter.  All methods are
+thread-safe; the writer thread records solves while the event loop renders
+scrapes.
+
+``docs/service.md`` carries the metric glossary.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+__all__ = ["ServiceMetrics", "SOLVE_BUCKETS"]
+
+#: upper bounds (seconds) of the solve-latency histogram buckets; the
+#: terminal +inf bucket is implicit.  Spans sub-millisecond warm re-solves
+#: of small shards up to multi-second cold rebuilds of large estates.
+SOLVE_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: counter names pre-registered so ``/metrics`` always exposes the full
+#: glossary (a counter that never fired still scrapes as 0).
+_COUNTERS = (
+    "events_ingested_total",
+    "events_rejected_total",
+    "events_failed_total",
+    "events_applied_total",
+    "solves_total",
+    "solves_warm_total",
+    "solves_cold_total",
+    "reads_total",
+    "snapshots_total",
+)
+
+_GAUGES = ("queue_depth", "queue_high_water", "plan_nodes", "plan_edges")
+
+_PREFIX = "repro_"
+
+
+class ServiceMetrics:
+    """Thread-safe counters, gauges and a solve-latency histogram.
+
+    >>> metrics = ServiceMetrics()
+    >>> metrics.inc("solves_total")
+    >>> metrics.observe_solve(0.003)
+    >>> metrics.counters()["solves_total"]
+    1
+    >>> 'repro_solves_total 1' in metrics.render()
+    True
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in _COUNTERS}
+        self._gauges: Dict[str, float] = {name: 0.0 for name in _GAUGES}
+        self._buckets: List[int] = [0] * (len(SOLVE_BUCKETS) + 1)
+        self._solve_sum = 0.0
+        self._solve_count = 0
+
+    # ------------------------------------------------------------- recording
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add to a counter (created on first use if unregistered)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge to an absolute value."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe_solve(self, seconds: float) -> None:
+        """Record one solve latency into the histogram."""
+        with self._lock:
+            for position, bound in enumerate(SOLVE_BUCKETS):
+                if seconds <= bound:
+                    self._buckets[position] += 1
+                    break
+            else:
+                self._buckets[-1] += 1
+            self._solve_sum += seconds
+            self._solve_count += 1
+
+    # --------------------------------------------------------------- reading
+
+    def counters(self) -> Dict[str, int]:
+        """A point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counters)
+
+    def render(self) -> str:
+        """The Prometheus text-format exposition (the ``/metrics`` body).
+
+        Counters and gauges render as ``repro_<name> <value>``; the solve
+        histogram renders cumulatively as ``repro_solve_seconds_bucket``
+        with ``le`` labels plus the ``_sum``/``_count`` pair.
+        """
+        with self._lock:
+            lines = []
+            for name in sorted(self._counters):
+                lines.append(f"# TYPE {_PREFIX}{name} counter")
+                lines.append(f"{_PREFIX}{name} {self._counters[name]}")
+            for name in sorted(self._gauges):
+                value = self._gauges[name]
+                rendered = int(value) if float(value).is_integer() else value
+                lines.append(f"# TYPE {_PREFIX}{name} gauge")
+                lines.append(f"{_PREFIX}{name} {rendered}")
+            lines.append(f"# TYPE {_PREFIX}solve_seconds histogram")
+            cumulative = 0
+            for bound, count in zip(SOLVE_BUCKETS, self._buckets):
+                cumulative += count
+                lines.append(
+                    f'{_PREFIX}solve_seconds_bucket{{le="{bound}"}} {cumulative}'
+                )
+            cumulative += self._buckets[-1]
+            lines.append(
+                f'{_PREFIX}solve_seconds_bucket{{le="+Inf"}} {cumulative}'
+            )
+            lines.append(f"{_PREFIX}solve_seconds_sum {self._solve_sum:.6f}")
+            lines.append(f"{_PREFIX}solve_seconds_count {self._solve_count}")
+            return "\n".join(lines) + "\n"

@@ -1,0 +1,446 @@
+"""Versioned plan snapshots: save a live engine, warm-restart it later.
+
+A snapshot captures everything a :class:`~repro.stream.incremental.
+DynamicDiversifier` needs to resume exactly where it stopped:
+
+* the **model state** — network, similarity table and operator constraint
+  set (JSON, the human-auditable part);
+* the **plan parts** — padded unary stack, edge arrays, the deduplicated
+  cost-matrix stack and the stream bookkeeping (edge keys, matrix meta,
+  combination cost ids) that maps future events onto them;
+* the **solver state** — the directed-message array and the
+  previous-solution labels that make the first post-restart solve *warm*.
+
+Restoring rebuilds the :class:`~repro.stream.plan.StreamPlan` from the
+saved parts (no recompile), so the plan arrays are **byte-identical** to
+the saved ones and the next warm solve is bit-for-bit the solve a
+never-restarted engine would have run — the restart-parity contract
+asserted in ``tests/test_service.py``.
+
+Layout (format ``schema = 1``): one ``snap-<version>/`` directory per
+snapshot holding ``meta.json`` (model state + bookkeeping) and
+``arrays.npz`` (the NumPy blocks).  Directories are written under a
+temporary name and renamed into place, so a crash mid-write never leaves a
+half snapshot where :func:`latest_snapshot` would find it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.mrf.vectorized import MRFArrays
+from repro.network.constraints import ConstraintSet
+from repro.network.io import network_from_json, network_to_json
+from repro.network.model import Network
+from repro.nvd.similarity import SimilarityTable
+from repro.stream.incremental import DynamicDiversifier
+from repro.stream.plan import StreamPlan
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "Snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "restore_plan",
+    "restore_engine",
+    "latest_snapshot",
+    "prune_snapshots",
+]
+
+#: on-disk format version; bump on breaking layout changes.
+SNAPSHOT_SCHEMA = 1
+
+_META_NAME = "meta.json"
+_ARRAYS_NAME = "arrays.npz"
+_PREFIX = "snap-"
+
+
+@dataclass
+class Snapshot:
+    """One loaded snapshot: model state, plan parts and solver state.
+
+    The in-memory form of a ``snap-<version>/`` directory, as
+    :func:`load_snapshot` returns it and :func:`restore_plan` /
+    :func:`restore_engine` consume it.  ``meta`` keeps the raw
+    ``meta.json`` payload (cost model, bookkeeping, counters).
+    """
+
+    version: int
+    network: Network
+    similarity: SimilarityTable
+    constraints: ConstraintSet
+    meta: Dict[str, object]
+    unaries: List[np.ndarray]
+    edge_first: np.ndarray
+    edge_second: np.ndarray
+    edge_cid: np.ndarray
+    matrices: List[np.ndarray]
+    messages: np.ndarray
+    labels: Optional[np.ndarray]
+    lmax: int
+
+    @property
+    def events_applied(self) -> int:
+        """Events the saved engine had ingested when the snapshot ran."""
+        return int(self.meta.get("events_applied", 0))
+
+
+# ---------------------------------------------------------------------- save
+
+
+def save_snapshot(
+    engine: DynamicDiversifier,
+    directory: Union[str, Path],
+    version: int,
+    events_applied: int = 0,
+    energy: Optional[float] = None,
+) -> Path:
+    """Write one snapshot of a live engine; returns the snapshot path.
+
+    Flushes pending structural deltas first (the saved plan is always the
+    materialised one), then writes ``meta.json`` + ``arrays.npz`` into
+    ``directory/snap-<version>/`` via a temp-dir rename, so readers never
+    observe a partial snapshot.  The engine is not otherwise disturbed —
+    message state, labels and dirty counters stay live.
+    """
+    plan = engine.plan
+    plan.flush()
+    plan.pad_messages()
+    lmax = int(plan.messages.shape[1]) if plan.messages.size else plan.plan.lmax
+    lmax = max(lmax, plan.plan.lmax)
+
+    counts = np.asarray([len(u) for u in plan._unaries], dtype=np.int64)
+    unary = np.zeros((len(counts), lmax))
+    for node, vector in enumerate(plan._unaries):
+        unary[node, : len(vector)] = vector
+    mat_shapes = np.asarray(
+        [m.shape for m in plan._matrices], dtype=np.int64
+    ).reshape(len(plan._matrices), 2)
+    mat_data = (
+        np.concatenate([m.ravel() for m in plan._matrices])
+        if plan._matrices
+        else np.zeros(0)
+    )
+    labels = plan.labels
+    meta = {
+        "schema": SNAPSHOT_SCHEMA,
+        "version": int(version),
+        "created_unix": int(time.time()),
+        "solver": engine.solver_name,
+        "events_applied": int(events_applied),
+        "energy": None if energy is None else float(energy),
+        "has_labels": labels is not None,
+        "unary_constant": plan.unary_constant,
+        "pairwise_weight": plan.pairwise_weight,
+        "service_weights": plan.service_weights,
+        "network": json.loads(
+            network_to_json(plan.network, plan.constraints)
+        ),
+        "similarity": _similarity_to_dict(plan.similarity),
+        "variables": [list(variable) for variable in plan.variables],
+        "edge_keys": [
+            [list(link), list(tag) if isinstance(tag, tuple) else tag]
+            for link, tag in plan._edge_keys
+        ],
+        "matrix_meta": [
+            [list(range_a), list(range_b), weight]
+            for range_a, range_b, weight in plan._matrix_meta
+        ],
+        "combo_cids": [
+            [host, svc_lo, svc_hi, int(cid)]
+            for (host, svc_lo, svc_hi), cid in plan._combo_cids.items()
+        ],
+    }
+
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    target = root / f"{_PREFIX}{int(version):08d}"
+    staging = root / f".{target.name}.tmp"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        (staging / _META_NAME).write_text(json.dumps(meta, indent=1))
+        np.savez(
+            staging / _ARRAYS_NAME,
+            unary=unary,
+            label_counts=counts,
+            lmax=np.asarray([lmax], dtype=np.int64),
+            edge_first=np.asarray(plan._edge_first, dtype=np.int64),
+            edge_second=np.asarray(plan._edge_second, dtype=np.int64),
+            edge_cid=np.asarray(plan._edge_cid, dtype=np.int64),
+            mat_shapes=mat_shapes,
+            mat_data=mat_data,
+            messages=plan.messages,
+            labels=(
+                labels if labels is not None else np.zeros(0, dtype=np.int64)
+            ),
+        )
+        if target.exists():
+            shutil.rmtree(target)
+        os.replace(staging, target)
+    finally:
+        if staging.exists():  # pragma: no cover - crash-path hygiene
+            shutil.rmtree(staging)
+    return target
+
+
+# ---------------------------------------------------------------------- load
+
+
+def load_snapshot(path: Union[str, Path]) -> Snapshot:
+    """Read one ``snap-<version>/`` directory back into a :class:`Snapshot`.
+
+    Validates the format version; raises ``ValueError`` on unknown schemas
+    or malformed layouts (missing files, inconsistent array sizes).
+    """
+    root = Path(path)
+    meta_path = root / _META_NAME
+    arrays_path = root / _ARRAYS_NAME
+    if not meta_path.exists() or not arrays_path.exists():
+        raise ValueError(f"{root} is not a snapshot directory")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("schema") != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"snapshot schema {meta.get('schema')!r} unsupported "
+            f"(this build reads schema {SNAPSHOT_SCHEMA})"
+        )
+    network, constraints = network_from_json(json.dumps(meta["network"]))
+    similarity = _similarity_from_dict(meta["similarity"])
+
+    with np.load(arrays_path) as blob:
+        counts = blob["label_counts"]
+        unary = blob["unary"]
+        unaries = [
+            unary[node, : int(count)].copy()
+            for node, count in enumerate(counts)
+        ]
+        shapes = blob["mat_shapes"]
+        data = blob["mat_data"]
+        matrices: List[np.ndarray] = []
+        offset = 0
+        for rows, cols in shapes:
+            size = int(rows) * int(cols)
+            matrices.append(
+                data[offset : offset + size].reshape(int(rows), int(cols)).copy()
+            )
+            offset += size
+        if offset != data.size:
+            raise ValueError("snapshot matrix block size mismatch")
+        labels = blob["labels"].astype(np.int64)
+        snapshot = Snapshot(
+            version=int(meta["version"]),
+            network=network,
+            similarity=similarity,
+            constraints=constraints,
+            meta=meta,
+            unaries=unaries,
+            edge_first=blob["edge_first"].astype(np.int64),
+            edge_second=blob["edge_second"].astype(np.int64),
+            edge_cid=blob["edge_cid"].astype(np.int64),
+            matrices=matrices,
+            messages=blob["messages"].copy(),
+            labels=labels if meta.get("has_labels") else None,
+            lmax=int(blob["lmax"][0]),
+        )
+    if len(snapshot.edge_first) * 2 != len(snapshot.messages):
+        raise ValueError("snapshot message block does not match edge count")
+    return snapshot
+
+
+def restore_plan(snapshot: Snapshot, track_touched: bool = True) -> StreamPlan:
+    """Reconstruct the live :class:`StreamPlan` a snapshot captured.
+
+    Builds the plan straight from the saved parts — **no recompile** — so
+    every plan array is byte-identical to the saved one, and the message
+    and label state resume exactly.  The returned plan is fully live:
+    future events patch it the same way they would have patched the
+    original.
+    """
+    meta = snapshot.meta
+    plan = StreamPlan.__new__(StreamPlan)
+    plan.network = snapshot.network
+    plan.similarity = snapshot.similarity
+    plan.constraints = snapshot.constraints
+    plan.unary_constant = float(meta["unary_constant"])
+    plan.pairwise_weight = float(meta["pairwise_weight"])
+    plan.service_weights = dict(meta.get("service_weights") or {})
+    plan.track_touched = track_touched
+
+    plan.touched = set()
+    plan.variables = [
+        (str(host), str(service)) for host, service in meta["variables"]
+    ]
+    plan.index = {variable: n for n, variable in enumerate(plan.variables)}
+    plan.candidates = [
+        snapshot.network.candidates(host, service)
+        for host, service in plan.variables
+    ]
+    plan._unaries = list(snapshot.unaries)
+    plan._matrices = list(snapshot.matrices)
+    plan._matrix_meta = [
+        (tuple(range_a), tuple(range_b), float(weight))
+        for range_a, range_b, weight in meta["matrix_meta"]
+    ]
+    plan._matrix_ids = {
+        key: cid for cid, key in enumerate(plan._matrix_meta) if key[0]
+    }
+    plan._edge_keys = [
+        (
+            (str(link[0]), str(link[1])),
+            tuple(tag) if isinstance(tag, list) else str(tag),
+        )
+        for link, tag in meta["edge_keys"]
+    ]
+    plan._combo_cids = {
+        (str(host), str(svc_lo), str(svc_hi)): int(cid)
+        for host, svc_lo, svc_hi, cid in meta.get("combo_cids", ())
+    }
+    plan._edge_first = snapshot.edge_first.tolist()
+    plan._edge_second = snapshot.edge_second.tolist()
+    plan._edge_cid = snapshot.edge_cid.tolist()
+
+    plan.plan = MRFArrays.from_parts(
+        plan._unaries,
+        snapshot.edge_first,
+        snapshot.edge_second,
+        snapshot.edge_cid,
+        plan._matrices,
+        lmax=snapshot.lmax,
+    )
+    plan.messages = snapshot.messages.copy()
+    plan.labels = (
+        snapshot.labels.copy() if snapshot.labels is not None else None
+    )
+    plan._edges_dirty = False
+    plan._nodes_dirty = False
+    plan.reset_dirty_counters()
+    return plan
+
+
+def restore_engine(
+    path: Union[str, Path],
+    solver: Optional[str] = None,
+    warm_start: bool = True,
+    sharded: bool = False,
+    **engine_options,
+) -> Tuple[DynamicDiversifier, Snapshot]:
+    """Warm-restart an engine from a snapshot directory.
+
+    Loads the snapshot, builds a :class:`DynamicDiversifier` over the
+    restored network/similarity/constraints with the saved cost model, and
+    swaps in the restored plan + message + label state, so the first
+    :meth:`~DynamicDiversifier.solve` after a restart is warm.  ``solver``
+    defaults to the one the snapshot was taken with; ``engine_options``
+    are forwarded to the engine (``rebuild_fraction``, ...).
+
+    Returns ``(engine, snapshot)`` — the snapshot carries the counters
+    (``events_applied``) a resuming service continues from.
+    """
+    snapshot = load_snapshot(path)
+    meta = snapshot.meta
+    engine = DynamicDiversifier(
+        snapshot.network,
+        snapshot.similarity,
+        solver=solver or str(meta["solver"]),
+        warm_start=warm_start,
+        unary_constant=float(meta["unary_constant"]),
+        pairwise_weight=float(meta["pairwise_weight"]),
+        service_weights=dict(meta.get("service_weights") or {}) or None,
+        constraints=snapshot.constraints,
+        sharded=sharded,
+        **engine_options,
+    )
+    engine.plan = restore_plan(snapshot, track_touched=sharded)
+    engine._previous = (
+        engine.plan.assignment_values(snapshot.labels)
+        if snapshot.labels is not None
+        else None
+    )
+    engine._shard_cache.clear()
+    return engine, snapshot
+
+
+# ----------------------------------------------------------------- directory
+
+
+def latest_snapshot(directory: Union[str, Path]) -> Optional[Path]:
+    """The highest-versioned snapshot in a directory, or None when empty."""
+    root = Path(directory)
+    if not root.is_dir():
+        return None
+    best: Optional[Path] = None
+    best_version = -1
+    for entry in root.iterdir():
+        version = _snapshot_version(entry)
+        if version is not None and version > best_version:
+            best, best_version = entry, version
+    return best
+
+
+def prune_snapshots(directory: Union[str, Path], keep: int) -> List[Path]:
+    """Delete all but the newest ``keep`` snapshots; returns what was removed."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    snapshots = sorted(
+        (entry for entry in root.iterdir() if _snapshot_version(entry) is not None),
+        key=lambda entry: _snapshot_version(entry) or 0,
+    )
+    removed = []
+    for entry in snapshots[: max(0, len(snapshots) - keep)]:
+        shutil.rmtree(entry)
+        removed.append(entry)
+    return removed
+
+
+def _snapshot_version(path: Path) -> Optional[int]:
+    """Parse ``snap-<version>`` directory names; None for anything else."""
+    if not path.is_dir() or not path.name.startswith(_PREFIX):
+        return None
+    try:
+        return int(path.name[len(_PREFIX) :])
+    except ValueError:
+        return None
+
+
+# ------------------------------------------------------------------ internal
+
+
+def _similarity_to_dict(table: SimilarityTable) -> Dict[str, object]:
+    """JSON form of a similarity table (products, pairs, counts)."""
+    return {
+        "products": table.products,
+        "pairs": [
+            [a, b, value] for (a, b), value in sorted(table._pairs.items())
+        ],
+        "vulnerability_counts": dict(table.vulnerability_counts),
+        "shared_counts": [
+            [a, b, count]
+            for (a, b), count in sorted(table.shared_counts.items())
+        ],
+    }
+
+
+def _similarity_from_dict(payload: Dict[str, object]) -> SimilarityTable:
+    """Inverse of :func:`_similarity_to_dict`."""
+    table = SimilarityTable(
+        products=[str(p) for p in payload.get("products", ())],
+        vulnerability_counts={
+            str(k): int(v)
+            for k, v in (payload.get("vulnerability_counts") or {}).items()
+        },
+    )
+    for a, b, value in payload.get("pairs", ()):
+        table.set(str(a), str(b), float(value))
+    for a, b, count in payload.get("shared_counts", ()):
+        table.shared_counts[(str(a), str(b))] = int(count)
+    return table

@@ -33,6 +33,8 @@ from repro.stream.events import (
     UnpinService,
     apply_constraint_event,
     apply_event,
+    event_from_dict,
+    event_to_dict,
     random_churn_trace,
 )
 from repro.stream.incremental import DynamicDiversifier, StreamSolveResult
@@ -59,6 +61,8 @@ __all__ = [
     "UnpinService",
     "apply_constraint_event",
     "apply_event",
+    "event_from_dict",
+    "event_to_dict",
     "random_churn_trace",
     "replay_trace",
 ]

@@ -70,6 +70,8 @@ __all__ = [
     "ConstraintEvent",
     "apply_event",
     "apply_constraint_event",
+    "event_to_dict",
+    "event_from_dict",
     "ChurnConfig",
     "random_churn_trace",
 ]
@@ -344,6 +346,167 @@ def apply_event(
         apply_constraint_event(network, constraints, event)
     else:  # pragma: no cover - type escape hatch
         raise TypeError(f"unknown event {event!r}")
+
+
+# ------------------------------------------------------------------- codec
+
+#: wire name of each event class (the ``type`` field of the JSON form).
+_EVENT_TYPES = {
+    HostJoin: "host_join",
+    HostLeave: "host_leave",
+    LinkAdd: "link_add",
+    LinkRemove: "link_remove",
+    SimilarityUpdate: "similarity",
+    PinService: "pin",
+    UnpinService: "unpin",
+    ForbidRange: "forbid",
+    AllowRange: "allow",
+    CombinationUpdate: "combination",
+}
+
+
+def event_to_dict(event: Event) -> Dict[str, object]:
+    """The JSON-ready dict form of a churn event.
+
+    Every typed event maps 1:1 onto a plain dict keyed by a ``type``
+    field — the wire format of the ``repro serve`` ingestion endpoint
+    (``POST /events``) and of persisted event logs.
+    :func:`event_from_dict` inverts it exactly.
+
+    >>> event_to_dict(LinkAdd(a="web", b="hmi"))
+    {'type': 'link_add', 'a': 'web', 'b': 'hmi'}
+    >>> event_to_dict(PinService("web", "os", "ubuntu"))
+    {'type': 'pin', 'host': 'web', 'service': 'os', 'product': 'ubuntu'}
+    """
+    if isinstance(event, HostJoin):
+        return {
+            "type": "host_join",
+            "host": event.host,
+            "services": [
+                [service, list(products)]
+                for service, products in event.services
+            ],
+            "links": list(event.links),
+        }
+    if isinstance(event, HostLeave):
+        return {"type": "host_leave", "host": event.host}
+    if isinstance(event, (LinkAdd, LinkRemove)):
+        return {"type": _EVENT_TYPES[type(event)], "a": event.a, "b": event.b}
+    if isinstance(event, SimilarityUpdate):
+        return {
+            "type": "similarity",
+            "product_a": event.product_a,
+            "product_b": event.product_b,
+            "value": event.value,
+        }
+    if isinstance(event, (PinService, ForbidRange, AllowRange)):
+        return {
+            "type": _EVENT_TYPES[type(event)],
+            "host": event.host,
+            "service": event.service,
+            "product": event.product,
+        }
+    if isinstance(event, UnpinService):
+        return {"type": "unpin", "host": event.host, "service": event.service}
+    if isinstance(event, CombinationUpdate):
+        constraint = event.constraint
+        kind = "avoid" if isinstance(constraint, AvoidCombination) else "require"
+        partner = (
+            constraint.product_k
+            if isinstance(constraint, AvoidCombination)
+            else constraint.product_l
+        )
+        return {
+            "type": "combination",
+            "add": event.add,
+            "kind": kind,
+            "host": constraint.host,
+            "service_m": constraint.service_m,
+            "product_j": constraint.product_j,
+            "service_n": constraint.service_n,
+            "partner": partner,
+        }
+    raise TypeError(f"unknown event {event!r}")
+
+
+def event_from_dict(payload: Dict[str, object]) -> Event:
+    """Parse the dict form of a churn event back into its typed class.
+
+    The exact inverse of :func:`event_to_dict`; unknown ``type`` values
+    and missing fields raise ``ValueError`` (the ingestion endpoint turns
+    those into HTTP 400, naming the offending field).
+
+    >>> event_from_dict({"type": "link_add", "a": "web", "b": "hmi"})
+    LinkAdd(a='web', b='hmi')
+    >>> event = SimilarityUpdate("mysql", "mssql", 0.25)
+    >>> event_from_dict(event_to_dict(event)) == event
+    True
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"event must be a JSON object, got {type(payload).__name__}")
+    kind = payload.get("type")
+    try:
+        if kind == "host_join":
+            return HostJoin(
+                host=str(payload["host"]),
+                services=tuple(
+                    (str(service), tuple(str(p) for p in products))
+                    for service, products in payload["services"]
+                ),
+                links=tuple(str(peer) for peer in payload.get("links", ())),
+            )
+        if kind == "host_leave":
+            return HostLeave(host=str(payload["host"]))
+        if kind == "link_add":
+            return LinkAdd(a=str(payload["a"]), b=str(payload["b"]))
+        if kind == "link_remove":
+            return LinkRemove(a=str(payload["a"]), b=str(payload["b"]))
+        if kind == "similarity":
+            return SimilarityUpdate(
+                product_a=str(payload["product_a"]),
+                product_b=str(payload["product_b"]),
+                value=float(payload["value"]),  # type: ignore[arg-type]
+            )
+        if kind == "pin":
+            return PinService(
+                str(payload["host"]), str(payload["service"]),
+                str(payload["product"]),
+            )
+        if kind == "unpin":
+            return UnpinService(str(payload["host"]), str(payload["service"]))
+        if kind == "forbid":
+            return ForbidRange(
+                str(payload["host"]), str(payload["service"]),
+                str(payload["product"]),
+            )
+        if kind == "allow":
+            return AllowRange(
+                str(payload["host"]), str(payload["service"]),
+                str(payload["product"]),
+            )
+        if kind == "combination":
+            combo_kind = payload["kind"]
+            if combo_kind not in ("require", "avoid"):
+                raise ValueError(
+                    f"combination kind must be 'require' or 'avoid', "
+                    f"got {combo_kind!r}"
+                )
+            cls = (
+                AvoidCombination if combo_kind == "avoid" else RequireCombination
+            )
+            constraint = cls(
+                str(payload["host"]),
+                str(payload["service_m"]), str(payload["product_j"]),
+                str(payload["service_n"]), str(payload["partner"]),
+            )
+            return CombinationUpdate(
+                constraint=constraint, add=bool(payload.get("add", True))
+            )
+    except (KeyError, TypeError) as problem:
+        raise ValueError(
+            f"malformed {kind!r} event: bad or missing field ({problem})"
+        ) from None
+    raise ValueError(f"unknown event type {kind!r}")
 
 
 # ------------------------------------------------------------------ traces

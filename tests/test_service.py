@@ -1,0 +1,235 @@
+"""Tests for the service layer's offline pieces: event codec, config,
+metrics, and on-disk snapshots (byte-identical restore + warm parity)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.network.generator import (
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+from repro.service import (
+    SNAPSHOT_SCHEMA,
+    ServiceConfig,
+    ServiceMetrics,
+    latest_snapshot,
+    load_snapshot,
+    prune_snapshots,
+    restore_engine,
+    restore_plan,
+    save_snapshot,
+)
+from repro.stream import (
+    ChurnConfig,
+    DynamicDiversifier,
+    event_from_dict,
+    event_to_dict,
+    random_churn_trace,
+)
+
+
+def workload(hosts=24, degree=2, services=2, pps=4, seed=0):
+    config = RandomNetworkConfig(
+        hosts=hosts, degree=degree, services=services,
+        products_per_service=pps, similarity_density=0.3, seed=seed,
+    )
+    return random_network(config), random_similarity(config)
+
+
+def churny_engine(events=10, seed=0, constraint_weight=0.3, **options):
+    """An engine that has lived through a trace (plan patched in place)."""
+    network, similarity = workload(seed=seed)
+    trace = random_churn_trace(
+        network,
+        ChurnConfig(events=events, seed=seed, constraint_weight=constraint_weight),
+    )
+    engine = DynamicDiversifier(network, similarity, **options)
+    engine.solve()
+    for event in trace:
+        engine.apply(event)
+        engine.solve()
+    return engine, trace
+
+
+class TestEventCodec:
+    def test_round_trip_every_type(self):
+        network, _ = workload()
+        trace = random_churn_trace(
+            network,
+            ChurnConfig(events=60, seed=4, constraint_weight=0.5),
+        )
+        seen = set()
+        for event in trace:
+            wire = event_to_dict(event)
+            seen.add(wire["type"])
+            again = event_from_dict(json.loads(json.dumps(wire)))
+            assert event_to_dict(again) == wire
+            assert type(again) is type(event)
+
+        assert "link_add" in seen or "link_remove" in seen
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            event_from_dict({"type": "reboot"})
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"type": "link_add", "a": "h0"})
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ValueError):
+            event_from_dict(["link_add"])
+
+
+class TestServiceConfig:
+    def test_defaults_are_valid(self):
+        config = ServiceConfig()
+        assert config.port == 8351
+        assert not config.snapshots_enabled
+
+    def test_snapshot_dir_coerced_to_path(self, tmp_path):
+        config = ServiceConfig(snapshot_dir=str(tmp_path))
+        assert config.snapshots_enabled
+        assert config.snapshot_dir == tmp_path
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"port": -1},
+            {"port": 70000},
+            {"solver": "gurobi"},
+            {"batch_max": 0},
+            {"high_water": 0},
+            {"retry_after": 0.0},
+            {"snapshot_every": -1},
+            {"keep_snapshots": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+
+class TestServiceMetrics:
+    def test_counters_and_gauges_render(self):
+        metrics = ServiceMetrics()
+        metrics.inc("events_ingested_total", 5)
+        metrics.set_gauge("queue_depth", 3)
+        text = metrics.render()
+        assert "repro_events_ingested_total 5" in text
+        assert "repro_queue_depth 3" in text
+        # pre-registered counters scrape as zero even before first use
+        assert "repro_snapshots_total 0" in text
+
+    def test_histogram_is_cumulative(self):
+        metrics = ServiceMetrics()
+        metrics.observe_solve(0.0005)   # below first bound
+        metrics.observe_solve(0.03)     # mid bucket
+        metrics.observe_solve(99.0)     # beyond last bound -> +Inf only
+        text = metrics.render()
+        assert 'repro_solve_seconds_bucket{le="0.001"} 1' in text
+        assert 'repro_solve_seconds_bucket{le="0.05"} 2' in text
+        assert 'repro_solve_seconds_bucket{le="5.0"} 2' in text
+        assert 'repro_solve_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_solve_seconds_count 3" in text
+
+
+class TestSnapshotRoundTrip:
+    def test_arrays_restore_byte_identical(self, tmp_path):
+        engine, _ = churny_engine(seed=1)
+        path = save_snapshot(engine, tmp_path, version=7)
+        snapshot = load_snapshot(path)
+        assert snapshot.version == 7
+
+        live = engine.plan
+        live.flush()
+        live.pad_messages()
+        restored = restore_plan(snapshot)
+
+        assert restored.variables == live.variables
+        assert restored.candidates == live.candidates
+        for name in ("unary", "label_counts", "edge_first", "edge_second",
+                     "edge_cid", "cost"):
+            assert np.array_equal(
+                getattr(restored.plan, name), getattr(live.plan, name)
+            ), name
+        assert np.array_equal(restored.messages, live.messages)
+        assert np.array_equal(restored.labels, live.labels)
+        assert restored._edge_keys == live._edge_keys
+        assert restored._combo_cids == live._combo_cids
+
+    def test_warm_solve_matches_never_restarted_engine(self, tmp_path):
+        engine, _ = churny_engine(seed=2)
+        path = save_snapshot(engine, tmp_path, version=1, events_applied=10)
+
+        twin, snapshot = restore_engine(path)
+        assert snapshot.events_applied == 10
+
+        network = engine.network
+        follow_up = random_churn_trace(
+            network, ChurnConfig(events=6, seed=99, constraint_weight=0.3)
+        )
+        for event in follow_up:
+            engine.apply(event)
+            twin.apply(event)
+            original = engine.solve()
+            restarted = twin.solve()
+            assert restarted.warm == original.warm
+            assert restarted.energy == pytest.approx(original.energy, abs=1e-12)
+            assert (
+                restarted.assignment.as_dict() == original.assignment.as_dict()
+            )
+
+    def test_restore_preserves_constraints_and_cost_model(self, tmp_path):
+        engine, _ = churny_engine(
+            seed=3, unary_constant=0.05, pairwise_weight=2.0
+        )
+        path = save_snapshot(engine, tmp_path, version=1)
+        twin, _ = restore_engine(path)
+        assert len(twin.constraints) == len(engine.constraints)
+        assert twin.plan.unary_constant == engine.plan.unary_constant
+        assert twin.plan.pairwise_weight == engine.plan.pairwise_weight
+        assert twin.similarity._pairs == engine.similarity._pairs
+
+    def test_meta_records_schema_and_energy(self, tmp_path):
+        engine, _ = churny_engine(seed=4)
+        result = engine.solve()
+        path = save_snapshot(
+            engine, tmp_path, version=3, events_applied=10, energy=result.energy
+        )
+        meta = json.loads((path / "meta.json").read_text())
+        assert meta["schema"] == SNAPSHOT_SCHEMA
+        assert meta["version"] == 3
+        assert meta["energy"] == pytest.approx(result.energy)
+
+    def test_load_rejects_future_schema(self, tmp_path):
+        engine, _ = churny_engine(seed=5, events=2)
+        path = save_snapshot(engine, tmp_path, version=1)
+        meta = json.loads((path / "meta.json").read_text())
+        meta["schema"] = SNAPSHOT_SCHEMA + 1
+        (path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(path)
+
+    def test_latest_and_prune(self, tmp_path):
+        engine, _ = churny_engine(seed=6, events=2)
+        for version in (1, 2, 3, 4):
+            save_snapshot(engine, tmp_path, version=version)
+        assert latest_snapshot(tmp_path).name == "snap-00000004"
+        prune_snapshots(tmp_path, keep=2)
+        remaining = sorted(p.name for p in tmp_path.iterdir())
+        assert remaining == ["snap-00000003", "snap-00000004"]
+
+    def test_latest_on_empty_directory(self, tmp_path):
+        assert latest_snapshot(tmp_path) is None
+
+    def test_sharded_engine_round_trip(self, tmp_path):
+        engine, _ = churny_engine(seed=7, sharded=True, constraint_weight=0.0)
+        reference = engine.solve()
+        path = save_snapshot(engine, tmp_path, version=1)
+        twin, _ = restore_engine(path, sharded=True)
+        restarted = twin.solve()
+        assert restarted.energy == pytest.approx(reference.energy, abs=1e-12)

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""End-to-end smoke check of the ``repro serve`` daemon for CI.
+
+Boots the real CLI entry point as a subprocess, streams a churn trace at
+it over HTTP, and holds the service to the offline parity contract:
+
+1. compute the reference — :func:`repro.stream.driver.replay_trace` over
+   the same workload and trace, final energy recorded;
+2. ``repro serve`` on an ephemeral-ish port with ``--batch-max 1`` (one
+   event per solve, the exact replay discipline) and a snapshot dir;
+3. POST the trace through :class:`repro.service.client.ServiceClient`,
+   wait for the queue to drain, ``GET /assignment``;
+4. **assert the final energy equals the offline replay bit-for-bit**;
+5. ``POST /shutdown`` and assert a clean exit (code 0) plus a shutdown
+   snapshot on disk.
+
+Exit code 0 means the whole path — CLI flags, HTTP ingestion, the writer
+loop, snapshot-consistent reads, graceful drain — works against the same
+numbers the offline engine produces.
+
+Usage::
+
+    python tools/service_smoke.py [--hosts 40] [--events 12] [--port 18351]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.network.generator import (  # noqa: E402
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+from repro.service import ServiceClient  # noqa: E402
+from repro.stream import ChurnConfig, random_churn_trace, replay_trace  # noqa: E402
+
+
+def main() -> int:
+    """Run the smoke sequence; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=40)
+    parser.add_argument("--events", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--port", type=int, default=18351)
+    args = parser.parse_args()
+
+    # The same synthetic bootstrap `repro serve` performs with these flags.
+    config = RandomNetworkConfig(
+        hosts=args.hosts, degree=3, services=3,
+        products_per_service=6, seed=args.seed,
+    )
+    network = random_network(config)
+    similarity = random_similarity(config)
+    trace = random_churn_trace(
+        network,
+        ChurnConfig(events=args.events, seed=args.seed, constraint_weight=0.3),
+    )
+    report = replay_trace(network.copy(), similarity.copy(), trace)
+    offline_energy = report.records[-1].energy
+    print(f"offline replay final energy: {offline_energy}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", str(args.port),
+                "--hosts", str(args.hosts), "--degree", "3",
+                "--services", "3", "--products", "6",
+                "--seed", str(args.seed),
+                "--batch-max", "1",
+                "--snapshot-dir", tmp,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            # works both installed (CI) and straight from a checkout
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    filter(None, [str(REPO_ROOT / "src"),
+                                  os.environ.get("PYTHONPATH")])
+                ),
+            },
+        )
+        try:
+            client = ServiceClient(port=args.port, timeout=10)
+            deadline = time.monotonic() + 120
+            while True:
+                try:
+                    client.healthz()
+                    break
+                except OSError:
+                    if daemon.poll() is not None:
+                        print(daemon.stdout.read())
+                        print("FAIL: daemon exited during startup")
+                        return 1
+                    if time.monotonic() > deadline:
+                        print("FAIL: daemon never answered /healthz")
+                        return 1
+                    time.sleep(0.2)
+
+            accepted = client.send(trace)
+            print(f"ingested {accepted} events over HTTP")
+            client.wait_idle(timeout=120)
+            payload = client.assignment()
+            print(
+                f"service final energy: {payload['energy']} "
+                f"(version {payload['version']}, "
+                f"{payload['events_applied']} events applied)"
+            )
+            if payload["energy"] != offline_energy:
+                print(
+                    f"FAIL: energy parity broken — service "
+                    f"{payload['energy']} vs offline {offline_energy}"
+                )
+                return 1
+            text = client.metrics_text()
+            if f"repro_events_applied_total {len(trace)}" not in text:
+                print("FAIL: /metrics does not account for every event")
+                return 1
+
+            client.shutdown()
+            code = daemon.wait(timeout=120)
+            if code != 0:
+                print(daemon.stdout.read())
+                print(f"FAIL: daemon exited {code} after graceful shutdown")
+                return 1
+            snapshots = sorted(Path(tmp).glob("snap-*"))
+            if not snapshots:
+                print("FAIL: graceful shutdown left no snapshot")
+                return 1
+            print(
+                f"clean shutdown, snapshot {snapshots[-1].name} written — OK"
+            )
+            return 0
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
