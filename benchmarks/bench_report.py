@@ -33,8 +33,9 @@ import sys
 from pathlib import Path
 from typing import Dict, Optional
 
-#: Record schema this report understands (see benchmarks/conftest.py).
-SUPPORTED_SCHEMA = 1
+#: Record schemas this report understands (see benchmarks/conftest.py).
+#: v1 records lack the optional per-phase attribution of v2 — both load.
+SUPPORTED_SCHEMAS = frozenset({1, 2})
 
 DEFAULT_RESULTS = Path(__file__).parent / "results"
 DEFAULT_PINNED = Path(__file__).parent / "pinned"
@@ -56,10 +57,11 @@ def load_records(directory: Path) -> Dict[str, dict]:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
             continue
-        if payload.get("schema") != SUPPORTED_SCHEMA:
+        if payload.get("schema") not in SUPPORTED_SCHEMAS:
             print(
                 f"warning: skipping {path.name}: schema "
-                f"{payload.get('schema')!r} != {SUPPORTED_SCHEMA}",
+                f"{payload.get('schema')!r} not in "
+                f"{sorted(SUPPORTED_SCHEMAS)}",
                 file=sys.stderr,
             )
             continue
@@ -73,6 +75,25 @@ def load_records(directory: Path) -> Dict[str, dict]:
             continue
         records[payload["bench"]] = payload
     return records
+
+
+def _phase_line(record: Optional[dict], width: int) -> Optional[str]:
+    """The indented per-phase attribution of a v2 record, or None.
+
+    Pre-v2 records (and v2 records without attribution) have no
+    ``phases`` mapping — they simply render without the breakdown line.
+    """
+    phases = (record or {}).get("phases")
+    if not isinstance(phases, dict) or not phases:
+        return None
+    total = sum(v for v in phases.values() if isinstance(v, (int, float)))
+    parts = []
+    for phase, value in sorted(
+        phases.items(), key=lambda item: -float(item[1])
+    ):
+        share = f" ({value / total:.0%})" if total > 0 else ""
+        parts.append(f"{phase} {float(value):.4f}s{share}")
+    return " " * width + "phases: " + ", ".join(parts)
 
 
 def format_report(
@@ -91,6 +112,9 @@ def format_report(
         lines.append(f"{'bench':<{width}}{'seconds':>10}")
         for name in names:
             lines.append(f"{name:<{width}}{current[name]['seconds']:>10.4f}")
+            phase_line = _phase_line(current[name], 2)
+            if phase_line:
+                lines.append(phase_line)
         return "\n".join(lines), 0
 
     lines.append(
@@ -120,6 +144,9 @@ def format_report(
         lines.append(
             f"{name:<{width}}{old_s:>10.4f}{new_s:>10.4f}{ratio:>8.2f}  {status}"
         )
+        phase_line = _phase_line(new, 2)
+        if phase_line:
+            lines.append(phase_line)
     return "\n".join(lines), regressions
 
 

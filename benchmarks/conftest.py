@@ -18,6 +18,7 @@ import json
 import platform
 import time
 from pathlib import Path
+from typing import Dict, Optional
 
 import pytest
 
@@ -26,7 +27,10 @@ from repro.casestudy.stuxnet import stuxnet_case_study
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Schema version of the BENCH_*.json records; bump on breaking changes.
-BENCH_SCHEMA = 1
+#: v2 adds the optional top-level ``phases`` mapping (per-phase seconds
+#: attribution, e.g. from ``repro.obs.report.layer_seconds``); v1 records
+#: remain readable — ``phases`` is simply absent.
+BENCH_SCHEMA = 2
 
 
 @pytest.fixture(scope="session")
@@ -55,16 +59,25 @@ def record_bench():
     ``record_bench("vectorized_trws", seconds=1.23, hosts=120)`` →
     ``benchmarks/results/BENCH_vectorized_trws.json`` holding::
 
-        {"schema": 1, "bench": "vectorized_trws", "seconds": 1.23,
+        {"schema": 2, "bench": "vectorized_trws", "seconds": 1.23,
          "python": "3.11.7", "created_unix": 1690000000,
          "extra": {"hosts": 120}}
 
     ``seconds`` is the headline number trend tooling should chart; every
     additional keyword lands under ``extra`` for context (per-cell splits,
-    workload parameters, speedup ratios).
+    workload parameters, speedup ratios).  The ``phases`` keyword is
+    special: a ``{phase: seconds}`` mapping (e.g. from
+    :func:`repro.obs.report.layer_seconds` or ``SolveStats.
+    phase_seconds``) recorded top-level as the per-phase attribution of
+    the headline number — ``benchmarks/bench_report.py`` renders it.
     """
 
-    def record(name: str, seconds: float, **extra) -> Path:
+    def record(
+        name: str,
+        seconds: float,
+        phases: Optional[Dict[str, float]] = None,
+        **extra,
+    ) -> Path:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"BENCH_{name}.json"
         payload = {
@@ -75,6 +88,11 @@ def record_bench():
             "created_unix": int(time.time()),
             "extra": extra,
         }
+        if phases:
+            payload["phases"] = {
+                phase: round(float(value), 6)
+                for phase, value in phases.items()
+            }
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return path
 

@@ -28,6 +28,10 @@ Extension commands (beyond the paper's tables):
 * ``serve`` — the always-on diversification daemon (:mod:`repro.service`):
   HTTP event ingestion with backpressure, snapshot-consistent reads,
   Prometheus metrics, on-disk snapshots and ``--restore`` warm restarts.
+* ``trace`` — run a workload (``diversify`` / ``stream`` /
+  ``serve-replay``) under the :mod:`repro.obs` tracer and emit a Chrome
+  trace-event file (Perfetto / ``chrome://tracing`` viewable) plus a
+  per-layer/top-spans text breakdown (``docs/observability.md``).
 * ``dot`` — Graphviz export of the case study with similarity heat.
 
 ``docs/cli.md`` catalogues every subcommand and flag.
@@ -47,6 +51,26 @@ from repro.nvd.datasets import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _buckets_value(value: str):
+    """``--solve-buckets`` takes comma-separated ascending seconds."""
+    try:
+        return tuple(float(part) for part in value.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--solve-buckets takes comma-separated floats, got {value!r}"
+        ) from None
+
+
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--log-level`` flag (repro.obs.logging levels)."""
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="threshold of the structured log output (default info)",
+    )
 
 
 def _shards_value(value: str):
@@ -207,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time a from-scratch cold solve per event and print the "
         "speedup column",
     )
+    _add_log_level(stream)
 
     serve = sub.add_parser(
         "serve",
@@ -274,6 +299,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm-restart from the newest snapshot under --snapshot-dir "
         "instead of bootstrapping a fresh network",
     )
+    _add_log_level(serve)
+    serve.add_argument(
+        "--trace-tail",
+        type=int,
+        default=0,
+        help="keep the most recent N trace events and serve them on "
+        "GET /debug/trace (0 = tracing off, the default)",
+    )
+    serve.add_argument(
+        "--solve-buckets",
+        type=_buckets_value,
+        default=None,
+        help="comma-separated ascending upper bounds (seconds) of the "
+        "solve-latency histograms, e.g. 0.005,0.05,0.5,5 (default: the "
+        "built-in repro.service.metrics.SOLVE_BUCKETS)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload under tracing; emit a Chrome trace + breakdown",
+    )
+    trace.add_argument(
+        "workload",
+        choices=("diversify", "stream", "serve-replay"),
+        help="diversify: one batch compile+solve; stream: churn replay "
+        "(sharded by default so shard spans appear); serve-replay: the "
+        "same churn fed through the HTTP service",
+    )
+    trace.add_argument("--hosts", type=int, default=120)
+    trace.add_argument("--degree", type=int, default=3)
+    trace.add_argument("--services", type=int, default=3)
+    trace.add_argument("--products", type=int, default=6)
+    trace.add_argument("--events", type=int, default=20,
+                       help="churn events (stream / serve-replay)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--solver", choices=("trws", "bp"), default="trws")
+    trace.add_argument(
+        "--monolithic",
+        action="store_true",
+        help="stream/serve-replay run the sharded engine by default so the "
+        "trace shows per-shard solves; this forces the monolithic engine",
+    )
+    trace.add_argument("--out", default="repro-trace.json",
+                       help="Chrome trace-event output file (default "
+                       "repro-trace.json; open in Perfetto)")
+    trace.add_argument("--jsonl", default=None,
+                       help="also write the raw span stream as JSON-Lines")
+    trace.add_argument("--top", type=int, default=15,
+                       help="rows in the top-spans table (default 15)")
+    _add_log_level(trace)
 
     dot = sub.add_parser("dot", help="Graphviz export of the case study")
     dot.add_argument("--out", default="case_study.dot")
@@ -474,8 +549,10 @@ def _stream(args: argparse.Namespace) -> None:
         random_network,
         random_similarity,
     )
+    from repro.obs.logging import setup_logging
     from repro.stream import ChurnConfig, random_churn_trace, replay_trace
 
+    setup_logging(args.log_level)
     config = RandomNetworkConfig(
         hosts=args.hosts,
         degree=args.degree,
@@ -515,8 +592,10 @@ def _stream(args: argparse.Namespace) -> None:
 def _serve(args: argparse.Namespace) -> None:
     import asyncio
 
+    from repro.obs.logging import setup_logging
     from repro.service import DiversificationService, ServiceConfig
 
+    setup_logging(args.log_level)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -529,6 +608,9 @@ def _serve(args: argparse.Namespace) -> None:
         snapshot_dir=args.snapshot_dir,
         snapshot_every=args.snapshot_every,
         keep_snapshots=args.keep_snapshots,
+        log_level=args.log_level,
+        trace_tail=args.trace_tail,
+        solve_buckets=args.solve_buckets,
     )
     if args.restore:
         if not config.snapshots_enabled:
@@ -591,6 +673,142 @@ def _serve(args: argparse.Namespace) -> None:
     print("repro serve — drained and stopped")
 
 
+def _trace_workload_config(args: argparse.Namespace):
+    """The synthetic (network, similarity, churn trace) of ``repro trace``."""
+    from repro.network.generator import (
+        RandomNetworkConfig,
+        random_network,
+        random_similarity,
+    )
+    from repro.stream import ChurnConfig, random_churn_trace
+
+    config = RandomNetworkConfig(
+        hosts=args.hosts,
+        degree=args.degree,
+        services=args.services,
+        products_per_service=args.products,
+        seed=args.seed,
+    )
+    network = random_network(config)
+    similarity = random_similarity(config)
+    events = random_churn_trace(
+        network,
+        ChurnConfig(events=args.events, seed=args.seed, constraint_weight=0.3),
+    )
+    return network, similarity, events
+
+
+def _trace_diversify(args: argparse.Namespace) -> None:
+    """``repro trace diversify``: one batch compile+solve."""
+    from repro.core.diversify import diversify
+
+    network, similarity, _events = _trace_workload_config(args)
+    # fast_path off: the replicated-host shortcut skips compile+solve
+    # entirely on uniform synthetic estates — no spans to look at.
+    result = diversify(
+        network, similarity, solver=args.solver, fast_path=False
+    )
+    print(f"diversify: energy {result.energy:.6f}")
+
+
+def _trace_stream(args: argparse.Namespace) -> None:
+    """``repro trace stream``: churn replay on the incremental engine."""
+    from repro.stream import replay_trace
+
+    network, similarity, events = _trace_workload_config(args)
+    report = replay_trace(
+        network,
+        similarity,
+        events,
+        solver=args.solver,
+        sharded=not args.monolithic,
+    )
+    print(report.summary())
+
+
+def _trace_serve_replay(args: argparse.Namespace) -> None:
+    """``repro trace serve-replay``: the churn fed through the daemon.
+
+    The service runs on a background thread's event loop and joins the
+    CLI's ambient trace (the recorder is process-global), so writer-side
+    batch/solve spans land in the same timeline as the client-side replay.
+    """
+    import asyncio
+    import threading
+
+    from repro.service import DiversificationService, ServiceClient, ServiceConfig
+
+    network, similarity, events = _trace_workload_config(args)
+    config = ServiceConfig(
+        port=0,
+        solver=args.solver,
+        sharded=not args.monolithic,
+        batch_max=1,
+        log_level=args.log_level,
+    )
+    service = DiversificationService(network, similarity, config=config)
+    started = threading.Event()
+
+    def run_service() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def serve() -> None:
+            await service.start()
+            started.set()
+            await service._stopped.wait()
+
+        try:
+            loop.run_until_complete(serve())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run_service, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=60):
+        raise SystemExit("service failed to start within 60s")
+    client = ServiceClient(port=service.port, timeout=30)
+    accepted = client.send(events)
+    client.wait_idle(timeout=120)
+    payload = client.assignment()
+    client.shutdown()
+    thread.join(timeout=60)
+    print(
+        f"serve-replay: {accepted} events over HTTP, final energy "
+        f"{payload['energy']:.6f} (version {payload['version']})"
+    )
+
+
+_TRACE_WORKLOADS = {
+    "diversify": _trace_diversify,
+    "stream": _trace_stream,
+    "serve-replay": _trace_serve_replay,
+}
+
+
+def _trace_cmd(args: argparse.Namespace) -> None:
+    """``repro trace``: run a workload under tracing, emit trace + report."""
+    from repro import obs
+    from repro.obs.logging import setup_logging
+
+    setup_logging(args.log_level)
+    trace = obs.Trace()
+    obs.activate(trace)
+    try:
+        _TRACE_WORKLOADS[args.workload](args)
+    finally:
+        obs.deactivate()
+    trace.write_chrome(args.out)
+    lines = [f"wrote {args.out} ({len(trace.events)} events) — open in "
+             f"Perfetto or chrome://tracing"]
+    if args.jsonl:
+        trace.write_jsonl(args.jsonl)
+        lines.append(f"wrote {args.jsonl} (JSON-Lines span stream)")
+    print("\n".join(lines))
+    print()
+    print(obs.format_summary(trace.events, trace.counters, top=args.top))
+
+
 def _dot(args: argparse.Namespace) -> None:
     from pathlib import Path
 
@@ -626,6 +844,7 @@ _HANDLERS = {
     "sensitivity": _sensitivity,
     "stream": _stream,
     "serve": _serve,
+    "trace": _trace_cmd,
     "dot": _dot,
 }
 

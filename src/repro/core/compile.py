@@ -39,6 +39,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.costs import (
     HARD_COST,
     _reject_conflicting_fixes,
@@ -386,7 +387,9 @@ def compile_parts(
     constraint_set.validate_against(network)
     _reject_conflicting_fixes(constraint_set)
 
+    phases = obs.phase_timer("compile")
     net = _NetworkIndex(network)
+    phases.lap("compile.index", nodes=len(net.variables))
     counts = net.label_counts
     unary = _base_unary(net, unary_constant)
 
@@ -409,6 +412,7 @@ def compile_parts(
             unary[node, :count] = unary[node, :count] + constraint_mask(
                 net.candidates[node], constraint
             )
+    phases.lap("compile.unary")
 
     # ---- similarity edges, cost stack deduplicated by oriented key.
     first, second, sid, _link_of = net.link_edges()
@@ -437,6 +441,7 @@ def compile_parts(
             )
     else:
         edge_cid = np.zeros(0, dtype=np.int64)
+    phases.lap("compile.edges", edges=len(first), matrices=len(matrices))
 
     # ---- intra-host combination-constraint edges (appended after the
     # similarity edges, one table per node pair, insertion order).
@@ -452,6 +457,7 @@ def compile_parts(
             [edge_cid, np.asarray(extra_cid, dtype=np.int64)]
         )
         matrices.extend(tables)
+    phases.lap("compile.combo_edges", combo_edges=len(extra_first))
 
     return CompiledParts(
         variables=net.variables,
@@ -489,14 +495,15 @@ def compile_plan(
         preferences=preferences,
         service_weights=service_weights,
     )
-    plan = MRFArrays.from_dense(
-        parts.unary,
-        parts.label_counts,
-        parts.edge_first,
-        parts.edge_second,
-        parts.edge_cid,
-        parts.matrices,
-    )
+    with obs.span("compile.assemble", cat="compile", edges=len(parts.edge_first)):
+        plan = MRFArrays.from_dense(
+            parts.unary,
+            parts.label_counts,
+            parts.edge_first,
+            parts.edge_second,
+            parts.edge_cid,
+            parts.matrices,
+        )
     return CompiledPlan(
         plan=plan,
         variables=parts.variables,
@@ -534,7 +541,9 @@ def compile_stream_parts(
     constraint_set = constraints or ConstraintSet()
     constraint_set.validate_against(network)
     _reject_conflicting_fixes(constraint_set)
+    phases = obs.phase_timer("compile")
     net = _NetworkIndex(network)
+    phases.lap("compile.index", nodes=len(net.variables))
     counts = net.label_counts
     unary = _base_unary(net, unary_constant)
 
@@ -545,6 +554,7 @@ def compile_stream_parts(
             unary[node, :count] = unary[node, :count] + constraint_mask(
                 net.candidates[node], constraint
             )
+    phases.lap("compile.unary")
 
     first, second, sid, link_of = net.link_edges()
     # StreamPlan weights every service through the same formula; the value
@@ -581,6 +591,7 @@ def compile_stream_parts(
     else:
         edge_cid = np.zeros(0, dtype=np.int64)
 
+    phases.lap("compile.edges", edges=len(first), matrices=len(matrices))
     links = net._links
     service_names = net.service_names
     edge_keys = [
@@ -609,6 +620,7 @@ def compile_stream_parts(
             [edge_cid, np.asarray(extra_cid, dtype=np.int64)]
         )
         matrices.extend(tables)
+    phases.lap("compile.combo_edges", combo_edges=len(extra_first))
 
     return CompiledParts(
         variables=net.variables,

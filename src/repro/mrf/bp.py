@@ -17,12 +17,14 @@ replaces is kept as :class:`~repro.mrf.reference.ReferenceBPSolver`
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.mrf.graph import PairwiseMRF
-from repro.mrf.solvers import SolverResult
+from repro.mrf.solvers import SolverResult, SolveStats
 from repro.mrf.vectorized import MRFArrays, SolverScratch
 
 __all__ = ["LoopyBPSolver"]
@@ -80,11 +82,46 @@ class LoopyBPSolver:
         ``scratch`` holds the round buffers (the big one is the
         ``(2·edges, L, L)`` cost gather of the synchronous update); pass a
         shared :class:`SolverScratch` so repeated solves allocate nothing.
+
+        While tracing is enabled (:func:`repro.obs.enabled`) the solve
+        records a ``bp.solve`` span with nested per-iteration events and
+        attaches a :class:`~repro.mrf.solvers.SolveStats` to the result;
+        disabled, this wrapper costs one branch per solve.
         """
+        if not obs.enabled():
+            return self._solve_arrays(plan, messages, scratch, None)
+        stats = SolveStats()
+        start = time.perf_counter()
+        with obs.span(
+            "bp.solve", cat="solve",
+            nodes=plan.node_count, edges=plan.edge_count,
+        ) as solve_span:
+            result = self._solve_arrays(plan, messages, scratch, stats)
+            stats.total_seconds = time.perf_counter() - start
+            result.stats = stats
+            solve_span.add(
+                iterations=result.iterations,
+                energy=result.energy,
+                converged=result.converged,
+            )
+        return result
+
+    def _solve_arrays(
+        self,
+        plan: MRFArrays,
+        messages: Optional[np.ndarray],
+        scratch: Optional[SolverScratch],
+        stats: Optional[SolveStats],
+    ) -> SolverResult:
+        """The BP round loop behind :meth:`solve_arrays`; ``stats`` collects
+        per-phase telemetry when tracing is on (``None`` disables it)."""
+        collect = stats is not None
+        setup_start = time.perf_counter() if collect else 0.0
         n = plan.node_count
         if n == 0:
             return SolverResult(
-                labels=[], energy=0.0, iterations=0, converged=True, solver=self.name
+                labels=[], energy=0.0, iterations=0, converged=True,
+                solver=self.name, stats=stats,
             )
 
         scratch = scratch if scratch is not None else SolverScratch()
@@ -100,9 +137,15 @@ class LoopyBPSolver:
         energy_trace: List[float] = []
         converged = False
         iterations = 0
+        trace = obs.current_trace() if collect else None
+        if collect:
+            stats.setup_seconds = time.perf_counter() - setup_start
 
         for iteration in range(self.max_iterations):
             iterations = iteration + 1
+            if collect:
+                iter_wall_ns = time.time_ns()
+                iter_start = mark = time.perf_counter()
             # Beliefs B_i = θ_i + Σ_j M_{j→i} from the previous round.
             np.copyto(beliefs, unary)
             np.add.at(beliefs, plan.slot_receiver, messages)
@@ -136,6 +179,10 @@ class LoopyBPSolver:
                 np.copyto(messages, updated)
             else:
                 max_change = 0.0
+            if collect:
+                now = time.perf_counter()
+                stats.forward_seconds += now - mark
+                mark = now
 
             # Decode against the pre-update beliefs and the new messages,
             # matching the reference solver's update/decode interleaving.
@@ -145,6 +192,20 @@ class LoopyBPSolver:
                 best_energy = energy
                 best_labels = labels
             energy_trace.append(best_energy)
+            if collect:
+                now = time.perf_counter()
+                stats.energy_seconds += now - mark
+                stats.iteration_seconds.append(now - iter_start)
+                trace.record(
+                    "bp.iteration", "solve",
+                    ts=iter_wall_ns / 1000.0,
+                    dur=(now - iter_start) * 1e6,
+                    args={
+                        "i": iteration,
+                        "energy": best_energy,
+                        "max_change": max_change,
+                    },
+                )
 
             if max_change <= self.tolerance:
                 converged = True
@@ -158,4 +219,5 @@ class LoopyBPSolver:
             converged=converged,
             solver=self.name,
             energy_trace=energy_trace,
+            stats=stats,
         )

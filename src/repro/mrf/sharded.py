@@ -36,11 +36,13 @@ Execution backends (``executor=``):
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.mrf.batched import BatchedResult, BatchedTRWSSolver
 from repro.mrf.bp import LoopyBPSolver
 from repro.mrf.graph import PairwiseMRF
@@ -52,7 +54,7 @@ from repro.mrf.partition import (
     split_components,
     split_replicated,
 )
-from repro.mrf.solvers import SolverResult
+from repro.mrf.solvers import SolverResult, SolveStats
 from repro.mrf.trws import TRWSSolver
 from repro.mrf.vectorized import MRFArrays, SolverScratch, SolverScratchPool
 from repro.runner import Job, resolve_workers, run_jobs
@@ -175,7 +177,27 @@ class ShardedSolver:
                     ),
                 )
             )
-        results = self._run(plan, tasks, default_inits, greedy)
+        batch_span = obs.span(
+            "shard.batch", cat="shard",
+            shards=len(partition), executor=self.executor,
+        )
+        with batch_span:
+            results = self._run(plan, tasks, default_inits, greedy)
+            if obs.enabled():
+                # Per-shard skew: every shard result carries SolveStats
+                # while tracing is on (process workers collect under the
+                # runner's span capture and ship them back pickled).
+                seconds = [
+                    r.stats.total_seconds
+                    for r, _msg in results
+                    if r.stats is not None
+                ]
+                if seconds:
+                    batch_span.add(
+                        shard_seconds_max=max(seconds),
+                        shard_seconds_min=min(seconds),
+                        shard_seconds_mean=sum(seconds) / len(seconds),
+                    )
         if messages is not None:
             partition.scatter_messages([msg for _result, msg in results], messages)
         return self._merge(partition, [result for result, _msg in results])
@@ -236,17 +258,24 @@ class ShardedSolver:
     ) -> Tuple[SolverResult, Optional[np.ndarray]]:
         scratch = self._workspaces.acquire()
         try:
-            result = _solve_plan(
-                shard.plan,
-                self.solver_name,
-                self.solver_options,
-                self.seed + shard.index,
-                messages,
-                inits,
-                default_inits,
-                greedy,
-                scratch=scratch,
-            )
+            with obs.span(
+                "shard.solve", cat="shard",
+                shard=int(shard.index), nodes=len(shard.nodes),
+            ) as shard_span:
+                result = _solve_plan(
+                    shard.plan,
+                    self.solver_name,
+                    self.solver_options,
+                    self.seed + shard.index,
+                    messages,
+                    inits,
+                    default_inits,
+                    greedy,
+                    scratch=scratch,
+                )
+                shard_span.add(
+                    energy=result.energy, iterations=result.iterations
+                )
         finally:
             self._workspaces.release(scratch)
         return result, messages
@@ -319,6 +348,7 @@ class ShardedSolver:
                     inits=inits,
                     default_inits=default_inits,
                     greedy=greedy,
+                    shard_index=shard.index,
                 )
                 if block is not None:
                     kwargs["cost_spec"] = block.spec
@@ -424,8 +454,16 @@ def _solve_plan(
         and messages is None
         and _is_forest_plan(plan)
     ):
-        labels = _solve_forest_arrays(plan)
-        energy = plan.energy(labels)
+        collect = obs.enabled()
+        start = time.perf_counter() if collect else 0.0
+        with obs.span("trws.forest", cat="solve", nodes=plan.node_count):
+            labels = _solve_forest_arrays(plan)
+            energy = plan.energy(labels)
+        stats = (
+            SolveStats(total_seconds=time.perf_counter() - start)
+            if collect
+            else None
+        )
         return SolverResult(
             labels=[int(x) for x in labels],
             energy=energy,
@@ -435,6 +473,7 @@ def _solve_plan(
             solver="trws",
             energy_trace=[energy],
             bound_trace=[energy],
+            stats=stats,
         )
     solver = _FACTORIES[solver_name](**{**options, "seed": seed})
     if solver_name == "trws":
@@ -526,29 +565,36 @@ def _solve_shard_job(
     cost_spec=None,
     cost_ids=None,
     matrices=None,
+    shard_index=0,
 ) -> Tuple[SolverResult, Optional[np.ndarray]]:
     """Top-level shard solve for the process pool (picklable).
 
     Rebuilds the shard plan in the worker — from the shared-memory cost
     stack when a spec is given, from inline matrices otherwise — and
     returns ``(result, messages)`` so the parent can scatter the final
-    message state back into its global array.
+    message state back into its global array.  Under the runner's span
+    capture the worker's ``shard.solve`` span (and the solver spans inside
+    it) ride back to the parent trace with the job result.
     """
     global _JOB_SCRATCH
     if _JOB_SCRATCH is None:
         _JOB_SCRATCH = SolverScratch()
-    if cost_spec is not None:
-        block = SharedArrayBlock.attach(cost_spec)
-        try:
-            stack = block.array()
-            matrices = [np.array(stack[int(k)]) for k in cost_ids]
-        finally:
-            block.close()
-    plan = MRFArrays.from_parts(
-        unaries, edge_first, edge_second, edge_cid, matrices or [], lmax=lmax
-    )
-    result = _solve_plan(
-        plan, solver_name, options, seed, messages, tuple(inits),
-        default_inits, greedy, scratch=_JOB_SCRATCH,
-    )
+    with obs.span(
+        "shard.solve", cat="shard", shard=int(shard_index), nodes=len(unaries)
+    ) as shard_span:
+        if cost_spec is not None:
+            block = SharedArrayBlock.attach(cost_spec)
+            try:
+                stack = block.array()
+                matrices = [np.array(stack[int(k)]) for k in cost_ids]
+            finally:
+                block.close()
+        plan = MRFArrays.from_parts(
+            unaries, edge_first, edge_second, edge_cid, matrices or [], lmax=lmax
+        )
+        result = _solve_plan(
+            plan, solver_name, options, seed, messages, tuple(inits),
+            default_inits, greedy, scratch=_JOB_SCRATCH,
+        )
+        shard_span.add(energy=result.energy, iterations=result.iterations)
     return result, messages

@@ -9,13 +9,68 @@ Every solver consumes a :class:`~repro.mrf.graph.PairwiseMRF` and produces a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
 import numpy as np
 
 from repro.mrf.graph import PairwiseMRF
 
-__all__ = ["SolverResult", "Solver", "register_solver", "get_solver", "available_solvers", "solve"]
+__all__ = [
+    "SolveStats",
+    "SolverResult",
+    "Solver",
+    "register_solver",
+    "get_solver",
+    "available_solvers",
+    "solve",
+]
+
+
+@dataclass
+class SolveStats:
+    """Per-phase timing telemetry for one solve, collected while tracing.
+
+    Attached to :attr:`SolverResult.stats` when :func:`repro.obs.enabled`
+    was true during the solve; ``None`` otherwise (the disabled path
+    collects nothing).  All times are seconds on the monotonic clock.
+
+    Attributes:
+        total_seconds: wall time of the whole ``solve_arrays`` call.
+        setup_seconds: scratch/message/belief preparation before sweeping.
+        forward_seconds: total time in forward sweeps (TRW-S) or message
+            updates (BP).
+        backward_seconds: total time in backward sweeps (TRW-S only).
+        bound_seconds: dual-bound evaluation time (TRW-S only).
+        energy_seconds: primal energy/decode evaluation time.
+        refine_seconds: ICM refinement / polish time after the main loop.
+        iteration_seconds: per-iteration wall times, index-aligned with
+            the result's ``energy_trace``.
+        fwd_level_seconds: per-wavefront-level time in the forward sweep,
+            accumulated across iterations (one entry per level).
+        bwd_level_seconds: likewise for the backward sweep.
+    """
+
+    total_seconds: float = 0.0
+    setup_seconds: float = 0.0
+    forward_seconds: float = 0.0
+    backward_seconds: float = 0.0
+    bound_seconds: float = 0.0
+    energy_seconds: float = 0.0
+    refine_seconds: float = 0.0
+    iteration_seconds: List[float] = field(default_factory=list)
+    fwd_level_seconds: List[float] = field(default_factory=list)
+    bwd_level_seconds: List[float] = field(default_factory=list)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """The named phases as a dict (BENCH per-phase attribution)."""
+        return {
+            "setup": self.setup_seconds,
+            "forward": self.forward_seconds,
+            "backward": self.backward_seconds,
+            "bound": self.bound_seconds,
+            "energy": self.energy_seconds,
+            "refine": self.refine_seconds,
+        }
 
 
 @dataclass
@@ -33,6 +88,8 @@ class SolverResult:
         solver: name of the producing solver.
         energy_trace: best energy after each iteration (diagnostics).
         bound_trace: lower bound after each iteration (diagnostics).
+        stats: per-phase :class:`SolveStats` when the solve ran under an
+            active trace (see :mod:`repro.obs`); ``None`` otherwise.
     """
 
     labels: List[int]
@@ -43,6 +100,7 @@ class SolverResult:
     solver: str = ""
     energy_trace: List[float] = field(default_factory=list)
     bound_trace: List[float] = field(default_factory=list)
+    stats: Optional[SolveStats] = None
 
     @property
     def optimality_gap(self) -> float:

@@ -36,12 +36,14 @@ magnitude faster (see ``benchmarks/bench_vectorized_speedup.py``).
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.mrf.graph import PairwiseMRF
-from repro.mrf.solvers import SolverResult
+from repro.mrf.solvers import SolverResult, SolveStats
 from repro.mrf.vectorized import MRFArrays, SolverScratch, _SendBlock
 
 __all__ = ["TRWSSolver"]
@@ -162,12 +164,53 @@ class TRWSSolver:
         plus the tie-breaking perturbation), preserving the TRW-S belief
         invariant, and any message state yields a valid dual bound — so a
         warm start can only save iterations, never corrupt the result.
+
+        While tracing is enabled (:func:`repro.obs.enabled`) the solve
+        records a ``trws.solve`` span with nested per-iteration events and
+        attaches a :class:`~repro.mrf.solvers.SolveStats` to the result;
+        disabled, this wrapper costs one branch per solve.
         """
+        if not obs.enabled():
+            return self._solve_arrays(
+                plan, messages, extra_inits, default_inits, scratch, None
+            )
+        stats = SolveStats()
+        start = time.perf_counter()
+        with obs.span(
+            "trws.solve", cat="solve",
+            nodes=plan.node_count, edges=plan.edge_count,
+        ) as solve_span:
+            result = self._solve_arrays(
+                plan, messages, extra_inits, default_inits, scratch, stats
+            )
+            stats.total_seconds = time.perf_counter() - start
+            result.stats = stats
+            solve_span.add(
+                iterations=result.iterations,
+                energy=result.energy,
+                bound=result.lower_bound,
+                converged=result.converged,
+            )
+        return result
+
+    def _solve_arrays(
+        self,
+        plan: MRFArrays,
+        messages: Optional[np.ndarray],
+        extra_inits: Sequence[np.ndarray],
+        default_inits: bool,
+        scratch: Optional[SolverScratch],
+        stats: Optional[SolveStats],
+    ) -> SolverResult:
+        """The sweep loop behind :meth:`solve_arrays`; ``stats`` collects
+        per-phase telemetry when tracing is on (``None`` disables it)."""
+        collect = stats is not None
+        setup_start = time.perf_counter() if collect else 0.0
         n = plan.node_count
         if n == 0:
             return SolverResult(
                 labels=[], energy=0.0, lower_bound=0.0, iterations=0,
-                converged=True, solver=self.name,
+                converged=True, solver=self.name, stats=stats,
             )
         scratch = scratch if scratch is not None else SolverScratch()
         if messages is None:
@@ -200,17 +243,43 @@ class TRWSSolver:
         bound_trace: List[float] = []
         converged = False
         iterations = 0
+        trace = obs.current_trace() if collect else None
+        if collect:
+            stats.setup_seconds = time.perf_counter() - setup_start
+            stats.fwd_level_seconds = [0.0] * len(plan.fwd_levels)
+            stats.bwd_level_seconds = [0.0] * len(plan.bwd_levels)
 
         stalled = 0
         for iteration in range(self.max_iterations):
             iterations = iteration + 1
             previous_energy = best_energy
-            labels = self._forward_sweep(plan, messages, beliefs, scratch)
+            if collect:
+                iter_wall_ns = time.time_ns()
+                iter_start = mark = time.perf_counter()
+            labels = self._forward_sweep(
+                plan, messages, beliefs, scratch,
+                stats.fwd_level_seconds if collect else None,
+            )
+            if collect:
+                now = time.perf_counter()
+                stats.forward_seconds += now - mark
+                mark = now
             energy = plan.energy(labels)
             if energy < best_energy:
                 best_energy = energy
                 best_labels = labels
-            self._backward_sweep(plan, messages, beliefs, scratch)
+            if collect:
+                now = time.perf_counter()
+                stats.energy_seconds += now - mark
+                mark = now
+            self._backward_sweep(
+                plan, messages, beliefs, scratch,
+                stats.bwd_level_seconds if collect else None,
+            )
+            if collect:
+                now = time.perf_counter()
+                stats.backward_seconds += now - mark
+                mark = now
 
             previous_bound = lower_bound
             if self.compute_bound:
@@ -223,6 +292,20 @@ class TRWSSolver:
                 )
             energy_trace.append(best_energy)
             bound_trace.append(lower_bound)
+            if collect:
+                now = time.perf_counter()
+                stats.bound_seconds += now - mark
+                stats.iteration_seconds.append(now - iter_start)
+                trace.record(
+                    "trws.iteration", "solve",
+                    ts=iter_wall_ns / 1000.0,
+                    dur=(now - iter_start) * 1e6,
+                    args={
+                        "i": iteration,
+                        "energy": best_energy,
+                        "bound": lower_bound,
+                    },
+                )
 
             if self.compute_bound and np.isfinite(lower_bound):
                 if best_energy - lower_bound <= self.tolerance:
@@ -247,6 +330,8 @@ class TRWSSolver:
                     break
 
         assert best_labels is not None
+        if collect:
+            refine_start = time.perf_counter()
         if self.refine:
             # Polish several primal starting points and keep the best: the
             # message-passing extraction, the unary argmin, and the caller's
@@ -274,6 +359,8 @@ class TRWSSolver:
                     best_energy = polished_energy
             if self.compute_bound and best_energy - lower_bound <= self.tolerance:
                 converged = True
+        if collect:
+            stats.refine_seconds = time.perf_counter() - refine_start
         return SolverResult(
             labels=[int(x) for x in best_labels],
             energy=best_energy,
@@ -283,6 +370,7 @@ class TRWSSolver:
             solver=self.name,
             energy_trace=energy_trace,
             bound_trace=bound_trace,
+            stats=stats,
         )
 
     # ------------------------------------------------------------- internals
@@ -293,17 +381,26 @@ class TRWSSolver:
         messages: np.ndarray,
         beliefs: np.ndarray,
         scratch: SolverScratch,
+        level_seconds: Optional[List[float]] = None,
     ) -> np.ndarray:
         """One forward pass over the wavefront levels.
 
         Per level: extract labels by sequential conditioning on earlier
         neighbours (θ_i + Σ_{j<i} θ_ij(x_j, ·) + Σ_{j>i} M_{j→i}), then send
-        messages to later neighbours.
+        messages to later neighbours.  ``level_seconds`` (tracing only)
+        accumulates per-level wall time in place.
         """
         labels = np.zeros(plan.node_count, dtype=np.int64)
-        for level in plan.fwd_levels:
-            plan.condition_level(level, beliefs, messages, labels, scratch)
-            self._send(plan, level, messages, beliefs, scratch)
+        if level_seconds is None:
+            for level in plan.fwd_levels:
+                plan.condition_level(level, beliefs, messages, labels, scratch)
+                self._send(plan, level, messages, beliefs, scratch)
+        else:
+            for index, level in enumerate(plan.fwd_levels):
+                start = time.perf_counter()
+                plan.condition_level(level, beliefs, messages, labels, scratch)
+                self._send(plan, level, messages, beliefs, scratch)
+                level_seconds[index] += time.perf_counter() - start
         return labels
 
     def _backward_sweep(
@@ -312,10 +409,18 @@ class TRWSSolver:
         messages: np.ndarray,
         beliefs: np.ndarray,
         scratch: SolverScratch,
+        level_seconds: Optional[List[float]] = None,
     ) -> None:
-        """One backward pass (messages to earlier neighbours)."""
-        for block in plan.bwd_levels:
-            self._send(plan, block, messages, beliefs, scratch)
+        """One backward pass (messages to earlier neighbours);
+        ``level_seconds`` (tracing only) accumulates per-level time."""
+        if level_seconds is None:
+            for block in plan.bwd_levels:
+                self._send(plan, block, messages, beliefs, scratch)
+        else:
+            for index, block in enumerate(plan.bwd_levels):
+                start = time.perf_counter()
+                self._send(plan, block, messages, beliefs, scratch)
+                level_seconds[index] += time.perf_counter() - start
 
     @staticmethod
     def _send(

@@ -1,0 +1,93 @@
+"""Shared structured-logging setup for the CLI and the service.
+
+One formatter, one root handler, one entry point: :func:`setup_logging`
+configures the ``repro`` logger hierarchy with a key=value structured
+format (timestamp, level, logger name, message, then any ``extra``
+fields), and :func:`get_logger` hands out child loggers.  The service
+and the ``repro stream`` / ``repro serve`` commands route their lines
+through this instead of ad-hoc ``print`` calls; ``--log-level`` picks
+the threshold.
+
+>>> logger = get_logger("doctest")
+>>> logger.name
+'repro.doctest'
+>>> parse_level("warning")
+30
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Optional
+
+__all__ = ["LEVELS", "parse_level", "setup_logging", "get_logger", "kv"]
+
+#: accepted ``--log-level`` names, mapped to stdlib levels.
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_ROOT = "repro"
+
+
+class _StructuredFormatter(logging.Formatter):
+    """``time level logger message key=value...`` on one line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record in the structured key=value layout."""
+        base = (
+            f"{self.formatTime(record, '%Y-%m-%dT%H:%M:%S')} "
+            f"{record.levelname.lower():7s} "
+            f"{record.name} {record.getMessage()}"
+        )
+        fields = getattr(record, "fields", None)
+        if fields:
+            pairs = " ".join(f"{key}={value}" for key, value in fields.items())
+            base = f"{base} {pairs}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def parse_level(name: str) -> int:
+    """Map a ``--log-level`` name to the stdlib numeric level.
+
+    Raises ``ValueError`` for unknown names (argparse surfaces it).
+    """
+    try:
+        return LEVELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {name!r}; pick from {sorted(LEVELS)}"
+        ) from None
+
+
+def setup_logging(level: str = "info", stream: Optional[Any] = None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; returns the root logger.
+
+    Idempotent: repeated calls replace the handler rather than stacking
+    duplicates, so tests and long-lived sessions can re-invoke freely.
+    """
+    root = logging.getLogger(_ROOT)
+    root.setLevel(parse_level(level))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_StructuredFormatter())
+    for old in list(root.handlers):
+        root.removeHandler(old)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child logger under the shared ``repro`` hierarchy."""
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def kv(**fields: Any) -> dict:
+    """Structured fields for a log call: ``logger.info(msg, extra=kv(a=1))``."""
+    return {"fields": fields}

@@ -1,0 +1,148 @@
+"""Trace post-processing: self-time attribution and text summaries.
+
+Chrome complete events nest by time containment within one ``(pid,
+tid)`` lane.  :func:`self_durations` replays each lane with a stack
+sweep to compute every span's *self* time (its duration minus directly
+nested children), which makes per-layer and per-span totals additive
+instead of double-counting parents.  On top of that:
+
+* :func:`layer_seconds` — seconds of self time per category (layer),
+  the per-phase attribution BENCH records carry,
+* :func:`span_table` — per-span-name count / total / self aggregates,
+* :func:`format_summary` — the text report ``repro trace`` prints.
+
+>>> events = [
+...     {"name": "outer", "cat": "a", "ph": "X", "ts": 0.0, "dur": 10.0,
+...      "pid": 1, "tid": 1},
+...     {"name": "inner", "cat": "b", "ph": "X", "ts": 2.0, "dur": 4.0,
+...      "pid": 1, "tid": 1},
+... ]
+>>> [round(d, 1) for d in self_durations(events)]
+[6.0, 4.0]
+>>> layers = layer_seconds(events)
+>>> round(layers["a"] * 1e6, 1), round(layers["b"] * 1e6, 1)
+(6.0, 4.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "complete_events",
+    "self_durations",
+    "layer_seconds",
+    "span_table",
+    "format_summary",
+]
+
+
+def complete_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The complete ("X") events from a raw event stream, as a list."""
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def self_durations(events: Sequence[Dict[str, Any]]) -> List[float]:
+    """Self time (µs) for each complete event, positionally aligned.
+
+    Events are grouped into ``(pid, tid)`` lanes; within a lane, spans
+    nest by time containment (the Chrome viewer's rule), so a stack
+    sweep over start-sorted events subtracts each span's duration from
+    its direct parent's self time.  Non-"X" events get 0.0.
+    """
+    selfs = [0.0] * len(events)
+    lanes: Dict[Tuple[Any, Any], List[int]] = {}
+    for index, event in enumerate(events):
+        if event.get("ph") != "X":
+            continue
+        selfs[index] = float(event.get("dur", 0.0))
+        lanes.setdefault((event.get("pid"), event.get("tid")), []).append(index)
+    for indices in lanes.values():
+        # Parents first at equal start times: sort by start, then by
+        # descending duration.
+        indices.sort(key=lambda i: (events[i]["ts"], -events[i].get("dur", 0.0)))
+        stack: List[Tuple[float, int]] = []  # (end_ts, event index)
+        for index in indices:
+            ts = float(events[index]["ts"])
+            dur = float(events[index].get("dur", 0.0))
+            while stack and stack[-1][0] <= ts:
+                stack.pop()
+            if stack:
+                selfs[stack[-1][1]] -= dur
+            stack.append((ts + dur, index))
+    return selfs
+
+
+def layer_seconds(events: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    """Self seconds per category ("layer"), sorted descending by time.
+
+    Because self time is additive, the values sum to total traced time
+    with no parent/child double counting — this is the per-phase
+    attribution attached to BENCH records.
+    """
+    selfs = self_durations(events)
+    totals: Dict[str, float] = {}
+    for event, self_us in zip(events, selfs):
+        if event.get("ph") != "X":
+            continue
+        cat = str(event.get("cat", "app"))
+        totals[cat] = totals.get(cat, 0.0) + self_us / 1e6
+    return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+
+def span_table(
+    events: Sequence[Dict[str, Any]],
+) -> List[Tuple[str, str, int, float, float]]:
+    """Per-span aggregates: ``(name, cat, count, total_s, self_s)`` rows,
+    sorted by descending self time."""
+    selfs = self_durations(events)
+    rows: Dict[Tuple[str, str], List[float]] = {}
+    for event, self_us in zip(events, selfs):
+        if event.get("ph") != "X":
+            continue
+        key = (str(event["name"]), str(event.get("cat", "app")))
+        entry = rows.setdefault(key, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += float(event.get("dur", 0.0)) / 1e6
+        entry[2] += self_us / 1e6
+    table = [
+        (name, cat, int(count), total, self_s)
+        for (name, cat), (count, total, self_s) in rows.items()
+    ]
+    table.sort(key=lambda row: -row[4])
+    return table
+
+
+def format_summary(
+    events: Sequence[Dict[str, Any]],
+    counters: Dict[str, float] = None,
+    top: int = 15,
+) -> str:
+    """The text report ``repro trace`` prints: per-layer breakdown, the
+    top spans by self time, and any counters."""
+    spans = complete_events(events)
+    lines: List[str] = []
+    layers = layer_seconds(spans)
+    total = sum(layers.values())
+    lines.append(f"trace: {len(spans)} spans, {total:.3f}s self time")
+    lines.append("")
+    lines.append("per-layer breakdown (self time):")
+    for cat, seconds in layers.items():
+        share = 100.0 * seconds / total if total else 0.0
+        lines.append(f"  {cat:<10s} {seconds:9.3f}s  {share:5.1f}%")
+    lines.append("")
+    lines.append(f"top spans by self time (of {len(span_table(spans))} names):")
+    header = f"  {'span':<28s} {'cat':<10s} {'count':>7s} {'total':>9s} {'self':>9s}"
+    lines.append(header)
+    for name, cat, count, total_s, self_s in span_table(spans)[:top]:
+        lines.append(
+            f"  {name:<28s} {cat:<10s} {count:>7d} {total_s:>8.3f}s {self_s:>8.3f}s"
+        )
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:g}"
+            lines.append(f"  {name:<38s} {rendered:>10s}")
+    return "\n".join(lines)

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optio
 
 import numpy as np
 
+from repro import obs
 from repro.runner.shared import (
     SharedArrayBlock,
     SharedArraySpec,
@@ -125,6 +126,31 @@ def resolve_workers(workers: Optional[int]) -> int:
 def _run_job(job: Job) -> Any:
     """Top-level trampoline so jobs traverse the process pool."""
     return job.run()
+
+
+@dataclass(frozen=True)
+class _TracedResult:
+    """A worker's job result bundled with the spans captured while it ran.
+
+    Produced by :func:`_traced_job` when the parent dispatched under an
+    active trace; the parent unwraps it and merges ``events`` into its
+    own :class:`repro.obs.Trace` (events keep the worker's pid/tid, so
+    the merged timeline shows them in their own lanes).
+    """
+
+    value: Any
+    events: List[Dict[str, Any]]
+
+
+def _traced_job(job: Job) -> _TracedResult:
+    """Run one job under a worker-local span capture (cross-process
+    tracing; see :mod:`repro.obs`)."""
+    token = obs.begin_capture()
+    try:
+        value = job.run()
+    finally:
+        events = obs.end_capture(token)
+    return _TracedResult(value=value, events=events)
 
 
 # ------------------------------------------- shared-memory result return
@@ -413,8 +439,19 @@ def run_jobs(
 
     results: List[Any]
     if count <= 1 or len(job_list) <= 1:
+        # Serial jobs record straight into the active trace (if any);
+        # no capture indirection needed.
         results = [job.run() for job in job_list]
     else:
+        # Under an active trace, wrap each job so workers capture their
+        # spans and ship them back with the result (pool workers cannot
+        # reach the parent's Trace object).
+        dispatch = job_list
+        if obs.enabled():
+            dispatch = [
+                Job(key=job.key, fn=_traced_job, kwargs={"job": job})
+                for job in job_list
+            ]
         try:
             with ProcessPoolExecutor(max_workers=count) as pool:
                 # Shared results import (and thereby unlink) every ref
@@ -422,10 +459,10 @@ def run_jobs(
                 # because every undrained ref is a disowned shared-memory
                 # segment that would otherwise outlive the run.
                 if use_shared:
-                    results = _map_shared(pool, job_list, chunksize or 1)
+                    results = _map_shared(pool, dispatch, chunksize or 1)
                 else:
                     results = list(
-                        pool.map(_run_job, job_list, chunksize=chunksize or 1)
+                        pool.map(_run_job, dispatch, chunksize=chunksize or 1)
                     )
         except (OSError, PermissionError, BrokenProcessPool) as exc:
             warnings.warn(
@@ -435,6 +472,13 @@ def run_jobs(
                 stacklevel=2,
             )
             results = [job.run() for job in job_list]
+        # Merge captured worker spans into the parent trace.
+        trace = obs.current_trace()
+        for index, result in enumerate(results):
+            if type(result) is _TracedResult:
+                if trace is not None:
+                    trace.extend(result.events)
+                results[index] = result.value
         # Job errors rode back as values (see _JobFailure) so the whole
         # grid could drain first; re-raise the first one in job order with
         # the worker traceback chained, like concurrent.futures does.

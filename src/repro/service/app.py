@@ -16,10 +16,14 @@ long-lived asyncio service:
   state, so they never block the writer and never observe a half-applied
   batch; the solver itself runs on a one-thread executor, keeping the
   event loop free to answer reads mid-solve.
-* **Operations** — ``GET /healthz``, Prometheus-format ``GET /metrics``,
-  periodic plan snapshots to disk (:mod:`repro.service.snapshot`) and a
-  graceful shutdown (``POST /shutdown`` or SIGINT/SIGTERM) that drains
-  the queue, snapshots, and only then stops answering.
+* **Operations** — ``GET /healthz``, Prometheus-format ``GET /metrics``
+  (solve/shard-solve latency histograms, per-reason escalation counters,
+  ``repro_build_info``), the ``GET /debug/trace`` tail of the
+  :mod:`repro.obs` span ring buffer (``ServiceConfig.trace_tail``),
+  structured logs via :mod:`repro.obs.logging`, periodic plan snapshots
+  to disk (:mod:`repro.service.snapshot`) and a graceful shutdown
+  (``POST /shutdown`` or SIGINT/SIGTERM) that drains the queue,
+  snapshots, and only then stops answering.
 
 The single-writer design is what makes the consistency story trivial:
 every mutation of network, plan, and message state happens on one task in
@@ -35,11 +39,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import platform
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import __version__, obs
 from repro.core.costs import HARD_COST, assignment_energy
+from repro.obs.logging import get_logger, kv
 from repro.network.assignment import ProductAssignment
 from repro.network.constraints import ConstraintSet
 from repro.network.model import Network
@@ -230,8 +237,22 @@ class DiversificationService:
                 **self.config.engine_options,
             )
         self._engine = engine
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(solve_buckets=self.config.solve_buckets)
         self.metrics.set_gauge("queue_high_water", self.config.high_water)
+        self.metrics.set_build_info(
+            version=__version__,
+            python=platform.python_version(),
+            solver=self.config.solver,
+            sharded=self.config.sharded,
+            warm_start=self.config.warm_start,
+        )
+        self._log = get_logger("service")
+        #: the trace ring buffer this service owns (None when disabled or
+        #: when an ambient trace — e.g. ``repro trace`` — was joined).
+        self._trace: Optional[obs.Trace] = None
+        if self.config.trace_tail > 0 and not obs.enabled():
+            self._trace = obs.Trace(limit=self.config.trace_tail)
+            obs.activate(self._trace)
         self._queue: asyncio.Queue = asyncio.Queue()
         self._view: Optional[ReadView] = None
         self._executor = ThreadPoolExecutor(
@@ -300,6 +321,16 @@ class DiversificationService:
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host, port=self.config.port
         )
+        self._log.info(
+            "service listening",
+            extra=kv(
+                host=self.config.host,
+                port=self.port,
+                solver=self.config.solver,
+                sharded=self.config.sharded,
+                trace_tail=self.config.trace_tail,
+            ),
+        )
 
     async def run(self) -> None:
         """Start, install signal handlers, serve until shutdown completes."""
@@ -343,6 +374,12 @@ class DiversificationService:
             self._server.close()
             await self._server.wait_closed()
         self._executor.shutdown(wait=True)
+        if self._trace is not None and obs.current_trace() is self._trace:
+            obs.deactivate()
+        self._log.info(
+            "service stopped",
+            extra=kv(solves=self._solves, events=self._events_applied),
+        )
         self._stopped.set()
 
     # ------------------------------------------------------------ writer side
@@ -399,15 +436,28 @@ class DiversificationService:
         After the solve the fresh :class:`ReadView` is swapped in and, when
         due, a snapshot is written.
         """
-        applied = 0
-        for event in batch:
-            try:
-                self._engine.apply(event)
-            except Exception:
-                self.metrics.inc("events_failed_total")
-            else:
-                applied += 1
-        result = self._engine.solve()
+        with obs.span(
+            "service.batch", cat="service", events=len(batch)
+        ) as batch_span:
+            applied = 0
+            for event in batch:
+                try:
+                    self._engine.apply(event)
+                except Exception:
+                    self.metrics.inc("events_failed_total")
+                    self._log.warning(
+                        "event failed",
+                        extra=kv(event=type(event).__name__),
+                    )
+                else:
+                    applied += 1
+            result = self._engine.solve()
+            batch_span.add(
+                applied=applied,
+                warm=result.warm,
+                energy=result.energy,
+                seconds=result.seconds,
+            )
         self._events_applied += applied
         self._solves += 1
         self.metrics.inc("events_applied_total", applied)
@@ -416,6 +466,21 @@ class DiversificationService:
             "solves_warm_total" if result.warm else "solves_cold_total"
         )
         self.metrics.observe_solve(result.seconds)
+        if result.escalation is not None:
+            self.metrics.inc_escalation(result.escalation)
+        for shard_seconds in result.shard_seconds:
+            self.metrics.observe_shard_solve(shard_seconds)
+        self._log.debug(
+            "batch solved",
+            extra=kv(
+                version=self._solves,
+                events=applied,
+                warm=result.warm,
+                escalation=result.escalation,
+                seconds=round(result.seconds, 6),
+                energy=result.energy,
+            ),
+        )
         plan = self._engine.plan
         self.metrics.set_gauge("plan_nodes", plan.node_count)
         self.metrics.set_gauge("plan_edges", plan.edge_count)
@@ -452,19 +517,21 @@ class DiversificationService:
         if not self.config.snapshots_enabled:
             return
         view = self._view
-        path = save_snapshot(
-            self._engine,
-            self.config.snapshot_dir,  # type: ignore[arg-type]
-            version=self._solves,
-            events_applied=self._events_applied,
-            energy=view.energy if view is not None else None,
-        )
-        prune_snapshots(
-            self.config.snapshot_dir,  # type: ignore[arg-type]
-            self.config.keep_snapshots,
-        )
+        with obs.span("service.snapshot", cat="service", version=self._solves):
+            path = save_snapshot(
+                self._engine,
+                self.config.snapshot_dir,  # type: ignore[arg-type]
+                version=self._solves,
+                events_applied=self._events_applied,
+                energy=view.energy if view is not None else None,
+            )
+            prune_snapshots(
+                self.config.snapshot_dir,  # type: ignore[arg-type]
+                self.config.keep_snapshots,
+            )
         self._last_snapshot_path = str(path)
         self.metrics.inc("snapshots_total")
+        self._log.debug("snapshot written", extra=kv(path=str(path)))
 
     # -------------------------------------------------------------- HTTP side
 
@@ -516,6 +583,15 @@ class DiversificationService:
             return 200, self._health_payload(), no_headers
         if method == "GET" and path == "/metrics":
             return 200, self.metrics.render(), no_headers
+        if method == "GET" and path == "/debug/trace":
+            trace = obs.current_trace()
+            if trace is None:
+                return (
+                    409,
+                    {"error": "tracing is disabled (set trace_tail > 0)"},
+                    no_headers,
+                )
+            return 200, trace.chrome(), no_headers
         if method == "GET" and path == "/assignment":
             self.metrics.inc("reads_total")
             view = self._view

@@ -178,6 +178,14 @@ class ServiceClient:
             raise ServiceError(status, raw.decode(errors="replace"))
         return raw.decode()
 
+    def debug_trace(self) -> Dict[str, object]:
+        """``GET /debug/trace`` — the Chrome trace-event tail.
+
+        Raises :class:`ServiceError` (409) when the service runs with
+        tracing disabled (``trace_tail`` unset).
+        """
+        return self._json("GET", "/debug/trace")
+
     # ------------------------------------------------------------ operations
 
     def snapshot(self) -> Dict[str, object]:

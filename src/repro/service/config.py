@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
+
+from repro.obs.logging import LEVELS
 
 __all__ = ["ServiceConfig"]
 
@@ -50,6 +52,20 @@ class ServiceConfig:
         engine_options: extra keyword arguments forwarded verbatim to
             :class:`~repro.stream.incremental.DynamicDiversifier`
             (``rebuild_fraction``, ``warm_iterations``, cost model, ...).
+        log_level: threshold of the service's structured log output
+            (``"debug"`` / ``"info"`` / ``"warning"`` / ``"error"``) —
+            the ``--log-level`` flag of ``repro serve``.
+        trace_tail: keep the most recent N trace events in an in-process
+            ring buffer and serve them on ``GET /debug/trace`` (Chrome
+            trace-event JSON).  0 (default) disables tracing entirely —
+            the instrumentation hooks then cost one pointer check.  When
+            an ambient trace is already active (``repro trace
+            serve-replay``) the service joins it instead of starting its
+            own tail.
+        solve_buckets: override the upper bounds (seconds) of the solve-
+            latency histograms; ``None`` keeps
+            :data:`repro.service.metrics.SOLVE_BUCKETS`.  Must be
+            positive and strictly ascending.
 
     >>> config = ServiceConfig(port=0, batch_max=16)
     >>> config.high_water
@@ -72,6 +88,9 @@ class ServiceConfig:
     snapshot_every: int = 0
     keep_snapshots: int = 3
     engine_options: Dict[str, object] = field(default_factory=dict)
+    log_level: str = "info"
+    trace_tail: int = 0
+    solve_buckets: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -92,6 +111,20 @@ class ServiceConfig:
             raise ValueError("keep_snapshots must be >= 1")
         if self.snapshot_dir is not None:
             self.snapshot_dir = Path(self.snapshot_dir)
+        if self.log_level not in LEVELS:
+            raise ValueError(
+                f"log_level must be one of {sorted(LEVELS)}, "
+                f"got {self.log_level!r}"
+            )
+        if self.trace_tail < 0:
+            raise ValueError("trace_tail must be >= 0")
+        if self.solve_buckets is not None:
+            buckets = tuple(float(bound) for bound in self.solve_buckets)
+            if not buckets or any(bound <= 0 for bound in buckets):
+                raise ValueError("solve_buckets must be positive")
+            if any(a >= b for a, b in zip(buckets, buckets[1:])):
+                raise ValueError("solve_buckets must be strictly ascending")
+            self.solve_buckets = buckets
 
     @property
     def snapshots_enabled(self) -> bool:

@@ -49,11 +49,12 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.mrf.bp import LoopyBPSolver
 from repro.mrf.partition import Shard, merge_shard_results, split_parts
 from repro.mrf.solvers import SolverResult
@@ -102,6 +103,15 @@ class StreamSolveResult:
         shards_solved: shards actually re-solved — on a sharded warm solve
             only the components touched by the pending events; clean
             shards kept their messages/labels/energy untouched.
+        escalation: why this solve left the cheap warm path, or ``None``
+            for a plain warm re-solve.  ``"cost_jump"`` / ``"stranded"``
+            mark warm solves escalated to the full budget; ``"node_churn"``
+            / ``"edge_churn"`` / ``"mask_churn"`` name the fraction that
+            crossed the rebuild threshold; ``"first_solve"`` and
+            ``"warm_disabled"`` mark the other cold cases.
+        shard_seconds: wall time of each dirty-shard solve (sharded mode;
+            empty for the monolithic engine) — the skew signal behind the
+            service's per-shard latency histogram.
     """
 
     assignment: ProductAssignment
@@ -114,6 +124,8 @@ class StreamSolveResult:
     solver_result: SolverResult
     shards_total: int = 1
     shards_solved: int = 1
+    escalation: Optional[str] = None
+    shard_seconds: List[float] = field(default_factory=list)
 
     @property
     def iterations(self) -> int:
@@ -282,22 +294,22 @@ class DynamicDiversifier:
         if self.sharded:
             return self._solve_sharded()
         start = time.perf_counter()
+        wall_ns = time.time_ns() if obs.enabled() else 0
         plan = self.plan
-        warm = (
-            self.warm_start
-            and plan.labels is not None
-            and not self._delta_too_large()
-        )
+        warm, escalation = self._classify_solve()
+        if escalation is not None:
+            obs.instant("stream.escalation", cat="stream", reason=escalation)
         is_trws = self.solver_name == "trws"
         if warm:
             plan.flush()
-            if plan.dirty_cost > self.cost_jump_threshold or plan.stranded:
-                # A large similarity re-score, or a constraint flip that
-                # hard-masked the previous solution: keep the warm
-                # messages (any message state is a valid
-                # reparametrisation) but give the solver its full budget
-                # and the cold init set so it can leave the previous
-                # basin — which a stranding mask just made infeasible.
+            if escalation is not None:
+                # A large similarity re-score ("cost_jump"), or a
+                # constraint flip that hard-masked the previous solution
+                # ("stranded"): keep the warm messages (any message state
+                # is a valid reparametrisation) but give the solver its
+                # full budget and the cold init set so it can leave the
+                # previous basin — which a stranding mask just made
+                # infeasible.
                 solver = self._solver
                 extra_inits = (plan.labels,)
                 if is_trws:
@@ -349,6 +361,18 @@ class DynamicDiversifier:
             np.isfinite(result.lower_bound)
             and energy - result.lower_bound <= 1e-6
         )
+        seconds = time.perf_counter() - start
+        trace = obs.current_trace()
+        if trace is not None and wall_ns:
+            trace.record(
+                "stream.solve", "stream",
+                ts=wall_ns / 1000.0, dur=seconds * 1e6,
+                args={
+                    "warm": warm,
+                    "escalation": escalation or "",
+                    "energy": energy,
+                },
+            )
         return StreamSolveResult(
             assignment=assignment,
             energy=energy,
@@ -356,8 +380,9 @@ class DynamicDiversifier:
             certified_optimal=certified,
             warm=warm,
             stability=stability,
-            seconds=time.perf_counter() - start,
+            seconds=seconds,
             solver_result=result,
+            escalation=escalation,
         )
 
     # -------------------------------------------------------- sharded solve
@@ -373,19 +398,16 @@ class DynamicDiversifier:
         energy/bound; merges and splits fall out of re-partitioning.
         """
         start = time.perf_counter()
+        wall_ns = time.time_ns() if obs.enabled() else 0
         plan = self.plan
-        warm = (
-            self.warm_start
-            and plan.labels is not None
-            and not self._delta_too_large()
-        )
+        warm, escalation = self._classify_solve()
+        if escalation is not None:
+            obs.instant("stream.escalation", cat="stream", reason=escalation)
         if not warm:
             plan.rebuild()
             self._shard_cache.clear()
         touched = set(plan.touched)
-        escalate = warm and (
-            plan.dirty_cost > self.cost_jump_threshold or plan.stranded
-        )
+        escalate = warm and escalation is not None
         width = plan.pad_messages()
         unaries, edge_first, edge_second, edge_cid, matrices = plan.parts()
         partition = split_parts(
@@ -431,10 +453,14 @@ class DynamicDiversifier:
                 for shard, _key in dirty
             ]
         dirty_iterations = []
-        for (shard, key), (entry, sub_labels, sub_iters) in zip(dirty, outcomes):
+        shard_seconds: List[float] = []
+        for (shard, key), (entry, sub_labels, sub_iters, sub_secs) in zip(
+            dirty, outcomes
+        ):
             labels[shard.nodes] = sub_labels
             solved[key] = entry
             dirty_iterations.append(sub_iters)
+            shard_seconds.append(sub_secs)
         for position, (entry, key) in enumerate(zip(entries, keys)):
             if entry is None:
                 entries[position] = solved[key]
@@ -468,6 +494,20 @@ class DynamicDiversifier:
             converged=merged.converged,
             solver=f"{self.solver_name}-sharded",
         )
+        seconds = time.perf_counter() - start
+        trace = obs.current_trace()
+        if trace is not None and wall_ns:
+            trace.record(
+                "stream.solve", "stream",
+                ts=wall_ns / 1000.0, dur=seconds * 1e6,
+                args={
+                    "warm": warm,
+                    "escalation": escalation or "",
+                    "energy": energy,
+                    "shards_total": len(partition),
+                    "shards_solved": len(dirty),
+                },
+            )
         return StreamSolveResult(
             assignment=assignment,
             energy=energy,
@@ -475,10 +515,12 @@ class DynamicDiversifier:
             certified_optimal=certified,
             warm=warm,
             stability=stability,
-            seconds=time.perf_counter() - start,
+            seconds=seconds,
             solver_result=solver_result,
             shards_total=len(partition),
             shards_solved=len(dirty),
+            escalation=escalation,
+            shard_seconds=shard_seconds,
         )
 
     def _solve_shard(
@@ -487,8 +529,14 @@ class DynamicDiversifier:
         labels: np.ndarray,
         warm: bool,
         escalate: bool,
-    ) -> Tuple[_ShardEntry, np.ndarray, int]:
-        """One dirty-shard solve, mirroring the monolithic mode choice."""
+    ) -> Tuple[_ShardEntry, np.ndarray, int, float]:
+        """One dirty-shard solve, mirroring the monolithic mode choice.
+
+        Returns ``(entry, labels, iterations, seconds)``; the wall time
+        feeds the result's ``shard_seconds`` skew stats (always measured —
+        two clock reads per shard are noise next to a solver run).
+        """
+        shard_start = time.perf_counter()
         plan = self.plan
         is_trws = self.solver_name == "trws"
         messages = plan.messages[shard.slots]
@@ -509,38 +557,48 @@ class DynamicDiversifier:
             default_inits = True
 
         scratch = self._shard_scratches.acquire()
-        try:
-            if is_trws:
-                result = solver.solve_arrays(
-                    shard.plan,
-                    messages=messages,
-                    extra_inits=extra_inits,
-                    default_inits=default_inits,
-                    scratch=scratch,
-                )
-            else:
-                result = solver.solve_arrays(
-                    shard.plan, messages=messages, scratch=scratch
-                )
-            plan.messages[shard.slots] = messages
+        with obs.span(
+            "shard.solve",
+            cat="shard",
+            shard=int(shard.index),
+            nodes=len(shard.nodes),
+            warm=warm,
+        ) as shard_span:
+            try:
+                if is_trws:
+                    result = solver.solve_arrays(
+                        shard.plan,
+                        messages=messages,
+                        extra_inits=extra_inits,
+                        default_inits=default_inits,
+                        scratch=scratch,
+                    )
+                else:
+                    result = solver.solve_arrays(
+                        shard.plan, messages=messages, scratch=scratch
+                    )
+                plan.messages[shard.slots] = messages
 
-            sub_labels = np.asarray(result.labels, dtype=np.int64)
-            energy = result.energy
-            if warm and previous is not None:
-                # Stability tie-break, per shard (see the monolithic path).
-                polished = shard.plan.icm(previous, scratch=scratch)
-                polished_energy = shard.plan.energy(polished)
-                if polished_energy <= energy + 1e-9:
-                    sub_labels = polished
-                    energy = polished_energy
-        finally:
-            self._shard_scratches.release(scratch)
+                sub_labels = np.asarray(result.labels, dtype=np.int64)
+                energy = result.energy
+                if warm and previous is not None:
+                    # Stability tie-break, per shard (see the monolithic
+                    # path).
+                    polished = shard.plan.icm(previous, scratch=scratch)
+                    polished_energy = shard.plan.energy(polished)
+                    if polished_energy <= energy + 1e-9:
+                        sub_labels = polished
+                        energy = polished_energy
+            finally:
+                self._shard_scratches.release(scratch)
+            shard_span.add(energy=energy, iterations=result.iterations)
         entry = _ShardEntry(
             energy=energy,
             lower_bound=result.lower_bound,
             converged=result.converged,
         )
-        return entry, sub_labels, result.iterations
+        seconds = time.perf_counter() - shard_start
+        return entry, sub_labels, result.iterations, seconds
 
     # ------------------------------------------------------------- internals
 
@@ -549,11 +607,42 @@ class DynamicDiversifier:
         rebuild threshold?  Bulk constraint loads count like topology: a
         policy file rewriting a quarter of the unary masks is cheaper to
         recompile than to patch mask by mask."""
+        return self._delta_reason() is not None
+
+    def _delta_reason(self) -> Optional[str]:
+        """The dominating churn fraction past the rebuild threshold, or
+        ``None`` when patching is still worthwhile."""
         plan = self.plan
-        node_frac = plan.dirty_nodes / max(1, plan.node_count)
-        edge_frac = plan.dirty_edges / max(1, plan.edge_count)
-        mask_frac = plan.dirty_masked / max(1, plan.node_count)
-        return max(node_frac, edge_frac, mask_frac) > self.rebuild_fraction
+        fractions = {
+            "node_churn": plan.dirty_nodes / max(1, plan.node_count),
+            "edge_churn": plan.dirty_edges / max(1, plan.edge_count),
+            "mask_churn": plan.dirty_masked / max(1, plan.node_count),
+        }
+        name, frac = max(fractions.items(), key=lambda item: item[1])
+        return name if frac > self.rebuild_fraction else None
+
+    def _classify_solve(self) -> Tuple[bool, Optional[str]]:
+        """``(warm, escalation reason)`` for the pending delta.
+
+        ``warm=False`` reasons name the cold-rebuild trigger
+        (``"first_solve"``, ``"warm_disabled"``, or the dominating churn
+        fraction); ``warm=True`` with a reason marks a warm solve escalated
+        to the full budget (``"cost_jump"`` / ``"stranded"``); ``(True,
+        None)`` is the plain cheap warm re-solve.
+        """
+        plan = self.plan
+        if plan.labels is None:
+            return False, "first_solve"
+        if not self.warm_start:
+            return False, "warm_disabled"
+        churn = self._delta_reason()
+        if churn is not None:
+            return False, churn
+        if plan.dirty_cost > self.cost_jump_threshold:
+            return True, "cost_jump"
+        if plan.stranded:
+            return True, "stranded"
+        return True, None
 
 
 def _stability(

@@ -56,6 +56,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.compile import COMBO_META as _COMBO_META
 from repro.core.costs import HARD_COST
 from repro.mrf.vectorized import MRFArrays
@@ -150,6 +151,11 @@ class StreamPlan:
         emitted vectorized, so the incremental engine's cold-rebuild
         escalation costs NumPy passes instead of per-edge Python loops.
         """
+        with obs.span("stream.rebuild", cat="stream"):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """The cold-build body behind :meth:`rebuild`."""
         from repro.core.compile import compile_stream_parts
 
         parts = compile_stream_parts(
@@ -228,7 +234,21 @@ class StreamPlan:
     # ------------------------------------------------------------ event apply
 
     def apply(self, event: Event) -> None:
-        """Mutate network/similarity and patch the live plan for one event."""
+        """Mutate network/similarity and patch the live plan for one event.
+
+        While tracing is enabled each apply records a ``stream.apply`` span
+        tagged with the event type; disabled, the extra cost is one branch.
+        """
+        if not obs.enabled():
+            self._dispatch(event)
+            return
+        with obs.span(
+            "stream.apply", cat="stream", event=type(event).__name__
+        ):
+            self._dispatch(event)
+
+    def _dispatch(self, event: Event) -> None:
+        """Route one event to its typed patch handler."""
         if isinstance(event, SimilarityUpdate):
             self._apply_similarity(event)
         elif isinstance(event, LinkAdd):
@@ -255,6 +275,16 @@ class StreamPlan:
         the slot/level structure once for however many link/host events
         accumulated.  Returns the (possibly new) plan.
         """
+        if (self._nodes_dirty or self._edges_dirty) and obs.enabled():
+            with obs.span(
+                "stream.flush", cat="stream",
+                nodes_dirty=self._nodes_dirty, edges_dirty=self._edges_dirty,
+            ):
+                return self._flush()
+        return self._flush()
+
+    def _flush(self) -> MRFArrays:
+        """The structural-delta materialisation behind :meth:`flush`."""
         edge_first = np.asarray(self._edge_first, dtype=np.int64)
         edge_second = np.asarray(self._edge_second, dtype=np.int64)
         edge_cid = np.asarray(self._edge_cid, dtype=np.int64)

@@ -335,3 +335,87 @@ class TestCliWiring:
         assert args.sharded
         assert args.snapshot_every == 5
         assert args.restore
+
+
+class TestObservability:
+    def test_debug_trace_409_when_disabled(self):
+        network, similarity = workload(seed=8)
+        with running_service(network, similarity) as (client, _):
+            with pytest.raises(ServiceError) as failure:
+                client.debug_trace()
+            assert failure.value.status == 409
+
+    def test_debug_trace_serves_chrome_tail(self):
+        network, similarity = workload(seed=8)
+        trace_events = random_churn_trace(
+            network, ChurnConfig(events=6, seed=8)
+        )
+        config = ServiceConfig(port=0, batch_max=2, trace_tail=2048)
+        with running_service(network, similarity, config) as (client, service):
+            client.send(trace_events)
+            client.wait_idle()
+            payload = client.debug_trace()
+            assert payload["displayTimeUnit"] == "ms"
+            names = {event["name"] for event in payload["traceEvents"]}
+            assert "service.batch" in names
+            assert "stream.solve" in names
+        # Shutdown releases the process-global trace the service owned.
+        from repro import obs
+
+        assert obs.current_trace() is None
+
+    def test_metrics_cover_build_info_and_escalations(self):
+        network, similarity = workload(seed=9)
+        config = ServiceConfig(port=0, solve_buckets=(0.05, 0.5, 5.0))
+        with running_service(network, similarity, config) as (client, _):
+            client.wait_idle()
+            text = client.metrics_text()
+            assert 'repro_build_info{' in text
+            assert 'solver="trws"' in text
+            # The boot solve is a cold first solve — counted by reason.
+            assert 'repro_escalations_total{reason="first_solve"} 1' in text
+            # Custom buckets replace the defaults in both histograms.
+            assert 'repro_solve_seconds_bucket{le="0.05"}' in text
+            assert 'repro_solve_seconds_bucket{le="0.001"}' not in text
+            assert 'repro_shard_solve_seconds_bucket{le="+Inf"}' in text
+
+    def test_sharded_service_populates_shard_histogram(self):
+        network, similarity = workload(seed=10)
+        trace_events = random_churn_trace(
+            network, ChurnConfig(events=4, seed=10)
+        )
+        config = ServiceConfig(port=0, sharded=True, batch_max=1)
+        with running_service(network, similarity, config) as (client, _):
+            client.send(trace_events)
+            client.wait_idle()
+            text = client.metrics_text()
+            count = [
+                line for line in text.splitlines()
+                if line.startswith("repro_shard_solve_seconds_count")
+            ]
+            assert count and int(count[0].split()[-1]) > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="log_level"):
+            ServiceConfig(port=0, log_level="chatty")
+        with pytest.raises(ValueError, match="trace_tail"):
+            ServiceConfig(port=0, trace_tail=-1)
+        with pytest.raises(ValueError, match="ascending"):
+            ServiceConfig(port=0, solve_buckets=(0.5, 0.1))
+        with pytest.raises(ValueError, match="positive"):
+            ServiceConfig(port=0, solve_buckets=(0.0, 1.0))
+
+    def test_serve_parser_observability_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--log-level", "debug",
+             "--trace-tail", "4096", "--solve-buckets", "0.01,0.1,1"]
+        )
+        assert args.log_level == "debug"
+        assert args.trace_tail == 4096
+        assert args.solve_buckets == (0.01, 0.1, 1.0)
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "stream"])
+        assert args.workload == "stream"
+        assert args.out == "repro-trace.json"
+        assert not args.monolithic

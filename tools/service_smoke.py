@@ -18,14 +18,21 @@ Exit code 0 means the whole path — CLI flags, HTTP ingestion, the writer
 loop, snapshot-consistent reads, graceful drain — works against the same
 numbers the offline engine produces.
 
+With ``--trace-out PATH`` the daemon additionally runs with
+``--trace-tail`` enabled; the smoke fetches ``GET /debug/trace`` before
+shutdown and writes the Chrome trace-event JSON to PATH so CI can upload
+it as an inspectable artifact (open in Perfetto / ``chrome://tracing``).
+
 Usage::
 
     python tools/service_smoke.py [--hosts 40] [--events 12] [--port 18351]
+    python tools/service_smoke.py --trace-out service-trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -52,6 +59,13 @@ def main() -> int:
     parser.add_argument("--events", type=int, default=12)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--port", type=int, default=18351)
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="run the daemon with --trace-tail and write the /debug/trace "
+        "Chrome JSON here (CI uploads it as an artifact)",
+    )
     args = parser.parse_args()
 
     # The same synthetic bootstrap `repro serve` performs with these flags.
@@ -70,16 +84,19 @@ def main() -> int:
     print(f"offline replay final energy: {offline_energy}")
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", str(args.port),
+            "--hosts", str(args.hosts), "--degree", "3",
+            "--services", "3", "--products", "6",
+            "--seed", str(args.seed),
+            "--batch-max", "1",
+            "--snapshot-dir", tmp,
+        ]
+        if args.trace_out is not None:
+            command += ["--trace-tail", "4096"]
         daemon = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro.cli", "serve",
-                "--port", str(args.port),
-                "--hosts", str(args.hosts), "--degree", "3",
-                "--services", "3", "--products", "6",
-                "--seed", str(args.seed),
-                "--batch-max", "1",
-                "--snapshot-dir", tmp,
-            ],
+            command,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -128,6 +145,20 @@ def main() -> int:
             if f"repro_events_applied_total {len(trace)}" not in text:
                 print("FAIL: /metrics does not account for every event")
                 return 1
+            if "repro_build_info{" not in text:
+                print("FAIL: /metrics is missing repro_build_info")
+                return 1
+
+            if args.trace_out is not None:
+                chrome = client.debug_trace()
+                spans = chrome.get("traceEvents", [])
+                if not any(e.get("name") == "service.batch" for e in spans):
+                    print("FAIL: /debug/trace has no service.batch spans")
+                    return 1
+                args.trace_out.write_text(json.dumps(chrome) + "\n")
+                print(
+                    f"trace tail: {len(spans)} events -> {args.trace_out}"
+                )
 
             client.shutdown()
             code = daemon.wait(timeout=120)
