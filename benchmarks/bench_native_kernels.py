@@ -1,0 +1,129 @@
+"""Native kernel tier — compiled TRW-S sweep kernels vs the NumPy backend.
+
+Pins the headline claim of the kernel-backend tier (``docs/kernels.md``):
+on the 10k-host scalability workload (50 000 nodes, ~200 000 edges, 4
+labels) the ``native`` backend runs one TRW-S iteration — forward sweep +
+backward sweep + dual bound — at least **5×** faster than the ``numpy``
+backend, while remaining bit-for-bit identical (labels, energy, bound,
+traces and the post-solve message state are asserted equal, not close).
+
+Timing protocol: interleaved best-of-``ROUNDS``.  Each round solves
+``ITERATIONS`` TRW-S iterations per backend, alternating backends inside
+the round so machine noise (the CI boxes are small and shared) hits both
+equally; the metric is per-iteration *sweep* seconds — the ``forward`` +
+``backward`` + ``bound`` phases from :class:`~repro.mrf.solvers.SolveStats`
+— excluding decode/energy bookkeeping, which is backend-independent.  The
+per-phase attribution of the winning native round lands in the BENCH
+record (schema 2 ``phases``), and the committed baseline lives in
+``benchmarks/pinned/BENCH_native_kernels.json`` (``bench_report.py
+--pinned`` gates on it).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.compile import compile_plan
+from repro.mrf.backends import get_backend
+from repro.mrf.trws import TRWSSolver
+from repro.mrf.vectorized import SolverScratch
+from repro.network.generator import (
+    RandomNetworkConfig,
+    random_network,
+    random_similarity,
+)
+
+#: The 10k-host scalability workload (paper Table 7 scale).
+CONFIG = RandomNetworkConfig(
+    hosts=10_000, degree=8, services=5, products_per_service=4, seed=0
+)
+ROUNDS = 5
+ITERATIONS = 3
+#: Acceptance bar for the compiled tier at this scale.
+MIN_SPEEDUP = 5.0
+
+NATIVE = get_backend("native")
+
+pytestmark = pytest.mark.skipif(
+    not NATIVE.available,
+    reason="native backend needs Numba or a C compiler",
+)
+
+
+def _timed_solve(plan, backend, scratch, messages):
+    """One traced solve; returns (result, per-iteration sweep seconds)."""
+    solver = TRWSSolver(
+        max_iterations=ITERATIONS, refine=False, backend=backend, seed=0
+    )
+    assert not obs.enabled(), "ambient trace active; bench must start clean"
+    obs.activate(obs.Trace())
+    try:
+        result = solver.solve_arrays(plan, messages=messages, scratch=scratch)
+    finally:
+        obs.deactivate()
+    stats = result.stats
+    sweep = stats.forward_seconds + stats.backward_seconds + stats.bound_seconds
+    return result, sweep / result.iterations
+
+
+def test_native_sweep_speedup(record_bench):
+    network = random_network(CONFIG)
+    similarity = random_similarity(CONFIG)
+    plan = compile_plan(network, similarity).plan
+    scratch = {name: SolverScratch() for name in ("numpy", "native")}
+
+    # Warm both paths once (compiled-kernel load, scratch growth) so the
+    # timed rounds measure steady-state sweeps only.
+    baseline, _ = _timed_solve(
+        plan, "numpy", scratch["numpy"], plan.zero_messages()
+    )
+    native_result, _ = _timed_solve(
+        plan, "native", scratch["native"], plan.zero_messages()
+    )
+
+    # Bit-for-bit parity at scale: the whole result and the post-solve
+    # message state, not approximate agreement.
+    assert native_result.labels == baseline.labels
+    assert native_result.energy == baseline.energy
+    assert native_result.lower_bound == baseline.lower_bound
+    assert native_result.energy_trace == baseline.energy_trace
+    assert native_result.bound_trace == baseline.bound_trace
+    reference_messages = plan.zero_messages()
+    messages = plan.zero_messages()
+    TRWSSolver(max_iterations=2, refine=False, backend="numpy", seed=0) \
+        .solve_arrays(plan, messages=reference_messages)
+    TRWSSolver(max_iterations=2, refine=False, backend="native", seed=0) \
+        .solve_arrays(plan, messages=messages)
+    np.testing.assert_array_equal(messages, reference_messages)
+
+    best = {"numpy": float("inf"), "native": float("inf")}
+    best_stats = {}
+    for _ in range(ROUNDS):
+        for name in ("numpy", "native"):
+            result, per_iteration = _timed_solve(
+                plan, name, scratch[name], plan.zero_messages()
+            )
+            if per_iteration < best[name]:
+                best[name] = per_iteration
+                best_stats[name] = result.stats
+
+    speedup = best["numpy"] / best["native"]
+    record_bench(
+        "native_kernels",
+        seconds=best["native"],
+        phases=best_stats["native"].phase_seconds(),
+        numpy_seconds=round(best["numpy"], 6),
+        speedup=round(speedup, 2),
+        backend=NATIVE.describe(),
+        hosts=CONFIG.hosts,
+        nodes=plan.node_count,
+        edges=plan.edge_count,
+        iterations=ITERATIONS,
+        rounds=ROUNDS,
+        energy=round(native_result.energy, 6),
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"native kernels only {speedup:.1f}x faster than numpy "
+        f"({best['native'] * 1e3:.1f} ms vs {best['numpy'] * 1e3:.1f} ms "
+        f"per iteration)"
+    )

@@ -77,6 +77,26 @@ def load_records(directory: Path) -> Dict[str, dict]:
     return records
 
 
+def _backend_tag(record: Optional[dict], baseline: Optional[dict] = None) -> str:
+    """`` [backend]`` suffix for records that declare a kernel backend.
+
+    Benches that time the pluggable kernel tier record the resolved
+    backend (``extra.backend``, e.g. ``"native (cc)"``) so a trend diff
+    across machines is interpretable — an apparent regression that is
+    really a toolchain difference renders as ``[numpy -> native (cc)]``.
+    Records without the field (v1, or non-kernel benches) get no suffix.
+    """
+    current_backend = ((record or {}).get("extra") or {}).get("backend")
+    if not isinstance(current_backend, str) or not current_backend:
+        return ""
+    old_backend = ((baseline or {}).get("extra") or {}).get("backend")
+    if isinstance(old_backend, str) and old_backend and (
+        old_backend != current_backend
+    ):
+        return f"  [{old_backend} -> {current_backend}]"
+    return f"  [{current_backend}]"
+
+
 def _phase_line(record: Optional[dict], width: int) -> Optional[str]:
     """The indented per-phase attribution of a v2 record, or None.
 
@@ -111,7 +131,10 @@ def format_report(
     if baseline is None:
         lines.append(f"{'bench':<{width}}{'seconds':>10}")
         for name in names:
-            lines.append(f"{name:<{width}}{current[name]['seconds']:>10.4f}")
+            lines.append(
+                f"{name:<{width}}{current[name]['seconds']:>10.4f}"
+                f"{_backend_tag(current[name])}"
+            )
             phase_line = _phase_line(current[name], 2)
             if phase_line:
                 lines.append(phase_line)
@@ -143,6 +166,7 @@ def format_report(
             status = f"{old_s / new_s:.2f}x faster" if new_s > 0 else "faster"
         lines.append(
             f"{name:<{width}}{old_s:>10.4f}{new_s:>10.4f}{ratio:>8.2f}  {status}"
+            f"{_backend_tag(new, old)}"
         )
         phase_line = _phase_line(new, 2)
         if phase_line:

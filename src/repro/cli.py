@@ -87,11 +87,27 @@ def _shards_value(value: str):
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro`` entry point."""
+    from repro.mrf.solvers import active_kernel_backend, available_solvers
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduction of 'Scalable Approach to Enhancing ICS Resilience "
             "by Network Diversity' (DSN 2020)"
+        ),
+        epilog=(
+            f"solvers: {', '.join(available_solvers())} | "
+            f"active kernel backend: {active_kernel_backend()}"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "native"),
+        default=None,
+        help=(
+            "kernel backend for the vectorized solvers (bit-for-bit "
+            "identical; default auto = REPRO_BACKEND or best available; "
+            "see docs/kernels.md)"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -358,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.backend is not None:
+        from repro.mrf.backends import set_default_backend
+
+        set_default_backend(args.backend)
     handler = _HANDLERS[args.command]
     handler(args)
     return 0

@@ -21,10 +21,25 @@ passing (TRW-S).  This subpackage provides:
     :class:`ShardedSolver` — concurrent per-shard solving over partitions.
 ``repro.mrf.solvers``
     Common :class:`SolverResult` type and a name → solver registry.
+``repro.mrf.backends``
+    Pluggable kernel backends for the vectorized solvers (NumPy
+    reference and the compiled ``native`` tier), bit-for-bit identical.
 """
 
+from repro.mrf.backends import (
+    available_backends,
+    get_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.mrf.graph import PairwiseMRF
-from repro.mrf.solvers import SolverResult, available_solvers, get_solver, solve
+from repro.mrf.solvers import (
+    SolverResult,
+    active_kernel_backend,
+    available_solvers,
+    get_solver,
+    solve,
+)
 from repro.mrf.trws import TRWSSolver
 from repro.mrf.bp import LoopyBPSolver
 from repro.mrf.icm import ICMSolver
@@ -55,8 +70,13 @@ __all__ = [
     "BatchedTRWSSolver",
     "ReplicatedProblem",
     "ShardedSolver",
+    "active_kernel_backend",
+    "available_backends",
     "available_solvers",
+    "get_backend",
     "get_solver",
+    "resolve_backend",
+    "set_default_backend",
     "solve",
     "solve_plan",
     "split_components",

@@ -1,0 +1,461 @@
+"""ctypes/C implementation of the native kernels.
+
+A line-for-line transliteration of :mod:`repro.mrf.backends._kernels_py`
+into C, compiled on first use with whatever C compiler the host offers
+(``$CC``, ``cc``, ``gcc``, ``clang``) and loaded through :mod:`ctypes` —
+the pyscf idiom of thin native kernels under a NumPy-facing API, with no
+build system and no Python.h dependency.  When no compiler works, the
+loader reports unavailable and the backend registry degrades to NumPy.
+
+Two flags are load-bearing for the bit-parity gate:
+
+- ``-ffp-contract=off``: stops the compiler fusing ``b*γ - m`` into an
+  FMA, whose single rounding differs from NumPy's two-step result;
+- ``-O3 -march=native`` plus explicit software prefetch of the gathered
+  belief/message rows: the sweeps are latency-bound at 10k+ hosts
+  (messages no longer fit in cache), and prefetching the next edges'
+  rows is where most of the ≥5× bar comes from.
+
+Compiled libraries are cached on disk under a content hash, so every
+process after the first just ``dlopen``\\ s.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["load_kernels", "CKernels", "KERNELS_C"]
+
+#: Stack workspace size in the C kernels; plans with more labels per node
+#: fall back to the NumPy backend (native.py gates on this).
+LMAX_LIMIT = 64
+
+KERNELS_C = r"""
+#include <stdint.h>
+#include <math.h>
+#include <string.h>
+
+/* NumPy-matching reductions: NaN poisons min/max; argmin returns the
+ * first NaN's index.  PF is the software-prefetch distance (edges). */
+#define MINACC(best, v) do { if ((v) < (best) || isnan(v)) (best) = (v); } while (0)
+#define PF 12
+
+static inline void send_body(
+    int64_t k, const int64_t lmax,
+    const double *restrict cost,
+    const int64_t *restrict snd, const int64_t *restrict rcv,
+    const int64_t *restrict out, const int64_t *restrict inn,
+    const int64_t *restrict cid, const double *restrict gam,
+    const uint8_t *restrict pad,
+    double *restrict messages, double *restrict beliefs)
+{
+    const int64_t LL = lmax * lmax;
+    double base_buf[64];
+    double new_buf[64];
+    for (int64_t e = 0; e < k; ++e) {
+        if (e + PF < k) {
+            __builtin_prefetch(beliefs + snd[e + PF] * lmax, 0);
+            __builtin_prefetch(messages + inn[e + PF] * lmax, 0);
+            __builtin_prefetch(messages + out[e + PF] * lmax, 1);
+            __builtin_prefetch(beliefs + rcv[e + PF] * lmax, 1);
+        }
+        const double *b = beliefs + snd[e] * lmax;
+        const double *m_in = messages + inn[e] * lmax;
+        const double g = gam[e];
+        for (int64_t r = 0; r < lmax; ++r)
+            base_buf[r] = b[r] * g - m_in[r];
+        const double *cm = cost + cid[e] * LL;
+        for (int64_t c = 0; c < lmax; ++c)
+            new_buf[c] = INFINITY;
+        for (int64_t r = 0; r < lmax; ++r) {
+            const double br = base_buf[r];
+            const double *row = cm + r * lmax;
+            for (int64_t c = 0; c < lmax; ++c) {
+                const double v = row[c] + br;
+                MINACC(new_buf[c], v);
+            }
+        }
+        double rowmin = INFINITY;
+        for (int64_t c = 0; c < lmax; ++c)
+            MINACC(rowmin, new_buf[c]);
+        const uint8_t *ep = pad + e * lmax;
+        double *mout = messages + out[e] * lmax;
+        double *brcv = beliefs + rcv[e] * lmax;
+        for (int64_t c = 0; c < lmax; ++c) {
+            const double nv = ep[c] ? 0.0 : new_buf[c] - rowmin;
+            brcv[c] += nv - mout[c];
+            mout[c] = nv;
+        }
+    }
+}
+
+void repro_trws_send(
+    int64_t k, int64_t lmax, const double *cost,
+    const int64_t *snd, const int64_t *rcv, const int64_t *out,
+    const int64_t *inn, const int64_t *cid, const double *gam,
+    const uint8_t *pad, double *messages, double *beliefs)
+{
+    if (lmax == 4)
+        send_body(k, 4, cost, snd, rcv, out, inn, cid, gam, pad, messages, beliefs);
+    else if (lmax == 6)
+        send_body(k, 6, cost, snd, rcv, out, inn, cid, gam, pad, messages, beliefs);
+    else if (lmax == 8)
+        send_body(k, 8, cost, snd, rcv, out, inn, cid, gam, pad, messages, beliefs);
+    else
+        send_body(k, lmax, cost, snd, rcv, out, inn, cid, gam, pad, messages, beliefs);
+}
+
+void repro_condition(
+    int64_t nn, int64_t t, int64_t lmax, const double *cost,
+    const int64_t *nodes, const int64_t *ext_seg, const int64_t *ext_nbr,
+    const int64_t *ext_in, const int64_t *ext_cid,
+    const double *beliefs, const double *messages,
+    int64_t *labels, double *cond)
+{
+    const int64_t LL = lmax * lmax;
+    for (int64_t i = 0; i < nn; ++i)
+        memcpy(cond + i * lmax, beliefs + nodes[i] * lmax,
+               (size_t)lmax * sizeof(double));
+    for (int64_t j = 0; j < t; ++j) {
+        if (j + PF < t) {
+            __builtin_prefetch(labels + ext_nbr[j + PF], 0);
+            __builtin_prefetch(messages + ext_in[j + PF] * lmax, 0);
+            __builtin_prefetch(cond + ext_seg[j + PF] * lmax, 1);
+        }
+        const int64_t lab = labels[ext_nbr[j]];
+        const double *cm = cost + ext_cid[j] * LL + lab;
+        const double *m_in = messages + ext_in[j] * lmax;
+        double *row = cond + ext_seg[j] * lmax;
+        for (int64_t r = 0; r < lmax; ++r)
+            row[r] += cm[r * lmax] - m_in[r];
+    }
+    for (int64_t i = 0; i < nn; ++i) {
+        const double *row = cond + i * lmax;
+        int64_t best = 0;
+        double bv = row[0];
+        for (int64_t r = 1; r < lmax; ++r) {
+            const double v = row[r];
+            if (v < bv || (isnan(v) && !isnan(bv))) { bv = v; best = r; }
+        }
+        labels[nodes[i]] = best;
+    }
+}
+
+void repro_icm(
+    int64_t nn, int64_t t, int64_t lmax, const double *cost,
+    const int64_t *nodes, const int64_t *all_seg, const int64_t *all_nbr,
+    const int64_t *all_cid, const double *unary, const int64_t *current,
+    int64_t *best_out, double *cond)
+{
+    const int64_t LL = lmax * lmax;
+    for (int64_t i = 0; i < nn; ++i)
+        memcpy(cond + i * lmax, unary + nodes[i] * lmax,
+               (size_t)lmax * sizeof(double));
+    for (int64_t j = 0; j < t; ++j) {
+        if (j + PF < t)
+            __builtin_prefetch(current + all_nbr[j + PF], 0);
+        const int64_t lab = current[all_nbr[j]];
+        const double *cm = cost + all_cid[j] * LL + lab;
+        double *row = cond + all_seg[j] * lmax;
+        for (int64_t r = 0; r < lmax; ++r)
+            row[r] += cm[r * lmax];
+    }
+    for (int64_t i = 0; i < nn; ++i) {
+        const double *row = cond + i * lmax;
+        int64_t best = 0;
+        double bv = row[0];
+        for (int64_t r = 1; r < lmax; ++r) {
+            const double v = row[r];
+            if (v < bv || (isnan(v) && !isnan(bv))) { bv = v; best = r; }
+        }
+        best_out[i] = best;
+    }
+}
+
+static inline void bound_body(
+    int64_t k, const int64_t lmax,
+    const double *restrict cost, const int64_t *restrict cid,
+    const double *restrict messages, double *restrict mins)
+{
+    const int64_t LL = lmax * lmax;
+    for (int64_t e = 0; e < k; ++e) {
+        const double *cm = cost + cid[e] * LL;
+        const double *ts = messages + (2 * e) * lmax;
+        const double *tf = messages + (2 * e + 1) * lmax;
+        double best = INFINITY;
+        for (int64_t r = 0; r < lmax; ++r) {
+            const double fr = tf[r];
+            const double *row = cm + r * lmax;
+            for (int64_t c = 0; c < lmax; ++c) {
+                const double v = row[c] - fr - ts[c];
+                MINACC(best, v);
+            }
+        }
+        mins[e] = best;
+    }
+}
+
+void repro_bound_mins(
+    int64_t k, int64_t lmax, const double *cost, const int64_t *cid,
+    const double *messages, double *mins)
+{
+    if (lmax == 4) bound_body(k, 4, cost, cid, messages, mins);
+    else if (lmax == 6) bound_body(k, 6, cost, cid, messages, mins);
+    else if (lmax == 8) bound_body(k, 8, cost, cid, messages, mins);
+    else bound_body(k, lmax, cost, cid, messages, mins);
+}
+
+void repro_bp_beliefs(
+    int64_t n, int64_t slots, int64_t lmax, const double *unary,
+    const int64_t *slot_receiver, const double *messages, double *beliefs)
+{
+    memcpy(beliefs, unary, (size_t)(n * lmax) * sizeof(double));
+    for (int64_t s = 0; s < slots; ++s) {
+        if (s + PF < slots)
+            __builtin_prefetch(beliefs + slot_receiver[s + PF] * lmax, 1);
+        double *row = beliefs + slot_receiver[s] * lmax;
+        const double *m = messages + s * lmax;
+        for (int64_t r = 0; r < lmax; ++r)
+            row[r] += m[r];
+    }
+}
+
+static inline double bp_round_body(
+    int64_t slots, const int64_t lmax,
+    const double *restrict cost,
+    const int64_t *restrict slot_sender, const int64_t *restrict slot_reverse,
+    const int64_t *restrict slot_cid, const uint8_t *restrict slot_pad,
+    const double damping,
+    const double *restrict beliefs, double *restrict messages,
+    double *restrict new_msgs)
+{
+    const int64_t LL = lmax * lmax;
+    double base_buf[64];
+    for (int64_t s = 0; s < slots; ++s) {
+        if (s + PF < slots) {
+            __builtin_prefetch(beliefs + slot_sender[s + PF] * lmax, 0);
+            __builtin_prefetch(messages + slot_reverse[s + PF] * lmax, 0);
+        }
+        const double *b = beliefs + slot_sender[s] * lmax;
+        const double *m_rev = messages + slot_reverse[s] * lmax;
+        for (int64_t r = 0; r < lmax; ++r)
+            base_buf[r] = b[r] - m_rev[r];
+        const double *cm = cost + slot_cid[s] * LL;
+        double *nm = new_msgs + s * lmax;
+        for (int64_t c = 0; c < lmax; ++c)
+            nm[c] = INFINITY;
+        for (int64_t r = 0; r < lmax; ++r) {
+            const double br = base_buf[r];
+            const double *row = cm + r * lmax;
+            for (int64_t c = 0; c < lmax; ++c) {
+                const double v = row[c] + br;
+                MINACC(nm[c], v);
+            }
+        }
+        double rowmin = INFINITY;
+        for (int64_t c = 0; c < lmax; ++c)
+            MINACC(rowmin, nm[c]);
+        const uint8_t *ep = slot_pad + s * lmax;
+        for (int64_t c = 0; c < lmax; ++c)
+            nm[c] = ep[c] ? 0.0 : nm[c] - rowmin;
+    }
+    double max_change = 0.0;
+    for (int64_t s = 0; s < slots; ++s) {
+        double *m = messages + s * lmax;
+        const double *nm = new_msgs + s * lmax;
+        for (int64_t c = 0; c < lmax; ++c) {
+            const double old = m[c];
+            double nv = nm[c];
+            if (damping > 0.0)
+                nv = nv * (1.0 - damping) + old * damping;
+            const double d = fabs(nv - old);
+            if (d > max_change || isnan(d)) max_change = d;
+            m[c] = nv;
+        }
+    }
+    return max_change;
+}
+
+double repro_bp_round(
+    int64_t slots, int64_t lmax, const double *cost,
+    const int64_t *slot_sender, const int64_t *slot_reverse,
+    const int64_t *slot_cid, const uint8_t *slot_pad, double damping,
+    const double *beliefs, double *messages, double *new_msgs)
+{
+    if (lmax == 4)
+        return bp_round_body(slots, 4, cost, slot_sender, slot_reverse,
+                             slot_cid, slot_pad, damping, beliefs, messages,
+                             new_msgs);
+    if (lmax == 6)
+        return bp_round_body(slots, 6, cost, slot_sender, slot_reverse,
+                             slot_cid, slot_pad, damping, beliefs, messages,
+                             new_msgs);
+    if (lmax == 8)
+        return bp_round_body(slots, 8, cost, slot_sender, slot_reverse,
+                             slot_cid, slot_pad, damping, beliefs, messages,
+                             new_msgs);
+    return bp_round_body(slots, lmax, cost, slot_sender, slot_reverse,
+                         slot_cid, slot_pad, damping, beliefs, messages,
+                         new_msgs);
+}
+"""
+
+_BASE_FLAGS = ["-O3", "-shared", "-fPIC", "-ffp-contract=off", "-fno-math-errno"]
+
+_lock = threading.Lock()
+_cached: Optional["CKernels"] = None
+_failed = False
+
+_DP = ctypes.POINTER(ctypes.c_double)
+_IP = ctypes.POINTER(ctypes.c_int64)
+_UP = ctypes.POINTER(ctypes.c_uint8)
+_I64 = ctypes.c_int64
+
+
+def _dp(a: np.ndarray):
+    return a.ctypes.data_as(_DP)
+
+
+def _ip(a: np.ndarray):
+    return a.ctypes.data_as(_IP)
+
+
+def _up(a: np.ndarray):
+    return a.ctypes.data_as(_UP)
+
+
+class CKernels:
+    """ctypes bindings over the compiled kernel library.
+
+    Methods mirror :mod:`repro.mrf.backends._kernels_py` signatures, so the
+    native backend drives either implementation through one adapter.  All
+    array arguments must be C-contiguous with the documented dtypes — the
+    backend's plan-state prep guarantees that.
+    """
+
+    kind = "cc"
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._lib = ctypes.CDLL(str(path))
+        self._lib.repro_bp_round.restype = ctypes.c_double
+
+    def trws_send(self, k, lmax, cost, snd, rcv, out, inn, cid, gam, pad,
+                  messages, beliefs, base_buf, new_buf):
+        self._lib.repro_trws_send(
+            _I64(k), _I64(lmax), _dp(cost), _ip(snd), _ip(rcv), _ip(out),
+            _ip(inn), _ip(cid), _dp(gam), _up(pad), _dp(messages),
+            _dp(beliefs))
+
+    def condition(self, nn, t, lmax, cost, nodes, ext_seg, ext_nbr, ext_in,
+                  ext_cid, beliefs, messages, labels, cond):
+        self._lib.repro_condition(
+            _I64(nn), _I64(t), _I64(lmax), _dp(cost), _ip(nodes),
+            _ip(ext_seg), _ip(ext_nbr), _ip(ext_in), _ip(ext_cid),
+            _dp(beliefs), _dp(messages), _ip(labels), _dp(cond))
+
+    def icm_condition(self, nn, t, lmax, cost, nodes, all_seg, all_nbr,
+                      all_cid, unary, current, best_out, cond):
+        self._lib.repro_icm(
+            _I64(nn), _I64(t), _I64(lmax), _dp(cost), _ip(nodes),
+            _ip(all_seg), _ip(all_nbr), _ip(all_cid), _dp(unary),
+            _ip(current), _ip(best_out), _dp(cond))
+
+    def bound_mins(self, k, lmax, cost, cid, messages, mins):
+        self._lib.repro_bound_mins(
+            _I64(k), _I64(lmax), _dp(cost), _ip(cid), _dp(messages),
+            _dp(mins))
+
+    def bp_beliefs(self, n, slots, lmax, unary, slot_receiver, messages,
+                   beliefs):
+        self._lib.repro_bp_beliefs(
+            _I64(n), _I64(slots), _I64(lmax), _dp(unary), _ip(slot_receiver),
+            _dp(messages), _dp(beliefs))
+
+    def bp_round(self, slots, lmax, cost, slot_sender, slot_reverse,
+                 slot_cid, slot_pad, damping, beliefs, messages, new_msgs,
+                 base_buf):
+        return self._lib.repro_bp_round(
+            _I64(slots), _I64(lmax), _dp(cost), _ip(slot_sender),
+            _ip(slot_reverse), _ip(slot_cid), _up(slot_pad),
+            ctypes.c_double(damping), _dp(beliefs), _dp(messages),
+            _dp(new_msgs))
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    try:
+        tag = f"uid{os.getuid()}"
+    except AttributeError:  # pragma: no cover - non-posix
+        tag = "shared"
+    return Path(tempfile.gettempdir()) / f"repro-kernels-{tag}"
+
+
+def _compilers():
+    explicit = os.environ.get("CC")
+    candidates = [explicit] if explicit else []
+    candidates += ["cc", "gcc", "clang"]
+    return candidates
+
+
+def _try_build(directory: Path, source: Path, target: Path) -> bool:
+    for compiler in _compilers():
+        for extra in (["-march=native"], []):
+            tmp = directory / f".{target.name}.tmp{os.getpid()}"
+            cmd = [compiler, *_BASE_FLAGS, *extra, str(source), "-o", str(tmp)]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, timeout=120, check=False
+                )
+            except (OSError, subprocess.TimeoutExpired):
+                continue
+            if proc.returncode == 0 and tmp.exists():
+                os.replace(tmp, target)
+                return True
+            tmp.unlink(missing_ok=True)
+    return False
+
+
+def load_kernels() -> Optional[CKernels]:
+    """Compile (once, disk-cached) and load the C kernels, or ``None``.
+
+    Never raises: any compiler/loader failure marks the C path unavailable
+    for the rest of the process and the registry falls back to NumPy.
+    """
+    global _cached, _failed
+    if _cached is not None:
+        return _cached
+    if _failed:
+        return None
+    with _lock:
+        if _cached is not None or _failed:
+            return _cached
+        try:
+            digest = hashlib.sha256(
+                ("|".join(_BASE_FLAGS) + KERNELS_C).encode()
+            ).hexdigest()[:16]
+            directory = _cache_dir()
+            directory.mkdir(parents=True, exist_ok=True)
+            target = directory / f"libreprokernels-{digest}.so"
+            if not target.exists():
+                source = directory / f"kernels-{digest}.c"
+                source.write_text(KERNELS_C)
+                if not _try_build(directory, source, target):
+                    _failed = True
+                    return None
+            _cached = CKernels(target)
+        except Exception:
+            _failed = True
+            return None
+    return _cached

@@ -1,0 +1,218 @@
+"""Loop-level kernel bodies shared by the Numba and C paths.
+
+These functions are written as plain nested loops over primitive arrays so
+that:
+
+- Numba can ``@njit`` them unchanged (:mod:`repro.mrf.backends._numba`);
+- the C kernels (:mod:`repro.mrf.backends._cc`) are a line-for-line
+  transliteration, reviewed against this file;
+- the *logic* is testable without any toolchain — ``tests/test_backends.py``
+  runs them un-jitted on tiny plans and asserts bit-parity with the NumPy
+  backend, so a broken loop is caught even on machines where Numba and a C
+  compiler are both absent.
+
+Bit-parity notes (the whole point of this file):
+
+- scatter-adds run in element order, matching ``np.add.at``;
+- min/argmin/max accumulate with NumPy's NaN propagation (a NaN poisons
+  the reduction; ``argmin`` returns the first NaN's index);
+- within one TRW-S wavefront block, senders and receivers are disjoint and
+  ``out``/``inn`` slots never alias, so the fused per-edge loop (compute +
+  scatter) is exactly NumPy's two-phase compute-then-scatter;
+- reductions run over full padded rows/columns exactly like the NumPy
+  kernels do: padded beliefs/costs are ``+inf`` and padded messages ``0``,
+  which keeps the padding inert;
+- every kernel takes ``cost`` as the *flattened* ``(stacked·L·L,)`` view
+  of the plan's cost stack (1-D indexing keeps Numba's typed lowering
+  trivial and matches the C pointer arithmetic);
+- multiply-then-subtract stays two rounded operations (the C build passes
+  ``-ffp-contract=off`` so no FMA sneaks in; Numba's default fastmath=False
+  already guarantees it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import prange
+except ImportError:  # pragma: no cover - the default environment
+    prange = range
+
+__all__ = [
+    "trws_send",
+    "condition",
+    "icm_condition",
+    "bound_mins",
+    "bp_beliefs",
+    "bp_round",
+]
+
+
+def trws_send(
+    k, lmax, cost, snd, rcv, out, inn, cid, gam, pad,
+    messages, beliefs, base_buf, new_buf,
+):
+    """One TRW-S block message update, one fused loop per directed edge."""
+    for e in range(k):
+        s = snd[e]
+        g = gam[e]
+        m = inn[e]
+        for r in range(lmax):
+            base_buf[r] = beliefs[s, r] * g - messages[m, r]
+        c0 = cid[e] * lmax * lmax
+        for c in range(lmax):
+            new_buf[c] = np.inf
+        for r in range(lmax):
+            br = base_buf[r]
+            row = c0 + r * lmax
+            for c in range(lmax):
+                v = cost[row + c] + br
+                if v < new_buf[c] or v != v:
+                    new_buf[c] = v
+        rowmin = np.inf
+        for c in range(lmax):
+            v = new_buf[c]
+            if v < rowmin or v != v:
+                rowmin = v
+        o = out[e]
+        r_ = rcv[e]
+        for c in range(lmax):
+            if pad[e, c]:
+                nv = 0.0
+            else:
+                nv = new_buf[c] - rowmin
+            beliefs[r_, c] += nv - messages[o, c]
+            messages[o, c] = nv
+
+
+def condition(
+    nn, t, lmax, cost, nodes, ext_seg, ext_nbr, ext_in, ext_cid,
+    beliefs, messages, labels, cond,
+):
+    """Sequential-conditioning label extraction for one wavefront level."""
+    for i in range(nn):
+        node = nodes[i]
+        for r in range(lmax):
+            cond[i, r] = beliefs[node, r]
+    for j in range(t):
+        seg = ext_seg[j]
+        lab = labels[ext_nbr[j]]
+        c0 = ext_cid[j] * lmax * lmax + lab
+        m = ext_in[j]
+        for r in range(lmax):
+            cond[seg, r] += cost[c0 + r * lmax] - messages[m, r]
+    for i in range(nn):
+        best = 0
+        bv = cond[i, 0]
+        for r in range(1, lmax):
+            v = cond[i, r]
+            if v < bv or (v != v and bv == bv):
+                bv = v
+                best = r
+        labels[nodes[i]] = best
+
+
+def icm_condition(
+    nn, t, lmax, cost, nodes, all_seg, all_nbr, all_cid,
+    unary, current, best_out, cond,
+):
+    """One ICM level: condition on *all* neighbours' current labels."""
+    for i in range(nn):
+        node = nodes[i]
+        for r in range(lmax):
+            cond[i, r] = unary[node, r]
+    for j in range(t):
+        seg = all_seg[j]
+        lab = current[all_nbr[j]]
+        c0 = all_cid[j] * lmax * lmax + lab
+        for r in range(lmax):
+            cond[seg, r] += cost[c0 + r * lmax]
+    for i in range(nn):
+        best = 0
+        bv = cond[i, 0]
+        for r in range(1, lmax):
+            v = cond[i, r]
+            if v < bv or (v != v and bv == bv):
+                bv = v
+                best = r
+        best_out[i] = best
+
+
+def bound_mins(k, lmax, cost, cid, messages, mins):
+    """Per-edge minima of the reparametrised pairwise costs.
+
+    ``messages`` is the ``(2k, lmax)`` directed-slot slice for these edges
+    (slot ``2e`` towards the second endpoint, ``2e+1`` back).  Independent
+    per edge, hence the only ``prange`` kernel.
+    """
+    for e in prange(k):
+        c0 = cid[e] * lmax * lmax
+        best = np.inf
+        for r in range(lmax):
+            fr = messages[2 * e + 1, r]
+            row = c0 + r * lmax
+            for c in range(lmax):
+                v = cost[row + c] - fr - messages[2 * e, c]
+                if v < best or v != v:
+                    best = v
+        mins[e] = best
+
+
+def bp_beliefs(n, slots, lmax, unary, slot_receiver, messages, beliefs):
+    """Beliefs = unary + Σ incoming messages, scatter-added in slot order."""
+    for i in range(n):
+        for r in range(lmax):
+            beliefs[i, r] = unary[i, r]
+    for s in range(slots):
+        node = slot_receiver[s]
+        for r in range(lmax):
+            beliefs[node, r] += messages[s, r]
+
+
+def bp_round(
+    slots, lmax, cost, slot_sender, slot_reverse, slot_cid, slot_pad,
+    damping, beliefs, messages, new_msgs, base_buf,
+):
+    """One synchronous BP round; returns the max absolute message change.
+
+    Two phases, because every new message reads the *previous* round via
+    ``slot_reverse``: compute all raw updates first, then damp/diff/write.
+    """
+    for s in range(slots):
+        snd = slot_sender[s]
+        rev = slot_reverse[s]
+        for r in range(lmax):
+            base_buf[r] = beliefs[snd, r] - messages[rev, r]
+        c0 = slot_cid[s] * lmax * lmax
+        for c in range(lmax):
+            new_msgs[s, c] = np.inf
+        for r in range(lmax):
+            br = base_buf[r]
+            row = c0 + r * lmax
+            for c in range(lmax):
+                v = cost[row + c] + br
+                if v < new_msgs[s, c] or v != v:
+                    new_msgs[s, c] = v
+        rowmin = np.inf
+        for c in range(lmax):
+            v = new_msgs[s, c]
+            if v < rowmin or v != v:
+                rowmin = v
+        for c in range(lmax):
+            if slot_pad[s, c]:
+                new_msgs[s, c] = 0.0
+            else:
+                new_msgs[s, c] = new_msgs[s, c] - rowmin
+    max_change = 0.0
+    for s in range(slots):
+        for c in range(lmax):
+            old = messages[s, c]
+            nv = new_msgs[s, c]
+            if damping > 0.0:
+                nv = nv * (1.0 - damping) + old * damping
+            d = abs(nv - old)
+            if d > max_change or d != d:
+                max_change = d
+            messages[s, c] = nv
+    return max_change

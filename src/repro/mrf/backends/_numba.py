@@ -1,0 +1,62 @@
+"""Numba implementation of the native kernels.
+
+Jit-compiles the shared loop bodies in
+:mod:`repro.mrf.backends._kernels_py` with ``@njit(cache=True)`` so the
+machine code persists across processes (``__pycache__``-adjacent cache
+files).  ``fastmath`` stays off — reassociation or FMA contraction would
+break the bit-parity gate against the NumPy backend.
+
+``bound_mins`` is the one kernel whose iterations are fully independent
+(per-edge minima), so it alone gets ``parallel=True``; the sweep kernels
+are sequential by construction (scatter order is part of the contract).
+
+Import of this module never raises: :func:`load_kernels` returns ``None``
+when Numba is absent or jitting fails, and the registry degrades to the
+ctypes/C path or NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mrf.backends import _kernels_py as _py
+
+__all__ = ["load_kernels", "NumbaKernels"]
+
+_cached: Optional["NumbaKernels"] = None
+_failed = False
+
+
+class NumbaKernels:
+    """Holder of the jitted kernel entry points (same call signatures as
+    :mod:`repro.mrf.backends._kernels_py`)."""
+
+    kind = "numba"
+
+    def __init__(self) -> None:
+        from numba import njit
+
+        jit = njit(cache=True, fastmath=False)
+        self.trws_send = jit(_py.trws_send)
+        self.condition = jit(_py.condition)
+        self.icm_condition = jit(_py.icm_condition)
+        self.bound_mins = njit(cache=True, fastmath=False, parallel=True)(
+            _py.bound_mins
+        )
+        self.bp_beliefs = jit(_py.bp_beliefs)
+        self.bp_round = jit(_py.bp_round)
+
+
+def load_kernels() -> Optional[NumbaKernels]:
+    """Jit and return the Numba kernels, or ``None`` when unavailable."""
+    global _cached, _failed
+    if _cached is not None:
+        return _cached
+    if _failed:
+        return None
+    try:
+        _cached = NumbaKernels()
+    except Exception:
+        _failed = True
+        return None
+    return _cached

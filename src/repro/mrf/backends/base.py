@@ -1,0 +1,147 @@
+"""The kernel-backend contract: the per-level sweep primitives.
+
+A backend implements the handful of array kernels the vectorized solvers
+spend their time in — the TRW-S block message update, the sequential
+conditioning / ICM gather-argmin steps, the dual-bound edge reduction,
+and the synchronous BP round.  Everything *around* those kernels — sweep
+scheduling, convergence control, energy bookkeeping, refinement — stays
+in shared Python and is identical across backends.
+
+The contract is deliberately bit-for-bit: every kernel must reproduce the
+NumPy reference backend's floating-point results exactly (same operation
+order, same reduction order, same padding conventions), so any backend can
+be swapped in without perturbing a single test, snapshot, or warm-start
+trace.  ``tests/test_backends.py`` enforces this the way ``trws-ref``
+gates the vectorized solvers.
+
+Buffer conventions shared by all backends (see ``docs/kernels.md``):
+
+- padded *belief/cost* entries are ``+inf``; padded *message* entries are
+  ``0.0`` — kernels may therefore reduce over full ``lmax`` rows/columns
+  and rely on the padding to be inert;
+- every temporary lives in the caller's
+  :class:`~repro.mrf.vectorized.SolverScratch` under a stable name, so
+  repeated solves allocate nothing regardless of backend.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.mrf.vectorized import (
+        MRFArrays,
+        SolverScratch,
+        _SendBlock,
+        _Wavefront,
+    )
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """Abstract kernel backend (see module docstring for the contract).
+
+    Attributes:
+        name: registry name (``"numpy"``, ``"native"``).
+        kind: implementation detail for reporting — ``"numpy"``,
+            ``"numba"`` or ``"cc"``; shown by ``repro --help`` and
+            recorded by benchmarks.
+    """
+
+    name: str = "abstract"
+    kind: str = "abstract"
+
+    @property
+    def available(self) -> bool:
+        """Whether this backend can run in the current environment."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable identity, e.g. ``"native (cc)"``."""
+        if self.name == self.kind:
+            return self.name
+        return f"{self.name} ({self.kind})"
+
+    # ------------------------------------------------------ TRW-S kernels
+
+    def send_block(
+        self,
+        plan: "MRFArrays",
+        block: "_SendBlock",
+        messages: np.ndarray,
+        beliefs: np.ndarray,
+        scratch: "SolverScratch",
+    ) -> None:
+        """One level's block message update (γ·belief reweighting, oriented
+        cost add, min-reduce over sender labels, normalisation, receiver
+        belief scatter).  Mutates ``messages`` and ``beliefs`` in place."""
+        raise NotImplementedError
+
+    def condition_level(
+        self,
+        plan: "MRFArrays",
+        level: "_Wavefront",
+        beliefs: np.ndarray,
+        messages: np.ndarray,
+        labels: np.ndarray,
+        scratch: "SolverScratch",
+    ) -> None:
+        """Sequential-conditioning label extraction for one wavefront
+        level; writes ``labels[level.nodes]`` in place."""
+        raise NotImplementedError
+
+    def icm_level(
+        self,
+        plan: "MRFArrays",
+        level: "_Wavefront",
+        current: np.ndarray,
+        scratch: "SolverScratch",
+    ) -> np.ndarray:
+        """One ICM level step: condition each node of ``level`` on *all*
+        neighbours' current labels and return the per-node argmin labels
+        (``len(level.nodes)`` int64; may alias a scratch buffer)."""
+        raise NotImplementedError
+
+    def bound_chunk_mins(
+        self,
+        plan: "MRFArrays",
+        messages: np.ndarray,
+        start: int,
+        stop: int,
+        scratch: "SolverScratch",
+    ) -> np.ndarray:
+        """Per-edge minima of the reparametrised pairwise costs for edges
+        ``[start, stop)`` — the edge term of the dual bound.  Returns a
+        ``(stop - start,)`` float array (may alias a scratch buffer); the
+        chunked summation stays in shared code so both backends inherit
+        NumPy's pairwise summation bit-for-bit."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- BP kernels
+
+    def bp_beliefs(
+        self,
+        plan: "MRFArrays",
+        messages: np.ndarray,
+        beliefs: np.ndarray,
+    ) -> None:
+        """Beliefs from the previous round: ``unary + Σ incoming``,
+        scatter-accumulated in slot order into ``beliefs`` in place."""
+        raise NotImplementedError
+
+    def bp_round(
+        self,
+        plan: "MRFArrays",
+        messages: np.ndarray,
+        beliefs: np.ndarray,
+        damping: float,
+        scratch: "SolverScratch",
+    ) -> float:
+        """One synchronous min-sum round over all ``2·edges`` directed
+        slots: compute every new message from the previous round's values,
+        damp, write back in place, and return the max absolute message
+        change."""
+        raise NotImplementedError

@@ -1,0 +1,328 @@
+"""The compiled ``native`` backend: Numba- or C-compiled loop kernels.
+
+Implementation preference is Numba (``@njit(cache=True)``) then the
+ctypes/C build (:mod:`repro.mrf.backends._cc`); ``REPRO_NATIVE_IMPL``
+(``numba`` | ``cc``) pins one explicitly.  Both run the *same* loop
+bodies (:mod:`repro.mrf.backends._kernels_py` and its reviewed C
+transliteration), so the choice is operational, not numerical.
+
+The backend holds **no copies** of plan data.  Per plan it caches only a
+flattened *view* of the cost stack plus a validation token of object
+identities (``WeakKeyDictionary``, so plans stay collectable); in-place
+streaming patches (``set_cost_matrix`` / ``set_unary``) therefore remain
+visible to the kernels, while ``replace_edges`` rebuilds are caught by the
+token and re-validated.  Any array that is not C-contiguous ``float64`` /
+``int64`` — or a plan wider than 64 labels, the C kernels' stack-buffer
+limit — routes that call to the NumPy backend instead: graceful, never
+wrong.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+import numpy as np
+
+from repro.mrf.backends.base import KernelBackend
+from repro.mrf.backends.numpy_backend import NumpyBackend
+
+__all__ = ["NativeBackend"]
+
+#: C kernels keep per-edge label workspaces on the stack with this bound.
+_LMAX_LIMIT = 64
+
+
+def _f64(a: np.ndarray) -> bool:
+    return a.dtype == np.float64 and a.flags.c_contiguous
+
+
+def _i64(a: np.ndarray) -> bool:
+    return a.dtype == np.int64 and a.flags.c_contiguous
+
+
+class _PlanState:
+    """Cached per-plan view bundle with an identity validation token."""
+
+    __slots__ = ("token", "ok", "cost_flat")
+
+    def __init__(self, plan) -> None:
+        self.token = self._token(plan)
+        cost = plan.cost
+        self.ok = (
+            plan.lmax <= _LMAX_LIMIT
+            and _f64(cost)
+            and _f64(plan.unary_inf)
+            and _i64(plan.slot_sender)
+            and _i64(plan.slot_receiver)
+            and _i64(plan.slot_reverse)
+            and _i64(plan.slot_cid)
+            and plan.slot_pad.dtype == np.bool_
+            and plan.slot_pad.flags.c_contiguous
+        )
+        self.cost_flat = cost.reshape(-1) if self.ok else None
+
+    @staticmethod
+    def _token(plan) -> tuple:
+        # replace_edges rebinds all of these; in-place value patches
+        # (set_cost_matrix / set_unary) rebind none, and the cached views
+        # keep seeing the new values — exactly what streaming needs.
+        return (
+            id(plan.cost),
+            id(plan.unary_inf),
+            id(plan.slot_pad),
+            plan.lmax,
+            plan.edge_count,
+        )
+
+
+class NativeBackend(KernelBackend):
+    """Compiled kernels behind the shared :class:`KernelBackend` contract."""
+
+    name = "native"
+    kind = "native"
+
+    def __init__(self) -> None:
+        self._numpy = NumpyBackend()
+        self._kernels = None
+        self._resolved = False
+        self._states: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # ----------------------------------------------------- implementation
+
+    def _impl(self):
+        """Resolve the kernel implementation once per backend instance."""
+        if self._resolved:
+            return self._kernels
+        self._resolved = True
+        preference = os.environ.get("REPRO_NATIVE_IMPL", "").strip().lower()
+        if preference == "numba":
+            loaders = ["numba"]
+        elif preference == "cc":
+            loaders = ["cc"]
+        else:
+            loaders = ["numba", "cc"]
+        for which in loaders:
+            if which == "numba":
+                from repro.mrf.backends import _numba
+
+                kernels = _numba.load_kernels()
+            else:
+                from repro.mrf.backends import _cc
+
+                kernels = _cc.load_kernels()
+            if kernels is not None:
+                self._kernels = kernels
+                self.kind = kernels.kind
+                break
+        return self._kernels
+
+    @property
+    def available(self) -> bool:
+        return self._impl() is not None
+
+    def describe(self) -> str:
+        self._impl()
+        return super().describe()
+
+    def _state(self, plan) -> _PlanState:
+        state = self._states.get(plan)
+        if state is None or state.token != _PlanState._token(plan):
+            state = _PlanState(plan)
+            self._states[plan] = state
+        return state
+
+    # ------------------------------------------------------ TRW-S kernels
+
+    def send_block(self, plan, block, messages, beliefs, scratch):
+        k = len(block.snd)
+        if not k:
+            return
+        kernels = self._impl()
+        state = self._state(plan)
+        if (
+            kernels is None
+            or not state.ok
+            or not (_f64(messages) and _f64(beliefs))
+            or not (
+                _i64(block.snd)
+                and _i64(block.rcv)
+                and _i64(block.out)
+                and _i64(block.inn)
+                and _i64(block.cid)
+            )
+            or not block.gam.flags.c_contiguous
+            or not block.pad.flags.c_contiguous
+            or block.gam.dtype != np.float64
+            or block.pad.dtype != np.bool_
+        ):
+            self._numpy.send_block(plan, block, messages, beliefs, scratch)
+            return
+        lmax = plan.lmax
+        kernels.trws_send(
+            k,
+            lmax,
+            state.cost_flat,
+            block.snd,
+            block.rcv,
+            block.out,
+            block.inn,
+            block.cid,
+            block.gam.reshape(-1),
+            block.pad,
+            messages,
+            beliefs,
+            scratch.array("native_base_buf", (lmax,)),
+            scratch.array("native_new_buf", (lmax,)),
+        )
+
+    def condition_level(self, plan, level, beliefs, messages, labels, scratch):
+        nn = len(level.nodes)
+        kernels = self._impl()
+        state = self._state(plan)
+        if (
+            not nn
+            or kernels is None
+            or not state.ok
+            or not (_f64(beliefs) and _f64(messages))
+            or not _i64(labels)
+            or not (
+                _i64(level.nodes)
+                and _i64(level.ext_seg)
+                and _i64(level.ext_nbr)
+                and _i64(level.ext_in)
+                and _i64(level.ext_cid)
+            )
+        ):
+            self._numpy.condition_level(
+                plan, level, beliefs, messages, labels, scratch
+            )
+            return
+        kernels.condition(
+            nn,
+            len(level.ext_nbr),
+            plan.lmax,
+            state.cost_flat,
+            level.nodes,
+            level.ext_seg,
+            level.ext_nbr,
+            level.ext_in,
+            level.ext_cid,
+            beliefs,
+            messages,
+            labels,
+            scratch.array("native_cond", (nn, plan.lmax)),
+        )
+
+    def icm_level(self, plan, level, current, scratch):
+        nn = len(level.nodes)
+        kernels = self._impl()
+        state = self._state(plan)
+        if (
+            not nn
+            or kernels is None
+            or not state.ok
+            or not _i64(current)
+            or not (
+                _i64(level.nodes)
+                and _i64(level.all_seg)
+                and _i64(level.all_nbr)
+                and _i64(level.all_cid)
+            )
+        ):
+            return self._numpy.icm_level(plan, level, current, scratch)
+        best = scratch.array("native_icm_best", (nn,), np.int64)
+        kernels.icm_condition(
+            nn,
+            len(level.all_nbr),
+            plan.lmax,
+            state.cost_flat,
+            level.nodes,
+            level.all_seg,
+            level.all_nbr,
+            level.all_cid,
+            plan.unary_inf,
+            current,
+            best,
+            scratch.array("native_icm", (nn, plan.lmax)),
+        )
+        return best
+
+    def bound_chunk_mins(self, plan, messages, start, stop, scratch):
+        k = stop - start
+        kernels = self._impl()
+        state = self._state(plan)
+        cid = plan.edge_cid[start:stop]
+        if (
+            k <= 0
+            or kernels is None
+            or not state.ok
+            or not _f64(messages)
+            or not _i64(cid)
+        ):
+            return self._numpy.bound_chunk_mins(
+                plan, messages, start, stop, scratch
+            )
+        mins = scratch.array("native_bound", (k,))
+        kernels.bound_mins(
+            k,
+            plan.lmax,
+            state.cost_flat,
+            cid,
+            messages[2 * start : 2 * stop],
+            mins,
+        )
+        return mins
+
+    # --------------------------------------------------------- BP kernels
+
+    def bp_beliefs(self, plan, messages, beliefs):
+        kernels = self._impl()
+        state = self._state(plan)
+        if (
+            kernels is None
+            or not state.ok
+            or not (_f64(messages) and _f64(beliefs))
+        ):
+            self._numpy.bp_beliefs(plan, messages, beliefs)
+            return
+        kernels.bp_beliefs(
+            plan.node_count,
+            2 * plan.edge_count,
+            plan.lmax,
+            plan.unary_inf,
+            plan.slot_receiver,
+            messages,
+            beliefs,
+        )
+
+    def bp_round(self, plan, messages, beliefs, damping, scratch):
+        slots = 2 * plan.edge_count
+        kernels = self._impl()
+        state = self._state(plan)
+        if (
+            not slots
+            or kernels is None
+            or not state.ok
+            or not (_f64(messages) and _f64(beliefs))
+        ):
+            return self._numpy.bp_round(
+                plan, messages, beliefs, damping, scratch
+            )
+        lmax = plan.lmax
+        return float(
+            kernels.bp_round(
+                slots,
+                lmax,
+                state.cost_flat,
+                plan.slot_sender,
+                plan.slot_reverse,
+                plan.slot_cid,
+                plan.slot_pad,
+                float(damping),
+                beliefs,
+                messages,
+                scratch.array("native_bp_new", (slots, lmax)),
+                scratch.array("native_base_buf", (lmax,)),
+            )
+        )

@@ -18,11 +18,12 @@ replaces is kept as :class:`~repro.mrf.reference.ReferenceBPSolver`
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro import obs
+from repro.mrf.backends import KernelBackend, resolve_backend
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.solvers import SolverResult, SolveStats
 from repro.mrf.vectorized import MRFArrays, SolverScratch
@@ -38,6 +39,11 @@ class LoopyBPSolver:
         tolerance: convergence threshold on the max message change.
         damping: convex mixing factor of old/new messages in [0, 1);
             0 is undamped BP, values around 0.5 stabilise loopy graphs.
+        backend: kernel backend running the round/decode primitives — a
+            :class:`~repro.mrf.backends.KernelBackend`, a registry name
+            (``"numpy"`` / ``"native"``), ``"auto"`` or ``None`` (consult
+            ``REPRO_BACKEND``, then auto-detect).  Backends are
+            bit-for-bit identical; see ``docs/kernels.md``.
         seed: stored but unused by the (deterministic) updates — kept so
             the uniform constructor signature survives the per-shard
             reseeding of :class:`~repro.mrf.sharded.ShardedSolver`.
@@ -50,6 +56,7 @@ class LoopyBPSolver:
         max_iterations: int = 100,
         tolerance: float = 1e-6,
         damping: float = 0.5,
+        backend: Union[KernelBackend, str, None] = None,
         seed: Optional[int] = None,
     ) -> None:
         if max_iterations < 1:
@@ -59,6 +66,7 @@ class LoopyBPSolver:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.damping = damping
+        self.backend = backend
         self.seed = seed if seed is not None else 0
 
     def solve(self, mrf: PairwiseMRF) -> SolverResult:
@@ -70,6 +78,7 @@ class LoopyBPSolver:
         plan: MRFArrays,
         messages: Optional[np.ndarray] = None,
         scratch: Optional[SolverScratch] = None,
+        backend: Union[KernelBackend, str, None] = None,
     ) -> SolverResult:
         """Run BP on a prebuilt array plan, optionally warm-started.
 
@@ -88,15 +97,19 @@ class LoopyBPSolver:
         attaches a :class:`~repro.mrf.solvers.SolveStats` to the result;
         disabled, this wrapper costs one branch per solve.
         """
+        kernels = resolve_backend(
+            backend if backend is not None else self.backend
+        )
         if not obs.enabled():
-            return self._solve_arrays(plan, messages, scratch, None)
+            return self._solve_arrays(plan, messages, scratch, kernels, None)
         stats = SolveStats()
         start = time.perf_counter()
         with obs.span(
             "bp.solve", cat="solve",
             nodes=plan.node_count, edges=plan.edge_count,
+            backend=kernels.describe(),
         ) as solve_span:
-            result = self._solve_arrays(plan, messages, scratch, stats)
+            result = self._solve_arrays(plan, messages, scratch, kernels, stats)
             stats.total_seconds = time.perf_counter() - start
             result.stats = stats
             solve_span.add(
@@ -111,6 +124,7 @@ class LoopyBPSolver:
         plan: MRFArrays,
         messages: Optional[np.ndarray],
         scratch: Optional[SolverScratch],
+        kernels: KernelBackend,
         stats: Optional[SolveStats],
     ) -> SolverResult:
         """The BP round loop behind :meth:`solve_arrays`; ``stats`` collects
@@ -129,7 +143,6 @@ class LoopyBPSolver:
         lmax = plan.lmax
         if messages is None:
             messages = scratch.zeros("bp_messages", (slots, lmax))
-        unary = plan.unary_inf  # +inf padded — identical to padded_beliefs()
         beliefs = scratch.array("bp_beliefs", (n, lmax))
 
         best_labels: Optional[np.ndarray] = None
@@ -147,36 +160,14 @@ class LoopyBPSolver:
                 iter_wall_ns = time.time_ns()
                 iter_start = mark = time.perf_counter()
             # Beliefs B_i = θ_i + Σ_j M_{j→i} from the previous round.
-            np.copyto(beliefs, unary)
-            np.add.at(beliefs, plan.slot_receiver, messages)
+            kernels.bp_beliefs(plan, messages, beliefs)
 
             # Synchronous update of every directed message: exclude what
             # came in on the same edge, then min-reduce over sender labels.
             if plan.edge_count:
-                base = scratch.array("bp_base", (slots, lmax))
-                diff = scratch.array("bp_diff", (slots, lmax))
-                cost = scratch.array("bp_cost", (slots, lmax, lmax))
-                updated = scratch.array("bp_new", (slots, lmax))
-                rowmin = scratch.array("bp_rowmin", (slots, 1))
-                beliefs.take(plan.slot_sender, axis=0, out=base, mode="clip")
-                messages.take(
-                    plan.slot_reverse, axis=0, out=diff, mode="clip"
+                max_change = kernels.bp_round(
+                    plan, messages, beliefs, self.damping, scratch
                 )
-                np.subtract(base, diff, out=base)
-                plan.cost.take(plan.slot_cid, axis=0, out=cost, mode="clip")
-                np.add(cost, base[:, :, None], out=cost)
-                cost.min(axis=1, out=updated)
-                updated.min(axis=1, keepdims=True, out=rowmin)
-                np.subtract(updated, rowmin, out=updated)
-                np.copyto(updated, 0.0, where=plan.slot_pad)
-                if self.damping > 0.0:
-                    np.multiply(updated, 1.0 - self.damping, out=updated)
-                    np.multiply(messages, self.damping, out=diff)
-                    np.add(updated, diff, out=updated)
-                np.subtract(updated, messages, out=diff)
-                np.abs(diff, out=diff)
-                max_change = float(diff.max())
-                np.copyto(messages, updated)
             else:
                 max_change = 0.0
             if collect:
@@ -186,7 +177,7 @@ class LoopyBPSolver:
 
             # Decode against the pre-update beliefs and the new messages,
             # matching the reference solver's update/decode interleaving.
-            labels = plan.decode(beliefs, messages, scratch)
+            labels = plan.decode(beliefs, messages, scratch, backend=kernels)
             energy = plan.energy(labels)
             if energy < best_energy:
                 best_energy = energy

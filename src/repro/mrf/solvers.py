@@ -22,6 +22,7 @@ __all__ = [
     "register_solver",
     "get_solver",
     "available_solvers",
+    "active_kernel_backend",
     "solve",
 ]
 
@@ -158,6 +159,20 @@ def available_solvers() -> List[str]:
     ['trws', 'trws-ref', 'trws-sharded']
     """
     return sorted(_REGISTRY)
+
+
+def active_kernel_backend() -> str:
+    """Identity of the kernel backend the vectorized solvers would use now.
+
+    Resolves the same way a solve does (``backend=`` argument absent):
+    process default, then ``REPRO_BACKEND``, then auto-detection — e.g.
+    ``"numpy"`` or ``"native (cc)"``.  Surfaced by ``repro --help`` next
+    to :func:`available_solvers` so operators can see which kernel tier a
+    deployment actually runs; see :mod:`repro.mrf.backends`.
+    """
+    from repro.mrf.backends import active_backend_name
+
+    return active_backend_name()
 
 
 def solve(mrf: PairwiseMRF, solver: str = "trws", **options) -> SolverResult:

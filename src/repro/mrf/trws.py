@@ -37,14 +37,15 @@ magnitude faster (see ``benchmarks/bench_vectorized_speedup.py``).
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import obs
+from repro.mrf.backends import KernelBackend, resolve_backend
 from repro.mrf.graph import PairwiseMRF
 from repro.mrf.solvers import SolverResult, SolveStats
-from repro.mrf.vectorized import MRFArrays, SolverScratch, _SendBlock
+from repro.mrf.vectorized import MRFArrays, SolverScratch
 
 __all__ = ["TRWSSolver"]
 
@@ -64,6 +65,12 @@ class TRWSSolver:
             fractional), where one extraction pass leaves easy single-node
             improvements on the table; the standard remedy is an ICM
             post-pass (cf. OpenGM's TRWS+ICM pipeline).
+        backend: kernel backend running the sweep primitives — a
+            :class:`~repro.mrf.backends.KernelBackend`, a registry name
+            (``"numpy"`` / ``"native"``), ``"auto"`` or ``None`` (consult
+            ``REPRO_BACKEND``, then auto-detect).  Backends are
+            bit-for-bit identical, so this only changes speed; see
+            ``docs/kernels.md``.
         tie_break_noise: scale of the random unary perturbation used to
             break label-symmetry.  The diversification problem has flat
             unaries (``Pr_const``) and cost matrices whose columns all
@@ -84,6 +91,7 @@ class TRWSSolver:
         tolerance: float = 1e-9,
         compute_bound: bool = True,
         refine: bool = True,
+        backend: Union[KernelBackend, str, None] = None,
         tie_break_noise: float = 1e-4,
         seed: Optional[int] = None,
     ) -> None:
@@ -95,6 +103,7 @@ class TRWSSolver:
         self.tolerance = tolerance
         self.compute_bound = compute_bound
         self.refine = refine
+        self.backend = backend
         self.tie_break_noise = tie_break_noise
         self.seed = seed if seed is not None else 0
 
@@ -135,6 +144,7 @@ class TRWSSolver:
         extra_inits: Sequence[np.ndarray] = (),
         default_inits: bool = True,
         scratch: Optional[SolverScratch] = None,
+        backend: Union[KernelBackend, str, None] = None,
     ) -> SolverResult:
         """Run TRW-S on a prebuilt array plan, optionally warm-started.
 
@@ -159,6 +169,9 @@ class TRWSSolver:
                 per-shard workers, grid sweeps) pass one in so repeated
                 solves allocate nothing; ``None`` keeps a private scratch
                 for this call (still allocation-free *across iterations*).
+            backend: kernel backend for this solve; overrides the
+                constructor's choice (same accepted values).  All
+                backends are bit-for-bit identical.
 
         Beliefs are reconstructed from the messages (``θ_i + Σ M_{j→i}``
         plus the tie-breaking perturbation), preserving the TRW-S belief
@@ -170,18 +183,24 @@ class TRWSSolver:
         attaches a :class:`~repro.mrf.solvers.SolveStats` to the result;
         disabled, this wrapper costs one branch per solve.
         """
+        kernels = resolve_backend(
+            backend if backend is not None else self.backend
+        )
         if not obs.enabled():
             return self._solve_arrays(
-                plan, messages, extra_inits, default_inits, scratch, None
+                plan, messages, extra_inits, default_inits, scratch, kernels,
+                None,
             )
         stats = SolveStats()
         start = time.perf_counter()
         with obs.span(
             "trws.solve", cat="solve",
             nodes=plan.node_count, edges=plan.edge_count,
+            backend=kernels.describe(),
         ) as solve_span:
             result = self._solve_arrays(
-                plan, messages, extra_inits, default_inits, scratch, stats
+                plan, messages, extra_inits, default_inits, scratch, kernels,
+                stats,
             )
             stats.total_seconds = time.perf_counter() - start
             result.stats = stats
@@ -200,6 +219,7 @@ class TRWSSolver:
         extra_inits: Sequence[np.ndarray],
         default_inits: bool,
         scratch: Optional[SolverScratch],
+        kernels: KernelBackend,
         stats: Optional[SolveStats],
     ) -> SolverResult:
         """The sweep loop behind :meth:`solve_arrays`; ``stats`` collects
@@ -257,7 +277,7 @@ class TRWSSolver:
                 iter_wall_ns = time.time_ns()
                 iter_start = mark = time.perf_counter()
             labels = self._forward_sweep(
-                plan, messages, beliefs, scratch,
+                plan, messages, beliefs, scratch, kernels,
                 stats.fwd_level_seconds if collect else None,
             )
             if collect:
@@ -273,7 +293,7 @@ class TRWSSolver:
                 stats.energy_seconds += now - mark
                 mark = now
             self._backward_sweep(
-                plan, messages, beliefs, scratch,
+                plan, messages, beliefs, scratch, kernels,
                 stats.bwd_level_seconds if collect else None,
             )
             if collect:
@@ -287,7 +307,9 @@ class TRWSSolver:
                 # total perturbation makes it valid for the original one.
                 lower_bound = max(
                     lower_bound,
-                    plan.dual_bound(messages, beliefs, scratch=scratch)
+                    plan.dual_bound(
+                        messages, beliefs, scratch=scratch, backend=kernels
+                    )
                     - bound_slack,
                 )
             energy_trace.append(best_energy)
@@ -352,7 +374,7 @@ class TRWSSolver:
                 if not any(np.array_equal(candidate, kept) for kept in distinct):
                     distinct.append(candidate)
             for candidate in distinct:
-                polished = plan.icm(candidate, scratch=scratch)
+                polished = plan.icm(candidate, scratch=scratch, backend=kernels)
                 polished_energy = plan.energy(polished)
                 if polished_energy < best_energy:
                     best_labels = polished
@@ -381,25 +403,33 @@ class TRWSSolver:
         messages: np.ndarray,
         beliefs: np.ndarray,
         scratch: SolverScratch,
+        kernels: KernelBackend,
         level_seconds: Optional[List[float]] = None,
     ) -> np.ndarray:
         """One forward pass over the wavefront levels.
 
         Per level: extract labels by sequential conditioning on earlier
         neighbours (θ_i + Σ_{j<i} θ_ij(x_j, ·) + Σ_{j>i} M_{j→i}), then send
-        messages to later neighbours.  ``level_seconds`` (tracing only)
-        accumulates per-level wall time in place.
+        messages to later neighbours.  Both steps run on the resolved
+        kernel backend (:mod:`repro.mrf.backends`); every temporary lives
+        in ``scratch``, so sweeps allocate nothing once the buffers are
+        warm.  ``level_seconds`` (tracing only) accumulates per-level wall
+        time in place.
         """
         labels = np.zeros(plan.node_count, dtype=np.int64)
         if level_seconds is None:
             for level in plan.fwd_levels:
-                plan.condition_level(level, beliefs, messages, labels, scratch)
-                self._send(plan, level, messages, beliefs, scratch)
+                kernels.condition_level(
+                    plan, level, beliefs, messages, labels, scratch
+                )
+                kernels.send_block(plan, level, messages, beliefs, scratch)
         else:
             for index, level in enumerate(plan.fwd_levels):
                 start = time.perf_counter()
-                plan.condition_level(level, beliefs, messages, labels, scratch)
-                self._send(plan, level, messages, beliefs, scratch)
+                kernels.condition_level(
+                    plan, level, beliefs, messages, labels, scratch
+                )
+                kernels.send_block(plan, level, messages, beliefs, scratch)
                 level_seconds[index] += time.perf_counter() - start
         return labels
 
@@ -409,58 +439,19 @@ class TRWSSolver:
         messages: np.ndarray,
         beliefs: np.ndarray,
         scratch: SolverScratch,
+        kernels: KernelBackend,
         level_seconds: Optional[List[float]] = None,
     ) -> None:
         """One backward pass (messages to earlier neighbours);
         ``level_seconds`` (tracing only) accumulates per-level time."""
         if level_seconds is None:
             for block in plan.bwd_levels:
-                self._send(plan, block, messages, beliefs, scratch)
+                kernels.send_block(plan, block, messages, beliefs, scratch)
         else:
             for index, block in enumerate(plan.bwd_levels):
                 start = time.perf_counter()
-                self._send(plan, block, messages, beliefs, scratch)
+                kernels.send_block(plan, block, messages, beliefs, scratch)
                 level_seconds[index] += time.perf_counter() - start
-
-    @staticmethod
-    def _send(
-        plan: MRFArrays,
-        block: _SendBlock,
-        messages: np.ndarray,
-        beliefs: np.ndarray,
-        scratch: SolverScratch,
-    ) -> None:
-        """Block message update: γ·belief minus the opposite message, plus
-        the oriented costs, min-reduced over the sender's labels and
-        normalised; belief deltas are scattered onto the receivers.
-
-        Every temporary — the (edges, L, L) cost gather included — lives in
-        ``scratch``, so sweeps allocate nothing once the buffers are warm.
-        """
-        k = len(block.snd)
-        if not k:
-            return
-        lmax = plan.lmax
-        base = scratch.array("send_base", (k, lmax))
-        tmp = scratch.array("send_tmp", (k, lmax))
-        cost = scratch.array("send_cost", (k, lmax, lmax))
-        new = scratch.array("send_new", (k, lmax))
-        rowmin = scratch.array("send_rowmin", (k, 1))
-        beliefs.take(block.snd, axis=0, out=base, mode="clip")
-        np.multiply(base, block.gam, out=base)
-        messages.take(block.inn, axis=0, out=tmp, mode="clip")
-        np.subtract(base, tmp, out=base)
-        plan.cost.take(block.cid, axis=0, out=cost, mode="clip")
-        np.add(cost, base[:, :, None], out=cost)
-        cost.min(axis=1, out=new)
-        new.min(axis=1, keepdims=True, out=rowmin)
-        np.subtract(new, rowmin, out=new)
-        # Padded receiver labels came out +inf; store the 0 convention.
-        np.copyto(new, 0.0, where=block.pad)
-        messages.take(block.out, axis=0, out=tmp, mode="clip")
-        np.subtract(new, tmp, out=tmp)
-        np.add.at(beliefs, block.rcv, tmp)
-        messages[block.out] = new
 
 
 def _is_forest(mrf: PairwiseMRF) -> bool:

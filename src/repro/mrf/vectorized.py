@@ -606,25 +606,26 @@ class MRFArrays:
         beliefs: np.ndarray,
         chunk: int = 8192,
         scratch: Optional[SolverScratch] = None,
+        backend=None,
     ) -> float:
         """Reparametrisation lower bound ``Σ_i min θ'_i + Σ_ij min θ'_ij``
         (chunked over edges to cap peak memory; the chunk buffer comes from
-        ``scratch`` so repeated bounds allocate nothing)."""
+        ``scratch`` so repeated bounds allocate nothing).  The per-edge
+        minima come from the kernel ``backend`` (see
+        :mod:`repro.mrf.backends`); the chunked summation stays here so
+        every backend inherits NumPy's pairwise summation bit-for-bit."""
+        from repro.mrf.backends import resolve_backend
+
+        kernels = resolve_backend(backend)
         scratch = scratch if scratch is not None else SolverScratch()
         bound = float(beliefs.min(axis=1).sum())
         for start in range(0, self.edge_count, chunk):
             stop = min(start + chunk, self.edge_count)
-            to_second = messages[2 * start : 2 * stop : 2]
-            to_first = messages[2 * start + 1 : 2 * stop : 2]
-            reduced = scratch.array(
-                "bound_cost", (stop - start, self.lmax, self.lmax)
+            bound += float(
+                kernels.bound_chunk_mins(
+                    self, messages, start, stop, scratch
+                ).sum()
             )
-            self.cost.take(
-                self.edge_cid[start:stop], axis=0, out=reduced, mode="clip"
-            )
-            np.subtract(reduced, to_first[:, :, None], out=reduced)
-            np.subtract(reduced, to_second[:, None, :], out=reduced)
-            bound += float(reduced.min(axis=(1, 2)).sum())
         return bound
 
     # ------------------------------------------------------------- decoding
@@ -636,6 +637,7 @@ class MRFArrays:
         messages: np.ndarray,
         labels: np.ndarray,
         scratch: Optional[SolverScratch] = None,
+        backend=None,
     ) -> None:
         """Label one level by sequential conditioning on earlier levels.
 
@@ -645,23 +647,20 @@ class MRFArrays:
         into ``labels`` in place.  This is the shared conditioning rule of
         the TRW-S forward-sweep extraction and the BP decode.
         """
+        from repro.mrf.backends import resolve_backend
+
+        kernels = resolve_backend(backend)
         scratch = scratch if scratch is not None else SolverScratch()
-        cond = scratch.array("cond", (len(level.nodes), self.lmax))
-        beliefs.take(level.nodes, axis=0, out=cond, mode="clip")
-        if len(level.ext_nbr):
-            np.add.at(
-                cond,
-                level.ext_seg,
-                self.cost[level.ext_cid, :, labels[level.ext_nbr]]
-                - messages[level.ext_in],
-            )
-        labels[level.nodes] = np.argmin(cond, axis=1)
+        kernels.condition_level(
+            self, level, beliefs, messages, labels, scratch
+        )
 
     def decode(
         self,
         beliefs: np.ndarray,
         messages: np.ndarray,
         scratch: Optional[SolverScratch] = None,
+        backend=None,
     ) -> np.ndarray:
         """Sequential-conditioning decode, one wavefront level at a time.
 
@@ -669,10 +668,15 @@ class MRFArrays:
         neighbour's message replaced by the actual pairwise column — the
         same rule (and the same result) as the per-node reference decode.
         """
+        from repro.mrf.backends import resolve_backend
+
+        kernels = resolve_backend(backend)
         scratch = scratch if scratch is not None else SolverScratch()
         labels = np.zeros(self.node_count, dtype=np.int64)
         for level in self.fwd_levels:
-            self.condition_level(level, beliefs, messages, labels, scratch)
+            kernels.condition_level(
+                self, level, beliefs, messages, labels, scratch
+            )
         return labels
 
     # ------------------------------------------------------------------ ICM
@@ -682,6 +686,7 @@ class MRFArrays:
         labels: np.ndarray,
         max_sweeps: int = 100,
         scratch: Optional[SolverScratch] = None,
+        backend=None,
     ) -> np.ndarray:
         """Iterated conditional modes on the plan (Gauss-Seidel order).
 
@@ -691,22 +696,15 @@ class MRFArrays:
         :class:`~repro.mrf.icm.ICMSolver`, stopped when a full sweep
         changes nothing.
         """
+        from repro.mrf.backends import resolve_backend
+
+        kernels = resolve_backend(backend)
         scratch = scratch if scratch is not None else SolverScratch()
         current = labels.copy()
         for _ in range(max_sweeps):
             changed = False
             for level in self.fwd_levels:
-                cond = scratch.array("icm_cond", (len(level.nodes), self.lmax))
-                self.unary_inf.take(
-                    level.nodes, axis=0, out=cond, mode="clip"
-                )
-                if len(level.all_nbr):
-                    np.add.at(
-                        cond,
-                        level.all_seg,
-                        self.cost[level.all_cid, :, current[level.all_nbr]],
-                    )
-                best = np.argmin(cond, axis=1)
+                best = kernels.icm_level(self, level, current, scratch)
                 if not np.array_equal(best, current[level.nodes]):
                     changed = True
                 current[level.nodes] = best

@@ -200,3 +200,107 @@ class TestSolverBehaviour:
     def test_invalid_iterations(self):
         with pytest.raises(ValueError):
             BatchedTRWSSolver(max_iterations=0)
+
+
+class TestVectorizedBuilder:
+    """The interned array builder must reproduce the original loop exactly."""
+
+    @staticmethod
+    def _reference_build(network, similarity, unary_constant=0.01,
+                         pairwise_weight=1.0):
+        """The pre-vectorization builder, kept verbatim as the oracle."""
+        hosts = network.hosts
+        if not hosts:
+            return None
+        services = network.services_of(hosts[0])
+        if not services:
+            return None
+        ranges = [network.candidates(hosts[0], service) for service in services]
+        label_count = len(ranges[0])
+        if any(len(r) != label_count for r in ranges):
+            return None
+        for host in hosts[1:]:
+            if network.services_of(host) != services:
+                return None
+            for service, expected in zip(services, ranges):
+                if network.candidates(host, service) != expected:
+                    return None
+        index = {host: position for position, host in enumerate(hosts)}
+        edges = np.array(
+            sorted((min(index[a], index[b]), max(index[a], index[b]))
+                   for a, b in network.links),
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        s = len(services)
+        unary = np.full((len(hosts), s, label_count), float(unary_constant))
+        costs = np.empty((s, label_count, label_count))
+        for k, products in enumerate(ranges):
+            for row, a in enumerate(products):
+                for col, b in enumerate(products):
+                    costs[k, row, col] = pairwise_weight * similarity.get(a, b)
+        return ReplicatedProblem(
+            host_count=len(hosts), edges=edges, services=list(services),
+            products=ranges, unary=unary, costs=costs,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference_loop_bitwise(self, seed):
+        network, similarity = workload(
+            hosts=24, degree=5, services=3, seed=seed, density=0.6
+        )
+        got = replicated_problem_from_network(
+            network, similarity, unary_constant=0.02, pairwise_weight=1.5
+        )
+        want = self._reference_build(
+            network, similarity, unary_constant=0.02, pairwise_weight=1.5
+        )
+        assert got is not None and want is not None
+        assert got.host_count == want.host_count
+        assert got.services == want.services
+        assert got.products == want.products
+        np.testing.assert_array_equal(got.edges, want.edges)
+        np.testing.assert_array_equal(got.unary, want.unary)
+        np.testing.assert_array_equal(got.costs, want.costs)
+
+    def test_linkless_network_builds_empty_edges(self):
+        network = Network()
+        network.add_host("h0", {"x": ["a", "b"]})
+        network.add_host("h1", {"x": ["a", "b"]})
+        problem = replicated_problem_from_network(network, SimilarityTable())
+        assert problem is not None
+        assert problem.edges.shape == (0, 2)
+        assert problem.edges.dtype == np.int64
+
+
+class TestScratchReuse:
+    def test_solve_with_shared_scratch_is_bit_identical(self):
+        from repro.mrf.vectorized import SolverScratch
+
+        network, similarity = workload(hosts=18, degree=4, services=2, seed=3)
+        problem = replicated_problem_from_network(network, similarity)
+        solver = BatchedTRWSSolver(max_iterations=25)
+        scratch = SolverScratch()
+        # Warm the scratch on a different instance so reuse paths execute.
+        other_net, other_sim = workload(hosts=10, degree=3, services=2, seed=4)
+        solver.solve(
+            replicated_problem_from_network(other_net, other_sim),
+            scratch=scratch,
+        )
+        with_scratch = solver.solve(problem, scratch=scratch)
+        without = solver.solve(problem)
+        np.testing.assert_array_equal(with_scratch.labels, without.labels)
+        assert with_scratch.energy == without.energy
+        assert with_scratch.lower_bound == without.lower_bound
+        assert with_scratch.iterations == without.iterations
+        assert with_scratch.converged == without.converged
+
+    def test_level_batched_off_ignores_scratch_identically(self):
+        from repro.mrf.vectorized import SolverScratch
+
+        network, similarity = workload(hosts=12, degree=3, services=2, seed=5)
+        problem = replicated_problem_from_network(network, similarity)
+        solver = BatchedTRWSSolver(max_iterations=25, level_batched=False)
+        with_scratch = solver.solve(problem, scratch=SolverScratch())
+        without = solver.solve(problem)
+        np.testing.assert_array_equal(with_scratch.labels, without.labels)
+        assert with_scratch.energy == without.energy

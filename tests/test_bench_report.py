@@ -66,6 +66,34 @@ class TestFormatReport:
         assert "missing" in text
         assert regressions == 0
 
+    def test_backend_field_rendered(self):
+        current = {
+            "k": {
+                "bench": "k", "seconds": 0.5,
+                "extra": {"backend": "native (cc)"},
+            }
+        }
+        text, _ = bench_report.format_report(current)
+        assert "[native (cc)]" in text
+
+    def test_backend_change_rendered_in_diff(self):
+        baseline = {
+            "k": {"bench": "k", "seconds": 1.0, "extra": {"backend": "numpy"}}
+        }
+        current = {
+            "k": {
+                "bench": "k", "seconds": 2.0,
+                "extra": {"backend": "native (cc)"},
+            }
+        }
+        text, _ = bench_report.format_report(current, baseline, 1.5)
+        assert "[numpy -> native (cc)]" in text
+
+    def test_v1_record_without_backend_has_no_tag(self):
+        current = {"k": {"bench": "k", "seconds": 0.5}}
+        text, _ = bench_report.format_report(current)
+        assert "[" not in text
+
 
 class TestMain:
     def test_current_only(self, tmp_path, capsys):
