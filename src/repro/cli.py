@@ -312,8 +312,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--restore",
         action="store_true",
-        help="warm-restart from the newest snapshot under --snapshot-dir "
-        "instead of bootstrapping a fresh network",
+        help="warm-restart from the newest valid snapshot under "
+        "--snapshot-dir (corrupt generations are skipped), replaying the "
+        "--wal tail on top; with --wal but no usable snapshot the full "
+        "log is replayed from a fresh bootstrap",
+    )
+    serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="directory for the write-ahead event log; unset disables "
+        "durability (events live only in memory until snapshotted)",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help="WAL fsync policy: always = fsync before acknowledging each "
+        "POST (zero acked loss on power failure), batch = fsync once per "
+        "writer batch (default), off = leave flushing to the OS",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for resilience drills, e.g. "
+        "'wal.append:crash:100' or 'solve:error:5,snapshot:error:2' "
+        "(point:action[:after[:count]]; crashes SIGKILL the process). "
+        "Never set in production",
     )
     _add_log_level(serve)
     serve.add_argument(
@@ -331,6 +357,34 @@ def build_parser() -> argparse.ArgumentParser:
         "solve-latency histograms, e.g. 0.005,0.05,0.5,5 (default: the "
         "built-in repro.service.metrics.SOLVE_BUCKETS)",
     )
+
+    wal = sub.add_parser(
+        "wal",
+        help="inspect, replay, or repair a service write-ahead log",
+    )
+    wal.add_argument(
+        "wal_action",
+        choices=("inspect", "replay", "truncate"),
+        help="inspect: per-segment summary; replay: rebuild the plan from "
+        "snapshot + log tail offline and report the final state; "
+        "truncate: drop a torn tail so the next start is clean",
+    )
+    wal.add_argument("wal_dir", metavar="DIR", help="the WAL directory")
+    wal.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="replay: start from the newest valid snapshot here instead "
+        "of replaying the whole log onto the bootstrap network",
+    )
+    wal.add_argument("--hosts", type=int, default=60)
+    wal.add_argument("--degree", type=int, default=3)
+    wal.add_argument("--services", type=int, default=3)
+    wal.add_argument("--products", type=int, default=6)
+    wal.add_argument("--seed", type=int, default=1,
+                     help="bootstrap-network knobs for replay without a "
+                     "snapshot; must match the crashed daemon's")
+    wal.add_argument("--solver", choices=("trws", "bp"), default="trws")
+    _add_log_level(wal)
 
     trace = sub.add_parser(
         "trace",
@@ -609,6 +663,54 @@ def _stream(args: argparse.Namespace) -> None:
     print(report.summary())
 
 
+def _bootstrap_service(args: argparse.Namespace, config, recover: bool = False):
+    """Build a service from ``--network`` or the synthetic generator.
+
+    Returns ``(service, origin)``; ``recover=True`` replays any existing
+    WAL records onto the bootstrap state at startup.
+    """
+    from repro.service import DiversificationService
+
+    if args.network:
+        from pathlib import Path
+
+        from repro.network.io import network_from_json
+        from repro.nvd.io import load_similarity
+
+        if not args.similarity:
+            raise SystemExit("--network needs --similarity (see repro.nvd.io)")
+        network, constraints = network_from_json(Path(args.network).read_text())
+        similarity = load_similarity(args.similarity)
+        service = DiversificationService(
+            network,
+            similarity,
+            config=config,
+            constraints=constraints,
+            recover=recover,
+        )
+        return service, args.network
+    from repro.network.generator import (
+        RandomNetworkConfig,
+        random_network,
+        random_similarity,
+    )
+
+    generator = RandomNetworkConfig(
+        hosts=args.hosts,
+        degree=args.degree,
+        services=args.services,
+        products_per_service=args.products,
+        seed=args.seed,
+    )
+    service = DiversificationService(
+        random_network(generator),
+        random_similarity(generator),
+        config=config,
+        recover=recover,
+    )
+    return service, f"synthetic ({args.hosts} hosts, seed {args.seed})"
+
+
 def _serve(args: argparse.Namespace) -> None:
     import asyncio
 
@@ -616,6 +718,11 @@ def _serve(args: argparse.Namespace) -> None:
     from repro.service import DiversificationService, ServiceConfig
 
     setup_logging(args.log_level)
+    fault_plan = None
+    if args.fault_plan:
+        from repro.service import parse_fault_plan
+
+        fault_plan = parse_fault_plan(args.fault_plan, hard=True)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -631,44 +738,29 @@ def _serve(args: argparse.Namespace) -> None:
         log_level=args.log_level,
         trace_tail=args.trace_tail,
         solve_buckets=args.solve_buckets,
+        wal_dir=args.wal,
+        fsync=args.fsync,
+        fault_plan=fault_plan,
     )
     if args.restore:
-        if not config.snapshots_enabled:
-            raise SystemExit("--restore needs --snapshot-dir")
-        service = DiversificationService.from_snapshot(config)
-        origin = f"snapshot under {config.snapshot_dir}"
-    elif args.network:
-        from pathlib import Path
-
-        from repro.network.io import network_from_json
-        from repro.nvd.io import load_similarity
-
-        if not args.similarity:
-            raise SystemExit("--network needs --similarity (see repro.nvd.io)")
-        network, constraints = network_from_json(Path(args.network).read_text())
-        similarity = load_similarity(args.similarity)
-        service = DiversificationService(
-            network, similarity, config=config, constraints=constraints
-        )
-        origin = args.network
+        if not config.snapshots_enabled and not config.wal_enabled:
+            raise SystemExit("--restore needs --snapshot-dir and/or --wal")
+        service = None
+        if config.snapshots_enabled:
+            try:
+                service = DiversificationService.from_snapshot(config)
+                origin = f"snapshot under {config.snapshot_dir}"
+            except ValueError as problem:
+                if not config.wal_enabled:
+                    raise SystemExit(str(problem)) from problem
+                print(f"no usable snapshot ({problem}); replaying full WAL")
+        if service is None:
+            # No (usable) snapshot: bootstrap the configured network and
+            # replay the whole log on top of it.
+            service, origin = _bootstrap_service(args, config, recover=True)
+            origin += f" + WAL replay from {config.wal_dir}"
     else:
-        from repro.network.generator import (
-            RandomNetworkConfig,
-            random_network,
-            random_similarity,
-        )
-
-        generator = RandomNetworkConfig(
-            hosts=args.hosts,
-            degree=args.degree,
-            services=args.services,
-            products_per_service=args.products,
-            seed=args.seed,
-        )
-        service = DiversificationService(
-            random_network(generator), random_similarity(generator), config=config
-        )
-        origin = f"synthetic ({args.hosts} hosts, seed {args.seed})"
+        service, origin = _bootstrap_service(args, config)
 
     async def _run() -> None:
         await service.start()
@@ -687,10 +779,99 @@ def _serve(args: argparse.Namespace) -> None:
                 f"snapshots -> {config.snapshot_dir} "
                 f"({cadence}, keep {config.keep_snapshots})"
             )
+        if config.wal_enabled:
+            print(f"wal -> {config.wal_dir} (fsync={config.fsync})")
         await service.run_until_stopped()
 
     asyncio.run(_run())
     print("repro serve — drained and stopped")
+
+
+def _wal(args: argparse.Namespace) -> None:
+    from repro.obs.logging import setup_logging
+    from repro.service import inspect_wal, replay_wal, truncate_torn_tail
+
+    setup_logging(args.log_level)
+    if args.wal_action == "inspect":
+        rows = inspect_wal(args.wal_dir)
+        if not rows:
+            print(f"no WAL segments under {args.wal_dir}")
+            return
+        header = f"{'segment':<24} {'first':>8} {'last':>8} {'records':>8}  state"
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            state = "ok" if not row["torn"] else f"torn ({row['reason']})"
+            print(
+                f"{row['segment']:<24} {row['first_seq']:>8} "
+                f"{row['last_seq']:>8} {row['records']:>8}  {state}"
+            )
+        return
+    if args.wal_action == "truncate":
+        actions = truncate_torn_tail(args.wal_dir)
+        if not actions:
+            print(f"WAL under {args.wal_dir} is clean; nothing to do")
+            return
+        for action in actions:
+            print(f"{action['action']}: {action['segment']} ({action['reason']})")
+        return
+
+    # replay: rebuild the final plan offline and report it.
+    from repro.service import latest_valid_snapshot, restore_engine
+
+    engine = None
+    after_seq = 0
+    if args.snapshot_dir:
+        found = latest_valid_snapshot(args.snapshot_dir)
+        if found is not None:
+            path, snapshot = found
+            engine, snapshot = restore_engine(snapshot, solver=args.solver)
+            after_seq = snapshot.wal_seq
+            print(f"restored {path.name} (wal_seq {after_seq})")
+        else:
+            print(f"no valid snapshot under {args.snapshot_dir}; "
+                  "replaying the full log")
+    if engine is None:
+        from repro.network.generator import (
+            RandomNetworkConfig,
+            random_network,
+            random_similarity,
+        )
+        from repro.stream import DynamicDiversifier
+
+        generator = RandomNetworkConfig(
+            hosts=args.hosts,
+            degree=args.degree,
+            services=args.services,
+            products_per_service=args.products,
+            seed=args.seed,
+        )
+        engine = DynamicDiversifier(
+            random_network(generator),
+            random_similarity(generator),
+            solver=args.solver,
+        )
+    applied = 0
+    failed = 0
+    last = after_seq
+    for seq, event in replay_wal(args.wal_dir, after_seq=after_seq):
+        try:
+            engine.apply(event)
+        except Exception as problem:
+            failed += 1
+            print(f"seq {seq}: {type(event).__name__} failed: {problem}")
+        else:
+            applied += 1
+        last = seq
+    result = engine.solve()
+    print(
+        f"replayed {applied} event(s) after seq {after_seq} "
+        f"(last seq {last}, {failed} failed)"
+    )
+    print(
+        f"final energy {result.energy:.6f} over "
+        f"{len(engine.network.hosts)} hosts"
+    )
 
 
 def _trace_workload_config(args: argparse.Namespace):
@@ -864,6 +1045,7 @@ _HANDLERS = {
     "sensitivity": _sensitivity,
     "stream": _stream,
     "serve": _serve,
+    "wal": _wal,
     "trace": _trace_cmd,
     "dot": _dot,
 }

@@ -9,12 +9,20 @@ asyncio daemon:
   immutable :class:`ReadView`, health/metrics endpoints, graceful drain;
 * :mod:`repro.service.config` — :class:`ServiceConfig`, every operational
   knob validated at startup;
+* :mod:`repro.service.wal` — :class:`WriteAheadLog`, the segmented,
+  checksummed durable event log behind ``--wal``; recovery is snapshot +
+  WAL-tail replay, byte-identical to a never-crashed twin;
+* :mod:`repro.service.faults` — :class:`FaultPlan`, deterministic fault
+  injection (crash/torn-write/fsync-error/solver-error/snapshot-failure)
+  driving the crash-recovery tests;
 * :mod:`repro.service.snapshot` — versioned on-disk plan snapshots with
-  byte-identical restore (warm restarts survive process death);
+  byte-identical restore (warm restarts survive process death), sha256
+  integrity checks and corrupt-snapshot fallback;
 * :mod:`repro.service.metrics` — :class:`ServiceMetrics`, the Prometheus
   text exposition behind ``GET /metrics``;
 * :mod:`repro.service.client` — :class:`ServiceClient`, blocking stdlib
-  helpers used by the tests, benchmarks and the CI smoke check.
+  helpers with transient-error retry and idempotent resend, used by the
+  tests, benchmarks and the CI smoke check.
 
 ``docs/service.md`` is the operator-facing reference.
 """
@@ -22,21 +30,40 @@ asyncio daemon:
 from repro.service.app import DiversificationService, ReadView
 from repro.service.client import Backpressure, ServiceClient, ServiceError
 from repro.service.config import ServiceConfig
+from repro.service.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    parse_fault_plan,
+    random_fault_plan,
+)
 from repro.service.metrics import SOLVE_BUCKETS, ServiceMetrics
 from repro.service.snapshot import (
     SNAPSHOT_SCHEMA,
     Snapshot,
     latest_snapshot,
+    latest_valid_snapshot,
     load_snapshot,
     prune_snapshots,
     restore_engine,
     restore_plan,
     save_snapshot,
 )
+from repro.service.wal import (
+    WriteAheadLog,
+    inspect_wal,
+    replay_wal,
+    truncate_torn_tail,
+)
 
 __all__ = [
     "Backpressure",
     "DiversificationService",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
     "ReadView",
     "SNAPSHOT_SCHEMA",
     "SOLVE_BUCKETS",
@@ -45,10 +72,17 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "Snapshot",
+    "WriteAheadLog",
+    "inspect_wal",
     "latest_snapshot",
+    "latest_valid_snapshot",
     "load_snapshot",
+    "parse_fault_plan",
     "prune_snapshots",
+    "random_fault_plan",
+    "replay_wal",
     "restore_engine",
     "restore_plan",
     "save_snapshot",
+    "truncate_torn_tail",
 ]

@@ -16,6 +16,17 @@ long-lived asyncio service:
   state, so they never block the writer and never observe a half-applied
   batch; the solver itself runs on a one-thread executor, keeping the
   event loop free to answer reads mid-solve.
+* **Durability** — with a write-ahead log configured
+  (:mod:`repro.service.wal`), every acknowledged event is appended to a
+  checksummed, segmented log *before* the 202 goes out, under the
+  configured fsync policy.  Restart recovery is snapshot + WAL-tail
+  replay (:meth:`DiversificationService.from_snapshot` +
+  :meth:`DiversificationService.start`), byte-identical to a process
+  that never crashed.  The writer degrades gracefully: a solver
+  exception escalates to a forced cold rebuild, and a batch that fails
+  both attempts is quarantined to a dead-letter sidecar instead of
+  wedging the queue.  :mod:`repro.service.faults` injects deterministic
+  failures at every stage of this pipeline for the recovery tests.
 * **Operations** — ``GET /healthz``, Prometheus-format ``GET /metrics``
   (solve/shard-solve latency histograms, per-reason escalation counters,
   ``repro_build_info``), the ``GET /debug/trace`` tail of the
@@ -40,6 +51,7 @@ from __future__ import annotations
 import asyncio
 import json
 import platform
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -52,14 +64,16 @@ from repro.network.constraints import ConstraintSet
 from repro.network.model import Network
 from repro.nvd.similarity import SimilarityTable
 from repro.service.config import ServiceConfig
+from repro.service.faults import InjectedFault
 from repro.service.metrics import ServiceMetrics
 from repro.service.snapshot import (
-    latest_snapshot,
+    latest_valid_snapshot,
     prune_snapshots,
     restore_engine,
     save_snapshot,
 )
-from repro.stream.events import Event, event_from_dict
+from repro.service.wal import WriteAheadLog
+from repro.stream.events import Event, event_from_dict, event_to_dict
 from repro.stream.incremental import DynamicDiversifier
 
 __all__ = ["ReadView", "DiversificationService"]
@@ -69,6 +83,9 @@ _STOP = object()
 
 #: request bodies above this are rejected with 413 before parsing.
 _MAX_BODY = 16 * 1024 * 1024
+
+#: bound on the idempotency cache of seen ``request_id`` values.
+_SEEN_LIMIT = 1024
 
 
 @dataclass(frozen=True)
@@ -200,6 +217,16 @@ class DiversificationService:
         engine: pre-built engine to adopt instead of constructing one —
             the warm-restart path (:meth:`from_snapshot`) uses it.
         events_applied: ingestion counter to resume from (restarts).
+        initial_view: a pre-crash :class:`ReadView` to republish instead
+            of running a boot solve (restored from snapshot meta).
+        version: solve counter to resume from (keeps the read-view
+            version monotonic across restarts).
+        wal_floor: the WAL sequence already reflected in the adopted
+            engine state — recovery replays only records past it.
+        recover: allow (and perform, at :meth:`start`) WAL-tail replay.
+            Without it, a configured WAL directory that already holds
+            records is refused — silently appending new history after
+            an unreplayed past would poison future recoveries.
 
     Use as::
 
@@ -219,6 +246,10 @@ class DiversificationService:
         constraints: Optional[ConstraintSet] = None,
         engine: Optional[DynamicDiversifier] = None,
         events_applied: int = 0,
+        initial_view: Optional[ReadView] = None,
+        version: int = 0,
+        wal_floor: int = 0,
+        recover: bool = False,
     ) -> None:
         self.config = config or ServiceConfig()
         if engine is None:
@@ -254,7 +285,7 @@ class DiversificationService:
             self._trace = obs.Trace(limit=self.config.trace_tail)
             obs.activate(self._trace)
         self._queue: asyncio.Queue = asyncio.Queue()
-        self._view: Optional[ReadView] = None
+        self._view: Optional[ReadView] = initial_view
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-writer"
         )
@@ -263,10 +294,51 @@ class DiversificationService:
         self._stopped = asyncio.Event()
         self._draining = False
         self._shutting_down = False
-        self._solves = 0
+        self._solves = version
         self._inflight = 0
         self._events_applied = events_applied
         self._last_snapshot_path: Optional[str] = None
+        self._recover = recover
+        self._seq = wal_floor
+        self._applied_seq = wal_floor
+        self._seen_requests: "OrderedDict[str, Dict[str, object]]" = (
+            OrderedDict()
+        )
+        self._wal: Optional[WriteAheadLog] = None
+        self._wal_executor: Optional[ThreadPoolExecutor] = None
+        if self.config.wal_enabled:
+            self._wal = WriteAheadLog(
+                self.config.wal_dir,  # type: ignore[arg-type]
+                fsync=self.config.fsync,
+                segment_bytes=self.config.wal_segment_bytes,
+                segment_records=self.config.wal_segment_records,
+                faults=self.config.fault_plan,
+            )
+            if self._wal.last_seq > wal_floor and not recover:
+                raise ValueError(
+                    f"WAL directory {self.config.wal_dir} already holds "
+                    f"records up to seq {self._wal.last_seq}; restart with "
+                    "--restore to replay them, or point --wal at a fresh "
+                    "directory"
+                )
+            # Appends are serialized on their own one-thread executor so
+            # an fsync never stalls reads on the event loop and never
+            # queues behind a multi-second solve on the writer executor.
+            self._wal_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-wal"
+            )
+            self._seq = self._wal.last_seq
+            self.metrics.set_gauge("wal_last_seq", self._wal.last_seq)
+            self.metrics.set_gauge("wal_segments", self._wal.segment_count)
+        self._dead_letter_path = None
+        if self.config.wal_enabled:
+            self._dead_letter_path = (
+                self.config.wal_dir / "dead-letter.jsonl"  # type: ignore
+            )
+        elif self.config.snapshots_enabled:
+            self._dead_letter_path = (
+                self.config.snapshot_dir / "dead-letter.jsonl"  # type: ignore
+            )
 
     @classmethod
     def from_snapshot(
@@ -275,17 +347,25 @@ class DiversificationService:
         """Warm-restart a service from a snapshot directory.
 
         ``path`` names one ``snap-<version>/`` directory; by default the
-        newest snapshot under ``config.snapshot_dir`` is used.  The first
-        solve after restart is warm (restored messages + labels), and the
-        ingestion counter resumes where the snapshot left it.
+        newest *valid* snapshot under ``config.snapshot_dir`` is used —
+        corrupt or partial directories (failed sha256, torn write) are
+        skipped with a warning, falling back to the next-newest.  The
+        first solve after restart is warm (restored messages + labels),
+        the ingestion and version counters resume where the snapshot
+        left them, and the saved read view is republished as-is, so no
+        boot solve runs.  With a WAL configured, :meth:`start` then
+        replays every record past the snapshot's ``wal_seq`` — recovery
+        is snapshot + tail, byte-identical to a never-crashed twin.
         """
         if path is None:
             if not config.snapshots_enabled:
                 raise ValueError("config.snapshot_dir is not set")
-            found = latest_snapshot(config.snapshot_dir)  # type: ignore[arg-type]
+            found = latest_valid_snapshot(config.snapshot_dir)  # type: ignore[arg-type]
             if found is None:
-                raise ValueError(f"no snapshot under {config.snapshot_dir}")
-            path = str(found)
+                raise ValueError(
+                    f"no valid snapshot under {config.snapshot_dir}"
+                )
+            path = found[1]
         engine, snapshot = restore_engine(
             path,
             solver=config.solver,
@@ -293,10 +373,47 @@ class DiversificationService:
             sharded=config.sharded,
             **config.engine_options,
         )
+        meta_view = snapshot.view
+        initial_view = None
+        if (
+            meta_view is not None
+            and meta_view.get("energy") is not None
+            and engine._previous is not None
+        ):
+            plan = engine.plan
+            initial_view = ReadView(
+                version=int(meta_view.get("version", snapshot.version)),
+                events_applied=int(
+                    meta_view.get("events_applied", snapshot.events_applied)
+                ),
+                energy=float(meta_view["energy"]),
+                lower_bound=float(meta_view.get("lower_bound", float("-inf"))),
+                certified_optimal=bool(
+                    meta_view.get("certified_optimal", False)
+                ),
+                warm=bool(meta_view.get("warm", False)),
+                stability=float(meta_view.get("stability", 1.0)),
+                solve_seconds=float(meta_view.get("solve_seconds", 0.0)),
+                values=dict(engine._previous),
+                network=engine.network.copy(),
+                similarity=engine.similarity.copy(),
+                constraints=engine.constraints.copy(),
+                cost_model={
+                    "unary_constant": plan.unary_constant,
+                    "pairwise_weight": plan.pairwise_weight,
+                    "service_weights": plan.service_weights or None,
+                },
+                shards_total=int(meta_view.get("shards_total", 1)),
+                shards_solved=int(meta_view.get("shards_solved", 1)),
+            )
         return cls(
             config=config,
             engine=engine,
             events_applied=snapshot.events_applied,
+            initial_view=initial_view,
+            version=snapshot.version,
+            wal_floor=snapshot.wal_seq,
+            recover=True,
         )
 
     # ------------------------------------------------------------- lifecycle
@@ -314,9 +431,22 @@ class DiversificationService:
         return self._view
 
     async def start(self) -> None:
-        """Run the initial solve, publish the first view, start serving."""
+        """Recover (WAL replay), publish the first view, start serving.
+
+        A fresh service runs the boot solve here; a restored one
+        republishes the snapshot's view instead, then replays the WAL
+        tail through the ordinary ingest path — so the first solve a
+        recovered daemon runs is exactly the solve its never-crashed
+        twin would have run next.
+        """
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(self._executor, self._ingest, [])
+        if self._view is None:
+            # The boot solve comes FIRST: a never-crashed twin solved the
+            # bootstrap state before any event arrived, so a WAL-only
+            # recovery (no snapshot view) must too, or version drifts.
+            await loop.run_in_executor(self._executor, self._ingest, [])
+        if self._wal is not None and self._recover:
+            await loop.run_in_executor(self._executor, self._replay_wal)
         self._writer_task = asyncio.create_task(self._writer_loop())
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host, port=self.config.port
@@ -374,11 +504,53 @@ class DiversificationService:
             self._server.close()
             await self._server.wait_closed()
         self._executor.shutdown(wait=True)
+        if self._wal_executor is not None:
+            self._wal_executor.shutdown(wait=True)
+        if self._wal is not None:
+            self._wal.close()
         if self._trace is not None and obs.current_trace() is self._trace:
             obs.deactivate()
         self._log.info(
             "service stopped",
             extra=kv(solves=self._solves, events=self._events_applied),
+        )
+        self._stopped.set()
+
+    async def abort(self) -> None:
+        """Die in place — the crash-simulation stop the recovery tests use.
+
+        Unlike :meth:`shutdown` this is deliberately *not* graceful: the
+        queue is NOT drained, no snapshot is written, and the WAL is
+        dropped without a final fsync — exactly the state a ``SIGKILL``
+        leaves behind, minus the dead process.  Everything durable must
+        therefore be recoverable by snapshot + WAL-tail replay alone.
+        """
+        if self._shutting_down:
+            await self._stopped.wait()
+            return
+        self._shutting_down = True
+        self._draining = True
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+            except Exception:  # pragma: no cover - crash path is best-effort
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        if self._wal_executor is not None:
+            self._wal_executor.shutdown(wait=True, cancel_futures=True)
+        if self._wal is not None:
+            self._wal.abandon()
+        if self._trace is not None and obs.current_trace() is self._trace:
+            obs.deactivate()
+        self._log.warning(
+            "service aborted (simulated crash)",
+            extra=kv(solves=self._solves, queued=self._queue.qsize()),
         )
         self._stopped.set()
 
@@ -390,7 +562,7 @@ class DiversificationService:
         while True:
             item = await self._queue.get()
             stop = item is _STOP
-            batch: List[Event] = [] if stop else [item]
+            batch: List[Tuple[int, Event]] = [] if stop else [item]
             while not stop and len(batch) < self.config.batch_max:
                 try:
                     item = self._queue.get_nowait()
@@ -409,7 +581,7 @@ class DiversificationService:
                 self.metrics.set_gauge("queue_depth", self._queue.qsize())
             if stop:
                 # Drain whatever raced in behind the sentinel, then exit.
-                leftovers: List[Event] = []
+                leftovers: List[Tuple[int, Event]] = []
                 while True:
                     try:
                         item = self._queue.get_nowait()
@@ -428,19 +600,101 @@ class DiversificationService:
                 self.metrics.set_gauge("queue_depth", 0)
                 return
 
-    def _ingest(self, batch: List[Event]) -> None:
-        """Apply one batch and re-solve (writer thread only).
+    def _replay_wal(self) -> None:
+        """Replay the WAL tail through the ingest path (writer thread).
+
+        Records past the snapshot anchor are re-applied in ``batch_max``
+        groups — the same batching discipline live traffic gets — so at
+        ``batch_max=1`` the recovered engine walks the exact solve
+        sequence of its never-crashed twin.  Torn trailing records were
+        already dropped (with a warning) when the WAL opened.
+        """
+        assert self._wal is not None
+        records = list(self._wal.replay(after_seq=self._applied_seq))
+        if not records:
+            return
+        with obs.span(
+            "wal.replay",
+            cat="service",
+            records=len(records),
+            after_seq=self._applied_seq,
+        ):
+            for start in range(0, len(records), self.config.batch_max):
+                chunk = records[start : start + self.config.batch_max]
+                self._ingest(chunk, replay=True)
+        self.metrics.inc("wal_replayed_total", len(records))
+        self._log.info(
+            "wal tail replayed",
+            extra=kv(records=len(records), last_seq=records[-1][0]),
+        )
+
+    def _solve_batch(self, force_cold: bool = False):
+        """One engine solve, routed through the ``solve`` fault point."""
+        faults = self.config.fault_plan
+        if faults is not None and faults.fire("solve") == "error":
+            raise InjectedFault("injected solver failure")
+        return self._engine.solve(force_cold=force_cold)
+
+    def _dead_letter(self, batch: List[Tuple[int, Event]], problem) -> None:
+        """Quarantine a twice-failed batch to the dead-letter sidecar."""
+        self.metrics.inc("dead_letter_total", len(batch))
+        path = self._dead_letter_path
+        self._log.error(
+            "batch quarantined to dead letter",
+            extra=kv(
+                events=len(batch), error=str(problem), path=str(path)
+            ),
+        )
+        if path is None:
+            return
+        try:
+            with open(path, "a") as sidecar:
+                for seq, event in batch:
+                    sidecar.write(
+                        json.dumps(
+                            {
+                                "seq": seq,
+                                "event": event_to_dict(event),
+                                "error": str(problem),
+                            }
+                        )
+                        + "\n"
+                    )
+        except OSError:  # pragma: no cover - sidecar is best-effort
+            self._log.error("dead-letter write failed")
+
+    def _ingest(
+        self, batch: List[Tuple[int, Event]], replay: bool = False
+    ) -> None:
+        """Apply one ``(seq, event)`` batch and re-solve (writer thread only).
 
         A bad event — e.g. removing a link that is already gone — fails
         alone: it is counted and skipped, the rest of the batch applies.
         After the solve the fresh :class:`ReadView` is swapped in and, when
-        due, a snapshot is written.
+        due, a snapshot is written.  Failure handling degrades in stages:
+        a solver exception is retried once as a forced cold rebuild
+        (escalation ``"forced"``), and a batch failing both attempts is
+        quarantined to the dead-letter sidecar — the queue keeps moving
+        and readers keep the last good view.
         """
+        if self._wal is not None and not replay:
+            # The batch-policy flush point: everything acknowledged so far
+            # (including this batch) becomes durable before it mutates
+            # engine state.  "always" already synced; "off" no-ops.
+            try:
+                self._wal.sync()
+            except OSError as problem:
+                self.metrics.inc("wal_failures_total")
+                self._log.error(
+                    "wal fsync failed; durability window extended",
+                    extra=kv(error=str(problem)),
+                )
+        last_seq = batch[-1][0] if batch else self._applied_seq
         with obs.span(
-            "service.batch", cat="service", events=len(batch)
+            "service.batch", cat="service", events=len(batch), replay=replay
         ) as batch_span:
             applied = 0
-            for event in batch:
+            for _, event in batch:
                 try:
                     self._engine.apply(event)
                 except Exception:
@@ -451,7 +705,24 @@ class DiversificationService:
                     )
                 else:
                     applied += 1
-            result = self._engine.solve()
+            try:
+                result = self._solve_batch()
+            except Exception as problem:
+                self.metrics.inc("writer_failures_total")
+                self._log.warning(
+                    "solver failed; escalating to cold rebuild",
+                    extra=kv(error=str(problem)),
+                )
+                try:
+                    result = self._solve_batch(force_cold=True)
+                except Exception as worse:
+                    self.metrics.inc("writer_failures_total")
+                    self._dead_letter(batch, worse)
+                    self._events_applied += applied
+                    self._applied_seq = last_seq
+                    self.metrics.inc("events_applied_total", applied)
+                    batch_span.add(applied=applied, dead_letter=True)
+                    return
             batch_span.add(
                 applied=applied,
                 warm=result.warm,
@@ -459,6 +730,7 @@ class DiversificationService:
                 seconds=result.seconds,
             )
         self._events_applied += applied
+        self._applied_seq = last_seq
         self._solves += 1
         self.metrics.inc("events_applied_total", applied)
         self.metrics.inc("solves_total")
@@ -513,24 +785,68 @@ class DiversificationService:
             self._write_snapshot()
 
     def _write_snapshot(self) -> None:
-        """Write a snapshot of the live engine (writer thread only)."""
+        """Write a snapshot of the live engine (writer thread only).
+
+        The snapshot records the WAL sequence it is anchored at and the
+        published read-view counters; on success, WAL segments wholly
+        below the anchor are compacted away.  A failed write (including
+        an injected ``snapshot`` fault) is counted and logged but never
+        takes the writer down — the staged temp dir is cleaned up and the
+        previous snapshot generation keeps covering recovery.
+        """
         if not self.config.snapshots_enabled:
             return
         view = self._view
+        view_meta = None
+        if view is not None:
+            view_meta = {
+                "version": view.version,
+                "events_applied": view.events_applied,
+                "energy": view.energy,
+                "lower_bound": view.lower_bound,
+                "certified_optimal": view.certified_optimal,
+                "warm": view.warm,
+                "stability": view.stability,
+                "solve_seconds": view.solve_seconds,
+                "shards_total": view.shards_total,
+                "shards_solved": view.shards_solved,
+            }
         with obs.span("service.snapshot", cat="service", version=self._solves):
-            path = save_snapshot(
-                self._engine,
-                self.config.snapshot_dir,  # type: ignore[arg-type]
-                version=self._solves,
-                events_applied=self._events_applied,
-                energy=view.energy if view is not None else None,
-            )
+            try:
+                path = save_snapshot(
+                    self._engine,
+                    self.config.snapshot_dir,  # type: ignore[arg-type]
+                    version=self._solves,
+                    events_applied=self._events_applied,
+                    energy=view.energy if view is not None else None,
+                    wal_seq=self._applied_seq,
+                    view=view_meta,
+                    faults=self.config.fault_plan,
+                )
+            except Exception as problem:
+                self.metrics.inc("snapshot_failures_total")
+                self._log.error(
+                    "snapshot failed; previous generation still covers "
+                    "recovery",
+                    extra=kv(error=str(problem)),
+                )
+                return
             prune_snapshots(
                 self.config.snapshot_dir,  # type: ignore[arg-type]
                 self.config.keep_snapshots,
             )
         self._last_snapshot_path = str(path)
         self.metrics.inc("snapshots_total")
+        if self._wal is not None:
+            removed = self._wal.compact(self._applied_seq)
+            if removed:
+                self._log.debug(
+                    "wal compacted",
+                    extra=kv(
+                        segments=len(removed), up_to=self._applied_seq
+                    ),
+                )
+            self.metrics.set_gauge("wal_segments", self._wal.segment_count)
         self._log.debug("snapshot written", extra=kv(path=str(path)))
 
     # -------------------------------------------------------------- HTTP side
@@ -610,7 +926,7 @@ class DiversificationService:
         if method == "POST" and path == "/energy":
             return self._route_whatif(body)
         if method == "POST" and path == "/events":
-            return self._route_events(body)
+            return await self._route_events(body)
         if method == "POST" and path == "/snapshot":
             if not self.config.snapshots_enabled:
                 return 409, {"error": "snapshots are disabled"}, no_headers
@@ -625,18 +941,41 @@ class DiversificationService:
             return 202, {"status": "draining"}, no_headers
         return 404, {"error": f"no route {method} {path}"}, no_headers
 
-    def _route_events(
+    async def _route_events(
         self, body: bytes
     ) -> Tuple[int, object, Dict[str, str]]:
-        """``POST /events``: decode, apply backpressure, enqueue."""
+        """``POST /events``: decode, dedup, WAL-append, enqueue.
+
+        Accepts a bare event dict, a list of them, or the idempotency
+        envelope ``{"request_id": ..., "events": [...]}`` — a request id
+        already acknowledged returns the cached 202 with ``duplicate:
+        true`` and queues nothing, so a client retry after a lost
+        response never double-applies a chunk.  With a WAL configured
+        the events are appended (and, under ``--fsync always``, synced)
+        *before* the 202: acknowledged means durable.  A failed append
+        rolls back cleanly and answers 503 — nothing was queued, so the
+        client retry is safe.
+        """
         if self._draining:
             return 503, {"error": "service is draining"}, {}
         try:
             payload = json.loads(body.decode() or "null")
+            request_id = None
+            if isinstance(payload, dict) and "events" in payload:
+                request_id = payload.get("request_id")
+                if request_id is not None and not isinstance(
+                    request_id, str
+                ):
+                    raise ValueError("request_id must be a string")
+                payload = payload["events"]
             entries = payload if isinstance(payload, list) else [payload]
             events = [event_from_dict(entry) for entry in entries]
         except (ValueError, UnicodeDecodeError) as problem:
             return 400, {"error": str(problem)}, {}
+        if request_id is not None and request_id in self._seen_requests:
+            cached = dict(self._seen_requests[request_id])
+            cached["duplicate"] = True
+            return 202, cached, {}
         depth = self._queue.qsize()
         if depth + len(events) > self.config.high_water:
             self.metrics.inc("events_rejected_total", len(events))
@@ -649,12 +988,45 @@ class DiversificationService:
                 },
                 {"Retry-After": f"{self.config.retry_after:g}"},
             )
-        for event in events:
-            self._queue.put_nowait(event)
+        if events and self._wal is not None:
+            loop = asyncio.get_running_loop()
+            try:
+                first, _last = await loop.run_in_executor(
+                    self._wal_executor, self._wal.append, events
+                )
+            except (OSError, RuntimeError) as problem:
+                self.metrics.inc("wal_failures_total")
+                self._log.error(
+                    "wal append failed; events refused",
+                    extra=kv(error=str(problem)),
+                )
+                return (
+                    503,
+                    {"error": f"write-ahead log append failed: {problem}"},
+                    {},
+                )
+            self.metrics.inc("wal_appends_total")
+            self.metrics.inc("wal_records_total", len(events))
+            self.metrics.set_gauge("wal_last_seq", self._wal.last_seq)
+            self._seq = self._wal.last_seq
+        else:
+            first = self._seq + 1
+            self._seq += len(events)
+        for position, event in enumerate(events):
+            self._queue.put_nowait((first + position, event))
         self.metrics.inc("events_ingested_total", len(events))
         depth = self._queue.qsize()
         self.metrics.set_gauge("queue_depth", depth)
-        return 202, {"queued": len(events), "queue_depth": depth}, {}
+        response: Dict[str, object] = {
+            "queued": len(events),
+            "queue_depth": depth,
+        }
+        if request_id is not None:
+            response["request_id"] = request_id
+            self._seen_requests[request_id] = response
+            while len(self._seen_requests) > _SEEN_LIMIT:
+                self._seen_requests.popitem(last=False)
+        return 202, response, {}
 
     def _route_whatif(
         self, body: bytes
@@ -687,6 +1059,8 @@ class DiversificationService:
             "idle": depth == 0 and self._inflight == 0,
             "solver": self._engine.solver_name,
             "sharded": self.config.sharded,
+            "wal": self._wal is not None,
+            "wal_seq": self._wal.last_seq if self._wal is not None else 0,
         }
 
 

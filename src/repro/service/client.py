@@ -7,6 +7,13 @@ a first-class outcome: a 429 raises :class:`Backpressure` carrying the
 server's ``Retry-After``, and :meth:`ServiceClient.send` will sleep and
 retry on the caller's behalf.
 
+Transient connection failures — refused, reset, timed out — are retried
+with capped exponential backoff plus jitter (``retries``/``backoff``
+knobs).  Retrying a ``POST /events`` is safe because every post carries a
+``request_id`` the server remembers: if the first attempt was actually
+applied and only the response was lost, the resend comes back as a
+``duplicate`` acknowledgement instead of double-applying the chunk.
+
 >>> from repro.stream.events import LinkAdd
 >>> ServiceClient.normalize_events([LinkAdd("h0", "h1"), {"type": "host_leave", "host": "h2"}])
 [{'type': 'link_add', 'a': 'h0', 'b': 'h1'}, {'type': 'host_leave', 'host': 'h2'}]
@@ -16,12 +23,19 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
+import uuid
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.stream.events import Event, event_to_dict
 
 __all__ = ["ServiceClient", "ServiceError", "Backpressure"]
+
+#: connection-level failures worth a retry: the server was restarting,
+#: the socket died mid-flight, or the request timed out.  HTTP error
+#: *statuses* are never retried here — they are real answers.
+_TRANSIENT = (ConnectionError, TimeoutError, http.client.BadStatusLine)
 
 
 class ServiceError(RuntimeError):
@@ -47,6 +61,15 @@ class ServiceClient:
     Args:
         host / port: where the daemon listens.
         timeout: socket timeout (seconds) per request.
+        retries: transient-connection-error retries per request (0
+            disables).  Safe for every endpoint: reads are pure, the
+            operational posts are idempotent, and event posts are
+            deduplicated server-side by request id.
+        backoff / backoff_cap: initial and maximum retry pause (seconds);
+            the actual sleep doubles per attempt, capped, and is jittered
+            by a uniform factor in [0.5, 1.5) to avoid thundering herds.
+        default_retry_after: the pause assumed when a 429 arrives with a
+            missing or malformed ``Retry-After`` header.
 
     Every method performs one HTTP request and returns the decoded JSON
     body (or raw text for ``/metrics``); error statuses raise
@@ -54,11 +77,24 @@ class ServiceClient:
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8351, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8351,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        default_retry_after: float = 1.0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.default_retry_after = default_retry_after
+        self._rng = rng or random.Random()
 
     @staticmethod
     def normalize_events(
@@ -78,7 +114,29 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, payload: Optional[object] = None
     ):
-        """One request/response cycle; returns (status, headers, raw body)."""
+        """One request/response cycle; returns (status, headers, raw body).
+
+        Transient connection errors are retried up to ``self.retries``
+        times with capped exponential backoff + jitter; anything else
+        propagates immediately.
+        """
+        attempts = self.retries + 1
+        delay = self.backoff
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except _TRANSIENT:
+                if attempt == attempts - 1:
+                    raise
+                pause = min(self.backoff_cap, delay)
+                pause *= 0.5 + self._rng.random()
+                time.sleep(pause)
+                delay *= 2
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[object] = None
+    ):
+        """One attempt of one request/response cycle (no retries)."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -102,7 +160,12 @@ class ServiceClient:
         except ValueError:
             decoded = {"error": raw.decode(errors="replace")}
         if status == 429:
-            retry_after = float(headers.get("Retry-After", 1.0))
+            try:
+                retry_after = float(headers.get("Retry-After", ""))
+            except (TypeError, ValueError):
+                retry_after = self.default_retry_after
+            if retry_after <= 0:
+                retry_after = self.default_retry_after
             message = decoded.get("error", "backpressure") if isinstance(decoded, dict) else "backpressure"
             raise Backpressure(message, retry_after)
         if status >= 400:
@@ -113,10 +176,25 @@ class ServiceClient:
     # ------------------------------------------------------------- ingestion
 
     def post_events(
-        self, events: Iterable[Union[Event, Mapping[str, object]]]
+        self,
+        events: Iterable[Union[Event, Mapping[str, object]]],
+        request_id: Optional[str] = None,
     ) -> Dict[str, object]:
-        """One ``POST /events`` with no retries; raises on 429."""
-        return self._json("POST", "/events", self.normalize_events(events))
+        """One ``POST /events`` (no backpressure retry); raises on 429.
+
+        The post is wrapped in the idempotency envelope: ``request_id``
+        defaults to a fresh UUID, and reusing one marks a resend — the
+        server acknowledges without re-applying (``duplicate: true`` in
+        the response).
+        """
+        return self._json(
+            "POST",
+            "/events",
+            {
+                "request_id": request_id or uuid.uuid4().hex,
+                "events": self.normalize_events(events),
+            },
+        )
 
     def send(
         self,
@@ -129,17 +207,20 @@ class ServiceClient:
         Splits the trace into ``chunk``-sized posts; on a 429 sleeps the
         server's ``Retry-After`` and retries the same chunk, giving up
         (re-raising :class:`Backpressure`) once ``max_wait`` seconds of
-        cumulative waiting is exceeded.  Returns the number of events
-        accepted.
+        cumulative waiting is exceeded.  Every chunk keeps one request id
+        across all its retries — backpressure or transient connection
+        failure — so the server applies it at most once no matter how
+        the first attempt died.  Returns the number of events accepted.
         """
         wire = self.normalize_events(events)
         accepted = 0
         waited = 0.0
         position = 0
+        request_id = uuid.uuid4().hex
         while position < len(wire):
             piece = wire[position : position + chunk]
             try:
-                self._json("POST", "/events", piece)
+                self.post_events(piece, request_id=request_id)
             except Backpressure as pushback:
                 if waited >= max_wait:
                     raise
@@ -149,6 +230,7 @@ class ServiceClient:
                 continue
             accepted += len(piece)
             position += chunk
+            request_id = uuid.uuid4().hex
         return accepted
 
     # ----------------------------------------------------------------- reads

@@ -49,6 +49,20 @@ class ServiceConfig:
             graceful-shutdown snapshot).
         keep_snapshots: retention — older snapshots beyond this many are
             deleted after each successful write.
+        wal_dir: directory for the write-ahead log of acknowledged
+            events (:mod:`repro.service.wal`).  ``None`` disables the
+            WAL — restarts then recover from snapshots alone, losing
+            whatever arrived after the last one.
+        fsync: WAL durability policy — ``"always"`` (fsync every append;
+            zero acknowledged loss across SIGKILL), ``"batch"``
+            (default; fsync once per writer batch) or ``"off"`` (never;
+            survives process death but not power loss).
+        wal_segment_bytes / wal_segment_records: WAL segment rotation
+            bounds.
+        fault_plan: optional deterministic fault-injection script
+            (:class:`~repro.service.faults.FaultPlan`) consulted at the
+            WAL/solve/snapshot fault points — the testing hook behind
+            ``repro serve --fault-plan``.  Never set in production.
         engine_options: extra keyword arguments forwarded verbatim to
             :class:`~repro.stream.incremental.DynamicDiversifier`
             (``rebuild_fraction``, ``warm_iterations``, cost model, ...).
@@ -87,6 +101,11 @@ class ServiceConfig:
     snapshot_dir: Optional[Union[str, Path]] = None
     snapshot_every: int = 0
     keep_snapshots: int = 3
+    wal_dir: Optional[Union[str, Path]] = None
+    fsync: str = "batch"
+    wal_segment_bytes: int = 4 << 20
+    wal_segment_records: int = 4096
+    fault_plan: Optional[object] = None
     engine_options: Dict[str, object] = field(default_factory=dict)
     log_level: str = "info"
     trace_tail: int = 0
@@ -111,6 +130,16 @@ class ServiceConfig:
             raise ValueError("keep_snapshots must be >= 1")
         if self.snapshot_dir is not None:
             self.snapshot_dir = Path(self.snapshot_dir)
+        if self.wal_dir is not None:
+            self.wal_dir = Path(self.wal_dir)
+        if self.fsync not in ("always", "batch", "off"):
+            raise ValueError(
+                f"fsync must be 'always', 'batch' or 'off', got {self.fsync!r}"
+            )
+        if self.wal_segment_bytes < 1:
+            raise ValueError("wal_segment_bytes must be >= 1")
+        if self.wal_segment_records < 1:
+            raise ValueError("wal_segment_records must be >= 1")
         if self.log_level not in LEVELS:
             raise ValueError(
                 f"log_level must be one of {sorted(LEVELS)}, "
@@ -130,3 +159,8 @@ class ServiceConfig:
     def snapshots_enabled(self) -> bool:
         """True when a snapshot directory is configured."""
         return self.snapshot_dir is not None
+
+    @property
+    def wal_enabled(self) -> bool:
+        """True when a write-ahead log directory is configured."""
+        return self.wal_dir is not None

@@ -39,9 +39,23 @@ _COUNTERS = (
     "solves_cold_total",
     "reads_total",
     "snapshots_total",
+    "snapshot_failures_total",
+    "wal_appends_total",
+    "wal_records_total",
+    "wal_replayed_total",
+    "wal_failures_total",
+    "writer_failures_total",
+    "dead_letter_total",
 )
 
-_GAUGES = ("queue_depth", "queue_high_water", "plan_nodes", "plan_edges")
+_GAUGES = (
+    "queue_depth",
+    "queue_high_water",
+    "plan_nodes",
+    "plan_edges",
+    "wal_last_seq",
+    "wal_segments",
+)
 
 #: escalation reasons pre-registered so every ``repro_escalations_total``
 #: series scrapes from 0 (see ``StreamSolveResult.escalation``).
@@ -53,6 +67,7 @@ _ESCALATIONS = (
     "mask_churn",
     "cost_jump",
     "stranded",
+    "forced",
 )
 
 _PREFIX = "repro_"

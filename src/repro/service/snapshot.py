@@ -17,19 +17,30 @@ the saved ones and the next warm solve is bit-for-bit the solve a
 never-restarted engine would have run — the restart-parity contract
 asserted in ``tests/test_service.py``.
 
-Layout (format ``schema = 1``): one ``snap-<version>/`` directory per
+Layout (format ``schema = 2``): one ``snap-<version>/`` directory per
 snapshot holding ``meta.json`` (model state + bookkeeping) and
 ``arrays.npz`` (the NumPy blocks).  Directories are written under a
 temporary name and renamed into place, so a crash mid-write never leaves a
-half snapshot where :func:`latest_snapshot` would find it.
+half snapshot where :func:`latest_snapshot` would find it.  Since schema 2
+the meta also records a sha256 of ``arrays.npz`` (verified on load), the
+write-ahead-log sequence number the snapshot is anchored at (``wal_seq``
+— WAL segments at or below it are prunable) and the published read-view
+counters, so a restore republishes the exact pre-crash view without an
+extra boot solve.  Schema-1 snapshots still load (no hash to verify,
+``wal_seq`` 0).  :func:`latest_valid_snapshot` is the crash-tolerant
+lookup: it walks snapshots newest-first and *skips* corrupt or partial
+directories with a warning instead of raising, so one torn write never
+blocks ``--restore``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
 import time
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -37,6 +48,8 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.mrf.vectorized import MRFArrays
+from repro.obs.logging import get_logger
+from repro.service.faults import InjectedFault
 from repro.network.constraints import ConstraintSet
 from repro.network.io import network_from_json, network_to_json
 from repro.network.model import Network
@@ -52,15 +65,22 @@ __all__ = [
     "restore_plan",
     "restore_engine",
     "latest_snapshot",
+    "latest_valid_snapshot",
     "prune_snapshots",
 ]
 
-#: on-disk format version; bump on breaking layout changes.
-SNAPSHOT_SCHEMA = 1
+#: on-disk format version; bump on breaking layout changes.  Schema 2
+#: added ``arrays_sha256``/``wal_seq``/``view`` to the meta; schema-1
+#: directories remain loadable.
+SNAPSHOT_SCHEMA = 2
+
+_ACCEPTED_SCHEMAS = (1, 2)
 
 _META_NAME = "meta.json"
 _ARRAYS_NAME = "arrays.npz"
 _PREFIX = "snap-"
+
+_LOG = get_logger("service.snapshot")
 
 
 @dataclass
@@ -92,6 +112,17 @@ class Snapshot:
         """Events the saved engine had ingested when the snapshot ran."""
         return int(self.meta.get("events_applied", 0))
 
+    @property
+    def wal_seq(self) -> int:
+        """WAL sequence the snapshot is anchored at (0 = no WAL/schema 1)."""
+        return int(self.meta.get("wal_seq") or 0)
+
+    @property
+    def view(self) -> Optional[Dict[str, object]]:
+        """The read-view counters published when the snapshot ran, if saved."""
+        view = self.meta.get("view")
+        return dict(view) if isinstance(view, dict) else None
+
 
 # ---------------------------------------------------------------------- save
 
@@ -102,13 +133,21 @@ def save_snapshot(
     version: int,
     events_applied: int = 0,
     energy: Optional[float] = None,
+    wal_seq: Optional[int] = None,
+    view: Optional[Dict[str, object]] = None,
+    faults=None,
 ) -> Path:
     """Write one snapshot of a live engine; returns the snapshot path.
 
     Flushes pending structural deltas first (the saved plan is always the
-    materialised one), then writes ``meta.json`` + ``arrays.npz`` into
+    materialised one), then writes ``arrays.npz`` + ``meta.json`` into
     ``directory/snap-<version>/`` via a temp-dir rename, so readers never
-    observe a partial snapshot.  The engine is not otherwise disturbed —
+    observe a partial snapshot.  The meta records a sha256 of the arrays
+    blob (verified on load), the WAL anchor ``wal_seq`` and the published
+    read-view counters ``view``.  ``faults`` is the optional
+    :class:`~repro.service.faults.FaultPlan` consulted at the
+    ``snapshot`` fault point (after staging, before the rename — the
+    worst place to die).  The engine is not otherwise disturbed —
     message state, labels and dirty counters stay live.
     """
     plan = engine.plan
@@ -137,6 +176,8 @@ def save_snapshot(
         "solver": engine.solver_name,
         "events_applied": int(events_applied),
         "energy": None if energy is None else float(energy),
+        "wal_seq": int(wal_seq or 0),
+        "view": dict(view) if view else None,
         "has_labels": labels is not None,
         "unary_constant": plan.unary_constant,
         "pairwise_weight": plan.pairwise_weight,
@@ -158,6 +199,20 @@ def save_snapshot(
             [host, svc_lo, svc_hi, int(cid)]
             for (host, svc_lo, svc_hi), cid in plan._combo_cids.items()
         ],
+        # The sharded engine's per-shard solve summaries.  Restoring them
+        # matters for recovery parity: a rebuilt cache means clean shards
+        # are NOT re-solved after a restart, exactly as they would not
+        # have been had the process never died (a re-solve from restored
+        # messages can tie-break equal-energy optima differently).
+        "shard_cache": [
+            [
+                sorted(list(variable) for variable in key),
+                float(entry.energy),
+                float(entry.lower_bound),
+                bool(entry.converged),
+            ]
+            for key, entry in getattr(engine, "_shard_cache", {}).items()
+        ],
     }
 
     root = Path(directory)
@@ -168,7 +223,6 @@ def save_snapshot(
         shutil.rmtree(staging)
     staging.mkdir()
     try:
-        (staging / _META_NAME).write_text(json.dumps(meta, indent=1))
         np.savez(
             staging / _ARRAYS_NAME,
             unary=unary,
@@ -184,6 +238,14 @@ def save_snapshot(
                 labels if labels is not None else np.zeros(0, dtype=np.int64)
             ),
         )
+        meta["arrays_sha256"] = _sha256_file(staging / _ARRAYS_NAME)
+        (staging / _META_NAME).write_text(json.dumps(meta, indent=1))
+        if faults is not None:
+            action = faults.fire("snapshot")
+            if action == "error":
+                raise InjectedFault("injected snapshot failure mid-stage")
+            if action == "crash":
+                faults.crash()
         if target.exists():
             shutil.rmtree(target)
         os.replace(staging, target)
@@ -208,11 +270,20 @@ def load_snapshot(path: Union[str, Path]) -> Snapshot:
     if not meta_path.exists() or not arrays_path.exists():
         raise ValueError(f"{root} is not a snapshot directory")
     meta = json.loads(meta_path.read_text())
-    if meta.get("schema") != SNAPSHOT_SCHEMA:
+    if meta.get("schema") not in _ACCEPTED_SCHEMAS:
         raise ValueError(
             f"snapshot schema {meta.get('schema')!r} unsupported "
-            f"(this build reads schema {SNAPSHOT_SCHEMA})"
+            f"(this build reads schemas {_ACCEPTED_SCHEMAS})"
         )
+    expected_sha = meta.get("arrays_sha256")
+    if expected_sha is not None:
+        actual_sha = _sha256_file(arrays_path)
+        if actual_sha != expected_sha:
+            raise ValueError(
+                f"snapshot {root.name} is corrupt: arrays.npz sha256 "
+                f"{actual_sha[:12]}... does not match recorded "
+                f"{str(expected_sha)[:12]}..."
+            )
     network, constraints = network_from_json(json.dumps(meta["network"]))
     similarity = _similarity_from_dict(meta["similarity"])
 
@@ -327,7 +398,7 @@ def restore_plan(snapshot: Snapshot, track_touched: bool = True) -> StreamPlan:
 
 
 def restore_engine(
-    path: Union[str, Path],
+    path: Union[str, Path, Snapshot],
     solver: Optional[str] = None,
     warm_start: bool = True,
     sharded: bool = False,
@@ -340,12 +411,14 @@ def restore_engine(
     swaps in the restored plan + message + label state, so the first
     :meth:`~DynamicDiversifier.solve` after a restart is warm.  ``solver``
     defaults to the one the snapshot was taken with; ``engine_options``
-    are forwarded to the engine (``rebuild_fraction``, ...).
+    are forwarded to the engine (``rebuild_fraction``, ...).  ``path``
+    also accepts an already-loaded :class:`Snapshot` (the
+    :func:`latest_valid_snapshot` hand-off, avoiding a second read).
 
     Returns ``(engine, snapshot)`` — the snapshot carries the counters
-    (``events_applied``) a resuming service continues from.
+    (``events_applied``, ``wal_seq``) a resuming service continues from.
     """
-    snapshot = load_snapshot(path)
+    snapshot = path if isinstance(path, Snapshot) else load_snapshot(path)
     meta = snapshot.meta
     engine = DynamicDiversifier(
         snapshot.network,
@@ -366,6 +439,22 @@ def restore_engine(
         else None
     )
     engine._shard_cache.clear()
+    if sharded:
+        # Rebuild the per-shard solve cache so a recovered engine skips
+        # exactly the clean shards its never-crashed twin would skip —
+        # re-solving a clean shard from restored messages can land on a
+        # different equal-energy labeling and break recovery parity.
+        from repro.stream.incremental import _ShardEntry
+
+        for keys, energy, lower_bound, converged in meta.get(
+            "shard_cache"
+        ) or []:
+            frozen = frozenset(tuple(variable) for variable in keys)
+            engine._shard_cache[frozen] = _ShardEntry(
+                energy=float(energy),
+                lower_bound=float(lower_bound),
+                converged=bool(converged),
+            )
     return engine, snapshot
 
 
@@ -384,6 +473,46 @@ def latest_snapshot(directory: Union[str, Path]) -> Optional[Path]:
         if version is not None and version > best_version:
             best, best_version = entry, version
     return best
+
+
+def latest_valid_snapshot(
+    directory: Union[str, Path],
+) -> Optional[Tuple[Path, Snapshot]]:
+    """The newest snapshot that actually loads, skipping corrupt ones.
+
+    Walks ``snap-<version>/`` directories newest-first and returns the
+    first that passes every integrity check (files present, schema known,
+    sha256 matching, array blocks consistent).  Corrupt or partial
+    directories — a torn ``arrays.npz``, a missing ``meta.json``, a
+    bit-flip — are *skipped with a warning* instead of raising, so one
+    bad write never blocks ``--restore``; the WAL tail covers the gap.
+    Returns ``(path, snapshot)`` or ``None`` when nothing valid exists.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return None
+    candidates = sorted(
+        (
+            entry
+            for entry in root.iterdir()
+            if _snapshot_version(entry) is not None
+        ),
+        key=lambda entry: _snapshot_version(entry) or 0,
+        reverse=True,
+    )
+    for entry in candidates:
+        try:
+            return entry, load_snapshot(entry)
+        except (
+            ValueError,
+            OSError,
+            KeyError,
+            zipfile.BadZipFile,
+        ) as problem:
+            _LOG.warning(
+                "skipping corrupt snapshot %s: %s", entry.name, problem
+            )
+    return None
 
 
 def prune_snapshots(directory: Union[str, Path], keep: int) -> List[Path]:
@@ -413,6 +542,15 @@ def _snapshot_version(path: Path) -> Optional[int]:
 
 
 # ------------------------------------------------------------------ internal
+
+
+def _sha256_file(path: Path) -> str:
+    """Hex sha256 of a file, streamed in chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _similarity_to_dict(table: SimilarityTable) -> Dict[str, object]:

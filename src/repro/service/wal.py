@@ -1,0 +1,536 @@
+"""Segmented, checksummed write-ahead log of the service's typed events.
+
+Every event acknowledged by ``POST /events`` is first appended here — one
+CRC32-guarded record per event, in the same ``event_to_dict`` wire form
+the HTTP API speaks — so a crash loses nothing that was acknowledged
+(under ``--fsync always``; ``batch`` bounds the loss window to one writer
+batch).  Recovery is *snapshot + tail*: the daemon restores the newest
+valid snapshot, then replays every WAL record past the snapshot's
+``wal_seq`` through the ordinary ingest path, landing byte-identical to a
+process that never died (``docs/service.md`` states the parity contract).
+
+On-disk layout — ``wal-<first_seq>.log`` segments under one directory::
+
+    RWAL0001                      8-byte segment magic
+    <seq:u64><len:u32><crc:u32>   16-byte record header (little-endian)
+    <payload: len bytes>          canonical-JSON event dict
+    ...
+
+The CRC covers ``seq``, ``len`` and the payload, so a torn header, a torn
+payload or a bit-flip all read as *end of log*: the valid prefix is kept,
+the trailing garbage is dropped with a warning, and startup is never
+poisoned by a mid-record truncation.  Segments rotate at a size/record
+bound; each snapshot records the last applied sequence number and
+segments entirely at or below it are pruned (snapshot-anchored
+compaction).
+
+>>> import tempfile
+>>> from repro.stream.events import LinkAdd
+>>> with tempfile.TemporaryDirectory() as root:
+...     wal = WriteAheadLog(root, fsync="off")
+...     wal.append([LinkAdd(a="h0", b="h1")])
+...     wal.close()
+...     [seq for seq, _ in replay_wal(root)]
+(1, 1)
+[1]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro.obs.logging import get_logger
+from repro.service.faults import FaultPlan, InjectedFault
+from repro.stream.events import Event, event_from_dict, event_to_dict
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "SegmentScan",
+    "WalRecord",
+    "WriteAheadLog",
+    "inspect_wal",
+    "replay_wal",
+    "scan_segment",
+    "truncate_torn_tail",
+    "wal_segments",
+]
+
+#: fsync policies: ``always`` = fsync every append (zero acknowledged
+#: loss), ``batch`` = fsync once per writer batch (bounded loss window),
+#: ``off`` = never fsync (crash-safe against process death only).
+FSYNC_POLICIES = ("always", "batch", "off")
+
+_MAGIC = b"RWAL0001"
+_HEADER = struct.Struct("<QII")
+_PREFIX = "wal-"
+_SUFFIX = ".log"
+#: upper bound on a single record's payload — anything larger reads as
+#: corruption (a real event dict is a few hundred bytes).
+_MAX_RECORD = 16 << 20
+
+_LOG = get_logger("service.wal")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: sequence number, event dict, byte offset."""
+
+    seq: int
+    event: dict
+    offset: int
+
+
+@dataclass
+class SegmentScan:
+    """Result of scanning one segment file.
+
+    ``torn`` means the file holds trailing bytes past the last valid
+    record (truncated header/payload or checksum mismatch); ``valid_bytes``
+    is the prefix length that survives, ``reason`` says what broke.
+    """
+
+    path: Path
+    records: List[WalRecord]
+    valid_bytes: int
+    torn: bool
+    reason: Optional[str] = None
+
+
+def _segment_path(directory: Path, first_seq: int) -> Path:
+    return directory / f"{_PREFIX}{first_seq:012d}{_SUFFIX}"
+
+
+def _segment_first_seq(path: Path) -> int:
+    return int(path.name[len(_PREFIX) : -len(_SUFFIX)])
+
+
+def wal_segments(directory: Union[str, Path]) -> List[Path]:
+    """Segment files under ``directory``, ordered by first sequence number."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    names = [
+        path
+        for path in directory.iterdir()
+        if path.name.startswith(_PREFIX)
+        and path.name.endswith(_SUFFIX)
+        and path.name[len(_PREFIX) : -len(_SUFFIX)].isdigit()
+    ]
+    return sorted(names, key=_segment_first_seq)
+
+
+def scan_segment(path: Union[str, Path]) -> SegmentScan:
+    """Decode one segment, stopping (not raising) at the first bad byte."""
+    path = Path(path)
+    data = path.read_bytes()
+    if data[: len(_MAGIC)] != _MAGIC:
+        return SegmentScan(path, [], 0, True, "bad segment magic")
+    records: List[WalRecord] = []
+    offset = len(_MAGIC)
+    reason = None
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            reason = "truncated record header"
+            break
+        seq, length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_RECORD:
+            reason = "implausible record length"
+            break
+        payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+        if len(payload) < length:
+            reason = "truncated record payload"
+            break
+        expected = zlib.crc32(
+            payload, zlib.crc32(struct.pack("<QI", seq, length))
+        )
+        if crc != expected:
+            reason = "checksum mismatch"
+            break
+        try:
+            event = json.loads(payload)
+        except ValueError:
+            reason = "undecodable payload"
+            break
+        records.append(WalRecord(seq, event, offset))
+        offset += _HEADER.size + length
+    return SegmentScan(path, records, offset, reason is not None, reason)
+
+
+def replay_wal(
+    directory: Union[str, Path], after_seq: int = 0
+) -> Iterator[Tuple[int, Event]]:
+    """Yield ``(seq, event)`` for every valid record past ``after_seq``.
+
+    Stops at the first corruption (end-of-log semantics): the torn tail is
+    skipped with a warning and any segments past it are ignored — recovery
+    applies the longest verifiable prefix, never a poisoned suffix.
+    """
+    last = after_seq
+    segments = wal_segments(directory)
+    for position, path in enumerate(segments):
+        scan = scan_segment(path)
+        for record in scan.records:
+            if record.seq <= after_seq:
+                continue
+            if record.seq <= last:
+                raise ValueError(
+                    f"non-monotonic WAL sequence {record.seq} in {path.name}"
+                )
+            last = record.seq
+            yield record.seq, event_from_dict(record.event)
+        if scan.torn:
+            dropped = len(segments) - position - 1
+            _LOG.warning(
+                "dropping torn WAL tail in %s (%s) at byte %d; "
+                "%d later segment(s) ignored",
+                path.name,
+                scan.reason,
+                scan.valid_bytes,
+                dropped,
+            )
+            break
+
+
+def truncate_torn_tail(directory: Union[str, Path]) -> List[dict]:
+    """Repair a WAL in place: drop torn tails, unlink post-corruption segments.
+
+    Returns one action dict per touched file (the ``repro wal truncate``
+    output); an already-clean log returns ``[]``.
+    """
+    actions: List[dict] = []
+    end_found = False
+    for path in wal_segments(directory):
+        if end_found:
+            path.unlink()
+            actions.append({"segment": path.name, "action": "unlinked"})
+            continue
+        scan = scan_segment(path)
+        if not scan.torn:
+            continue
+        end_found = True
+        if scan.valid_bytes < len(_MAGIC):
+            path.unlink()
+            actions.append(
+                {
+                    "segment": path.name,
+                    "action": "unlinked",
+                    "reason": scan.reason,
+                }
+            )
+            continue
+        dropped = path.stat().st_size - scan.valid_bytes
+        with open(path, "r+b") as handle:
+            handle.truncate(scan.valid_bytes)
+        actions.append(
+            {
+                "segment": path.name,
+                "action": "truncated",
+                "reason": scan.reason,
+                "dropped_bytes": dropped,
+                "records_kept": len(scan.records),
+            }
+        )
+    return actions
+
+
+def inspect_wal(directory: Union[str, Path]) -> List[dict]:
+    """Per-segment summaries (the ``repro wal inspect`` output)."""
+    rows = []
+    for path in wal_segments(directory):
+        scan = scan_segment(path)
+        rows.append(
+            {
+                "segment": path.name,
+                "bytes": path.stat().st_size,
+                "records": len(scan.records),
+                "first_seq": scan.records[0].seq if scan.records else None,
+                "last_seq": scan.records[-1].seq if scan.records else None,
+                "torn": scan.torn,
+                "reason": scan.reason,
+            }
+        )
+    return rows
+
+
+class WriteAheadLog:
+    """Appender over a directory of segments, with recovery-on-open.
+
+    Opening an existing directory re-reads it exactly like recovery does:
+    the torn tail (if any) is truncated away with a warning, segments past
+    a corruption are unlinked, and appends continue from the next
+    sequence number.  All methods are thread-safe — the event loop
+    appends while the writer thread calls :meth:`sync`.
+
+    Args:
+        directory: segment directory, created on demand.
+        fsync: one of :data:`FSYNC_POLICIES`.
+        segment_bytes / segment_records: rotation bounds.
+        faults: optional :class:`~repro.service.faults.FaultPlan` consulted
+            at the ``wal.append`` / ``wal.fsync`` fault points.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fsync: str = "batch",
+        segment_bytes: int = 4 << 20,
+        segment_records: int = 4096,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_bytes < 1 or segment_records < 1:
+            raise ValueError("segment bounds must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.segment_bytes = int(segment_bytes)
+        self.segment_records = int(segment_records)
+        self.faults = faults
+        self._lock = threading.Lock()
+        self._file = None
+        self._dirty = False
+        self._poisoned = False
+        self.records_appended = 0
+        self._recover_open()
+
+    # ------------------------------------------------------------ open/close
+
+    def _recover_open(self) -> None:
+        """Truncate torn tails, drop post-corruption segments, open the end."""
+        actions = truncate_torn_tail(self.directory)
+        for action in actions:
+            _LOG.warning(
+                "WAL recovery: %s %s (%s)",
+                action["action"],
+                action["segment"],
+                action.get("reason", "past corruption"),
+            )
+        segments = wal_segments(self.directory)
+        last_seq = 0
+        tail_records = 0
+        tail_bytes = 0
+        for path in segments:
+            scan = scan_segment(path)
+            if scan.records:
+                last_seq = scan.records[-1].seq
+            tail_records = len(scan.records)
+            tail_bytes = scan.valid_bytes
+        self._next_seq = last_seq + 1
+        if (
+            segments
+            and tail_bytes < self.segment_bytes
+            and tail_records < self.segment_records
+        ):
+            self._file = open(segments[-1], "ab", buffering=0)
+            self._size = tail_bytes
+            self._segment_records_count = tail_records
+        else:
+            self._open_segment()
+
+    def _open_segment(self) -> None:
+        path = _segment_path(self.directory, self._next_seq)
+        self._file = open(path, "ab", buffering=0)
+        self._file.write(_MAGIC)
+        self._size = len(_MAGIC)
+        self._segment_records_count = 0
+        self._poisoned = False
+        if self.fsync_policy != "off":
+            self._fsync_dir()
+
+    def close(self) -> None:
+        """Flush (per policy) and close the active segment."""
+        with self._lock:
+            if self._file is None:
+                return
+            if self.fsync_policy != "off" and self._dirty:
+                try:
+                    self._fsync_locked()
+                except OSError:
+                    pass
+            self._file.close()
+            self._file = None
+
+    def abandon(self) -> None:
+        """Drop the file handle without syncing — the crash-simulation close.
+
+        Data already written survives (it reached the OS page cache, which
+        outlives the process), exactly as if the process had been
+        ``SIGKILL``-ed; only a power loss could lose it.
+        """
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    # -------------------------------------------------------------- appending
+
+    def append(self, events: Sequence[Event]) -> Tuple[int, int]:
+        """Append one record per event; return the (first, last) sequences.
+
+        Atomic against crashes: the whole batch lands in one ``write``,
+        and a failed fsync (``always`` policy) rolls the segment back to
+        its pre-append length so an un-acknowledged record never becomes
+        durable state.
+        """
+        if not events:
+            raise ValueError("append needs at least one event")
+        with self._lock:
+            if self._file is None:
+                raise RuntimeError("write-ahead log is closed")
+            if self._poisoned:
+                self._rotate_locked()
+            action = self.faults.fire("wal.append") if self.faults else None
+            if action == "error":
+                raise InjectedFault("injected WAL append failure")
+            first = self._next_seq
+            blob = bytearray()
+            for position, event in enumerate(events):
+                payload = json.dumps(
+                    event_to_dict(event),
+                    separators=(",", ":"),
+                    sort_keys=True,
+                ).encode("utf-8")
+                seq = first + position
+                crc = zlib.crc32(
+                    payload,
+                    zlib.crc32(struct.pack("<QI", seq, len(payload))),
+                )
+                blob += _HEADER.pack(seq, len(payload), crc)
+                blob += payload
+            if action == "torn":
+                # Simulate a crash mid-write: half the batch hits the disk,
+                # then the process dies.  Recovery must drop this tail.
+                self._file.write(bytes(blob[: max(1, len(blob) // 2)]))
+                self.faults.crash()
+            start = self._size
+            with obs.span(
+                "wal.append", cat="service", events=len(events), seq=first
+            ):
+                self._file.write(bytes(blob))
+                self._size += len(blob)
+                self._dirty = True
+                if self.fsync_policy == "always":
+                    try:
+                        self._fsync_locked()
+                    except OSError:
+                        self._rollback_locked(start)
+                        raise
+            self._next_seq = first + len(events)
+            self._segment_records_count += len(events)
+            self.records_appended += len(events)
+            if action == "crash":
+                # Crash-after-append: the records are durable, then we die.
+                try:
+                    self._fsync_locked()
+                except OSError:
+                    pass
+                self.faults.crash()
+            if (
+                self._size >= self.segment_bytes
+                or self._segment_records_count >= self.segment_records
+            ):
+                self._rotate_locked()
+            return first, self._next_seq - 1
+
+    def _rollback_locked(self, offset: int) -> None:
+        """Undo a failed append: truncate back, or poison the segment."""
+        try:
+            self._file.truncate(offset)
+            self._size = offset
+        except OSError:
+            # Can't even truncate — leave the garbage behind a rotation so
+            # the next append lands in a fresh segment.  The stale bytes
+            # read as a torn tail and are dropped on recovery.
+            self._poisoned = True
+
+    def _fsync_locked(self) -> None:
+        if self.faults and self.faults.fire("wal.fsync") == "error":
+            raise InjectedFault("injected WAL fsync failure")
+        os.fsync(self._file.fileno())
+        self._dirty = False
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def sync(self) -> None:
+        """Fsync pending appends (the ``batch`` policy's flush point)."""
+        with self._lock:
+            if self.fsync_policy == "off" or not self._dirty:
+                return
+            if self._file is None:
+                return
+            self._fsync_locked()
+
+    # -------------------------------------------------- rotation / compaction
+
+    def _rotate_locked(self) -> None:
+        if self.fsync_policy != "off" and self._dirty:
+            try:
+                self._fsync_locked()
+            except OSError:
+                pass
+        self._file.close()
+        self._open_segment()
+
+    def rotate(self) -> None:
+        """Seal the active segment and open a fresh one."""
+        with self._lock:
+            if self._file is None:
+                raise RuntimeError("write-ahead log is closed")
+            self._rotate_locked()
+
+    def compact(self, up_to_seq: int) -> List[Path]:
+        """Unlink sealed segments wholly covered by a snapshot.
+
+        A segment is removable when every record in it has sequence
+        ``<= up_to_seq`` — i.e. its successor's first sequence is past the
+        snapshot anchor.  The active segment is never removed.
+        """
+        removed: List[Path] = []
+        with self._lock:
+            segments = wal_segments(self.directory)
+            for path, successor in zip(segments, segments[1:]):
+                if _segment_first_seq(successor) - 1 <= up_to_seq:
+                    path.unlink()
+                    removed.append(path)
+                else:
+                    break
+            if removed and self.fsync_policy != "off":
+                self._fsync_dir()
+        return removed
+
+    # ---------------------------------------------------------------- reading
+
+    def replay(self, after_seq: int = 0) -> Iterator[Tuple[int, Event]]:
+        """Typed events past ``after_seq`` (see :func:`replay_wal`)."""
+        return replay_wal(self.directory, after_seq=after_seq)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest appended record (0 = empty)."""
+        return self._next_seq - 1
+
+    @property
+    def segment_count(self) -> int:
+        """Number of segment files currently on disk."""
+        return len(wal_segments(self.directory))

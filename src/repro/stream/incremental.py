@@ -279,7 +279,7 @@ class DynamicDiversifier:
 
     # ----------------------------------------------------------------- solve
 
-    def solve(self) -> StreamSolveResult:
+    def solve(self, force_cold: bool = False) -> StreamSolveResult:
         """(Re-)optimise the current network state.
 
         Warm path: flush pending structural deltas into the plan, restart
@@ -287,16 +287,20 @@ class DynamicDiversifier:
         with the previous labels.  Cold path (first solve, ``warm_start=
         False``, or delta past ``rebuild_fraction``): rebuild everything
         and start from zero messages and a fresh greedy labelling.
+        ``force_cold=True`` takes the cold path unconditionally
+        (escalation reason ``"forced"``) — the recovery lever the service
+        writer pulls after a solver exception, since a full rebuild
+        discards whatever incremental state went bad.
 
         A ``sharded=True`` engine dispatches to the per-component path,
         which re-solves only the shards the pending events touched.
         """
         if self.sharded:
-            return self._solve_sharded()
+            return self._solve_sharded(force_cold=force_cold)
         start = time.perf_counter()
         wall_ns = time.time_ns() if obs.enabled() else 0
         plan = self.plan
-        warm, escalation = self._classify_solve()
+        warm, escalation = self._classify_solve(force_cold=force_cold)
         if escalation is not None:
             obs.instant("stream.escalation", cat="stream", reason=escalation)
         is_trws = self.solver_name == "trws"
@@ -387,7 +391,7 @@ class DynamicDiversifier:
 
     # -------------------------------------------------------- sharded solve
 
-    def _solve_sharded(self) -> StreamSolveResult:
+    def _solve_sharded(self, force_cold: bool = False) -> StreamSolveResult:
         """Per-component re-solve: only touched shards pay a solver run.
 
         Partitions the live plan's raw parts (no global slot/level
@@ -400,7 +404,7 @@ class DynamicDiversifier:
         start = time.perf_counter()
         wall_ns = time.time_ns() if obs.enabled() else 0
         plan = self.plan
-        warm, escalation = self._classify_solve()
+        warm, escalation = self._classify_solve(force_cold=force_cold)
         if escalation is not None:
             obs.instant("stream.escalation", cat="stream", reason=escalation)
         if not warm:
@@ -621,18 +625,23 @@ class DynamicDiversifier:
         name, frac = max(fractions.items(), key=lambda item: item[1])
         return name if frac > self.rebuild_fraction else None
 
-    def _classify_solve(self) -> Tuple[bool, Optional[str]]:
+    def _classify_solve(
+        self, force_cold: bool = False
+    ) -> Tuple[bool, Optional[str]]:
         """``(warm, escalation reason)`` for the pending delta.
 
         ``warm=False`` reasons name the cold-rebuild trigger
-        (``"first_solve"``, ``"warm_disabled"``, or the dominating churn
-        fraction); ``warm=True`` with a reason marks a warm solve escalated
-        to the full budget (``"cost_jump"`` / ``"stranded"``); ``(True,
-        None)`` is the plain cheap warm re-solve.
+        (``"first_solve"``, ``"warm_disabled"``, ``"forced"``, or the
+        dominating churn fraction); ``warm=True`` with a reason marks a
+        warm solve escalated to the full budget (``"cost_jump"`` /
+        ``"stranded"``); ``(True, None)`` is the plain cheap warm
+        re-solve.
         """
         plan = self.plan
         if plan.labels is None:
             return False, "first_solve"
+        if force_cold:
+            return False, "forced"
         if not self.warm_start:
             return False, "warm_disabled"
         churn = self._delta_reason()

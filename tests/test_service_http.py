@@ -419,3 +419,128 @@ class TestObservability:
         assert args.workload == "stream"
         assert args.out == "repro-trace.json"
         assert not args.monolithic
+
+
+class TestClientResilience:
+    def test_malformed_retry_after_falls_back_to_default(self):
+        client = ServiceClient(port=1, default_retry_after=0.25)
+        for bad in ("soon", "", None, "-3"):
+            headers = {} if bad is None else {"Retry-After": bad}
+            client._request = lambda *a, **k: (
+                429, headers, b'{"error": "busy"}'
+            )
+            with pytest.raises(Backpressure) as caught:
+                client._json("POST", "/events", {})
+            assert caught.value.retry_after == 0.25
+
+    def test_valid_retry_after_is_honoured(self):
+        client = ServiceClient(port=1, default_retry_after=0.25)
+        client._request = lambda *a, **k: (
+            429, {"Retry-After": "1.5"}, b'{"error": "busy"}'
+        )
+        with pytest.raises(Backpressure) as caught:
+            client._json("GET", "/healthz")
+        assert caught.value.retry_after == 1.5
+
+    def test_transient_errors_retry_then_succeed(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: naps.append(s)
+        )
+        client = ServiceClient(port=1, retries=3, backoff=0.05)
+        attempts = []
+
+        def flaky(method, path, payload=None):
+            attempts.append(path)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("not up yet")
+            return 200, {}, b'{"ok": true}'
+
+        client._request_once = flaky
+        assert client._json("GET", "/healthz") == {"ok": True}
+        assert len(attempts) == 3
+        assert len(naps) == 2
+        assert naps[1] > naps[0] * 0.5  # backoff grows (modulo jitter)
+
+    def test_transient_errors_exhaust_and_raise(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: None
+        )
+        client = ServiceClient(port=1, retries=2)
+
+        def dead(method, path, payload=None):
+            raise ConnectionResetError("gone")
+
+        client._request_once = dead
+        with pytest.raises(ConnectionResetError):
+            client._json("GET", "/healthz")
+
+    def test_http_error_statuses_are_not_retried(self):
+        client = ServiceClient(port=1, retries=3)
+        calls = []
+
+        def server_error(method, path, payload=None):
+            calls.append(1)
+            return 500, {}, b'{"error": "boom"}'
+
+        client._request_once = server_error
+        with pytest.raises(ServiceError):
+            client._json("GET", "/healthz")
+        assert len(calls) == 1
+
+
+class TestIdempotentResend:
+    def test_duplicate_request_id_applies_once(self):
+        network, similarity = workload(seed=11)
+        trace_events = random_churn_trace(
+            network, ChurnConfig(events=4, seed=11)
+        )
+        config = ServiceConfig(port=0, batch_max=1)
+        with running_service(network, similarity, config) as (client, _):
+            first = client.post_events(trace_events[:2], request_id="req-1")
+            dup = client.post_events(trace_events[:2], request_id="req-1")
+            client.wait_idle()
+            payload = client.assignment()
+        assert first.get("duplicate") is None
+        assert dup["duplicate"] is True
+        assert dup["request_id"] == "req-1"
+        assert payload["events_applied"] == 2  # not 4
+
+    def test_fresh_request_ids_apply_independently(self):
+        network, similarity = workload(seed=12)
+        trace_events = random_churn_trace(
+            network, ChurnConfig(events=4, seed=12)
+        )
+        config = ServiceConfig(port=0, batch_max=1)
+        with running_service(network, similarity, config) as (client, _):
+            client.post_events(trace_events[:2], request_id="req-a")
+            client.post_events(trace_events[2:], request_id="req-b")
+            client.wait_idle()
+            payload = client.assignment()
+        assert payload["events_applied"] == 4
+
+    def test_bare_event_list_still_accepted(self):
+        # The pre-envelope wire format (a raw JSON array) must keep working.
+        network, similarity = workload(seed=13)
+        trace_events = random_churn_trace(
+            network, ChurnConfig(events=2, seed=13)
+        )
+        config = ServiceConfig(port=0, batch_max=1)
+        with running_service(network, similarity, config) as (client, _):
+            wire = ServiceClient.normalize_events(trace_events)
+            response = client._json("POST", "/events", wire)
+            client.wait_idle()
+            payload = client.assignment()
+        assert response["queued"] == 2
+        assert payload["events_applied"] == 2
+
+    def test_wal_config_validation(self):
+        with pytest.raises(ValueError, match="fsync"):
+            ServiceConfig(port=0, fsync="sometimes")
+        with pytest.raises(ValueError, match="wal_segment_bytes"):
+            ServiceConfig(port=0, wal_segment_bytes=0)
+        with pytest.raises(ValueError, match="wal_segment_records"):
+            ServiceConfig(port=0, wal_segment_records=0)
+        config = ServiceConfig(port=0, wal_dir="/tmp/w", fsync="always")
+        assert config.wal_enabled
+        assert not ServiceConfig(port=0).wal_enabled

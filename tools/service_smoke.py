@@ -23,10 +23,18 @@ With ``--trace-out PATH`` the daemon additionally runs with
 shutdown and writes the Chrome trace-event JSON to PATH so CI can upload
 it as an inspectable artifact (open in Perfetto / ``chrome://tracing``).
 
+With ``--crash`` the smoke instead drills the durability contract: the
+daemon runs with ``--wal --fsync always``, half the trace is ingested and
+acknowledged, the process is SIGKILLed mid-life, restarted with
+``--restore``, and the check asserts **zero acknowledged events were
+lost** and that finishing the trace lands on the exact offline energy —
+crash recovery is byte-parity, not best-effort.
+
 Usage::
 
     python tools/service_smoke.py [--hosts 40] [--events 12] [--port 18351]
     python tools/service_smoke.py --trace-out service-trace.json
+    python tools/service_smoke.py --crash
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -66,6 +75,12 @@ def main() -> int:
         help="run the daemon with --trace-tail and write the /debug/trace "
         "Chrome JSON here (CI uploads it as an artifact)",
     )
+    parser.add_argument(
+        "--crash",
+        action="store_true",
+        help="SIGKILL the daemon mid-ingest and assert --restore recovers "
+        "every acknowledged event and the exact offline energy",
+    )
     args = parser.parse_args()
 
     # The same synthetic bootstrap `repro serve` performs with these flags.
@@ -82,6 +97,9 @@ def main() -> int:
     report = replay_trace(network.copy(), similarity.copy(), trace)
     offline_energy = report.records[-1].energy
     print(f"offline replay final energy: {offline_energy}")
+
+    if args.crash:
+        return crash_leg(args, trace, offline_energy)
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         command = [
@@ -172,6 +190,133 @@ def main() -> int:
                 return 1
             print(
                 f"clean shutdown, snapshot {snapshots[-1].name} written — OK"
+            )
+            return 0
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+
+def _spawn_daemon(args, tmp: Path, restore: bool) -> subprocess.Popen:
+    """Launch ``repro serve`` with the durability flags the crash leg uses."""
+    command = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", str(args.port),
+        "--hosts", str(args.hosts), "--degree", "3",
+        "--services", "3", "--products", "6",
+        "--seed", str(args.seed),
+        "--batch-max", "1",
+        "--snapshot-dir", str(tmp / "snaps"),
+        "--snapshot-every", "3",
+        "--wal", str(tmp / "wal"),
+        "--fsync", "always",
+    ]
+    if restore:
+        command.append("--restore")
+    return subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={
+            **os.environ,
+            "PYTHONPATH": os.pathsep.join(
+                filter(None, [str(REPO_ROOT / "src"),
+                              os.environ.get("PYTHONPATH")])
+            ),
+        },
+    )
+
+
+def _await_healthy(client: ServiceClient, daemon: subprocess.Popen) -> bool:
+    deadline = time.monotonic() + 120
+    while True:
+        try:
+            client.healthz()
+            return True
+        except OSError:
+            if daemon.poll() is not None:
+                print(daemon.stdout.read())
+                print("FAIL: daemon exited during startup")
+                return False
+            if time.monotonic() > deadline:
+                print("FAIL: daemon never answered /healthz")
+                return False
+            time.sleep(0.2)
+
+
+def crash_leg(args, trace, offline_energy) -> int:
+    """SIGKILL mid-ingest, restart with --restore, demand byte-parity."""
+    half = len(trace) // 2
+    with tempfile.TemporaryDirectory(prefix="repro-serve-crash-") as tmp:
+        tmp = Path(tmp)
+        daemon = _spawn_daemon(args, tmp, restore=False)
+        try:
+            client = ServiceClient(port=args.port, timeout=10)
+            if not _await_healthy(client, daemon):
+                return 1
+            accepted = client.send(trace[:half])
+            client.wait_idle(timeout=120)
+            pre = client.assignment()
+            print(
+                f"acknowledged {accepted} events, then SIGKILL "
+                f"(version {pre['version']})"
+            )
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=60)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+        daemon = _spawn_daemon(args, tmp, restore=True)
+        try:
+            client = ServiceClient(port=args.port, timeout=10)
+            if not _await_healthy(client, daemon):
+                return 1
+            post = client.assignment()
+            if post["events_applied"] != half:
+                print(
+                    f"FAIL: acknowledged events lost — recovered "
+                    f"{post['events_applied']}/{half}"
+                )
+                return 1
+            for key in ("assignment", "energy", "version"):
+                if post[key] != pre[key]:
+                    print(
+                        f"FAIL: recovery parity broken on {key}: "
+                        f"{post[key]!r} vs {pre[key]!r}"
+                    )
+                    return 1
+            print(
+                f"recovered all {half} acknowledged events "
+                f"(version {post['version']}) — resuming trace"
+            )
+            client.send(trace[half:])
+            client.wait_idle(timeout=120)
+            final = client.assignment()
+            if final["energy"] != offline_energy:
+                print(
+                    f"FAIL: post-recovery energy parity broken — "
+                    f"{final['energy']} vs offline {offline_energy}"
+                )
+                return 1
+            if final["version"] != len(trace) + 1:
+                print(
+                    f"FAIL: post-recovery version {final['version']} != "
+                    f"{len(trace) + 1} (boot solve + one per event)"
+                )
+                return 1
+            client.shutdown()
+            code = daemon.wait(timeout=120)
+            if code != 0:
+                print(daemon.stdout.read())
+                print(f"FAIL: daemon exited {code} after graceful shutdown")
+                return 1
+            print(
+                "crash leg OK: zero acknowledged events lost, "
+                "byte-parity after restore"
             )
             return 0
         finally:
