@@ -11,7 +11,9 @@ corresponding table/figure.  Subcommands:
 * ``table7`` / ``table8`` / ``table9`` — scalability sweeps; ``--workers N``
   spreads the grid cells over N processes (see :mod:`repro.runner`;
   ``REPRO_WORKERS`` in the environment overrides the default) and
-  ``--shards N`` solves each cell over its connected-component shards.
+  ``--shards N`` solves each cell over its connected-component shards
+  (``--shards cut`` dual-decomposes the giant component instead; tuned by
+  ``--dual-parts``/``--dual-rounds``/``--dual-gap``).
 * ``synthetic-nvd`` — regenerate similarity tables from the synthetic feed.
 
 Extension commands (beyond the paper's tables):
@@ -74,14 +76,14 @@ def _add_log_level(parser: argparse.ArgumentParser) -> None:
 
 
 def _shards_value(value: str):
-    """``--shards`` accepts a worker count or the literal ``zones``."""
-    if value == "zones":
+    """``--shards`` accepts a worker count, ``zones``, or ``cut``."""
+    if value in ("zones", "cut"):
         return value
     try:
         return int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"--shards takes an integer or 'zones', got {value!r}"
+            f"--shards takes an integer, 'zones' or 'cut', got {value!r}"
         ) from None
 
 
@@ -161,9 +163,32 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="solve each cell over its connected-component shards with "
             "this many concurrent shard workers (-1 = one per CPU; default "
-            "monolithic), or 'zones' to derive the shard grouping from a "
-            "zone model over the workload; energies are identical — "
-            "components are independent",
+            "monolithic), 'zones' to derive the shard grouping from a "
+            "zone model over the workload (energies are identical — "
+            "components are independent), or 'cut' for Lagrangian dual "
+            "decomposition across a balanced edge cut of the giant "
+            "component (energy certified within the reported duality gap; "
+            "see --dual-parts/--dual-rounds/--dual-gap)",
+        )
+        t.add_argument(
+            "--dual-parts",
+            type=int,
+            default=4,
+            help="shard count of the --shards cut edge-cut (default 4)",
+        )
+        t.add_argument(
+            "--dual-rounds",
+            type=int,
+            default=40,
+            help="outer subgradient round budget of --shards cut "
+            "(default 40)",
+        )
+        t.add_argument(
+            "--dual-gap",
+            type=float,
+            default=1e-6,
+            help="relative duality-gap tolerance stopping the --shards cut "
+            "outer loop (default 1e-6)",
         )
 
     nvd = sub.add_parser(
@@ -481,6 +506,15 @@ def _table6(args: argparse.Namespace) -> None:
         print("  " + result.row(label))
 
 
+def _dual_options(args: argparse.Namespace) -> dict:
+    """The ``--dual-*`` knobs as :func:`scalability_cell` dual options."""
+    return dict(
+        parts=args.dual_parts,
+        max_rounds=args.dual_rounds,
+        gap_tolerance=args.dual_gap,
+    )
+
+
 def _table7(args: argparse.Namespace) -> None:
     hosts = (100, 200, 400, 600, 800, 1000)
     if args.full:
@@ -488,7 +522,7 @@ def _table7(args: argparse.Namespace) -> None:
     print("Table VII — optimisation time vs #hosts")
     for (label, count), cell in experiments.table7_rows(
         host_counts=hosts, seed=args.seed, workers=args.workers,
-        shards=args.shards,
+        shards=args.shards, dual_options=_dual_options(args),
     ).items():
         print(f"  {label:<14} " + cell.row())
 
@@ -500,7 +534,7 @@ def _table8(args: argparse.Namespace) -> None:
     print("Table VIII — optimisation time vs degree")
     for (label, degree), cell in experiments.table8_rows(
         scales=scales, seed=args.seed, workers=args.workers,
-        shards=args.shards,
+        shards=args.shards, dual_options=_dual_options(args),
     ).items():
         print(f"  {label:<14} " + cell.row())
 
@@ -512,7 +546,7 @@ def _table9(args: argparse.Namespace) -> None:
     print("Table IX — optimisation time vs services per host")
     for (label, services), cell in experiments.table9_rows(
         scales=scales, seed=args.seed, workers=args.workers,
-        shards=args.shards,
+        shards=args.shards, dual_options=_dual_options(args),
     ).items():
         print(f"  {label:<14} " + cell.row())
 

@@ -133,6 +133,13 @@ def diversify(
             ``"zones"`` derives the partition from the ``zones`` model
             instead: each zone's micro-components are pinned into one
             shard (still exact — zone grouping only merges components).
+            ``"cut"`` routes through Lagrangian dual decomposition
+            (:class:`~repro.mrf.dual.DualDecompositionSolver`): a
+            balanced edge cut splits even a single giant connected
+            component, coupled shards iterate to agreement, and the
+            result carries a certified duality gap instead of the exact
+            guarantee (``"trws"`` only; tune via ``parts=``,
+            ``max_rounds=``, ``gap_tolerance=``, ``executor=``).
             ``None``/``0`` keeps the monolithic solve.  Exact for
             ``"trws"``/``"bp"``, including the batched fast path; other
             solvers ignore it.
@@ -170,7 +177,7 @@ def diversify(
     if (
         fast_path
         and solver == "trws"
-        and shards != "zones"
+        and shards not in ("zones", "cut")
         and not constraint_set
         and not preferences
         and not service_weights
@@ -218,7 +225,13 @@ def diversify(
             from repro.mrf.partition import split_components, zone_groups
             from repro.mrf.sharded import ShardedSolver
 
-            if shards == "zones":
+            if shards == "cut":
+                from repro.mrf.dual import DualDecompositionSolver
+
+                solver_result = DualDecompositionSolver(
+                    solver=solver, **solver_options
+                ).solve(build.mrf)
+            elif shards == "zones":
                 plan = MRFArrays(build.mrf)
                 partition = split_components(
                     plan, groups=zone_groups(build.variables, zones)
@@ -261,7 +274,7 @@ def _solve_compiled(
     zones: Optional[ZonedNetwork],
     solver_options: Mapping,
 ) -> SolverResult:
-    """Solve a compiled plan — monolithic, shard-count or zone-sharded.
+    """Solve a compiled plan — monolithic, shard-count, zone- or cut-sharded.
 
     The monolithic dispatch (forest DP for cold TRW-S forests, greedy
     refine init otherwise) mirrors ``TRWSSolver.solve`` on the equivalent
@@ -269,6 +282,12 @@ def _solve_compiled(
     """
     from repro.mrf.sharded import ShardedSolver, solve_plan
 
+    if shards == "cut":
+        from repro.mrf.dual import DualDecompositionSolver
+
+        return DualDecompositionSolver(
+            solver=solver, **solver_options
+        ).solve_arrays(compiled.plan)
     if shards == "zones":
         from repro.mrf.partition import split_components, zone_groups
 

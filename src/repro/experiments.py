@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.network.zones import ZonedNetwork
@@ -307,6 +307,7 @@ def scalability_cell(
     max_iterations: int = 8,
     compute_bound: bool = False,
     shards: Optional[Union[int, str]] = None,
+    dual_options: Optional[Dict[str, Any]] = None,
 ) -> ScalabilityCell:
     """Time one optimisation run on a random workload.
 
@@ -318,11 +319,16 @@ def scalability_cell(
     workers (see :func:`repro.core.diversify.diversify`);
     ``shards="zones"`` derives the partition from a synthetic zone model
     over the random workload (contiguous host groups — purely a scheduling
-    granularity, the decomposition stays exact).
+    granularity, the decomposition stays exact); ``shards="cut"`` runs
+    Lagrangian dual decomposition over a balanced edge cut of the giant
+    component, tuned by ``dual_options`` (``parts``, ``max_rounds``,
+    ``gap_tolerance``, ``executor`` — see
+    :class:`repro.mrf.dual.DualDecompositionSolver`).
     """
     network = random_network(config)
     similarity = random_similarity(config)
     zones = _synthetic_zone_model(network) if shards == "zones" else None
+    extra = dict(dual_options or {}) if shards == "cut" else {}
     start = time.perf_counter()
     result = diversify(
         network,
@@ -332,6 +338,7 @@ def scalability_cell(
         compute_bound=compute_bound,
         shards=shards,
         zones=zones,
+        **extra,
     )
     elapsed = time.perf_counter() - start
     return ScalabilityCell(

@@ -19,6 +19,9 @@ passing (TRW-S).  This subpackage provides:
     Component/zone partitioning of plans — the shard layer.
 ``repro.mrf.sharded``
     :class:`ShardedSolver` — concurrent per-shard solving over partitions.
+``repro.mrf.dual``
+    :class:`DualDecompositionSolver` — Lagrangian dual decomposition over
+    balanced edge cuts of a connected plan (``trws-dual``).
 ``repro.mrf.solvers``
     Common :class:`SolverResult` type and a name → solver registry.
 ``repro.mrf.backends``
@@ -53,6 +56,7 @@ from repro.mrf.partition import (
     split_replicated,
     zone_groups,
 )
+from repro.mrf.dual import DualDecompositionSolver, DualSolveResult
 from repro.mrf.sharded import ShardedSolver, solve_plan
 from repro.mrf.vectorized import MRFArrays, SolverScratch
 
@@ -68,6 +72,8 @@ __all__ = [
     "ExactSolver",
     "SimulatedAnnealingSolver",
     "BatchedTRWSSolver",
+    "DualDecompositionSolver",
+    "DualSolveResult",
     "ReplicatedProblem",
     "ShardedSolver",
     "active_kernel_backend",

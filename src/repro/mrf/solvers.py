@@ -151,12 +151,13 @@ def available_solvers() -> List[str]:
     The registry is populated when :mod:`repro.mrf` imports: the
     vectorized pair (``trws``/``bp``), their per-node reference twins
     (``trws-ref``/``bp-ref``, kept for parity tests), the sharded
-    wrappers (``trws-sharded``/``bp-sharded``), and the refine/baseline
-    solvers (``icm``, ``exact``, ``anneal``).
+    wrappers (``trws-sharded``/``bp-sharded``), the dual-decomposition
+    wrapper (``trws-dual``), and the refine/baseline solvers (``icm``,
+    ``exact``, ``anneal``).
 
     >>> import repro.mrf  # registers the built-in solvers
     >>> [name for name in available_solvers() if name.startswith("trws")]
-    ['trws', 'trws-ref', 'trws-sharded']
+    ['trws', 'trws-dual', 'trws-ref', 'trws-sharded']
     """
     return sorted(_REGISTRY)
 
@@ -191,6 +192,7 @@ def _register_builtins() -> None:
     from repro.mrf.anneal import SimulatedAnnealingSolver
     from repro.mrf.reference import ReferenceBPSolver, ReferenceTRWSSolver
     from repro.mrf.sharded import ShardedSolver
+    from repro.mrf.dual import DualDecompositionSolver
 
     register_solver("trws", TRWSSolver)
     register_solver("bp", LoopyBPSolver)
@@ -205,6 +207,7 @@ def _register_builtins() -> None:
     register_solver(
         "bp-sharded", functools.partial(ShardedSolver, solver="bp")
     )
+    register_solver("trws-dual", DualDecompositionSolver)
 
 
 _register_builtins()

@@ -39,6 +39,7 @@ from repro.network.topologies import (
     grid_network,
     motivational_network,
     ring_network,
+    scale_free_network,
     star_network,
     tree_network,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "star_network",
     "grid_network",
     "tree_network",
+    "scale_free_network",
     "complete_network",
     "motivational_network",
 ]

@@ -8,6 +8,7 @@ is the homogeneous setting of the paper's illustrative figures.
 
 from __future__ import annotations
 
+import random
 from typing import Mapping, Optional, Sequence
 
 from repro.network.model import Network
@@ -19,6 +20,7 @@ __all__ = [
     "grid_network",
     "tree_network",
     "complete_network",
+    "scale_free_network",
     "motivational_network",
     "MOTIVATIONAL_ENTRY",
     "MOTIVATIONAL_TARGET",
@@ -108,6 +110,47 @@ def complete_network(
     network.add_links(
         (f"h{i}", f"h{j}") for i in range(count) for j in range(i + 1, count)
     )
+    return network
+
+
+def scale_free_network(
+    count: int,
+    attach: int = 2,
+    seed: int = 0,
+    services: Optional[Mapping[str, Sequence[str]]] = None,
+) -> Network:
+    """A preferential-attachment (Barabási–Albert) network of ``count`` hosts.
+
+    Growth starts from a seed clique of ``attach + 1`` hosts; every later
+    host attaches to ``attach`` distinct existing hosts drawn with
+    probability proportional to their current degree (sampling from the
+    repeated-endpoints urn).  The result is a single connected component
+    with a heavy-tailed degree distribution — the "giant component" shape
+    of real estates that the dual decomposition tier
+    (:mod:`repro.mrf.dual`) is built to cut apart.  Deterministic for a
+    given ``seed``.
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    core = attach + 1
+    if count < core:
+        raise ValueError(f"need at least {core} hosts for attach={attach}")
+    network = _uniform(count, services)
+    rng = random.Random(seed)
+    # Urn of endpoint repeats: a host appears once per incident link, so a
+    # uniform draw from the urn is a degree-proportional draw.
+    urn: list = []
+    for i in range(core):
+        for j in range(i + 1, core):
+            network.add_link(f"h{i}", f"h{j}")
+            urn.extend((i, j))
+    for new in range(core, count):
+        targets: set = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(urn))
+        for target in sorted(targets):
+            network.add_link(f"h{new}", f"h{target}")
+            urn.extend((new, target))
     return network
 
 

@@ -10,7 +10,7 @@ so jobs with big read-only numerics (shard cost stacks) stop shipping them
 over pipes.
 """
 
-from repro.runner.engine import Job, derive_seed, resolve_workers, run_jobs
+from repro.runner.engine import Job, JobPool, derive_seed, resolve_workers, run_jobs
 from repro.runner.shared import (
     SharedArrayBlock,
     SharedArraySpec,
@@ -19,6 +19,7 @@ from repro.runner.shared import (
 
 __all__ = [
     "Job",
+    "JobPool",
     "SharedArrayBlock",
     "SharedArraySpec",
     "derive_seed",

@@ -631,8 +631,12 @@ class DiversificationService:
     def _solve_batch(self, force_cold: bool = False):
         """One engine solve, routed through the ``solve`` fault point."""
         faults = self.config.fault_plan
-        if faults is not None and faults.fire("solve") == "error":
-            raise InjectedFault("injected solver failure")
+        if faults is not None:
+            action = faults.fire("solve")
+            if action == "crash":
+                faults.crash()
+            if action == "error":
+                raise InjectedFault("injected solver failure")
         return self._engine.solve(force_cold=force_cold)
 
     def _dead_letter(self, batch: List[Tuple[int, Event]], problem) -> None:

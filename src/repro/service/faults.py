@@ -17,7 +17,9 @@ point           actions                     fired by
 ==============  ==========================  =================================
 ``wal.append``  ``crash``/``torn``/``error``  :meth:`WriteAheadLog.append`
 ``wal.fsync``   ``error``                     every WAL ``fsync`` call
-``solve``       ``error``                     the writer loop, before solving
+``solve``       ``error``/``crash``           the writer loop, before solving
+                                              (``crash`` also drives the
+                                              dual outer-round drill)
 ``snapshot``    ``error``/``crash``           ``save_snapshot``, post-stage,
                                               pre-rename
 ==============  ==========================  =================================
@@ -60,7 +62,7 @@ __all__ = [
 FAULT_POINTS = {
     "wal.append": ("crash", "torn", "error"),
     "wal.fsync": ("error",),
-    "solve": ("error",),
+    "solve": ("error", "crash"),
     "snapshot": ("error", "crash"),
 }
 

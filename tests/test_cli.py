@@ -45,6 +45,21 @@ class TestParser:
         assert parser.parse_args([command, "--workers", "4"]).workers == 4
         assert parser.parse_args([command, "--workers", "-1"]).workers == -1
 
+    @pytest.mark.parametrize("command", ["table7", "table8", "table9"])
+    def test_scalability_dual_flags(self, command):
+        parser = build_parser()
+        args = parser.parse_args([command])
+        assert args.shards is None
+        assert args.dual_parts == 4
+        args = parser.parse_args(
+            [command, "--shards", "cut", "--dual-parts", "8",
+             "--dual-rounds", "20", "--dual-gap", "1e-4"]
+        )
+        assert args.shards == "cut"
+        assert args.dual_parts == 8
+        assert args.dual_rounds == 20
+        assert args.dual_gap == pytest.approx(1e-4)
+
     def test_sensitivity_options(self):
         args = build_parser().parse_args(
             ["sensitivity", "--noise", "0.2", "--seeds", "1", "2", "--workers", "2"]

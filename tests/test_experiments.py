@@ -131,6 +131,21 @@ class TestScalability:
         rows = experiments.table9_rows(service_counts=(2, 4), scales=(("mini", 40, 4),))
         assert set(rows) == {("mini", 2), ("mini", 4)}
 
+    def test_cell_with_cut_shards(self):
+        # `--shards cut` routes the cell through the dual solver; the
+        # timing row keeps its shape and the dual knobs are honoured.
+        cell = experiments.scalability_cell(
+            RandomNetworkConfig(hosts=40, degree=2, services=2, seed=0),
+            shards="cut",
+            dual_options={"parts": 2, "max_rounds": 5, "seed": 0},
+        )
+        assert cell.seconds > 0
+        assert "hosts=40" in cell.row()
+        plain = experiments.scalability_cell(
+            RandomNetworkConfig(hosts=40, degree=2, services=2, seed=0)
+        )
+        assert cell.edges == plain.edges
+
     def test_more_services_cost_more_time(self):
         # 16x the services: the per-sweep message work scales with the
         # stacked service count, so even under machine-load noise the

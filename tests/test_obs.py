@@ -386,3 +386,59 @@ class TestLogging:
         setup_logging("info", stream=stream)
         get_logger("test").warning("once")
         assert stream.getvalue().count("once") == 1
+
+
+class TestTraceCli:
+    """``repro trace`` end-to-end: workload under tracing + report files."""
+
+    def _run(self, argv, capsys):
+        from repro.cli import main
+
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_trace_diversify_report(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        text = self._run(
+            ["trace", "diversify", "--hosts", "10", "--degree", "2",
+             "--services", "2", "--products", "3",
+             "--out", str(out), "--jsonl", str(jsonl)],
+            capsys,
+        )
+        assert "diversify: energy" in text
+        assert f"wrote {out}" in text
+        assert f"wrote {jsonl}" in text
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        spans = [json.loads(line) for line in
+                 jsonl.read_text().splitlines() if line]
+        assert any(s.get("name") == "trws.solve" for s in spans)
+        # the breakdown tables follow the file lines
+        assert "self" in text or "total" in text
+
+    def test_trace_stream_sharded_report(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        text = self._run(
+            ["trace", "stream", "--hosts", "10", "--degree", "2",
+             "--services", "2", "--products", "3", "--events", "3",
+             "--out", str(out)],
+            capsys,
+        )
+        assert "wrote" in text
+        assert out.exists()
+        # the sharded engine leaves shard solve spans in the trace
+        payload = json.loads(out.read_text())
+        names = {event.get("name") for event in payload["traceEvents"]}
+        assert any(name and name.startswith("shard") for name in names)
+
+    def test_trace_after_deactivate_leaves_recorder_clean(
+        self, tmp_path, capsys
+    ):
+        self._run(
+            ["trace", "diversify", "--hosts", "8", "--degree", "2",
+             "--services", "2", "--products", "3",
+             "--out", str(tmp_path / "t.json")],
+            capsys,
+        )
+        assert not obs.enabled()

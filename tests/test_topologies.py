@@ -9,6 +9,7 @@ from repro.network.topologies import (
     grid_network,
     motivational_network,
     ring_network,
+    scale_free_network,
     star_network,
     tree_network,
 )
@@ -56,6 +57,33 @@ class TestBasicShapes:
     def test_complete(self):
         net = complete_network(5)
         assert net.edge_count() == 10
+
+    def test_scale_free(self):
+        net = scale_free_network(60, attach=2, seed=1)
+        assert len(net) == 60
+        # seed clique K_3 plus 2 links per later host
+        assert net.edge_count() == 3 + 2 * 57
+        # single connected component (the "giant component" shape)
+        seen, stack = {"h0"}, ["h0"]
+        while stack:
+            for peer in net.neighbors(stack.pop()):
+                if peer not in seen:
+                    seen.add(peer)
+                    stack.append(peer)
+        assert len(seen) == 60
+        # heavy tail: some hub beats the attachment degree by a margin
+        assert max(net.degree(h) for h in net.hosts) >= 6
+
+    def test_scale_free_deterministic(self):
+        first = scale_free_network(40, seed=9)
+        again = scale_free_network(40, seed=9)
+        assert sorted(first.links) == sorted(again.links)
+
+    def test_scale_free_validation(self):
+        with pytest.raises(ValueError):
+            scale_free_network(2, attach=2)
+        with pytest.raises(ValueError):
+            scale_free_network(10, attach=0)
 
     def test_custom_services(self):
         net = chain_network(3, services={"db": ["x", "y", "z"]})

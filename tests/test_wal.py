@@ -400,3 +400,80 @@ class TestWalCli:
         out = capsys.readouterr().out
         assert "replayed 4 event(s)" in out
         assert "final energy" in out
+
+
+class TestWalReplaySnapshotCli:
+    """``repro wal replay --snapshot-dir``: snapshot + log-tail offline."""
+
+    def _workload(self, tmp_path, events=6, anchor=4):
+        from repro.network.generator import (
+            RandomNetworkConfig,
+            random_network,
+            random_similarity,
+        )
+        from repro.service import save_snapshot
+        from repro.stream import (
+            ChurnConfig,
+            DynamicDiversifier,
+            random_churn_trace,
+        )
+
+        generator = RandomNetworkConfig(
+            hosts=12, degree=2, services=2, products_per_service=3, seed=4
+        )
+        net, table = random_network(generator), random_similarity(generator)
+        trace = random_churn_trace(net, ChurnConfig(events=events, seed=4))
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(trace)
+        wal.close()
+        engine = DynamicDiversifier(net.copy(), table.copy(), solver="trws")
+        for event in trace[:anchor]:
+            engine.apply(event)
+        engine.solve()
+        save_snapshot(
+            engine, tmp_path / "snaps", version=1, wal_seq=anchor
+        )
+        return trace
+
+    def test_replay_resumes_from_snapshot(self, tmp_path, capsys):
+        self._workload(tmp_path, events=6, anchor=4)
+        assert main(
+            ["wal", "replay", str(tmp_path / "wal"),
+             "--snapshot-dir", str(tmp_path / "snaps")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "restored snap-" in out
+        assert "(wal_seq 4)" in out
+        # only the tail after the anchor replays
+        assert "replayed 2 event(s) after seq 4" in out
+        assert "final energy" in out
+
+    def test_replay_skips_missing_snapshot(self, tmp_path, capsys):
+        self._workload(tmp_path, events=5, anchor=2)
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert main(
+            ["wal", "replay", str(tmp_path / "wal"),
+             "--snapshot-dir", str(empty),
+             "--hosts", "12", "--degree", "2", "--services", "2",
+             "--products", "3", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no valid snapshot" in out
+        assert "replayed 5 event(s) after seq 0" in out
+
+    def test_snapshot_and_full_replay_agree(self, tmp_path, capsys):
+        self._workload(tmp_path, events=6, anchor=3)
+        assert main(
+            ["wal", "replay", str(tmp_path / "wal"),
+             "--snapshot-dir", str(tmp_path / "snaps")]
+        ) == 0
+        from_snapshot = capsys.readouterr().out.splitlines()[-1]
+        assert main(
+            ["wal", "replay", str(tmp_path / "wal"),
+             "--hosts", "12", "--degree", "2", "--services", "2",
+             "--products", "3", "--seed", "4"]
+        ) == 0
+        from_scratch = capsys.readouterr().out.splitlines()[-1]
+        # both paths end on the same "final energy ... over N hosts" line
+        assert from_snapshot == from_scratch
